@@ -1,0 +1,63 @@
+// Ablation: distributed execution — speedup/skew vs worker count, and the
+// paper's Section 7 point that hash partitioning (the general graph-system
+// default) is a poor fit for scale-free block workloads compared to the
+// load-aware greedy scheduler.
+
+#include <cstdio>
+
+#include "common.h"
+#include "dist/distributed_mce.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Ablation: simulated cluster (workers x partitioning strategy)");
+  const NamedGraph dataset = Datasets()[1];  // twitter2 stand-in
+  std::printf("dataset: %s\n", dataset.name.c_str());
+  std::printf("%8s %-12s %12s %10s %8s %14s\n", "workers", "strategy",
+              "makespan", "speedup", "skew", "bytes shipped");
+  PrintRule();
+  for (int workers : {1, 2, 5, 10, 20}) {
+    for (dist::PartitionStrategy strategy :
+         {dist::PartitionStrategy::kGreedyLpt,
+          dist::PartitionStrategy::kHash}) {
+      decomp::FindMaxCliquesOptions options;
+      MaxCliqueFinder::Options facade;  // reuse ratio resolution
+      facade.block_size_ratio = 0.5;
+      MaxCliqueFinder finder(facade);
+      Result<uint32_t> m = finder.ResolveBlockSize(dataset.graph);
+      MCE_CHECK(m.ok());
+      options.max_block_size = *m;
+      dist::ClusterConfig cluster;
+      cluster.num_workers = workers;
+      cluster.strategy = strategy;
+      dist::DistributedResult r =
+          dist::RunDistributedMce(dataset.graph, options, cluster);
+      uint64_t bytes = 0;
+      // Skew of the dominant phase (the level with the most compute);
+      // trailing levels with one tiny block would report a meaningless
+      // max/mean of the worker count.
+      double skew = 1.0;
+      double dominant_compute = -1.0;
+      for (const dist::DistributedLevel& level : r.levels) {
+        if (level.simulation.total_compute_seconds > dominant_compute) {
+          dominant_compute = level.simulation.total_compute_seconds;
+          skew = level.simulation.Skew();
+        }
+        for (const auto& w : level.simulation.workers) {
+          bytes += w.bytes_received;
+        }
+      }
+      std::printf("%8d %-12s %12s %10.2f %8.2f %14llu\n", workers,
+                  ToString(strategy), FormatSeconds(r.TotalSeconds()).c_str(),
+                  r.AnalysisComputeSpeedup(), skew,
+                  static_cast<unsigned long long>(bytes));
+    }
+  }
+  PrintRule();
+  std::printf("reading: greedy-lpt keeps skew near 1 and speedup near the\n"
+              "worker count; hash partitioning leaves workers idle behind\n"
+              "the skewed block sizes of a scale-free network (Section 7).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: block overlap (node replication) vs m/d.
+//
+// Section 6.3 attributes the efficiency falloff at very small m/d to "an
+// increasing overlap among the neighborhood of each block and an
+// increasing communication overhead". This bench measures that overlap
+// directly: the replication factor (sum of block sizes / graph size), the
+// block count, and the bytes the blocks would ship — per dataset and
+// ratio.
+
+#include <cstdio>
+
+#include "common.h"
+#include "decomp/plan.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Ablation: block overlap / replication vs m/d");
+  std::printf("%-10s %5s %8s %10s %12s %12s %12s\n", "dataset", "m/d",
+              "blocks", "avg size", "replication", "ship bytes", "levels");
+  PrintRule();
+  for (const NamedGraph& d : Datasets()) {
+    for (double ratio : Ratios()) {
+      decomp::PlanOptions options;
+      options.max_block_size = std::max<uint32_t>(
+          2, static_cast<uint32_t>(ratio * d.graph.MaxDegree()));
+      decomp::DecompositionPlan plan =
+          decomp::ComputePlan(d.graph, options);
+      uint64_t bytes = 0;
+      double avg = 0;
+      for (const auto& level : plan.levels) {
+        bytes += level.total_block_bytes;
+        if (&level == &plan.levels.front()) avg = level.avg_block_nodes;
+      }
+      std::printf("%-10s %5.1f %8llu %10.1f %12.3f %12llu %9zu%s\n",
+                  d.name.c_str(), ratio,
+                  static_cast<unsigned long long>(plan.TotalBlocks()), avg,
+                  plan.OverallReplication(),
+                  static_cast<unsigned long long>(bytes),
+                  plan.levels.size(),
+                  plan.hits_fallback ? " (fallback)" : "");
+    }
+    PrintRule();
+  }
+  std::printf("reading: block counts grow steeply as m/d shrinks, but the\n"
+              "replication factor stays bounded (and often falls): shrinking\n"
+              "m reclassifies high-degree nodes as hubs, moving their\n"
+              "neighborhoods into the recursion instead of copying them\n"
+              "into every block — the overhead a single-level scheme pays\n"
+              "(the Figure 8 saddle) and the two-level split avoids.\n");
+  return 0;
+}

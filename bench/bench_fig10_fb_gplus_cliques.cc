@@ -1,0 +1,33 @@
+// Figure 10: the Figure 9 analysis for the facebook and google+ datasets.
+
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Figure 10: clique counts and sizes by origin (facebook, google+)");
+  std::printf("%-10s %5s %12s %12s %10s %10s %9s\n", "dataset", "m/d",
+              "#feasible", "#hub-only", "avg(feas)", "avg(hub)", "max");
+  PrintRule();
+  for (const NamedGraph& d : Datasets()) {
+    if (d.name != "facebook" && d.name != "google+") continue;
+    for (double ratio : Ratios()) {
+      FindResult result = RunPipeline(d.graph, ratio);
+      std::printf("%-10s %5.1f %12llu %12llu %10.2f %10.2f %9zu\n",
+                  d.name.c_str(), ratio,
+                  static_cast<unsigned long long>(
+                      result.stats.feasible_cliques),
+                  static_cast<unsigned long long>(result.stats.hub_cliques),
+                  result.stats.avg_feasible_clique_size,
+                  result.stats.avg_hub_clique_size,
+                  result.stats.max_clique_size);
+    }
+    PrintRule();
+  }
+  std::printf("paper shape: as Figure 9 — hub-only cliques grow as m/d\n"
+              "shrinks and are comparable in size to the largest cliques.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 3: the decision tree for selecting the most suitable MCE
+// algorithm. Reproduces the methodology: measure all 12 combos on the
+// collection, label each graph with its fastest combo, train a recursive
+// partitioner on an 80% split, and print the learned tree next to the
+// paper's published tree.
+
+#include <cstdio>
+
+#include "common.h"
+#include "decision/decision_tree.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Figure 3: trained decision tree (rpart-equivalent CART)");
+  TrainedSetup setup = TrainOnCollection();
+
+  std::printf("\nlearned tree (trained on %zu graphs):\n",
+              setup.train_idx.size());
+  PrintRule();
+  std::printf("%s", setup.tree.ToString().c_str());
+  PrintRule();
+
+  // Training / held-out accuracy of the learned tree.
+  auto accuracy = [&](const std::vector<size_t>& idx) {
+    int hits = 0, total = 0;
+    for (size_t i : idx) {
+      if (setup.measurements[i].best < 0) continue;
+      ++total;
+      MceOptions predicted = setup.tree.Classify(setup.features[i]);
+      const MceOptions truth = AllCombos()[setup.measurements[i].best];
+      if (predicted.algorithm == truth.algorithm &&
+          predicted.storage == truth.storage) {
+        ++hits;
+      }
+    }
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  };
+  std::printf("training accuracy: %.2f   testing accuracy: %.2f\n",
+              accuracy(setup.train_idx), accuracy(setup.test_idx));
+
+  std::printf("\npaper's published tree (Figure 3), used as the library "
+              "default:\n");
+  PrintRule();
+  std::printf("%s", decision::PaperDecisionTree().ToString().c_str());
+  PrintRule();
+  return 0;
+}

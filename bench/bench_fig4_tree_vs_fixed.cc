@@ -1,0 +1,77 @@
+// Figure 4: total time to process the testing set with the decision tree
+// vs. the five best-performing fixed combinations.
+//
+// Expected shape (paper): the decision tree beats every fixed combination
+// taken singularly.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Figure 4: decision tree vs fixed combinations (testing set)");
+  TrainedSetup setup = TrainOnCollection();
+  const std::vector<MceOptions> combos = AllCombos();
+
+  // Total per-combo time over the testing set (only where the combo ran).
+  std::vector<double> combo_total(combos.size(), 0.0);
+  std::vector<bool> combo_complete(combos.size(), true);
+  double tree_total = 0.0;
+  for (size_t i : setup.test_idx) {
+    const ComboMeasurement& m = setup.measurements[i];
+    for (size_t c = 0; c < combos.size(); ++c) {
+      if (std::isinf(m.seconds[c])) {
+        combo_complete[c] = false;
+      } else {
+        combo_total[c] += m.seconds[c];
+      }
+    }
+    // The tree's cost on this graph = cost of the combo it selects.
+    MceOptions selected = setup.tree.Classify(setup.features[i]);
+    for (size_t c = 0; c < combos.size(); ++c) {
+      if (combos[c].algorithm == selected.algorithm &&
+          combos[c].storage == selected.storage) {
+        tree_total += std::isinf(m.seconds[c])
+                          ? TimeEnumeration(setup.collection[i].graph,
+                                            selected, nullptr)
+                          : m.seconds[c];
+        break;
+      }
+    }
+  }
+
+  // The five fastest complete fixed combos.
+  std::vector<size_t> order(combos.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) -> bool {
+    if (combo_complete[a] != combo_complete[b]) return combo_complete[a];
+    return combo_total[a] < combo_total[b];
+  });
+
+  PrintRule();
+  std::printf("%-22s %12s\n", "Strategy", "total time");
+  PrintRule();
+  std::printf("%-22s %12s\n", "Decision Tree", FormatSeconds(tree_total).c_str());
+  int shown = 0;
+  for (size_t c : order) {
+    if (!combo_complete[c] || shown == 5) break;
+    std::printf("%-22s %12s\n",
+                ComboName(combos[c].storage, combos[c].algorithm).c_str(),
+                FormatSeconds(combo_total[c]).c_str());
+    ++shown;
+  }
+  PrintRule();
+  double best_fixed = combo_total[order[0]];
+  std::printf("decision tree vs best fixed: %.2fx\n",
+              best_fixed > 0 ? tree_total / best_fixed : 0.0);
+  std::printf("paper shape: the decision tree outperforms every fixed "
+              "combination\n");
+  return 0;
+}

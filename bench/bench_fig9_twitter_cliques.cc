@@ -1,0 +1,41 @@
+// Figure 9: for twitter1/2/3, (a) the number of maximal cliques and (b)
+// the average clique size, split into cliques from the feasible-node
+// blocks (white bars) and cliques containing hub nodes only (gray bars),
+// across the m/d sweep.
+//
+// Paper shape: a non-negligible set of hub-only cliques at every ratio,
+// growing sharply as m/d decreases; hub-only cliques are comparable to —
+// and on average larger than — the feasible ones.
+
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace mce;
+  using namespace mce::bench;
+
+  PrintTitle("Figure 9: clique counts and sizes by origin (twitter1/2/3)");
+  std::printf("%-10s %5s %12s %12s %10s %10s %9s\n", "dataset", "m/d",
+              "#feasible", "#hub-only", "avg(feas)", "avg(hub)", "max");
+  PrintRule();
+  for (const NamedGraph& d : Datasets()) {
+    if (d.name.rfind("twitter", 0) != 0) continue;
+    for (double ratio : Ratios()) {
+      FindResult result = RunPipeline(d.graph, ratio);
+      std::printf("%-10s %5.1f %12llu %12llu %10.2f %10.2f %9zu\n",
+                  d.name.c_str(), ratio,
+                  static_cast<unsigned long long>(
+                      result.stats.feasible_cliques),
+                  static_cast<unsigned long long>(result.stats.hub_cliques),
+                  result.stats.avg_feasible_clique_size,
+                  result.stats.avg_hub_clique_size,
+                  result.stats.max_clique_size);
+    }
+    PrintRule();
+  }
+  std::printf("paper shape: hub-only cliques present at all ratios and\n"
+              "increasingly numerous as m/d shrinks; their average size\n"
+              "rivals or exceeds the feasible-side average.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared infrastructure for the paper-reproduction benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. Scales
+// are configurable through environment variables so the same binaries can
+// run as quick smoke checks or as fuller reproductions:
+//   MCE_DATASET_SCALE  multiplier on the dataset stand-in sizes (default
+//                      0.25: twitter1 ~ 3k nodes .. twitter3 ~ 7.5k nodes)
+//   MCE_BENCH_REPS     repetitions averaged per measurement (default 1;
+//                      the paper averages 3 runs)
+
+#ifndef MCE_BENCH_COMMON_H_
+#define MCE_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/max_clique_finder.h"
+#include "decision/trainer.h"
+#include "gen/social.h"
+#include "graph/graph.h"
+#include "mce/enumerator.h"
+
+namespace mce::bench {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// The m/d ratios swept throughout Section 6.
+inline const std::vector<double>& Ratios() {
+  static const std::vector<double> kRatios{0.9, 0.7, 0.5, 0.3, 0.1};
+  return kRatios;
+}
+
+/// All 12 data-structure/algorithm combinations of Section 4.
+std::vector<MceOptions> AllCombos();
+
+/// The heterogeneous 50-graph collection used to train and test the
+/// decision tree (Table 1, Table 2, Figures 3-4): Erdos-Renyi,
+/// Barabasi-Albert and Watts-Strogatz models plus social-network
+/// stand-ins, spanning sparse to dense. Deterministic in `seed`.
+std::vector<NamedGraph> BuildGraphCollection(uint64_t seed = 2016);
+
+/// The five dataset stand-ins (Table 3 order), generated at the configured
+/// scale. Deterministic.
+std::vector<NamedGraph> Datasets();
+
+double DatasetScale();
+int BenchReps();
+
+/// Times one full enumeration of `g` with `options`; returns seconds and
+/// stores the clique count. Uses a counting sink (cliques not stored).
+double TimeEnumeration(const Graph& g, const MceOptions& options,
+                       uint64_t* clique_count);
+
+/// Memory guard: true when the storage for (n, m) fits the byte budget
+/// (dense structures are skipped on graphs too large for them, as any
+/// practical harness must).
+bool ComboFits(const Graph& g, StorageKind storage,
+               uint64_t budget_bytes = 128ull << 20);
+
+/// Per-graph timing of all 12 combos (infinity for combos skipped by the
+/// memory guard). `best` indexes the fastest combo.
+struct ComboMeasurement {
+  std::vector<double> seconds;  // parallel to AllCombos()
+  int best = -1;
+};
+ComboMeasurement MeasureAllCombos(const Graph& g);
+
+/// Runs the full pipeline on `g` at block-size ratio m/d (Section 6's
+/// sweep parameter) with the paper's decision tree; aborts on option
+/// errors (the harness controls all inputs). Repetitions are averaged into
+/// the timing stats by the caller re-running as needed.
+FindResult RunPipeline(const Graph& g, double ratio,
+                       bool simulate_cluster = false, int workers = 10);
+
+/// The Section 4 methodology end-to-end: measure all combos on the whole
+/// collection, split 80/20 into training and testing, and train a CART
+/// tree on (features -> fastest combo).
+struct TrainedSetup {
+  std::vector<NamedGraph> collection;
+  std::vector<ComboMeasurement> measurements;     // parallel to collection
+  std::vector<decision::BlockFeatures> features;  // parallel to collection
+  std::vector<size_t> train_idx, test_idx;
+  decision::DecisionTree tree{MceOptions{}};
+};
+TrainedSetup TrainOnCollection(uint64_t seed = 2016);
+
+/// Formatting helpers for the table output.
+void PrintTitle(const std::string& title);
+void PrintRule();
+std::string FormatSeconds(double seconds);
+
+}  // namespace mce::bench
+
+#endif  // MCE_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Dataset ingestion round trip (the Section 6.2 data path): write a
+// generated network as <n1, e, n2> triples with string labels, read it
+// back through the label-hashing loader, run the pipeline, and print the
+// top communities in the original label vocabulary.
+//
+//   $ ./build/examples/dataset_io [path]
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "core/max_clique_finder.h"
+#include "gen/social.h"
+#include "graph/io.h"
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/mce_example_dataset.triples";
+
+  // Produce a labeled dataset file: user names "u<i>" linked by "follows".
+  {
+    mce::Graph g =
+        mce::gen::GenerateSocialNetwork(mce::gen::Twitter1Config(0.05));
+    mce::LabeledGraph labeled;
+    labeled.graph = std::move(g);
+    labeled.edge_labels = {"follows"};
+    for (mce::NodeId v = 0; v < labeled.graph.num_nodes(); ++v) {
+      labeled.labels.push_back("u" + std::to_string(v));
+    }
+    mce::Status st = mce::WriteTriples(labeled, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu triples to %s\n",
+                static_cast<unsigned long long>(labeled.graph.num_edges()),
+                path.c_str());
+  }
+
+  // Ingest: labels are hash-encoded to dense ids (Section 6.2).
+  mce::Result<mce::LabeledGraph> loaded = mce::ReadTriples(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded: %u nodes, %llu edges, %zu distinct edge labels\n",
+              loaded->graph.num_nodes(),
+              static_cast<unsigned long long>(loaded->graph.num_edges()),
+              loaded->edge_labels.size());
+
+  mce::MaxCliqueFinder::Options options;
+  options.block_size_ratio = 0.5;
+  mce::MaxCliqueFinder finder(options);
+  mce::Result<mce::FindResult> result = finder.Find(loaded->graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("maximal cliques: %zu; largest:\n", result->cliques.size());
+  std::vector<size_t> order(result->cliques.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result->cliques.cliques()[a].size() >
+           result->cliques.cliques()[b].size();
+  });
+  for (size_t i = 0; i < std::min<size_t>(3, order.size()); ++i) {
+    const mce::Clique& c = result->cliques.cliques()[order[i]];
+    std::printf("  {");
+    for (size_t j = 0; j < c.size(); ++j) {
+      std::printf("%s%s", j ? ", " : "", loaded->labels[c[j]].c_str());
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

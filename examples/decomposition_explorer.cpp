@@ -1,0 +1,48 @@
+// Decomposition explorer: sweep the block bound m over a network and watch
+// the structural trade-off the paper tunes — block count, block sizes,
+// node replication across blocks, and hub-recursion depth — without
+// enumerating a single clique.
+//
+//   $ ./build/examples/decomposition_explorer [scale]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "decomp/plan.h"
+#include "gen/social.h"
+#include "graph/core_decomposition.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  mce::Graph graph =
+      mce::gen::GenerateSocialNetwork(mce::gen::Twitter1Config(scale));
+  const uint32_t d = graph.MaxDegree();
+  std::printf("graph: %u nodes, %llu edges, max degree %u, degeneracy %u\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()), d,
+              mce::Degeneracy(graph));
+
+  std::printf("\n%6s %8s %8s %10s %12s %8s %10s\n", "m/d", "m", "blocks",
+              "avg size", "replication", "levels", "hubs@L0");
+  for (double ratio : {0.9, 0.7, 0.5, 0.3, 0.1, 0.05}) {
+    mce::decomp::PlanOptions options;
+    options.max_block_size =
+        std::max<uint32_t>(2, static_cast<uint32_t>(ratio * d));
+    mce::decomp::DecompositionPlan plan =
+        mce::decomp::ComputePlan(graph, options);
+    const mce::decomp::LevelPlan& top = plan.levels.front();
+    std::printf("%6.2f %8u %8llu %10.1f %12.3f %8zu %10llu%s\n", ratio,
+                options.max_block_size,
+                static_cast<unsigned long long>(plan.TotalBlocks()),
+                top.avg_block_nodes, plan.OverallReplication(),
+                plan.levels.size(),
+                static_cast<unsigned long long>(top.hubs),
+                plan.hits_fallback ? "  [fallback]" : "");
+  }
+  std::printf(
+      "\nreading: lowering m shrinks blocks (cheap analysis) but raises\n"
+      "the replication factor and hub count — the efficiency/completeness\n"
+      "trade-off the paper's two-level decomposition resolves.\n");
+  return 0;
+}

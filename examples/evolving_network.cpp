@@ -1,0 +1,82 @@
+// Evolving-network demo (the paper's future-work scenario): maintain the
+// exact maximal-clique set of a social network while edges arrive and
+// disappear, and compare the incremental cost against batch recomputation.
+//
+//   $ ./build/examples/evolving_network [nodes] [updates]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/generators.h"
+#include "incremental/incremental_mce.h"
+#include "mce/enumerator.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const mce::NodeId nodes =
+      argc > 1 ? static_cast<mce::NodeId>(std::atoi(argv[1])) : 2000;
+  const int updates = argc > 2 ? std::atoi(argv[2]) : 500;
+
+  mce::Rng rng(42);
+  mce::Graph start = mce::gen::BarabasiAlbert(nodes, 3, &rng);
+  std::printf("start: %u nodes, %llu edges\n", start.num_nodes(),
+              static_cast<unsigned long long>(start.num_edges()));
+
+  mce::Timer init_timer;
+  mce::incremental::IncrementalMce engine(start);
+  std::printf("initial enumeration: %zu maximal cliques in %.3fs\n",
+              engine.num_cliques(), init_timer.ElapsedSeconds());
+
+  // Apply a random update stream (70% inserts toward densification).
+  mce::Timer update_timer;
+  uint64_t added = 0, removed = 0;
+  for (int i = 0; i < updates; ++i) {
+    mce::NodeId u = static_cast<mce::NodeId>(rng.NextBounded(nodes));
+    mce::NodeId v = static_cast<mce::NodeId>(rng.NextBounded(nodes));
+    if (u == v) continue;
+    if (!engine.graph().HasEdge(u, v) && rng.NextBool(0.7)) {
+      auto stats = engine.AddEdge(u, v);
+      if (stats.ok()) {
+        added += stats->cliques_added;
+        removed += stats->cliques_removed;
+      }
+    } else if (engine.graph().HasEdge(u, v)) {
+      auto stats = engine.RemoveEdge(u, v);
+      if (stats.ok()) {
+        added += stats->cliques_added;
+        removed += stats->cliques_removed;
+      }
+    }
+  }
+  const double incremental_seconds = update_timer.ElapsedSeconds();
+  std::printf("%d updates in %.4fs (%.1f us/update); clique churn: +%llu "
+              "-%llu; now %zu cliques\n",
+              updates, incremental_seconds,
+              1e6 * incremental_seconds / updates,
+              static_cast<unsigned long long>(added),
+              static_cast<unsigned long long>(removed),
+              engine.num_cliques());
+
+  // Batch recomputation of the final state, for comparison.
+  mce::Graph final_graph = engine.graph().ToGraph();
+  mce::Timer batch_timer;
+  uint64_t batch_count = 0;
+  mce::EnumerateMaximalCliques(
+      final_graph,
+      mce::MceOptions{mce::Algorithm::kEppstein,
+                      mce::StorageKind::kAdjacencyList},
+      [&batch_count](std::span<const mce::NodeId>) { ++batch_count; });
+  std::printf("batch recomputation: %llu cliques in %.3fs "
+              "(one recompute costs ~%.0f incremental updates)\n",
+              static_cast<unsigned long long>(batch_count),
+              batch_timer.ElapsedSeconds(),
+              batch_timer.ElapsedSeconds() /
+                  (incremental_seconds / updates));
+  if (batch_count != engine.num_cliques()) {
+    std::fprintf(stderr, "MISMATCH: incremental engine diverged!\n");
+    return 1;
+  }
+  std::printf("incremental set matches batch recomputation: OK\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Community detection on a scale-free social network (the paper's
+// motivating scenario): generate a Twitter-like graph, enumerate all
+// maximal cliques at a small block-size ratio, and report the largest
+// communities — highlighting the ones made purely of hub accounts, which a
+// hub-oblivious decomposition would have missed.
+//
+//   $ ./build/examples/social_communities [scale]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/max_clique_finder.h"
+#include "gen/social.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  mce::gen::SocialNetworkConfig config = mce::gen::Twitter2Config(scale);
+  std::printf("generating %s stand-in (scale %.2f)...\n",
+              config.name.c_str(), scale);
+  mce::Graph graph = mce::gen::GenerateSocialNetwork(config);
+  std::printf("graph: %u nodes, %llu edges, max degree %u\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.MaxDegree());
+
+  mce::MaxCliqueFinder::Options options;
+  options.block_size_ratio = 0.3;  // small blocks: fast, many hubs
+  mce::MaxCliqueFinder finder(options);
+  mce::Result<mce::FindResult> result = finder.Find(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("found %llu communities (maximal cliques); %llu consist of\n"
+              "hub accounts only and were recovered by the hub recursion\n",
+              static_cast<unsigned long long>(result->stats.total_cliques),
+              static_cast<unsigned long long>(result->stats.hub_cliques));
+
+  // Show the ten largest communities.
+  std::vector<size_t> order(result->cliques.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result->cliques.cliques()[a].size() >
+           result->cliques.cliques()[b].size();
+  });
+  std::printf("\nten largest communities:\n");
+  for (size_t i = 0; i < std::min<size_t>(10, order.size()); ++i) {
+    const mce::Clique& c = result->cliques.cliques()[order[i]];
+    std::printf("  #%zu: %zu members%s\n", i + 1, c.size(),
+                result->origin_level[order[i]] >= 1 ? "  [hub community]"
+                                                    : "");
+  }
+  std::printf("\npipeline: %zu recursion levels, %llu blocks, "
+              "decompose %.3fs + analyze %.3fs\n",
+              result->levels.size(),
+              static_cast<unsigned long long>(result->stats.total_blocks),
+              result->stats.decompose_seconds,
+              result->stats.analyze_seconds);
+  return 0;
+}

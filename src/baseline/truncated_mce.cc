@@ -1,0 +1,150 @@
+#include "baseline/truncated_mce.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace mce::baseline {
+
+TruncatedMceResult TruncatedBlockMce(const Graph& g,
+                                     const TruncatedMceOptions& options) {
+  const uint32_t m = options.max_block_size;
+  MCE_CHECK_GE(m, 2u);
+  TruncatedMceResult result;
+
+  // Process nodes in increasing degree order ([10]'s suggestion), so hubs
+  // come last and most of their neighborhood is already "visited".
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) < g.Degree(b);
+    return a < b;
+  });
+
+  std::vector<uint8_t> processed(g.num_nodes(), 0);
+  for (NodeId v : order) {
+    // Keep at most m-1 neighbors.
+    auto nbrs = g.Neighbors(v);
+    std::vector<NodeId> kept(nbrs.begin(), nbrs.end());
+    if (kept.size() + 1 > m) {
+      switch (options.policy) {
+        case TruncationPolicy::kKeepLowDegree:
+          std::stable_sort(kept.begin(), kept.end(),
+                           [&g](NodeId a, NodeId b) {
+                             if (g.Degree(a) != g.Degree(b)) {
+                               return g.Degree(a) < g.Degree(b);
+                             }
+                             return a < b;
+                           });
+          break;
+        case TruncationPolicy::kKeepFirstIds:
+          break;  // already ascending by id
+      }
+      result.dropped_neighbors += kept.size() - (m - 1);
+      kept.resize(m - 1);
+      ++result.truncated_nodes;
+    }
+
+    // Build the (possibly truncated) block and enumerate cliques through v.
+    std::vector<NodeId> members = kept;
+    members.push_back(v);
+    InducedSubgraph block = Induce(g, members);
+    // Locate v and split neighbors into candidates / visited.
+    std::vector<NodeId> p, x;
+    NodeId local_v = kInvalidNode;
+    for (NodeId local = 0; local < block.to_parent.size(); ++local) {
+      const NodeId parent = block.to_parent[local];
+      if (parent == v) {
+        local_v = local;
+      } else if (processed[parent]) {
+        x.push_back(local);
+      } else {
+        p.push_back(local);
+      }
+    }
+    MCE_CHECK_NE(local_v, kInvalidNode);
+    EnumerateSeeded(block.graph, options.combo, local_v, std::move(p),
+                    std::move(x), [&](std::span<const NodeId> local) {
+                      result.cliques.Add(ToParentIds(block, local));
+                    });
+    processed[v] = 1;
+  }
+  result.cliques.Canonicalize();
+  return result;
+}
+
+PartitionedMceResult PartitionedBlockMce(const Graph& g, uint32_t block_size,
+                                         const MceOptions& combo) {
+  MCE_CHECK_GE(block_size, 1u);
+  PartitionedMceResult result;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return result;
+
+  // BFS order so consecutive chunks are locally coherent (BMC's blocks
+  // are built from traversal, not random hashing).
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<uint8_t> seen(n, 0);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    seen[start] = 1;
+    queue.push_back(start);
+    size_t head = order.size();
+    order.push_back(start);
+    while (head < order.size()) {
+      NodeId v = order[head++];
+      for (NodeId u : g.Neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          order.push_back(u);
+        }
+      }
+    }
+  }
+
+  for (size_t begin = 0; begin < order.size(); begin += block_size) {
+    const size_t end = std::min(order.size(), begin + block_size);
+    std::vector<NodeId> chunk(order.begin() + static_cast<ptrdiff_t>(begin),
+                              order.begin() + static_cast<ptrdiff_t>(end));
+    InducedSubgraph block = Induce(g, chunk);
+    ++result.num_blocks;
+    EnumerateMaximalCliques(block.graph, combo,
+                            [&](std::span<const NodeId> local) {
+                              result.cliques.Add(ToParentIds(block, local));
+                            });
+  }
+  result.cliques.Canonicalize();
+  return result;
+}
+
+BaselineComparison CompareWithTruth(const Graph& g, CliqueSet& reported,
+                                    CliqueSet& truth) {
+  (void)g;
+  reported.Canonicalize();
+  truth.Canonicalize();
+  BaselineComparison cmp;
+  const auto& r = reported.cliques();
+  const auto& t = truth.cliques();
+  size_t i = 0, j = 0;
+  while (i < r.size() || j < t.size()) {
+    if (j == t.size() || (i < r.size() && r[i] < t[j])) {
+      ++cmp.erroneous;
+      ++i;
+    } else if (i == r.size() || t[j] < r[i]) {
+      ++cmp.missed;
+      cmp.largest_missed = std::max(cmp.largest_missed, t[j].size());
+      ++j;
+    } else {
+      ++cmp.correct;
+      ++i;
+      ++j;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace mce::baseline

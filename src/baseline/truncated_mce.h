@@ -1,0 +1,92 @@
+// Single-level block decomposition baseline with neighborhood truncation.
+//
+// This is the comparator the paper argues against (Sections 1, 7: the
+// EmMCE-style approaches [8, 10]): blocks have a hard node cap and each
+// node is processed with *at most* that many of its neighbors. For
+// feasible nodes nothing changes, but a hub's neighborhood no longer fits,
+// so part of it is dropped — exactly the failure mode the paper describes:
+// "some maximal cliques involving n may remain undetected and some
+// non-maximal cliques could be erroneously found."
+//
+// The implementation is intentionally faithful to that flaw; it exists to
+// quantify it (bench_ablation_hub_neglect, baseline tests), not to be used.
+
+#ifndef MCE_BASELINE_TRUNCATED_MCE_H_
+#define MCE_BASELINE_TRUNCATED_MCE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce::baseline {
+
+/// Which neighbors a hub keeps when its closed neighborhood exceeds the
+/// block cap.
+enum class TruncationPolicy : uint8_t {
+  /// Keep the lowest-degree neighbors (drop other hubs first) — the
+  /// degree-ordered processing suggested in [10].
+  kKeepLowDegree = 0,
+  /// Keep the smallest node ids (arbitrary but deterministic).
+  kKeepFirstIds = 1,
+};
+
+struct TruncatedMceOptions {
+  /// Hard cap on nodes per block (the paper's m).
+  uint32_t max_block_size = 1000;
+  TruncationPolicy policy = TruncationPolicy::kKeepLowDegree;
+  /// Per-block enumerator (storage/algorithm combination).
+  MceOptions combo = {Algorithm::kTomita, StorageKind::kAdjacencyList};
+};
+
+struct TruncatedMceResult {
+  /// What the baseline reports as "maximal cliques" (deduplicated). May
+  /// miss maximal cliques of G and may contain non-maximal ones.
+  CliqueSet cliques;
+  /// Number of nodes whose neighborhood was truncated (the hubs).
+  uint64_t truncated_nodes = 0;
+  /// Total neighbors dropped across all truncated nodes.
+  uint64_t dropped_neighbors = 0;
+};
+
+/// Runs the baseline: each node processed (in increasing degree order)
+/// inside a block of at most options.max_block_size nodes formed by itself
+/// and as many neighbors as fit.
+TruncatedMceResult TruncatedBlockMce(const Graph& g,
+                                     const TruncatedMceOptions& options);
+
+/// Quality report of a baseline output against the exact clique set.
+struct BaselineComparison {
+  uint64_t correct = 0;    // reported and maximal in G
+  uint64_t erroneous = 0;  // reported but NOT maximal in G
+  uint64_t missed = 0;     // maximal in G but not reported
+  size_t largest_missed = 0;  // size of the largest missed clique
+};
+
+/// Compares `reported` against `truth` (the exact maximal cliques of g).
+/// Both sets are canonicalized by the call.
+BaselineComparison CompareWithTruth(const Graph& g, CliqueSet& reported,
+                                    CliqueSet& truth);
+
+/// Second baseline: BMC-style disjoint equal-size partitioning (Xing et
+/// al. [36] in the paper's numbering). The node set is split into
+/// consecutive chunks of `block_size` nodes (BFS order, so chunks are
+/// locally coherent) and cliques are enumerated per chunk independently.
+/// As Section 7 notes, "since BMC generates blocks having similar size,
+/// inter-block cliques are skipped and the approach is not complete":
+/// every clique that crosses a chunk boundary is missed or reported in a
+/// truncated, non-maximal form.
+struct PartitionedMceResult {
+  CliqueSet cliques;
+  uint64_t num_blocks = 0;
+};
+
+PartitionedMceResult PartitionedBlockMce(
+    const Graph& g, uint32_t block_size,
+    const MceOptions& combo = {Algorithm::kTomita,
+                               StorageKind::kAdjacencyList});
+
+}  // namespace mce::baseline
+
+#endif  // MCE_BASELINE_TRUNCATED_MCE_H_

@@ -1,0 +1,118 @@
+#include "community/percolation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "mce/enumerator.h"
+#include "util/check.h"
+
+namespace mce::community {
+
+namespace {
+
+/// Plain union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// |a n b| for sorted vectors.
+size_t OverlapSize(const Clique& a, const Clique& b) {
+  size_t count = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<Community> KCliqueCommunities(const CliqueSet& maximal_cliques,
+                                          uint32_t k) {
+  MCE_CHECK_GE(k, 2u);
+  // Eligible cliques: size >= k.
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < maximal_cliques.size(); ++i) {
+    if (maximal_cliques.cliques()[i].size() >= k) eligible.push_back(i);
+  }
+
+  // Candidate adjacent pairs share at least one vertex; bucket cliques per
+  // vertex so only co-located pairs are compared.
+  std::unordered_map<NodeId, std::vector<size_t>> by_vertex;
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    for (NodeId v : maximal_cliques.cliques()[eligible[e]]) {
+      by_vertex[v].push_back(e);
+    }
+  }
+  DisjointSets sets(eligible.size());
+  for (const auto& [vertex, list] : by_vertex) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        if (sets.Find(list[i]) == sets.Find(list[j])) continue;
+        const Clique& a = maximal_cliques.cliques()[eligible[list[i]]];
+        const Clique& b = maximal_cliques.cliques()[eligible[list[j]]];
+        if (OverlapSize(a, b) + 1 >= k) sets.Union(list[i], list[j]);
+      }
+    }
+  }
+
+  // Gather components.
+  std::unordered_map<size_t, Community> by_root;
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    Community& c = by_root[sets.Find(e)];
+    c.clique_indices.push_back(eligible[e]);
+    const Clique& members = maximal_cliques.cliques()[eligible[e]];
+    c.members.insert(c.members.end(), members.begin(), members.end());
+  }
+  std::vector<Community> out;
+  out.reserve(by_root.size());
+  for (auto& [root, community] : by_root) {
+    std::sort(community.members.begin(), community.members.end());
+    community.members.erase(
+        std::unique(community.members.begin(), community.members.end()),
+        community.members.end());
+    std::sort(community.clique_indices.begin(),
+              community.clique_indices.end());
+    out.push_back(std::move(community));
+  }
+  std::sort(out.begin(), out.end(), [](const Community& a,
+                                       const Community& b) {
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() > b.members.size();
+    }
+    return a.members < b.members;  // deterministic order
+  });
+  return out;
+}
+
+std::vector<Community> KCliqueCommunities(const Graph& g, uint32_t k) {
+  CliqueSet cliques = EnumerateToSet(
+      g, MceOptions{Algorithm::kEppstein, StorageKind::kAdjacencyList});
+  return KCliqueCommunities(cliques, k);
+}
+
+}  // namespace mce::community

@@ -1,0 +1,43 @@
+// k-clique communities via clique percolation (Palla et al.), the
+// community-detection application the paper motivates MCE with (its
+// citation [20] computes k-clique communities in parallel).
+//
+// Definition: a k-clique community is a union of k-cliques reachable from
+// one another through adjacency steps, where two k-cliques are adjacent
+// when they share k-1 nodes. The standard reduction computes this from
+// the maximal cliques: every maximal clique of size >= k is a node of an
+// overlap graph; two are connected when they share >= k-1 vertices; the
+// communities are the vertex unions of the connected components.
+
+#ifndef MCE_COMMUNITY_PERCOLATION_H_
+#define MCE_COMMUNITY_PERCOLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+
+namespace mce::community {
+
+/// One community: its member nodes (sorted) and the maximal cliques (as
+/// indices into the input clique set) that formed it.
+struct Community {
+  std::vector<NodeId> members;
+  std::vector<size_t> clique_indices;
+};
+
+/// Computes the k-clique communities of `g` from a precomputed set of its
+/// maximal cliques (canonicalized or not). k must be >= 2. Communities are
+/// returned largest-first; nodes may belong to several (overlapping
+/// communities are the point of the method).
+std::vector<Community> KCliqueCommunities(const CliqueSet& maximal_cliques,
+                                          uint32_t k);
+
+/// Convenience: enumerates the maximal cliques of `g` (via the Eppstein
+/// variant) and percolates them.
+std::vector<Community> KCliqueCommunities(const Graph& g, uint32_t k);
+
+}  // namespace mce::community
+
+#endif  // MCE_COMMUNITY_PERCOLATION_H_

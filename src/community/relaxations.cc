@@ -1,0 +1,90 @@
+#include "community/relaxations.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace mce::community {
+
+namespace {
+
+/// Truncated BFS from `start` (depth <= k) over `g`; fills `dist` (sized
+/// n, reset lazily through `touched`).
+void BoundedBfs(const Graph& g, NodeId start, uint32_t k,
+                std::vector<uint32_t>* dist, std::vector<NodeId>* touched) {
+  constexpr uint32_t kUnseen = static_cast<uint32_t>(-1);
+  (*dist)[start] = 0;
+  touched->push_back(start);
+  std::queue<NodeId> queue;
+  queue.push(start);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    if ((*dist)[v] == k) continue;
+    for (NodeId u : g.Neighbors(v)) {
+      if ((*dist)[u] != kUnseen) continue;
+      (*dist)[u] = (*dist)[v] + 1;
+      touched->push_back(u);
+      queue.push(u);
+    }
+  }
+}
+
+}  // namespace
+
+Graph PowerGraph(const Graph& g, uint32_t k) {
+  MCE_CHECK_GE(k, 1u);
+  if (k == 1) return g;
+  constexpr uint32_t kUnseen = static_cast<uint32_t>(-1);
+  GraphBuilder builder(g.num_nodes());
+  std::vector<uint32_t> dist(g.num_nodes(), kUnseen);
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    touched.clear();
+    BoundedBfs(g, v, k, &dist, &touched);
+    for (NodeId u : touched) {
+      if (u > v) builder.AddEdge(v, u);
+      dist[u] = kUnseen;  // lazy reset
+    }
+  }
+  return builder.Build();
+}
+
+CliqueSet MaximalDistanceKCliques(const Graph& g, uint32_t k,
+                                  const MceOptions& options) {
+  Graph power = PowerGraph(g, k);
+  return EnumerateToSet(power, options);
+}
+
+bool InducedDiameterAtMost(const Graph& g, std::span<const NodeId> nodes,
+                           uint32_t k) {
+  if (nodes.size() <= 1) return true;
+  InducedSubgraph sub = Induce(g, nodes);
+  constexpr uint32_t kUnseen = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> dist(sub.graph.num_nodes(), kUnseen);
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+    touched.clear();
+    BoundedBfs(sub.graph, v, k, &dist, &touched);
+    const bool all_reached = touched.size() == sub.graph.num_nodes();
+    for (NodeId u : touched) dist[u] = kUnseen;
+    if (!all_reached) return false;
+  }
+  return true;
+}
+
+CliqueSet KClans(const Graph& g, uint32_t k, const MceOptions& options) {
+  CliqueSet kcliques = MaximalDistanceKCliques(g, k, options);
+  CliqueSet out;
+  for (const Clique& c : kcliques.cliques()) {
+    if (InducedDiameterAtMost(g, c, k)) out.Add(c);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace mce::community

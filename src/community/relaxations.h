@@ -1,0 +1,49 @@
+// Distance-based clique relaxations: k-cliques and k-clans.
+//
+// The paper's conclusions name "k-cliques, k-clubs, k-clans, and k-plexes"
+// as the relaxed community models to extend the approach to. The
+// degree-based relaxation (k-plex) lives in mce/kplex.h; this header
+// provides the distance-based family:
+//  * a (Luce) k-clique is a set of nodes pairwise within distance k in G —
+//    equivalently, a clique of the k-th power graph G^k;
+//  * a k-clan is a maximal k-clique whose *induced* subgraph has diameter
+//    at most k (the distance-k paths must stay inside the set).
+// Maximal k-cliques are therefore exactly the maximal cliques of G^k,
+// which this module computes with the library's own MCE.
+
+#ifndef MCE_COMMUNITY_RELAXATIONS_H_
+#define MCE_COMMUNITY_RELAXATIONS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce::community {
+
+/// The k-th power graph: an edge {u, v} for every pair at distance
+/// <= k in g (k >= 1; k = 1 returns g itself). O(n * (n + m)) worst case
+/// via truncated BFS per node — intended for block-scale graphs.
+Graph PowerGraph(const Graph& g, uint32_t k);
+
+/// All maximal (distance-)k-cliques of g, canonicalized. k = 1 is plain
+/// MCE.
+CliqueSet MaximalDistanceKCliques(
+    const Graph& g, uint32_t k,
+    const MceOptions& options = {Algorithm::kEppstein,
+                                 StorageKind::kAdjacencyList});
+
+/// True iff the subgraph induced by `nodes` is connected with diameter
+/// <= k.
+bool InducedDiameterAtMost(const Graph& g, std::span<const NodeId> nodes,
+                           uint32_t k);
+
+/// All k-clans of g: maximal k-cliques whose induced diameter is <= k.
+CliqueSet KClans(const Graph& g, uint32_t k,
+                 const MceOptions& options = {
+                     Algorithm::kEppstein, StorageKind::kAdjacencyList});
+
+}  // namespace mce::community
+
+#endif  // MCE_COMMUNITY_RELAXATIONS_H_

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mce {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RunReportJson(const FindResult& result) {
+  std::ostringstream os;
+  const RunStats& s = result.stats;
+  os << "{";
+  os << "\"block_size\":" << result.effective_block_size;
+  os << ",\"total_cliques\":" << s.total_cliques;
+  os << ",\"feasible_cliques\":" << s.feasible_cliques;
+  os << ",\"hub_cliques\":" << s.hub_cliques;
+  os << ",\"max_clique_size\":" << s.max_clique_size;
+  os << ",\"avg_clique_size\":" << Double(s.avg_clique_size);
+  os << ",\"avg_feasible_clique_size\":"
+     << Double(s.avg_feasible_clique_size);
+  os << ",\"avg_hub_clique_size\":" << Double(s.avg_hub_clique_size);
+  os << ",\"num_levels\":" << s.num_levels;
+  os << ",\"total_blocks\":" << s.total_blocks;
+  os << ",\"decompose_seconds\":" << Double(s.decompose_seconds);
+  os << ",\"analyze_seconds\":" << Double(s.analyze_seconds);
+  os << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false");
+  os << ",\"levels\":[";
+  for (size_t i = 0; i < result.levels.size(); ++i) {
+    const decomp::LevelStats& l = result.levels[i];
+    if (i > 0) os << ",";
+    os << "{\"nodes\":" << l.num_nodes << ",\"edges\":" << l.num_edges
+       << ",\"feasible\":" << l.feasible << ",\"hubs\":" << l.hubs
+       << ",\"blocks\":" << l.blocks << ",\"cliques\":" << l.cliques
+       << ",\"decompose_seconds\":" << Double(l.decompose_seconds)
+       << ",\"analyze_seconds\":" << Double(l.analyze_seconds) << "}";
+  }
+  os << "]";
+  if (result.cluster.has_value()) {
+    const ClusterSummary& c = *result.cluster;
+    os << ",\"cluster\":{\"workers\":" << c.workers
+       << ",\"makespan_seconds\":" << Double(c.makespan_seconds)
+       << ",\"analysis_speedup\":" << Double(c.analysis_speedup)
+       << ",\"compute_speedup\":" << Double(c.compute_speedup)
+       << ",\"max_level_skew\":" << Double(c.max_level_skew)
+       << ",\"bytes_shipped\":" << c.bytes_shipped << "}";
+  } else {
+    os << ",\"cluster\":null";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mce

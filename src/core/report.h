@@ -1,0 +1,34 @@
+// JSON run reports.
+//
+// Machine-readable serialization of a pipeline run (stats, per-level
+// telemetry, optional cluster summary) for dashboards and the CLI's
+// --json mode. Hand-rolled writer — the schema is flat and stable.
+
+#ifndef MCE_CORE_REPORT_H_
+#define MCE_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/max_clique_finder.h"
+
+namespace mce {
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+std::string JsonEscape(const std::string& s);
+
+/// Serializes the run result (without the clique contents — those can be
+/// huge; consumers dump them separately) as a single JSON object:
+/// {
+///   "block_size": ..., "total_cliques": ..., "feasible_cliques": ...,
+///   "hub_cliques": ..., "max_clique_size": ..., "avg_clique_size": ...,
+///   "levels": [{"nodes":..,"edges":..,"feasible":..,"hubs":..,
+///               "blocks":..,"cliques":..,"decompose_seconds":..,
+///               "analyze_seconds":..}, ...],
+///   "used_fallback": ..., "cluster": {...} | null
+/// }
+std::string RunReportJson(const FindResult& result);
+
+}  // namespace mce
+
+#endif  // MCE_CORE_REPORT_H_

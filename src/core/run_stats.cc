@@ -1,0 +1,82 @@
+#include "core/run_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mce {
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  os << "cliques=" << total_cliques << " (feasible=" << feasible_cliques
+     << ", hub-only=" << hub_cliques << ")"
+     << " max_size=" << max_clique_size << " avg_size=" << avg_clique_size
+     << " levels=" << num_levels << " blocks=" << total_blocks
+     << " decompose_s=" << decompose_seconds
+     << " analyze_s=" << analyze_seconds;
+  if (used_fallback) os << " [fallback]";
+  return os.str();
+}
+
+RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
+  MCE_CHECK_EQ(result.cliques.size(), result.origin_level.size());
+  RunStats s;
+  s.total_cliques = result.cliques.size();
+  s.num_levels = result.levels.size();
+  s.used_fallback = result.used_fallback;
+
+  uint64_t total_size = 0, feasible_size = 0, hub_size = 0;
+  for (size_t i = 0; i < result.cliques.size(); ++i) {
+    const size_t size = result.cliques.cliques()[i].size();
+    total_size += size;
+    s.max_clique_size = std::max(s.max_clique_size, size);
+    if (result.origin_level[i] == 0) {
+      ++s.feasible_cliques;
+      feasible_size += size;
+    } else {
+      ++s.hub_cliques;
+      hub_size += size;
+    }
+  }
+  if (s.total_cliques > 0) {
+    s.avg_clique_size = static_cast<double>(total_size) / s.total_cliques;
+  }
+  if (s.feasible_cliques > 0) {
+    s.avg_feasible_clique_size =
+        static_cast<double>(feasible_size) / s.feasible_cliques;
+  }
+  if (s.hub_cliques > 0) {
+    s.avg_hub_clique_size = static_cast<double>(hub_size) / s.hub_cliques;
+  }
+  for (const decomp::LevelStats& level : result.levels) {
+    s.total_blocks += level.blocks;
+    s.decompose_seconds += level.decompose_seconds;
+    s.analyze_seconds += level.analyze_seconds;
+  }
+  return s;
+}
+
+double HubShareOfLargestCliques(const decomp::FindMaxCliquesResult& result,
+                                size_t k) {
+  const size_t n = result.cliques.size();
+  if (n == 0 || k == 0) return 0.0;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Largest first; ties by clique content for determinism.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto& ca = result.cliques.cliques()[a];
+    const auto& cb = result.cliques.cliques()[b];
+    if (ca.size() != cb.size()) return ca.size() > cb.size();
+    return ca < cb;
+  });
+  const size_t take = std::min(k, n);
+  size_t hub = 0;
+  for (size_t i = 0; i < take; ++i) {
+    if (result.origin_level[order[i]] >= 1) ++hub;
+  }
+  return static_cast<double>(hub) / static_cast<double>(take);
+}
+
+}  // namespace mce

@@ -1,0 +1,53 @@
+// Aggregated, user-facing statistics of a FindMaxCliques run.
+//
+// These are the quantities the paper's evaluation plots: clique counts and
+// average sizes split by origin (feasible-block cliques vs hub-only
+// cliques, the white/gray bars of Figures 9-10), the hub share among the
+// largest cliques (Figure 11), per-phase timings (Figures 7-8), and the
+// number of first-level iterations (Section 6.2).
+
+#ifndef MCE_CORE_RUN_STATS_H_
+#define MCE_CORE_RUN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomp/find_max_cliques.h"
+
+namespace mce {
+
+struct RunStats {
+  uint64_t total_cliques = 0;
+  /// Cliques produced by level-0 feasible blocks (white bars).
+  uint64_t feasible_cliques = 0;
+  /// Cliques consisting of hub nodes only, i.e. from recursion levels >= 1
+  /// (gray bars).
+  uint64_t hub_cliques = 0;
+
+  size_t max_clique_size = 0;
+  double avg_clique_size = 0;
+  double avg_feasible_clique_size = 0;
+  double avg_hub_clique_size = 0;
+
+  size_t num_levels = 0;
+  bool used_fallback = false;
+  uint64_t total_blocks = 0;
+  double decompose_seconds = 0;
+  double analyze_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// Derives RunStats from a pipeline result.
+RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result);
+
+/// Among the `k` largest cliques (ties broken toward including larger
+/// origin-level-0 cliques deterministically), the fraction that are
+/// hub-only — Figure 11's gray share. Returns 0 when there are no cliques.
+double HubShareOfLargestCliques(const decomp::FindMaxCliquesResult& result,
+                                size_t k);
+
+}  // namespace mce
+
+#endif  // MCE_CORE_RUN_STATS_H_

@@ -1,0 +1,60 @@
+#include "core/top_cliques.h"
+
+#include <algorithm>
+
+#include "graph/core_decomposition.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace mce {
+
+CliqueSet MaximalCliquesAtLeast(const Graph& g, uint32_t min_size,
+                                const MceOptions& options) {
+  MCE_CHECK_GE(min_size, 1u);
+  CliqueSet out;
+  if (g.num_nodes() == 0) return out;
+  if (min_size <= 1) {
+    out = EnumerateToSet(g, options);
+    return out;
+  }
+  // Restrict to the (min_size - 1)-core.
+  std::vector<NodeId> core_nodes = KCoreNodes(g, min_size - 1);
+  if (core_nodes.empty()) return out;
+  InducedSubgraph core = Induce(g, core_nodes);
+  EnumerateMaximalCliques(core.graph, options,
+                          [&](std::span<const NodeId> local) {
+                            if (local.size() >= min_size) {
+                              out.Add(ToParentIds(core, local));
+                            }
+                          });
+  out.Canonicalize();
+  return out;
+}
+
+std::vector<Clique> TopKMaximalCliques(const Graph& g, size_t k,
+                                       const MceOptions& options) {
+  std::vector<Clique> out;
+  if (k == 0 || g.num_nodes() == 0) return out;
+  // Largest possible clique has degeneracy + 1 members.
+  uint32_t threshold = Degeneracy(g) + 1;
+  CliqueSet found;
+  for (;;) {
+    found = MaximalCliquesAtLeast(g, threshold, options);
+    if (found.size() >= k || threshold == 1) break;
+    --threshold;
+  }
+  std::vector<size_t> order(found.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&found](size_t a, size_t b) {
+    const Clique& ca = found.cliques()[a];
+    const Clique& cb = found.cliques()[b];
+    if (ca.size() != cb.size()) return ca.size() > cb.size();
+    return ca < cb;
+  });
+  for (size_t i = 0; i < order.size() && i < k; ++i) {
+    out.push_back(found.cliques()[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace mce

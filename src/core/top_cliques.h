@@ -1,0 +1,41 @@
+// Size-thresholded and top-k maximal clique queries with k-core pruning.
+//
+// Consumers of community detection usually want only the large cliques
+// (the paper's own Figure 11 looks at the 200 largest). Every clique of
+// size >= q lies inside the (q-1)-core, so the search can be restricted to
+// that core — usually a tiny fraction of a scale-free network — and any
+// clique maximal there with >= q members is automatically maximal in the
+// whole graph (an extending vertex would itself belong to the q-core).
+
+#ifndef MCE_CORE_TOP_CLIQUES_H_
+#define MCE_CORE_TOP_CLIQUES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce {
+
+/// All maximal cliques of `g` with at least `min_size` members,
+/// canonicalized. min_size must be >= 1. Cost is an MCE of the
+/// (min_size-1)-core only.
+CliqueSet MaximalCliquesAtLeast(
+    const Graph& g, uint32_t min_size,
+    const MceOptions& options = {Algorithm::kEppstein,
+                                 StorageKind::kAdjacencyList});
+
+/// The `k` largest maximal cliques, largest first (ties broken by
+/// lexicographic content). Uses descending size thresholds with core
+/// pruning, so it touches dense regions only until k cliques are found.
+/// Returns fewer than k when the graph has fewer maximal cliques.
+std::vector<Clique> TopKMaximalCliques(
+    const Graph& g, size_t k,
+    const MceOptions& options = {Algorithm::kEppstein,
+                                 StorageKind::kAdjacencyList});
+
+}  // namespace mce
+
+#endif  // MCE_CORE_TOP_CLIQUES_H_

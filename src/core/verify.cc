@@ -1,0 +1,48 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mce/enumerator.h"
+
+namespace mce {
+
+std::string VerificationReport::ToString() const {
+  std::ostringstream os;
+  os << "checked=" << checked << " not_a_clique=" << not_a_clique
+     << " not_maximal=" << not_maximal << " duplicates=" << duplicates
+     << " missing=" << missing << (ok() ? " [OK]" : " [FAILED]");
+  return os.str();
+}
+
+VerificationReport VerifyCliques(const Graph& g, CliqueSet& cliques) {
+  VerificationReport report;
+  const size_t before = cliques.size();
+  cliques.Canonicalize();
+  report.duplicates = before - cliques.size();
+  for (const Clique& c : cliques.cliques()) {
+    ++report.checked;
+    if (!IsClique(g, c)) {
+      ++report.not_a_clique;
+      continue;
+    }
+    if (!CommonNeighbors(g, c).empty()) ++report.not_maximal;
+  }
+  report.checked += report.duplicates;  // duplicates were "checked" too
+  return report;
+}
+
+VerificationReport VerifyAgainstReference(const Graph& g,
+                                          CliqueSet& cliques) {
+  VerificationReport report = VerifyCliques(g, cliques);
+  CliqueSet reference = EnumerateToSet(
+      g, MceOptions{Algorithm::kEppstein, StorageKind::kAdjacencyList});
+  // Both canonicalized: count reference cliques absent from `cliques`.
+  const auto& have = cliques.cliques();
+  for (const Clique& c : reference.cliques()) {
+    if (!std::binary_search(have.begin(), have.end(), c)) ++report.missing;
+  }
+  return report;
+}
+
+}  // namespace mce

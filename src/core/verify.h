@@ -1,0 +1,49 @@
+// Output self-verification.
+//
+// A clique enumerator's results are easy to get subtly wrong (missed
+// cliques, non-maximal outputs, duplicates) and expensive to eyeball;
+// these helpers let a downstream user certify a result set against the
+// definitions, and — for graphs small enough to re-enumerate — against an
+// independent reference run. The library's own tests use the same checks.
+
+#ifndef MCE_CORE_VERIFY_H_
+#define MCE_CORE_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+
+namespace mce {
+
+struct VerificationReport {
+  uint64_t checked = 0;
+  uint64_t not_a_clique = 0;     // members not pairwise adjacent
+  uint64_t not_maximal = 0;      // extendable by some vertex
+  uint64_t duplicates = 0;       // same clique listed twice
+  /// Only populated when VerifyAgainstReference ran: cliques of g missing
+  /// from the set.
+  uint64_t missing = 0;
+
+  bool ok() const {
+    return not_a_clique == 0 && not_maximal == 0 && duplicates == 0 &&
+           missing == 0;
+  }
+  std::string ToString() const;
+};
+
+/// Checks every clique of `cliques` against `g`: pairwise adjacency,
+/// maximality, and duplicate detection. Does NOT check completeness (no
+/// reference enumeration is run). `cliques` is canonicalized by the call.
+VerificationReport VerifyCliques(const Graph& g, CliqueSet& cliques);
+
+/// Full certification: VerifyCliques plus an independent re-enumeration of
+/// `g` to detect missing cliques. Cost is a fresh MCE of g — intended for
+/// tests and spot checks, not for the 17M-node case.
+VerificationReport VerifyAgainstReference(const Graph& g,
+                                          CliqueSet& cliques);
+
+}  // namespace mce
+
+#endif  // MCE_CORE_VERIFY_H_

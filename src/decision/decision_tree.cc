@@ -1,0 +1,123 @@
+#include "decision/decision_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mce::decision {
+
+DecisionTree::DecisionTree(MceOptions options) {
+  Node leaf;
+  leaf.is_leaf = true;
+  leaf.options = options;
+  nodes_.push_back(leaf);
+}
+
+DecisionTree::DecisionTree(std::vector<Node> nodes)
+    : nodes_(std::move(nodes)) {
+  Validate();
+}
+
+void DecisionTree::Validate() const {
+  MCE_CHECK(!nodes_.empty());
+  // Each node must be reachable at most once (tree shape), children in
+  // range, and traversal must terminate.
+  std::vector<int> seen(nodes_.size(), 0);
+  std::function<void(int32_t)> visit = [&](int32_t i) {
+    MCE_CHECK(i >= 0 && static_cast<size_t>(i) < nodes_.size());
+    MCE_CHECK_EQ(seen[i], 0);  // no sharing, no cycles
+    seen[i] = 1;
+    const Node& n = nodes_[i];
+    if (!n.is_leaf) {
+      visit(n.true_child);
+      visit(n.false_child);
+    }
+  };
+  visit(0);
+}
+
+MceOptions DecisionTree::Classify(const BlockFeatures& features) const {
+  int32_t i = 0;
+  for (;;) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf) return n.options;
+    i = features.Get(n.feature) > n.threshold ? n.true_child : n.false_child;
+  }
+}
+
+size_t DecisionTree::NumLeaves() const {
+  return static_cast<size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.is_leaf; }));
+}
+
+int DecisionTree::Depth() const {
+  std::function<int(int32_t)> depth = [&](int32_t i) -> int {
+    const Node& n = nodes_[i];
+    if (n.is_leaf) return 0;
+    return 1 + std::max(depth(n.true_child), depth(n.false_child));
+  };
+  return depth(0);
+}
+
+std::string DecisionTree::ToString() const {
+  std::ostringstream os;
+  std::function<void(int32_t, int)> render = [&](int32_t i, int indent) {
+    const Node& n = nodes_[i];
+    for (int k = 0; k < indent; ++k) os << "  ";
+    if (n.is_leaf) {
+      os << "-> [" << ComboName(n.options.storage, n.options.algorithm)
+         << "]\n";
+      return;
+    }
+    os << FeatureName(n.feature) << " > " << n.threshold << "?\n";
+    for (int k = 0; k < indent; ++k) os << "  ";
+    os << "true:\n";
+    render(n.true_child, indent + 1);
+    for (int k = 0; k < indent; ++k) os << "  ";
+    os << "false:\n";
+    render(n.false_child, indent + 1);
+  };
+  render(0, 0);
+  return os.str();
+}
+
+DecisionTree PaperDecisionTree() {
+  using Node = DecisionTree::Node;
+  auto internal = [](FeatureId f, double t, int32_t yes, int32_t no) {
+    Node n;
+    n.is_leaf = false;
+    n.feature = f;
+    n.threshold = t;
+    n.true_child = yes;
+    n.false_child = no;
+    return n;
+  };
+  auto leaf = [](StorageKind s, Algorithm a) {
+    Node n;
+    n.is_leaf = true;
+    n.options = MceOptions{a, s};
+    return n;
+  };
+  std::vector<Node> nodes;
+  // 0: degeneracy > 25 ? 1 : 2
+  nodes.push_back(internal(FeatureId::kDegeneracy, 25, 1, 2));
+  // 1: #nodes < 8558, phrased as #nodes > 8557 ? 4 : 3 (so "true" means
+  //    the small side goes to Matrix/XPivot, as in the figure).
+  nodes.push_back(internal(FeatureId::kNumNodes, 8557, 4, 3));
+  // 2: Lists/XPivot (sparse blocks)
+  nodes.push_back(leaf(StorageKind::kAdjacencyList, Algorithm::kXPivot));
+  // 3: Matrix/XPivot (small dense blocks)
+  nodes.push_back(leaf(StorageKind::kMatrix, Algorithm::kXPivot));
+  // 4: degeneracy > 52 ? 5 : 6
+  nodes.push_back(internal(FeatureId::kDegeneracy, 52, 5, 6));
+  // 5: BitSets/Tomita (large, very dense)
+  nodes.push_back(leaf(StorageKind::kBitset, Algorithm::kTomita));
+  // 6: Matrix/BKPivot (large, moderately dense)
+  nodes.push_back(leaf(StorageKind::kMatrix, Algorithm::kBKPivot));
+  return DecisionTree(std::move(nodes));
+}
+
+}  // namespace mce::decision

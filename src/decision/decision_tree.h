@@ -1,0 +1,69 @@
+// Decision tree mapping block features to a storage/algorithm combination.
+//
+// Section 4: each internal node holds a predicate "feature > threshold";
+// each leaf holds a data-structure/algorithm combo. Traversal from the root
+// yields the best-fit enumerator for a block. The tree of the paper's
+// Figure 3 is provided verbatim; trainer.h can learn fresh trees.
+
+#ifndef MCE_DECISION_DECISION_TREE_H_
+#define MCE_DECISION_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decision/features.h"
+#include "mce/enumerator.h"
+#include "util/status.h"
+
+namespace mce::decision {
+
+/// A trained classifier. Nodes are stored in a flat vector; index 0 is the
+/// root; leaves carry the selected MceOptions.
+class DecisionTree {
+ public:
+  struct Node {
+    bool is_leaf = true;
+    // Internal nodes: "Get(feature) > threshold" ? goto true_child
+    //                                            : goto false_child.
+    FeatureId feature = FeatureId::kNumNodes;
+    double threshold = 0;
+    int32_t true_child = -1;
+    int32_t false_child = -1;
+    // Leaves:
+    MceOptions options;
+  };
+
+  /// Single-leaf tree that always selects `options`.
+  explicit DecisionTree(MceOptions options);
+  /// Tree from explicit nodes; node 0 must be the root and children must
+  /// form a DAG-free tree (validated).
+  explicit DecisionTree(std::vector<Node> nodes);
+
+  /// Selects the combination for a block with the given features.
+  MceOptions Classify(const BlockFeatures& features) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  size_t NumLeaves() const;
+  int Depth() const;
+
+  /// Human-readable rendering (one node per line, indented) — the format
+  /// used by bench_fig3_decision_tree.
+  std::string ToString() const;
+
+ private:
+  void Validate() const;
+
+  std::vector<Node> nodes_;
+};
+
+/// The exact tree of Figure 3:
+///   degeneracy > 25 ? (#nodes < 8558 ? Matrix/XPivot
+///                                    : (degeneracy > 52 ? BitSets/Tomita
+///                                                       : Matrix/BKPivot))
+///                   : Lists/XPivot
+DecisionTree PaperDecisionTree();
+
+}  // namespace mce::decision
+
+#endif  // MCE_DECISION_DECISION_TREE_H_

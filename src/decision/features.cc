@@ -1,0 +1,65 @@
+#include "decision/features.h"
+
+#include <sstream>
+
+#include "graph/core_decomposition.h"
+#include "util/check.h"
+
+namespace mce::decision {
+
+const char* FeatureName(FeatureId id) {
+  switch (id) {
+    case FeatureId::kNumNodes:
+      return "#nodes";
+    case FeatureId::kNumEdges:
+      return "#edges";
+    case FeatureId::kDensity:
+      return "density";
+    case FeatureId::kDegeneracy:
+      return "degeneracy";
+    case FeatureId::kDStar:
+      return "d*";
+  }
+  return "?";
+}
+
+double BlockFeatures::Get(FeatureId id) const {
+  switch (id) {
+    case FeatureId::kNumNodes:
+      return num_nodes;
+    case FeatureId::kNumEdges:
+      return num_edges;
+    case FeatureId::kDensity:
+      return density;
+    case FeatureId::kDegeneracy:
+      return degeneracy;
+    case FeatureId::kDStar:
+      return d_star;
+  }
+  MCE_CHECK(false);
+  return 0;
+}
+
+std::array<double, kNumFeatures> BlockFeatures::AsArray() const {
+  return {num_nodes, num_edges, density, degeneracy, d_star};
+}
+
+std::string BlockFeatures::ToString() const {
+  std::ostringstream os;
+  os << "{#nodes=" << num_nodes << ", #edges=" << num_edges
+     << ", density=" << density << ", degeneracy=" << degeneracy
+     << ", d*=" << d_star << "}";
+  return os.str();
+}
+
+BlockFeatures ComputeFeatures(const Graph& g) {
+  BlockFeatures f;
+  f.num_nodes = static_cast<double>(g.num_nodes());
+  f.num_edges = static_cast<double>(g.num_edges());
+  f.density = g.Density();
+  f.degeneracy = static_cast<double>(Degeneracy(g));
+  f.d_star = static_cast<double>(DStar(g));
+  return f;
+}
+
+}  // namespace mce::decision

@@ -1,0 +1,50 @@
+// Block feature extraction for the algorithm-selection decision tree.
+//
+// Section 4: "The parameters we used to classify blocks are the following:
+// (a) number of nodes; (b) number of edges; (c) density; (d) degeneracy;
+// and (e) the maximum value d* for which the graph has at least d* nodes
+// with degree greater or equal than d*." All are O(n + m) to compute.
+
+#ifndef MCE_DECISION_FEATURES_H_
+#define MCE_DECISION_FEATURES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mce::decision {
+
+/// Feature identifiers, indexable into BlockFeatures::AsArray().
+enum class FeatureId : uint8_t {
+  kNumNodes = 0,
+  kNumEdges = 1,
+  kDensity = 2,
+  kDegeneracy = 3,
+  kDStar = 4,
+};
+
+inline constexpr int kNumFeatures = 5;
+
+const char* FeatureName(FeatureId id);
+
+/// The five classification parameters of a block (or any graph).
+struct BlockFeatures {
+  double num_nodes = 0;
+  double num_edges = 0;
+  double density = 0;
+  double degeneracy = 0;
+  double d_star = 0;
+
+  double Get(FeatureId id) const;
+  std::array<double, kNumFeatures> AsArray() const;
+  std::string ToString() const;
+};
+
+/// Computes all five features of `g`.
+BlockFeatures ComputeFeatures(const Graph& g);
+
+}  // namespace mce::decision
+
+#endif  // MCE_DECISION_FEATURES_H_

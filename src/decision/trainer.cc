@@ -1,0 +1,177 @@
+#include "decision/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mce::decision {
+
+namespace {
+
+/// Gini impurity of a label multiset given per-class counts.
+double Gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (int c : counts) {
+    double p = static_cast<double>(c) / total;
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+struct Split {
+  bool found = false;
+  FeatureId feature = FeatureId::kNumNodes;
+  double threshold = 0;
+  double impurity = std::numeric_limits<double>::infinity();
+};
+
+class Builder {
+ public:
+  Builder(const std::vector<TrainingExample>& examples,
+          const std::vector<MceOptions>& label_space,
+          const TrainerOptions& options)
+      : examples_(examples), label_space_(label_space), options_(options) {}
+
+  DecisionTree Build() {
+    std::vector<int> all(examples_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    BuildNode(all, 0);
+    return DecisionTree(std::move(nodes_));
+  }
+
+ private:
+  int MajorityLabel(const std::vector<int>& idx) const {
+    std::vector<int> counts(label_space_.size(), 0);
+    for (int i : idx) ++counts[examples_[i].label];
+    return static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  }
+
+  double NodeImpurity(const std::vector<int>& idx) const {
+    std::vector<int> counts(label_space_.size(), 0);
+    for (int i : idx) ++counts[examples_[i].label];
+    return Gini(counts, static_cast<int>(idx.size()));
+  }
+
+  /// Finds the (feature, threshold) minimizing the weighted child Gini.
+  Split FindBestSplit(const std::vector<int>& idx) const {
+    Split best;
+    const int total = static_cast<int>(idx.size());
+    for (int f = 0; f < kNumFeatures; ++f) {
+      const FeatureId feature = static_cast<FeatureId>(f);
+      // Sort example indices by this feature value.
+      std::vector<int> order = idx;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return examples_[a].features.Get(feature) <
+               examples_[b].features.Get(feature);
+      });
+      // Sweep thresholds between consecutive distinct values, maintaining
+      // left ("<= threshold", i.e. predicate false) and right counts.
+      std::vector<int> left_counts(label_space_.size(), 0);
+      std::vector<int> right_counts(label_space_.size(), 0);
+      for (int i : order) ++right_counts[examples_[i].label];
+      int left_n = 0;
+      for (int k = 0; k + 1 < total; ++k) {
+        const int i = order[k];
+        ++left_counts[examples_[i].label];
+        --right_counts[examples_[i].label];
+        ++left_n;
+        double v = examples_[i].features.Get(feature);
+        double v_next = examples_[order[k + 1]].features.Get(feature);
+        if (v == v_next) continue;  // not a valid cut point
+        if (left_n < options_.min_samples_leaf ||
+            total - left_n < options_.min_samples_leaf) {
+          continue;
+        }
+        double w_impurity =
+            (static_cast<double>(left_n) / total) * Gini(left_counts, left_n) +
+            (static_cast<double>(total - left_n) / total) *
+                Gini(right_counts, total - left_n);
+        if (w_impurity < best.impurity) {
+          best.found = true;
+          best.feature = feature;
+          best.threshold = (v + v_next) / 2.0;
+          best.impurity = w_impurity;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Appends the subtree for `idx` and returns its root index.
+  int32_t BuildNode(const std::vector<int>& idx, int depth) {
+    MCE_CHECK(!idx.empty());
+    const int32_t my_index = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();  // placeholder; filled below
+
+    const double impurity = NodeImpurity(idx);
+    Split split;
+    if (depth < options_.max_depth && impurity > options_.min_impurity) {
+      split = FindBestSplit(idx);
+    }
+    if (!split.found || split.impurity >= impurity) {
+      DecisionTree::Node leaf;
+      leaf.is_leaf = true;
+      leaf.options = label_space_[MajorityLabel(idx)];
+      nodes_[my_index] = leaf;
+      return my_index;
+    }
+    std::vector<int> yes, no;
+    for (int i : idx) {
+      if (examples_[i].features.Get(split.feature) > split.threshold) {
+        yes.push_back(i);
+      } else {
+        no.push_back(i);
+      }
+    }
+    DecisionTree::Node internal;
+    internal.is_leaf = false;
+    internal.feature = split.feature;
+    internal.threshold = split.threshold;
+    internal.true_child = BuildNode(yes, depth + 1);
+    internal.false_child = BuildNode(no, depth + 1);
+    nodes_[my_index] = internal;
+    return my_index;
+  }
+
+  const std::vector<TrainingExample>& examples_;
+  const std::vector<MceOptions>& label_space_;
+  const TrainerOptions& options_;
+  std::vector<DecisionTree::Node> nodes_;
+};
+
+}  // namespace
+
+DecisionTree TrainDecisionTree(const std::vector<TrainingExample>& examples,
+                               const std::vector<MceOptions>& label_space,
+                               const TrainerOptions& options) {
+  MCE_CHECK(!examples.empty());
+  MCE_CHECK(!label_space.empty());
+  for (const TrainingExample& e : examples) {
+    MCE_CHECK(e.label >= 0 &&
+              static_cast<size_t>(e.label) < label_space.size());
+  }
+  Builder builder(examples, label_space, options);
+  return builder.Build();
+}
+
+double Accuracy(const DecisionTree& tree,
+                const std::vector<TrainingExample>& examples,
+                const std::vector<MceOptions>& label_space) {
+  if (examples.empty()) return 0.0;
+  int hits = 0;
+  for (const TrainingExample& e : examples) {
+    MceOptions predicted = tree.Classify(e.features);
+    const MceOptions& truth = label_space[e.label];
+    if (predicted.algorithm == truth.algorithm &&
+        predicted.storage == truth.storage) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / examples.size();
+}
+
+}  // namespace mce::decision

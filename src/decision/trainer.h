@@ -1,0 +1,51 @@
+// CART-style decision tree trainer.
+//
+// The paper produces its Figure 3 tree by "launching the recursive
+// partitioning algorithm in [32]" (rpart) on a training set of
+// (block features -> fastest combo) measurements. This is an equivalent
+// recursive partitioner: binary splits "feature > threshold" chosen by
+// Gini impurity, majority-class leaves, depth/size stopping rules.
+
+#ifndef MCE_DECISION_TRAINER_H_
+#define MCE_DECISION_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "decision/decision_tree.h"
+#include "decision/features.h"
+#include "mce/enumerator.h"
+
+namespace mce::decision {
+
+/// One measurement: the features of a graph and the index (into the label
+/// space passed to Train) of the combo that ran fastest on it.
+struct TrainingExample {
+  BlockFeatures features;
+  int label = 0;
+};
+
+struct TrainerOptions {
+  int max_depth = 4;
+  /// A split is rejected when either side would hold fewer examples.
+  int min_samples_leaf = 2;
+  /// Node impurity below which the node becomes a leaf.
+  double min_impurity = 1e-9;
+};
+
+/// Trains a DecisionTree. `label_space[i]` is the MceOptions that label i
+/// stands for; labels in `examples` must index into it. `examples` must be
+/// non-empty.
+DecisionTree TrainDecisionTree(const std::vector<TrainingExample>& examples,
+                               const std::vector<MceOptions>& label_space,
+                               const TrainerOptions& options = {});
+
+/// Fraction of examples whose Classify()-ed combo equals their label's
+/// combo (training or held-out accuracy).
+double Accuracy(const DecisionTree& tree,
+                const std::vector<TrainingExample>& examples,
+                const std::vector<MceOptions>& label_space);
+
+}  // namespace mce::decision
+
+#endif  // MCE_DECISION_TRAINER_H_

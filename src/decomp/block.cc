@@ -1,0 +1,17 @@
+#include "decomp/block.h"
+
+#include <algorithm>
+
+namespace mce::decomp {
+
+size_t Block::CountRole(NodeRole role) const {
+  return static_cast<size_t>(
+      std::count(roles.begin(), roles.end(), role));
+}
+
+uint64_t Block::EstimatedBytes() const {
+  return static_cast<uint64_t>(num_nodes()) * (sizeof(NodeId) + 1) +
+         2 * num_edges() * sizeof(NodeId) + (num_nodes() + 1) * sizeof(uint64_t);
+}
+
+}  // namespace mce::decomp

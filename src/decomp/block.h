@@ -1,0 +1,49 @@
+// The block type produced by the second-level decomposition (Section 3.2).
+//
+// A block consists of kernel nodes (each feasible node is kernel of exactly
+// one block), border nodes (neighbors of kernels not yet used as kernels),
+// and visited nodes (neighbors of kernels that were kernels of previously
+// built blocks), plus *all* edges among its nodes. Blocks are self-contained
+// work units: BLOCK-ANALYSIS needs nothing outside them, which is what makes
+// the distributed phase embarrassingly parallel.
+
+#ifndef MCE_DECOMP_BLOCK_H_
+#define MCE_DECOMP_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace mce::decomp {
+
+/// Role of a node within one block.
+enum class NodeRole : uint8_t {
+  kKernel = 0,
+  kBorder = 1,
+  kVisited = 2,
+};
+
+struct Block {
+  /// The materialized subgraph over kernel u border u visited nodes, with
+  /// the mapping back to the ids of the graph the decomposition ran on.
+  InducedSubgraph subgraph;
+  /// Role of each block-local node id.
+  std::vector<NodeRole> roles;
+  /// Block-local ids of the kernel nodes, ascending.
+  std::vector<NodeId> kernel_local;
+
+  NodeId num_nodes() const { return subgraph.graph.num_nodes(); }
+  uint64_t num_edges() const { return subgraph.graph.num_edges(); }
+
+  size_t CountRole(NodeRole role) const;
+
+  /// Rough serialized size in bytes (CSR arrays + roles); the distributed
+  /// scheduler uses it as the shipping cost of the block.
+  uint64_t EstimatedBytes() const;
+};
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_BLOCK_H_

@@ -1,0 +1,143 @@
+#include "decomp/block_analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "decision/features.h"
+#include "graph/views.h"
+#include "mce/pivoter.h"
+#include "mce/storage.h"
+#include "util/check.h"
+
+namespace mce::decomp {
+
+namespace {
+
+/// Shared Algorithm 4 loop over vector sets; Storage is ListStorage or
+/// MatrixStorage, built once per block by the caller.
+template <typename Storage>
+uint64_t RunVectorLoop(const Block& block, const Storage& storage,
+                       PivotRule rule, const CliqueCallback& emit) {
+  const Graph& g = block.subgraph.graph;
+  // P starts as K u H; V starts as the block's visited set.
+  std::vector<uint8_t> in_p(g.num_nodes(), 0);
+  std::vector<uint8_t> in_v(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (block.roles[v] == NodeRole::kVisited) {
+      in_v[v] = 1;
+    } else {
+      in_p[v] = 1;
+    }
+  }
+  // Translate local cliques to parent ids on the way out.
+  std::vector<NodeId> parent_clique;
+  uint64_t count = 0;
+  CliqueCallback translate = [&](std::span<const NodeId> local) {
+    parent_clique.clear();
+    for (NodeId v : local) parent_clique.push_back(block.subgraph.to_parent[v]);
+    ++count;
+    emit(parent_clique);
+  };
+
+  std::vector<NodeId> p, x;
+  for (NodeId k : block.kernel_local) {
+    p.clear();
+    x.clear();
+    for (NodeId u : g.Neighbors(k)) {
+      if (in_v[u]) {
+        x.push_back(u);
+      } else if (in_p[u]) {
+        p.push_back(u);
+      }
+    }
+    // Neighbor lists are sorted, so p and x are sorted.
+    RunVectorMce(storage, rule, {k}, p, x, translate);
+    in_p[k] = 0;
+    in_v[k] = 1;
+  }
+  return count;
+}
+
+uint64_t RunBitsetLoop(const Block& block, PivotRule rule,
+                       const CliqueCallback& emit) {
+  const Graph& g = block.subgraph.graph;
+  BitsetGraph bg(g);
+  Bitset p(g.num_nodes());
+  Bitset v(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (block.roles[u] == NodeRole::kVisited) {
+      v.Set(u);
+    } else {
+      p.Set(u);
+    }
+  }
+  std::vector<NodeId> parent_clique;
+  uint64_t count = 0;
+  CliqueCallback translate = [&](std::span<const NodeId> local) {
+    parent_clique.clear();
+    for (NodeId u : local) parent_clique.push_back(block.subgraph.to_parent[u]);
+    ++count;
+    emit(parent_clique);
+  };
+  for (NodeId k : block.kernel_local) {
+    Bitset pk = p;
+    pk.And(bg.Row(k));
+    Bitset xk = v;
+    xk.And(bg.Row(k));
+    RunBitsetMce(bg, rule, {k}, std::move(pk), std::move(xk), translate);
+    p.Clear(k);
+    v.Set(k);
+  }
+  return count;
+}
+
+}  // namespace
+
+BlockAnalysisResult AnalyzeBlock(const Block& block,
+                                 const BlockAnalysisOptions& options,
+                                 const CliqueCallback& emit) {
+  const Graph& g = block.subgraph.graph;
+  MCE_CHECK_EQ(block.roles.size(), g.num_nodes());
+
+  BlockAnalysisResult result;
+  // bestfit(B): classify the block, or use the fixed combination.
+  if (options.tree != nullptr) {
+    result.used = options.tree->Classify(decision::ComputeFeatures(g));
+  } else {
+    result.used = options.fixed;
+  }
+  // Memory guard: dense storages are quadratic in the block size; degrade
+  // to lists instead of exhausting memory on an oversized block.
+  if (options.max_storage_bytes > 0 &&
+      result.used.storage != StorageKind::kAdjacencyList &&
+      EstimateStorageBytes(g.num_nodes(), g.num_edges(),
+                           result.used.storage) > options.max_storage_bytes) {
+    result.used.storage = StorageKind::kAdjacencyList;
+  }
+  // Seeded enumeration has no Eppstein/Naive form (see enumerator.h).
+  Algorithm algorithm = result.used.algorithm;
+  if (algorithm == Algorithm::kEppstein || algorithm == Algorithm::kNaive) {
+    algorithm = Algorithm::kTomita;
+  }
+  const PivotRule rule = RuleFor(algorithm);
+
+  switch (result.used.storage) {
+    case StorageKind::kAdjacencyList: {
+      ListStorage storage(g);
+      result.num_cliques = RunVectorLoop(block, storage, rule, emit);
+      break;
+    }
+    case StorageKind::kMatrix: {
+      MatrixStorage storage(g);
+      result.num_cliques = RunVectorLoop(block, storage, rule, emit);
+      break;
+    }
+    case StorageKind::kBitset: {
+      result.num_cliques = RunBitsetLoop(block, rule, emit);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mce::decomp

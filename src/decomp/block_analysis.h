@@ -1,0 +1,50 @@
+// Per-block clique detection (Algorithm 4, BLOCK-ANALYSIS).
+//
+// For each kernel node k of a block, enumerates the maximal cliques that
+// contain k but no visited node and no kernel processed earlier; k then
+// joins the visited set. Globally — kernels partition the feasible nodes
+// and "visited" reflects the block build order — every maximal clique of G
+// containing at least one feasible node is reported exactly once, by the
+// block owning its first-processed kernel.
+//
+// The MCE routine is chosen per block: a decision tree over the block's
+// features (the paper's bestfit), or a fixed combination.
+
+#ifndef MCE_DECOMP_BLOCK_ANALYSIS_H_
+#define MCE_DECOMP_BLOCK_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "decision/decision_tree.h"
+#include "decomp/block.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce::decomp {
+
+struct BlockAnalysisOptions {
+  /// When set, bestfit(block) consults this tree; otherwise `fixed` is used.
+  const decision::DecisionTree* tree = nullptr;
+  MceOptions fixed = {Algorithm::kTomita, StorageKind::kAdjacencyList};
+  /// Memory guard: if the selected dense storage (matrix/bitset) would
+  /// exceed this many bytes for the block, fall back to adjacency lists.
+  /// 0 disables the guard.
+  uint64_t max_storage_bytes = 512ull << 20;
+};
+
+struct BlockAnalysisResult {
+  /// The data-structure/algorithm combination that actually ran.
+  MceOptions used;
+  /// Number of cliques emitted by this block.
+  uint64_t num_cliques = 0;
+};
+
+/// Runs Algorithm 4 on `block`, emitting cliques translated to the parent
+/// graph's node ids.
+BlockAnalysisResult AnalyzeBlock(const Block& block,
+                                 const BlockAnalysisOptions& options,
+                                 const CliqueCallback& emit);
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_BLOCK_ANALYSIS_H_

@@ -1,0 +1,123 @@
+#include "decomp/blocks.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mce::decomp {
+
+namespace {
+
+/// Sorts seeds according to the policy; ties break toward the smaller id so
+/// decomposition is deterministic.
+std::vector<NodeId> OrderSeeds(const Graph& g,
+                               const std::vector<NodeId>& feasible,
+                               SeedPolicy policy) {
+  std::vector<NodeId> seeds = feasible;
+  switch (policy) {
+    case SeedPolicy::kLowestDegree:
+      std::stable_sort(seeds.begin(), seeds.end(), [&g](NodeId a, NodeId b) {
+        if (g.Degree(a) != g.Degree(b)) return g.Degree(a) < g.Degree(b);
+        return a < b;
+      });
+      break;
+    case SeedPolicy::kHighestDegree:
+      std::stable_sort(seeds.begin(), seeds.end(), [&g](NodeId a, NodeId b) {
+        if (g.Degree(a) != g.Degree(b)) return g.Degree(a) > g.Degree(b);
+        return a < b;
+      });
+      break;
+    case SeedPolicy::kFirstId:
+      std::sort(seeds.begin(), seeds.end());
+      break;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<Block> BuildBlocks(const Graph& g,
+                               const std::vector<NodeId>& feasible,
+                               const BlocksOptions& options) {
+  const uint32_t m = options.max_block_size;
+  MCE_CHECK_GE(m, 1u);
+
+  std::vector<uint8_t> is_feasible(g.num_nodes(), 0);
+  for (NodeId v : feasible) {
+    MCE_CHECK(static_cast<uint64_t>(g.Degree(v)) + 1 <= m);
+    is_feasible[v] = 1;
+  }
+  // Nodes already used as a kernel (of this or an earlier block).
+  std::vector<uint8_t> used_kernel(g.num_nodes(), 0);
+
+  std::vector<Block> blocks;
+  for (NodeId seed : OrderSeeds(g, feasible, options.seed_policy)) {
+    if (used_kernel[seed]) continue;
+
+    std::vector<NodeId> kernel;                    // K, parent ids
+    std::unordered_set<NodeId> block_nodes;        // K u N(K)
+    // Adjacency-with-K counts for candidate border nodes (feasible and not
+    // yet kernel anywhere).
+    std::unordered_map<NodeId, uint32_t> candidate_adjacency;
+
+    auto promote = [&](NodeId n) {
+      used_kernel[n] = 1;
+      kernel.push_back(n);
+      candidate_adjacency.erase(n);
+      block_nodes.insert(n);
+      for (NodeId w : g.Neighbors(n)) {
+        block_nodes.insert(w);
+        if (is_feasible[w] && !used_kernel[w]) ++candidate_adjacency[w];
+      }
+    };
+
+    promote(seed);
+
+    for (;;) {
+      // select(N_f n H): the candidate with the most kernel adjacencies.
+      NodeId best = kInvalidNode;
+      uint32_t best_adj = 0;
+      for (const auto& [node, adj] : candidate_adjacency) {
+        if (best == kInvalidNode || adj > best_adj ||
+            (adj == best_adj && node < best)) {
+          best = node;
+          best_adj = adj;
+        }
+      }
+      if (best == kInvalidNode) break;                    // no border left
+      if (best_adj < options.min_adjacency) break;        // threshold stop
+      // isfeasible(K u {best}): |K u {best} u N(K u {best})| <= m.
+      uint64_t added = 0;
+      for (NodeId w : g.Neighbors(best)) {
+        if (!block_nodes.count(w)) ++added;
+      }
+      if (block_nodes.size() + added > m) break;          // size stop
+      promote(best);
+    }
+
+    // Materialize the block.
+    std::vector<NodeId> members(block_nodes.begin(), block_nodes.end());
+    Block block;
+    block.subgraph = Induce(g, members);
+    const auto& to_parent = block.subgraph.to_parent;
+    block.roles.resize(to_parent.size());
+    std::unordered_set<NodeId> kernel_set(kernel.begin(), kernel.end());
+    for (NodeId local = 0; local < to_parent.size(); ++local) {
+      const NodeId parent = to_parent[local];
+      if (kernel_set.count(parent)) {
+        block.roles[local] = NodeRole::kKernel;
+        block.kernel_local.push_back(local);
+      } else if (used_kernel[parent]) {
+        block.roles[local] = NodeRole::kVisited;
+      } else {
+        block.roles[local] = NodeRole::kBorder;
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+}  // namespace mce::decomp

@@ -1,0 +1,17 @@
+#include "decomp/cut.h"
+
+namespace mce::decomp {
+
+CutResult Cut(const Graph& g, uint32_t m) {
+  CutResult out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (IsFeasibleNode(g, v, m)) {
+      out.feasible.push_back(v);
+    } else {
+      out.hubs.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mce::decomp

@@ -1,0 +1,34 @@
+// First-level decomposition (Algorithm 2, CUT).
+//
+// Splits the nodes of G into feasible nodes — whose closed neighborhood
+// fits a block of m nodes, i.e. deg(v) + 1 <= m — and hub nodes
+// (deg(v) >= m). Hub nodes are set aside for the recursive call of
+// FIND-MAX-CLIQUES on the subgraph they induce.
+
+#ifndef MCE_DECOMP_CUT_H_
+#define MCE_DECOMP_CUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mce::decomp {
+
+struct CutResult {
+  std::vector<NodeId> feasible;  // N_f, ascending
+  std::vector<NodeId> hubs;      // N_h, ascending
+};
+
+/// isfeasible for a single node: its closed neighborhood fits in a block.
+inline bool IsFeasibleNode(const Graph& g, NodeId v, uint32_t m) {
+  return static_cast<uint64_t>(g.Degree(v)) + 1 <= m;
+}
+
+/// Algorithm 2: partition the nodes of `g` by feasibility w.r.t. block
+/// bound `m`.
+CutResult Cut(const Graph& g, uint32_t m);
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_CUT_H_

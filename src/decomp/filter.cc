@@ -1,0 +1,50 @@
+#include "decomp/filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace mce::decomp {
+
+CliqueSet FilterContainedCliques(const CliqueSet& ch, const CliqueSet& cf) {
+  // Index cf cliques by member vertex so each ch clique is only compared
+  // against cliques sharing its first vertex.
+  std::unordered_map<NodeId, std::vector<const Clique*>> by_vertex;
+  for (const Clique& c : cf.cliques()) {
+    for (NodeId v : c) by_vertex[v].push_back(&c);
+  }
+  CliqueSet out;
+  for (const Clique& c : ch.cliques()) {
+    bool contained = false;
+    if (!c.empty()) {
+      auto it = by_vertex.find(c.front());
+      if (it != by_vertex.end()) {
+        for (const Clique* candidate : it->second) {
+          if (candidate->size() >= c.size() &&
+              std::includes(candidate->begin(), candidate->end(), c.begin(),
+                            c.end())) {
+            contained = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!contained) out.Add(c);
+  }
+  return out;
+}
+
+bool IsMaximalInGraph(const Graph& g, const Clique& clique) {
+  if (clique.empty()) return g.num_nodes() == 0;
+  return CommonNeighbors(g, clique).empty();
+}
+
+CliqueSet FilterNonMaximal(const Graph& g, const CliqueSet& cliques) {
+  CliqueSet out;
+  for (const Clique& c : cliques.cliques()) {
+    if (IsMaximalInGraph(g, c)) out.Add(c);
+  }
+  return out;
+}
+
+}  // namespace mce::decomp

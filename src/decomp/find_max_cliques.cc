@@ -1,0 +1,166 @@
+#include "decomp/find_max_cliques.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "decomp/block_analysis.h"
+#include "decomp/cut.h"
+#include "decomp/filter.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mce::decomp {
+
+uint64_t FindMaxCliquesResult::CliquesFromLevel(uint32_t min_level) const {
+  uint64_t count = 0;
+  for (uint32_t l : origin_level) {
+    if (l >= min_level) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// The shared recursion driver. `emit` receives each maximal clique of G
+/// (sorted, original ids) exactly once, already past the Lemma 1 filter:
+/// level-0 cliques are maximal by construction; deeper cliques are emitted
+/// iff they are maximal in G (the telescoped per-level filter — see the
+/// header of this file's class comment).
+StreamingStats RunPipelineLoop(const Graph& g,
+                               const FindMaxCliquesOptions& options,
+                               const LeveledCliqueCallback& emit) {
+  MCE_CHECK_GE(options.max_block_size, 1u);
+  StreamingStats out;
+
+  Graph current = g;
+  std::vector<NodeId> to_original;  // empty means identity (level 0)
+  uint32_t level = 0;
+  std::vector<NodeId> scratch;
+
+  auto deliver = [&](std::span<const NodeId> clique_current_ids) {
+    scratch.clear();
+    if (to_original.empty()) {
+      scratch.assign(clique_current_ids.begin(), clique_current_ids.end());
+    } else {
+      for (NodeId v : clique_current_ids) {
+        scratch.push_back(to_original[v]);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    if (level > 0 && !IsMaximalInGraph(g, scratch)) return;
+    ++out.cliques_emitted;
+    emit(scratch, level);
+  };
+
+  for (;;) {
+    LevelStats stats;
+    stats.num_nodes = current.num_nodes();
+    stats.num_edges = current.num_edges();
+
+    Timer decompose_timer;
+    CutResult cut = Cut(current, options.max_block_size);
+    stats.feasible = cut.feasible.size();
+    stats.hubs = cut.hubs.size();
+
+    if (cut.feasible.empty() && current.num_nodes() > 0) {
+      // Sparsity precondition violated: the remaining graph is its own
+      // m-core. Enumerate it directly so the result is still complete.
+      out.used_fallback = true;
+      stats.decompose_seconds = decompose_timer.ElapsedSeconds();
+      Timer analyze_timer;
+      uint64_t emitted = 0;
+      EnumerateMaximalCliques(current, options.fallback,
+                              [&](std::span<const NodeId> c) {
+                                deliver(c);
+                                ++emitted;
+                              });
+      stats.cliques = emitted;
+      stats.analyze_seconds = analyze_timer.ElapsedSeconds();
+      out.levels.push_back(stats);
+      break;
+    }
+
+    BlocksOptions blocks_options;
+    blocks_options.max_block_size = options.max_block_size;
+    blocks_options.min_adjacency = options.min_adjacency;
+    blocks_options.seed_policy = options.seed_policy;
+    std::vector<Block> blocks =
+        BuildBlocks(current, cut.feasible, blocks_options);
+    stats.blocks = blocks.size();
+    stats.decompose_seconds = decompose_timer.ElapsedSeconds();
+
+    Timer analyze_timer;
+    BlockAnalysisOptions analysis_options;
+    analysis_options.tree = options.tree;
+    analysis_options.fixed = options.fixed;
+    uint64_t emitted = 0;
+    for (const Block& block : blocks) {
+      Timer block_timer;
+      BlockAnalysisResult r = AnalyzeBlock(block, analysis_options,
+                                           [&](std::span<const NodeId> c) {
+                                             deliver(c);
+                                           });
+      emitted += r.num_cliques;
+      if (options.block_observer) {
+        BlockTaskRecord task;
+        task.level = level;
+        task.nodes = block.num_nodes();
+        task.edges = block.num_edges();
+        task.bytes = block.EstimatedBytes();
+        task.cliques = r.num_cliques;
+        task.seconds = block_timer.ElapsedSeconds();
+        task.used = r.used;
+        options.block_observer(task);
+      }
+    }
+    stats.cliques = emitted;
+    stats.analyze_seconds = analyze_timer.ElapsedSeconds();
+    out.levels.push_back(stats);
+
+    if (cut.hubs.empty()) break;
+
+    // Recursive step: continue on the hub-induced subgraph.
+    InducedSubgraph sub = Induce(current, cut.hubs);
+    if (to_original.empty()) {
+      to_original = sub.to_parent;
+    } else {
+      std::vector<NodeId> composed;
+      composed.reserve(sub.to_parent.size());
+      for (NodeId v : sub.to_parent) composed.push_back(to_original[v]);
+      to_original = std::move(composed);
+    }
+    current = std::move(sub.graph);
+    ++level;
+  }
+  return out;
+}
+
+}  // namespace
+
+StreamingStats FindMaxCliquesStreaming(const Graph& g,
+                                       const FindMaxCliquesOptions& options,
+                                       const LeveledCliqueCallback& emit) {
+  return RunPipelineLoop(g, options, emit);
+}
+
+FindMaxCliquesResult FindMaxCliques(const Graph& g,
+                                    const FindMaxCliquesOptions& options) {
+  std::vector<std::pair<Clique, uint32_t>> found;
+  StreamingStats stats = RunPipelineLoop(
+      g, options, [&found](std::span<const NodeId> clique, uint32_t level) {
+        found.emplace_back(Clique(clique.begin(), clique.end()), level);
+      });
+  std::sort(found.begin(), found.end());
+
+  FindMaxCliquesResult out;
+  out.levels = std::move(stats.levels);
+  out.used_fallback = stats.used_fallback;
+  for (auto& [clique, origin] : found) {
+    out.origin_level.push_back(origin);
+    out.cliques.Add(std::move(clique));  // already sorted
+  }
+  return out;
+}
+
+}  // namespace mce::decomp

@@ -1,0 +1,114 @@
+// The overall algorithm (Algorithm 1, FIND-MAX-CLIQUES).
+//
+// Each level l: CUT splits the current graph G_l into feasible and hub
+// nodes; BLOCKS decomposes the feasible side; BLOCK-ANALYSIS enumerates the
+// cliques with a feasible node (C_f); the hub-induced subgraph becomes
+// G_{l+1}. Because the induced chain G = G_0 > G_1 > ... preserves
+// "maximal in G implies maximal in every G_l", the per-level Lemma 1
+// filters telescope into a single rule: a clique found at level l >= 1 is
+// kept iff it is maximal in G. Level-0 cliques are maximal by construction.
+//
+// Termination: each level strictly shrinks the graph while feasible nodes
+// exist; when none exists (the m-core of G is non-empty, i.e. the sparsity
+// precondition degeneracy < m of Theorem 1 is violated), the implementation
+// falls back to a direct MCE of the remaining graph and flags it in the
+// stats, rather than looping forever.
+
+#ifndef MCE_DECOMP_FIND_MAX_CLIQUES_H_
+#define MCE_DECOMP_FIND_MAX_CLIQUES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "decision/decision_tree.h"
+#include "decomp/blocks.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce::decomp {
+
+/// Telemetry for one analyzed block; consumed by the distributed-execution
+/// simulator (src/dist) to schedule and cost block tasks.
+struct BlockTaskRecord {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  uint64_t bytes = 0;    // estimated shipping size
+  uint64_t cliques = 0;
+  double seconds = 0;    // measured analysis wall time
+  MceOptions used;
+};
+
+struct FindMaxCliquesOptions {
+  /// Block bound m. Completeness requires nothing; termination without the
+  /// fallback requires m > degeneracy(G).
+  uint32_t max_block_size = 1000;
+  /// Options for the second-level decomposition.
+  uint32_t min_adjacency = 1;
+  SeedPolicy seed_policy = SeedPolicy::kLowestDegree;
+  /// bestfit: decision tree if non-null, else the fixed combination.
+  const decision::DecisionTree* tree = nullptr;
+  MceOptions fixed = {Algorithm::kTomita, StorageKind::kAdjacencyList};
+  /// Combination used by the degenerate fallback (whole-graph MCE).
+  MceOptions fallback = {Algorithm::kEppstein, StorageKind::kAdjacencyList};
+  /// Optional per-block hook, called after each block is analyzed.
+  std::function<void(const BlockTaskRecord&)> block_observer;
+};
+
+/// Per-recursion-level telemetry (drives Figures 7-11).
+struct LevelStats {
+  uint64_t num_nodes = 0;       // |G_l|
+  uint64_t num_edges = 0;
+  uint64_t feasible = 0;        // |N_f|
+  uint64_t hubs = 0;            // |N_h|
+  uint64_t blocks = 0;
+  uint64_t cliques = 0;         // cliques emitted by this level's blocks
+                                // (before the maximality filter)
+  double decompose_seconds = 0; // CUT + BLOCKS (+ induced subgraph)
+  double analyze_seconds = 0;   // BLOCK-ANALYSIS over all blocks
+};
+
+struct FindMaxCliquesResult {
+  /// All maximal cliques of G, canonicalized.
+  CliqueSet cliques;
+  /// origin_level[i]: recursion level whose blocks produced cliques()[i];
+  /// level >= 1 means the clique consists of hub nodes only (w.r.t. the
+  /// top-level m) — the gray bars of Figures 9-11.
+  std::vector<uint32_t> origin_level;
+  std::vector<LevelStats> levels;
+  /// True when the sparsity precondition failed and the remaining hub core
+  /// was enumerated directly.
+  bool used_fallback = false;
+
+  /// Number of first-level decomposition iterations (Figure 7 reports 2-3).
+  size_t NumLevels() const { return levels.size(); }
+  uint64_t CliquesFromLevel(uint32_t min_level) const;
+};
+
+FindMaxCliquesResult FindMaxCliques(const Graph& g,
+                                    const FindMaxCliquesOptions& options);
+
+/// Streaming callback: a maximal clique (sorted, in g's node ids; only
+/// valid during the call) and the recursion level that produced it.
+using LeveledCliqueCallback =
+    std::function<void(std::span<const NodeId>, uint32_t level)>;
+
+struct StreamingStats {
+  std::vector<LevelStats> levels;
+  bool used_fallback = false;
+  uint64_t cliques_emitted = 0;
+};
+
+/// Streaming form of FindMaxCliques: emits each maximal clique of G
+/// exactly once (the Lemma 1 filter is applied per clique before emission)
+/// without materializing the collection — the memory profile stays
+/// O(graph + largest block) regardless of the output size. The multiset of
+/// emitted cliques equals FindMaxCliques(g, options).cliques.
+StreamingStats FindMaxCliquesStreaming(const Graph& g,
+                                       const FindMaxCliquesOptions& options,
+                                       const LeveledCliqueCallback& emit);
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_FIND_MAX_CLIQUES_H_

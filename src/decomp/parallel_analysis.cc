@@ -1,0 +1,33 @@
+#include "decomp/parallel_analysis.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace mce::decomp {
+
+ParallelAnalysisResult ParallelAnalyzeBlocks(
+    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
+    size_t num_threads) {
+  ParallelAnalysisResult result;
+  result.per_block.resize(blocks.size());
+  // Each block writes into its own slot; no synchronization needed beyond
+  // the pool's completion barrier.
+  std::vector<CliqueSet> per_block_cliques(blocks.size());
+  {
+    ThreadPool pool(num_threads);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool.Submit([&, i] {
+        result.per_block[i] = AnalyzeBlock(blocks[i], options,
+                                           per_block_cliques[i].Collector());
+      });
+    }
+    pool.Wait();
+  }
+  for (CliqueSet& cs : per_block_cliques) {
+    result.cliques.Merge(std::move(cs));
+  }
+  return result;
+}
+
+}  // namespace mce::decomp

@@ -1,0 +1,35 @@
+// Multi-threaded block analysis: the intra-machine parallelism of the
+// paper's workers (each cluster node runs its blocks on 8 hardware
+// threads). Blocks are independent by construction (Section 3.2), so this
+// is a straightforward parallel map; cliques from all blocks are merged
+// deterministically (sorted by block index) so the output is identical to
+// the serial loop.
+
+#ifndef MCE_DECOMP_PARALLEL_ANALYSIS_H_
+#define MCE_DECOMP_PARALLEL_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "decomp/block.h"
+#include "decomp/block_analysis.h"
+#include "mce/clique.h"
+
+namespace mce::decomp {
+
+struct ParallelAnalysisResult {
+  /// Union of all blocks' cliques, in block order (deterministic).
+  CliqueSet cliques;
+  /// Per-block outcomes, parallel to the input blocks.
+  std::vector<BlockAnalysisResult> per_block;
+};
+
+/// Analyzes every block on `num_threads` workers. Equivalent to calling
+/// AnalyzeBlock sequentially and concatenating, in block order.
+ParallelAnalysisResult ParallelAnalyzeBlocks(
+    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
+    size_t num_threads);
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_PARALLEL_ANALYSIS_H_

@@ -1,0 +1,75 @@
+#include "decomp/plan.h"
+
+#include <algorithm>
+
+#include "decomp/cut.h"
+#include "graph/subgraph.h"
+
+namespace mce::decomp {
+
+uint64_t DecompositionPlan::TotalBlocks() const {
+  uint64_t total = 0;
+  for (const LevelPlan& l : levels) total += l.blocks;
+  return total;
+}
+
+double DecompositionPlan::OverallReplication() const {
+  double weighted = 0;
+  uint64_t nodes = 0;
+  for (const LevelPlan& l : levels) {
+    weighted += l.replication_factor * static_cast<double>(l.num_nodes);
+    nodes += l.num_nodes;
+  }
+  return nodes > 0 ? weighted / static_cast<double>(nodes) : 0.0;
+}
+
+DecompositionPlan ComputePlan(const Graph& g, const PlanOptions& options) {
+  DecompositionPlan plan;
+  Graph current = g;
+  for (;;) {
+    LevelPlan level;
+    level.num_nodes = current.num_nodes();
+    CutResult cut = Cut(current, options.max_block_size);
+    level.feasible = cut.feasible.size();
+    level.hubs = cut.hubs.size();
+
+    if (cut.feasible.empty() && current.num_nodes() > 0) {
+      plan.hits_fallback = true;
+      plan.levels.push_back(level);
+      break;
+    }
+
+    BlocksOptions blocks_options;
+    blocks_options.max_block_size = options.max_block_size;
+    blocks_options.min_adjacency = options.min_adjacency;
+    blocks_options.seed_policy = options.seed_policy;
+    std::vector<Block> blocks =
+        BuildBlocks(current, cut.feasible, blocks_options);
+    level.blocks = blocks.size();
+    uint64_t total_nodes = 0;
+    for (const Block& block : blocks) {
+      const uint64_t size = block.num_nodes();
+      total_nodes += size;
+      level.total_block_bytes += block.EstimatedBytes();
+      level.min_block_nodes = level.min_block_nodes == 0
+                                  ? size
+                                  : std::min(level.min_block_nodes, size);
+      level.max_block_nodes = std::max(level.max_block_nodes, size);
+    }
+    if (!blocks.empty()) {
+      level.avg_block_nodes =
+          static_cast<double>(total_nodes) / static_cast<double>(blocks.size());
+    }
+    if (level.num_nodes > 0) {
+      level.replication_factor = static_cast<double>(total_nodes) /
+                                 static_cast<double>(level.num_nodes);
+    }
+    plan.levels.push_back(level);
+
+    if (cut.hubs.empty()) break;
+    current = Induce(current, cut.hubs).graph;
+  }
+  return plan;
+}
+
+}  // namespace mce::decomp

@@ -1,0 +1,56 @@
+// Decomposition introspection: run both levels WITHOUT analyzing blocks
+// and expose the structural quantities that drive the cost trade-offs of
+// Section 6 — block counts and sizes, and the node replication factor
+// (border/visited copies shipped to several blocks), which is the overhead
+// the paper credits for the efficiency falloff at very small m/d
+// ("an increasing overlap among the neighborhood of each block").
+
+#ifndef MCE_DECOMP_PLAN_H_
+#define MCE_DECOMP_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/blocks.h"
+#include "graph/graph.h"
+
+namespace mce::decomp {
+
+struct LevelPlan {
+  uint64_t num_nodes = 0;
+  uint64_t feasible = 0;
+  uint64_t hubs = 0;
+  uint64_t blocks = 0;
+  uint64_t min_block_nodes = 0;
+  uint64_t max_block_nodes = 0;
+  double avg_block_nodes = 0;
+  /// Sum over blocks of their node counts, divided by the level's node
+  /// count: 1.0 means a perfect partition; larger values quantify the
+  /// border/visited duplication shipped across blocks.
+  double replication_factor = 0;
+  /// Total bytes the level's blocks would ship to workers.
+  uint64_t total_block_bytes = 0;
+};
+
+struct DecompositionPlan {
+  std::vector<LevelPlan> levels;
+  bool hits_fallback = false;  // sparsity precondition violated
+
+  uint64_t TotalBlocks() const;
+  /// Replication factor across all levels (weighted by level node count).
+  double OverallReplication() const;
+};
+
+struct PlanOptions {
+  uint32_t max_block_size = 1000;
+  uint32_t min_adjacency = 1;
+  SeedPolicy seed_policy = SeedPolicy::kLowestDegree;
+};
+
+/// Computes the full multi-level decomposition structure of `g` without
+/// enumerating any cliques.
+DecompositionPlan ComputePlan(const Graph& g, const PlanOptions& options);
+
+}  // namespace mce::decomp
+
+#endif  // MCE_DECOMP_PLAN_H_

@@ -1,0 +1,83 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mce::dist {
+
+double SimulationResult::Skew() const {
+  if (workers.empty()) return 1.0;
+  double max_load = 0;
+  double total = 0;
+  for (const WorkerTimeline& w : workers) {
+    max_load = std::max(max_load, w.TotalSeconds());
+    total += w.TotalSeconds();
+  }
+  double mean = total / static_cast<double>(workers.size());
+  return mean > 0 ? max_load / mean : 1.0;
+}
+
+double SimulationResult::Speedup() const {
+  return makespan_seconds > 0 ? total_compute_seconds / makespan_seconds : 1.0;
+}
+
+double SimulationResult::ComputeSpeedup() const {
+  double max_compute = 0;
+  for (const WorkerTimeline& w : workers) {
+    max_compute = std::max(max_compute, w.compute_seconds);
+  }
+  return max_compute > 0 ? total_compute_seconds / max_compute : 1.0;
+}
+
+SimulationResult SimulateCluster(const std::vector<Task>& tasks,
+                                 const ClusterConfig& config) {
+  MCE_CHECK_GE(config.num_workers, 1);
+  if (!config.worker_slowdown.empty()) {
+    MCE_CHECK_EQ(config.worker_slowdown.size(),
+                 static_cast<size_t>(config.num_workers));
+    for (double s : config.worker_slowdown) MCE_CHECK_GT(s, 0.0);
+  }
+  std::vector<double> estimates;
+  estimates.reserve(tasks.size());
+  for (const Task& t : tasks) estimates.push_back(t.estimated_cost);
+
+  SimulationResult result;
+  result.assignment =
+      AssignTasks(estimates, config.num_workers, config.strategy, config.seed);
+  result.workers.assign(config.num_workers, WorkerTimeline{});
+
+  // Blocks stream to each worker over one connection: the per-message
+  // latency is paid once per busy worker, bytes are paid per task.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    const int worker = result.assignment[i];
+    WorkerTimeline& w = result.workers[worker];
+    const double slowdown = config.worker_slowdown.empty()
+                                ? 1.0
+                                : config.worker_slowdown[worker];
+    const double compute =
+        config.cost.ComputeSeconds(t.compute_seconds) * slowdown;
+    const double comm = static_cast<double>(t.bytes) /
+                        config.cost.network_bandwidth_bytes_per_s;
+    w.compute_seconds += compute;
+    w.comm_seconds += comm;
+    w.bytes_received += t.bytes;
+    ++w.tasks;
+    result.total_compute_seconds += compute;
+    result.total_comm_seconds += comm;
+  }
+  for (WorkerTimeline& w : result.workers) {
+    if (w.tasks > 0) {
+      w.comm_seconds += config.cost.network_latency_s;
+      result.total_comm_seconds += config.cost.network_latency_s;
+    }
+  }
+  for (const WorkerTimeline& w : result.workers) {
+    result.makespan_seconds = std::max(result.makespan_seconds,
+                                       w.TotalSeconds());
+  }
+  return result;
+}
+
+}  // namespace mce::dist

@@ -1,0 +1,75 @@
+// Cluster simulation: turns a list of measured block tasks into per-worker
+// timelines under a cost model and a partitioning strategy.
+
+#ifndef MCE_DIST_CLUSTER_H_
+#define MCE_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/cost_model.h"
+#include "dist/scheduler.h"
+
+namespace mce::dist {
+
+struct ClusterConfig {
+  /// The paper's testbed has 10 machines.
+  int num_workers = 10;
+  CostModel cost;
+  PartitionStrategy strategy = PartitionStrategy::kGreedyLpt;
+  /// Seed for hash partitioning.
+  uint64_t seed = 7;
+  /// Optional per-worker speed multipliers on compute time (1.0 = the
+  /// cost model's base speed, 2.0 = half as fast — a straggler). Empty
+  /// means homogeneous; otherwise must have num_workers entries. The
+  /// paper's TORQUE testbed is time-shared, so heterogeneous load is the
+  /// realistic regime ([38]'s skew analysis).
+  std::vector<double> worker_slowdown;
+};
+
+/// One schedulable unit of work (a block analysis task).
+struct Task {
+  /// Estimated cost used by the scheduler (available before execution —
+  /// here the block's edge count).
+  double estimated_cost = 0;
+  /// Measured compute seconds (scaled by the cost model's CPU factor).
+  double compute_seconds = 0;
+  /// Bytes shipped to the worker (block serialization).
+  uint64_t bytes = 0;
+};
+
+struct WorkerTimeline {
+  double compute_seconds = 0;
+  double comm_seconds = 0;
+  uint64_t bytes_received = 0;
+  uint64_t tasks = 0;
+
+  double TotalSeconds() const { return compute_seconds + comm_seconds; }
+};
+
+struct SimulationResult {
+  std::vector<WorkerTimeline> workers;
+  std::vector<int> assignment;  // task -> worker
+  /// Wall-clock of the parallel phase: the busiest worker's total.
+  double makespan_seconds = 0;
+  /// Sum of compute over all tasks (the serial-equivalent time).
+  double total_compute_seconds = 0;
+  double total_comm_seconds = 0;
+
+  /// Load skew: busiest worker / mean worker (1.0 = perfectly balanced).
+  double Skew() const;
+  /// total compute / makespan — achieved end-to-end speedup. Can drop
+  /// below 1 when per-task communication latency dominates tiny tasks.
+  double Speedup() const;
+  /// total compute / busiest worker's compute — parallelization quality of
+  /// the placement alone, always in [1, num_workers].
+  double ComputeSpeedup() const;
+};
+
+/// Assigns `tasks` to workers and accumulates their timelines.
+SimulationResult SimulateCluster(const std::vector<Task>& tasks,
+                                 const ClusterConfig& config);
+
+}  // namespace mce::dist
+
+#endif  // MCE_DIST_CLUSTER_H_

@@ -1,0 +1,4 @@
+#include "dist/cost_model.h"
+
+// Header-only today; this TU anchors the module in the build so future
+// non-inline additions have a home.

@@ -1,0 +1,47 @@
+// Cost model of the simulated cluster.
+//
+// The paper deploys on a 10-node cluster (8 GB RAM each, TORQUE scheduler,
+// Lustre FS over a LAN). This environment has no MPI and one core, so the
+// distributed layer is *simulated*: block tasks really execute (serially)
+// and their measured compute times are combined with an analytic
+// communication/IO model to produce per-worker timelines, makespan, skew,
+// and communication volume. See DESIGN.md ("Substitutions").
+
+#ifndef MCE_DIST_COST_MODEL_H_
+#define MCE_DIST_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace mce::dist {
+
+struct CostModel {
+  /// Fixed per-message latency (seconds) — TCP round trip on a LAN.
+  double network_latency_s = 2e-4;
+  /// Network throughput for shipping serialized blocks.
+  double network_bandwidth_bytes_per_s = 117.0 * 1024 * 1024;  // ~1 GbE
+  /// Shared-filesystem read throughput (Lustre-ish).
+  double disk_bandwidth_bytes_per_s = 400.0 * 1024 * 1024;
+  /// Multiplier applied to measured compute seconds (models slower or
+  /// faster worker CPUs relative to this machine).
+  double cpu_speed_factor = 1.0;
+
+  /// Time to ship `bytes` over the network (one message).
+  double ShipSeconds(uint64_t bytes) const {
+    return network_latency_s +
+           static_cast<double>(bytes) / network_bandwidth_bytes_per_s;
+  }
+
+  /// Time to read `bytes` from the shared filesystem.
+  double DiskSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / disk_bandwidth_bytes_per_s;
+  }
+
+  /// Worker-side duration of a task measured at `seconds` locally.
+  double ComputeSeconds(double seconds) const {
+    return seconds * cpu_speed_factor;
+  }
+};
+
+}  // namespace mce::dist
+
+#endif  // MCE_DIST_COST_MODEL_H_

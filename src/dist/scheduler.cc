@@ -1,0 +1,68 @@
+#include "dist/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace mce::dist {
+
+const char* ToString(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kGreedyLpt:
+      return "greedy-lpt";
+    case PartitionStrategy::kHash:
+      return "hash";
+    case PartitionStrategy::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::vector<int> AssignTasks(const std::vector<double>& estimated_cost,
+                             int num_workers, PartitionStrategy strategy,
+                             uint64_t seed) {
+  MCE_CHECK_GE(num_workers, 1);
+  std::vector<int> assignment(estimated_cost.size(), 0);
+  switch (strategy) {
+    case PartitionStrategy::kGreedyLpt: {
+      // Process tasks heaviest-first; each goes to the least-loaded worker.
+      std::vector<size_t> order(estimated_cost.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return estimated_cost[a] > estimated_cost[b];
+      });
+      // Min-heap of (load, worker).
+      using Entry = std::pair<double, int>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+      for (int w = 0; w < num_workers; ++w) heap.emplace(0.0, w);
+      for (size_t task : order) {
+        auto [load, w] = heap.top();
+        heap.pop();
+        assignment[task] = w;
+        heap.emplace(load + estimated_cost[task], w);
+      }
+      break;
+    }
+    case PartitionStrategy::kHash: {
+      uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+      for (size_t i = 0; i < estimated_cost.size(); ++i) {
+        uint64_t mix = state + i;
+        assignment[i] = static_cast<int>(SplitMix64(&mix) %
+                                         static_cast<uint64_t>(num_workers));
+      }
+      break;
+    }
+    case PartitionStrategy::kRoundRobin: {
+      for (size_t i = 0; i < estimated_cost.size(); ++i) {
+        assignment[i] = static_cast<int>(i % num_workers);
+      }
+      break;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace mce::dist

@@ -1,0 +1,37 @@
+// Task-to-worker assignment strategies.
+//
+// The paper (Section 7) points out that the random/hash partitioning used
+// by general graph systems is the worst choice for scale-free networks;
+// its own decomposition produces dense chunks of heterogeneous size that a
+// load-aware scheduler can balance. Both strategies are provided so the
+// ablation bench can compare them.
+
+#ifndef MCE_DIST_SCHEDULER_H_
+#define MCE_DIST_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mce::dist {
+
+enum class PartitionStrategy : uint8_t {
+  /// Greedy longest-processing-time: next-heaviest task to the currently
+  /// least-loaded worker.
+  kGreedyLpt = 0,
+  /// Hash of the task index — the Pregel/PowerGraph-style baseline.
+  kHash = 1,
+  /// Round robin in task order.
+  kRoundRobin = 2,
+};
+
+const char* ToString(PartitionStrategy s);
+
+/// Returns assignment[i] = worker of task i (0-based), given each task's
+/// estimated cost. `num_workers` must be >= 1.
+std::vector<int> AssignTasks(const std::vector<double>& estimated_cost,
+                             int num_workers, PartitionStrategy strategy,
+                             uint64_t seed = 0);
+
+}  // namespace mce::dist
+
+#endif  // MCE_DIST_SCHEDULER_H_

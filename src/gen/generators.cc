@@ -1,0 +1,184 @@
+#include "gen/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace mce::gen {
+
+namespace {
+
+// Packs an edge into a single 64-bit key for dedup sets.
+inline uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyiGnp(NodeId n, double p, Rng* rng) {
+  MCE_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder builder(n);
+  if (n < 2 || p == 0.0) return builder.Build();
+  if (p >= 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    }
+    return builder.Build();
+  }
+  // Walk the linearized strict upper triangle with geometric jumps: the gap
+  // to the next present edge is Geometric(p).
+  const double log_q = std::log1p(-p);
+  uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t idx = 0;
+  for (;;) {
+    double r = rng->NextDouble();
+    // Skip length in [1, inf): floor(log(1-r)/log(1-p)) + 1.
+    uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log1p(-r) / log_q)) + 1;
+    if (skip > total - idx) break;
+    idx += skip;
+    // Translate linear index (1-based within the triangle) to (u, v).
+    uint64_t e = idx - 1;
+    // Row u contains (n - 1 - u) cells; find u by walking rows. To stay
+    // O(1), invert the triangular index analytically.
+    double nn = static_cast<double>(n);
+    double disc = (2.0 * nn - 1.0) * (2.0 * nn - 1.0) -
+                  8.0 * static_cast<double>(e);
+    NodeId u = static_cast<NodeId>(
+        std::floor(((2.0 * nn - 1.0) - std::sqrt(disc)) / 2.0));
+    // Guard against floating point rounding at row boundaries.
+    auto row_start = [n](NodeId row) {
+      return static_cast<uint64_t>(row) * n - static_cast<uint64_t>(row) * (row + 1) / 2;
+    };
+    while (u > 0 && row_start(u) > e) --u;
+    while (row_start(u + 1) <= e) ++u;
+    NodeId v = static_cast<NodeId>(u + 1 + (e - row_start(u)));
+    builder.AddEdge(u, v);
+    if (idx == total) break;
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnm(NodeId n, uint64_t m, Rng* rng) {
+  uint64_t total = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  MCE_CHECK_LE(m, total);
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (chosen.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(NodeId n, uint32_t attach, Rng* rng) {
+  MCE_CHECK_GE(attach, 1u);
+  MCE_CHECK_LT(attach, n);
+  GraphBuilder builder(n);
+  // Seed: a clique on the first attach+1 nodes, so every early node has
+  // degree >= attach and the repeated-endpoints list is never empty.
+  const NodeId seed_size = attach + 1;
+  std::vector<NodeId> endpoints;  // each node appears deg(v) times
+  endpoints.reserve(2 * static_cast<size_t>(attach) * n);
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::unordered_set<uint64_t> edge_set;
+  std::vector<NodeId> targets;
+  for (NodeId v = seed_size; v < n; ++v) {
+    targets.clear();
+    edge_set.clear();
+    // Sample `attach` distinct targets proportionally to degree by drawing
+    // from the endpoints multiset.
+    while (targets.size() < attach) {
+      NodeId t = endpoints[rng->NextBounded(endpoints.size())];
+      if (edge_set.insert(EdgeKey(v, t)).second) targets.push_back(t);
+    }
+    for (NodeId t : targets) {
+      builder.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph PowerLawConfigurationModel(NodeId n, double gamma, uint32_t min_degree,
+                                 uint32_t max_degree, Rng* rng) {
+  MCE_CHECK(gamma > 1.0);
+  MCE_CHECK_GE(min_degree, 1u);
+  MCE_CHECK_LE(min_degree, max_degree);
+  MCE_CHECK_LT(max_degree, n);
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+
+  // Draw degrees by inverse-transform sampling of the bounded Pareto
+  // distribution P(d) ~ d^-gamma on [min_degree, max_degree].
+  const double a = std::pow(static_cast<double>(min_degree), 1.0 - gamma);
+  const double b = std::pow(static_cast<double>(max_degree) + 1.0,
+                            1.0 - gamma);
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const double u = rng->NextDouble();
+    const double d =
+        std::pow(a + u * (b - a), 1.0 / (1.0 - gamma));
+    uint32_t degree = static_cast<uint32_t>(d);
+    degree = std::max(min_degree, std::min(max_degree, degree));
+    for (uint32_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  // Even stub count: drop one stub if odd.
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  rng->Shuffle(&stubs);
+  // Pair consecutive stubs; the builder drops self-loops and duplicates.
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    builder.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, Rng* rng) {
+  MCE_CHECK_LT(k, n);
+  MCE_CHECK(beta >= 0.0 && beta <= 1.0);
+  GraphBuilder builder(n);
+  if (n == 0 || k == 0) return builder.Build();
+  const uint32_t half = k / 2;
+  std::unordered_set<uint64_t> edge_set;
+  // Ring lattice: node i connects to i+1 .. i+half (mod n).
+  std::vector<std::pair<NodeId, NodeId>> lattice;
+  for (NodeId i = 0; i < n; ++i) {
+    for (uint32_t j = 1; j <= half; ++j) {
+      NodeId t = static_cast<NodeId>((i + j) % n);
+      if (edge_set.insert(EdgeKey(i, t)).second) lattice.emplace_back(i, t);
+    }
+  }
+  // Rewire: with probability beta, replace {i, t} by {i, random}.
+  for (auto& [u, v] : lattice) {
+    if (!rng->NextBool(beta)) continue;
+    // Try a few times to find a fresh endpoint; on failure keep the edge.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+      if (w == u || w == v) continue;
+      if (edge_set.count(EdgeKey(u, w))) continue;
+      edge_set.erase(EdgeKey(u, v));
+      edge_set.insert(EdgeKey(u, w));
+      v = w;
+      break;
+    }
+  }
+  for (const auto& [u, v] : lattice) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace mce::gen

@@ -1,0 +1,49 @@
+// Classic random-graph generators.
+//
+// Section 4 trains the algorithm-selection decision tree on a collection of
+// synthetic graphs "generated according to the models of Erdos-Renyi,
+// Barabasi-Albert and Watts-Strogatz"; these are those three models. All
+// generators are deterministic given the Rng seed.
+
+#ifndef MCE_GEN_GENERATORS_H_
+#define MCE_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace mce::gen {
+
+/// G(n, p): each of the n(n-1)/2 possible edges exists independently with
+/// probability p. Uses geometric skipping, so the cost is O(n + m) even for
+/// tiny p.
+Graph ErdosRenyiGnp(NodeId n, double p, Rng* rng);
+
+/// G(n, m): exactly m distinct edges sampled uniformly. Requires
+/// m <= n(n-1)/2.
+Graph ErdosRenyiGnm(NodeId n, uint64_t m, Rng* rng);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `attach` existing nodes chosen proportionally
+/// to their degree. Produces the power-law degree distribution that makes
+/// social networks scale-free (Section 1). Requires 1 <= attach < n.
+Graph BarabasiAlbert(NodeId n, uint32_t attach, Rng* rng);
+
+/// Watts-Strogatz small world: ring lattice where each node connects to its
+/// k nearest neighbors (k even), then each edge is rewired with probability
+/// beta. Requires k < n.
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, Rng* rng);
+
+/// Configuration model over a power-law degree sequence: degrees drawn
+/// from P(d) ~ d^-gamma on [min_degree, max_degree], stubs matched
+/// uniformly, self-loops and multi-edges dropped. Unlike Barabasi-Albert
+/// there is no minimum-degree floor of `attach`, so the bulk of the nodes
+/// sits at min_degree — the shape of the paper's Figure 6 (91% of nodes
+/// with degree <= 20). Requires gamma > 1 and min_degree >= 1.
+Graph PowerLawConfigurationModel(NodeId n, double gamma, uint32_t min_degree,
+                                 uint32_t max_degree, Rng* rng);
+
+}  // namespace mce::gen
+
+#endif  // MCE_GEN_GENERATORS_H_

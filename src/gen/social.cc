@@ -1,0 +1,272 @@
+#include "gen/social.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/builder.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace mce::gen {
+
+namespace {
+
+/// Adds `count` super-hub nodes: existing high-degree nodes each wired to a
+/// uniform sample of `reach` * n nodes.
+Graph BoostSuperHubs(const Graph& g, uint32_t count, double reach, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  if (count == 0 || n == 0 || reach <= 0.0) return g;
+  // Pick the current top-degree nodes as the celebrities.
+  std::vector<NodeId> by_degree(n);
+  for (NodeId v = 0; v < n; ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&g](NodeId a, NodeId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  count = std::min<uint32_t>(count, n);
+  const uint64_t followers =
+      std::min<uint64_t>(n, static_cast<uint64_t>(std::ceil(reach * n)));
+
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  for (uint32_t h = 0; h < count; ++h) {
+    const NodeId hub = by_degree[h];
+    for (uint64_t i : rng->SampleWithoutReplacement(n, followers)) {
+      if (static_cast<NodeId>(i) != hub) {
+        builder.AddEdge(hub, static_cast<NodeId>(i));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+/// Scales a planted-clique count with the dataset scale (at least 1) so
+/// the planted structure stays a fixed *fraction* of the network at every
+/// scale, instead of swamping small instances.
+uint32_t Scaled(uint32_t base, double scale) {
+  return std::max<uint32_t>(1, static_cast<uint32_t>(base * scale));
+}
+
+}  // namespace
+
+namespace {
+
+/// Plants `config.hub_cliques` cliques among high-degree nodes and boosts
+/// every member's degree toward a per-clique fraction of the maximum
+/// degree, so that a sweep of m/d reclassifies whole cliques as hub-only
+/// at different thresholds (see SocialNetworkConfig::hub_boost_frac_*).
+Graph PlantBoostedHubCliques(const Graph& g,
+                             const SocialNetworkConfig& config, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  const uint32_t count = config.hub_cliques;
+  if (count == 0 || n == 0) return g;
+  const uint32_t max_degree = g.MaxDegree();
+
+  // Candidate pool: top-degree decile (at least enough for one clique).
+  std::vector<NodeId> pool(n);
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+  std::sort(pool.begin(), pool.end(), [&g](NodeId a, NodeId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  size_t keep = std::max<size_t>(n / 10, config.hub_clique_size_hi * 4);
+  pool.resize(std::min<size_t>(keep, n));
+
+  // Exact degree/edge tracking: the top hub clique must provably clear
+  // 0.9 * (final max degree), so approximate accounting is not enough.
+  std::vector<std::unordered_set<NodeId>> adjacency(n);
+  std::vector<uint32_t> degree(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = g.Neighbors(v);
+    adjacency[v].insert(nbrs.begin(), nbrs.end());
+    degree[v] = g.Degree(v);
+  }
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    if (!adjacency[u].insert(v).second) return false;
+    adjacency[v].insert(u);
+    ++degree[u];
+    ++degree[v];
+    return true;
+  };
+
+  for (uint32_t c = 0; c < count; ++c) {
+    // Quadratic spread: most cliques near frac_lo, a few near frac_hi.
+    // The last clique ("top" clique) targets the running maximum exactly
+    // and without jitter, so it stays a hub clique even at m/d = 0.9.
+    const bool top_clique = (c + 1 == count);
+    const double t = count > 1 ? static_cast<double>(c) / (count - 1) : 1.0;
+    const double frac = config.hub_boost_frac_lo +
+                        (config.hub_boost_frac_hi -
+                         config.hub_boost_frac_lo) * t * t;
+    uint32_t size = static_cast<uint32_t>(rng->NextInt(
+        config.hub_clique_size_lo, config.hub_clique_size_hi));
+    // The top clique takes the maximum planted size: with few members a
+    // very-high-degree clique has an order-one chance of being extendable
+    // by some ordinary node (its members reach much of the graph), which
+    // would reclassify it as feasible-side.
+    if (top_clique) size = config.hub_clique_size_hi;
+    size = std::min<uint32_t>(size, static_cast<uint32_t>(pool.size()));
+    std::vector<NodeId> members;
+    for (uint64_t i : rng->SampleWithoutReplacement(pool.size(), size)) {
+      members.push_back(pool[i]);
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        add_edge(members[i], members[j]);
+      }
+    }
+    const uint32_t running_max =
+        *std::max_element(degree.begin(), degree.end());
+    for (NodeId v : members) {
+      const double jitter =
+          top_clique ? 1.0 : 0.95 + 0.1 * rng->NextDouble();
+      const uint32_t target = static_cast<uint32_t>(
+          std::min(1.0, frac * jitter) *
+          std::max(running_max, max_degree));
+      while (degree[v] < target) {
+        NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+        add_edge(v, w);
+      }
+    }
+    if (top_clique) {
+      // Top-off pass: cross-boost spillover may have nudged the global
+      // maximum; lift every member to it so the whole clique clears any
+      // m/d threshold up to 1.0.
+      const uint32_t final_max =
+          *std::max_element(degree.begin(), degree.end());
+      for (NodeId v : members) {
+        while (degree[v] < final_max) {
+          NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+          add_edge(v, w);
+        }
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : adjacency[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Graph GenerateSocialNetwork(const SocialNetworkConfig& config) {
+  MCE_CHECK_GE(config.num_nodes, config.attach + 1);
+  Rng rng(config.seed);
+  Graph g = BarabasiAlbert(config.num_nodes, config.attach, &rng);
+  g = BoostSuperHubs(g, config.super_hubs, config.super_hub_reach, &rng);
+  g = OverlayRandomCliques(g, config.community_cliques,
+                           config.community_size_lo, config.community_size_hi,
+                           /*bias_high_degree=*/false, &rng);
+  g = PlantBoostedHubCliques(g, config, &rng);
+  return g;
+}
+
+// The five recipes keep Table 3's relative ordering: twitter1 smallest and
+// sparsest; twitter2/3 progressively larger and denser; facebook with an
+// extreme hub (its real max degree, 2.6M, is over half the network);
+// google+ in between. Max planted clique sizes track Figures 9-10
+// (27/31/33/21/18).
+
+SocialNetworkConfig Twitter1Config(double scale) {
+  SocialNetworkConfig c;
+  c.name = "twitter1";
+  c.num_nodes = static_cast<NodeId>(12000 * scale);
+  c.attach = 4;
+  c.super_hubs = 2;
+  c.super_hub_reach = 0.04;
+  c.community_cliques = Scaled(150, scale);
+  c.community_size_lo = 4;
+  c.community_size_hi = 27;
+  c.hub_cliques = Scaled(50, scale);
+  c.hub_clique_size_lo = 8;
+  c.hub_clique_size_hi = 24;
+  c.seed = 101;
+  return c;
+}
+
+SocialNetworkConfig Twitter2Config(double scale) {
+  SocialNetworkConfig c;
+  c.name = "twitter2";
+  c.num_nodes = static_cast<NodeId>(20000 * scale);
+  c.attach = 8;
+  c.super_hubs = 3;
+  c.super_hub_reach = 0.06;
+  c.community_cliques = Scaled(220, scale);
+  c.community_size_lo = 4;
+  c.community_size_hi = 31;
+  c.hub_cliques = Scaled(70, scale);
+  c.hub_clique_size_lo = 8;
+  c.hub_clique_size_hi = 28;
+  c.seed = 102;
+  return c;
+}
+
+SocialNetworkConfig Twitter3Config(double scale) {
+  SocialNetworkConfig c;
+  c.name = "twitter3";
+  c.num_nodes = static_cast<NodeId>(30000 * scale);
+  c.attach = 10;
+  c.super_hubs = 4;
+  c.super_hub_reach = 0.07;
+  c.community_cliques = Scaled(300, scale);
+  c.community_size_lo = 4;
+  c.community_size_hi = 33;
+  c.hub_cliques = Scaled(90, scale);
+  c.hub_clique_size_lo = 10;
+  c.hub_clique_size_hi = 30;
+  c.seed = 103;
+  return c;
+}
+
+SocialNetworkConfig FacebookConfig(double scale) {
+  SocialNetworkConfig c;
+  c.name = "facebook";
+  c.num_nodes = static_cast<NodeId>(16000 * scale);
+  c.attach = 8;
+  // Table 3: facebook's max degree (2.62M) exceeds half its 4.6M nodes.
+  c.super_hubs = 2;
+  c.super_hub_reach = 0.3;
+  c.community_cliques = Scaled(200, scale);
+  c.community_size_lo = 4;
+  c.community_size_hi = 21;
+  c.hub_cliques = Scaled(60, scale);
+  c.hub_clique_size_lo = 6;
+  c.hub_clique_size_hi = 19;
+  c.seed = 104;
+  return c;
+}
+
+SocialNetworkConfig GooglePlusConfig(double scale) {
+  SocialNetworkConfig c;
+  c.name = "google+";
+  c.num_nodes = static_cast<NodeId>(18000 * scale);
+  c.attach = 6;
+  c.super_hubs = 3;
+  c.super_hub_reach = 0.12;
+  c.community_cliques = Scaled(180, scale);
+  c.community_size_lo = 4;
+  c.community_size_hi = 18;
+  c.hub_cliques = Scaled(55, scale);
+  c.hub_clique_size_lo = 6;
+  c.hub_clique_size_hi = 16;
+  c.seed = 105;
+  return c;
+}
+
+std::vector<SocialNetworkConfig> AllDatasetConfigs(double scale) {
+  return {Twitter1Config(scale), Twitter2Config(scale), Twitter3Config(scale),
+          FacebookConfig(scale), GooglePlusConfig(scale)};
+}
+
+}  // namespace mce::gen

@@ -1,0 +1,113 @@
+#include "gen/special.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace mce::gen {
+
+Graph Complete(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph MoonMoser(uint32_t parts) {
+  const NodeId n = parts * 3;
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (u / 3 != v / 3) builder.AddEdge(u, v);  // different parts
+    }
+  }
+  return builder.Build();
+}
+
+Graph HnWorstCase(NodeId n, uint32_t m) {
+  MCE_CHECK_GE(n, 1u);
+  MCE_CHECK_GE(m, 1u);
+  GraphBuilder builder(n);
+  std::vector<uint32_t> degree(n, 0);
+  auto connect = [&](NodeId u, NodeId v) {
+    builder.AddEdge(u, v);
+    ++degree[u];
+    ++degree[v];
+  };
+  for (NodeId j = 1; j < n; ++j) {
+    if (j <= m) {
+      // v_{j+1} in paper terms: connect to all previous (complete prefix).
+      for (NodeId i = 0; i < j; ++i) connect(j, i);
+    } else {
+      // Connect to the m previous nodes of lowest current degree, ties
+      // broken toward the most recent node (matches the paper's figure,
+      // where new nodes chain onto the tail).
+      std::vector<NodeId> prev(j);
+      std::iota(prev.begin(), prev.end(), 0);
+      std::sort(prev.begin(), prev.end(), [&degree](NodeId a, NodeId b) {
+        if (degree[a] != degree[b]) return degree[a] < degree[b];
+        return a > b;
+      });
+      for (uint32_t t = 0; t < m; ++t) connect(j, prev[t]);
+    }
+  }
+  return builder.Build();
+}
+
+Graph OverlayCliques(const Graph& g,
+                     const std::vector<std::vector<NodeId>>& members) {
+  GraphBuilder builder(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  for (const auto& clique : members) {
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        builder.AddEdge(clique[i], clique[j]);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph OverlayRandomCliques(const Graph& g, uint32_t count, uint32_t size_lo,
+                           uint32_t size_hi, bool bias_high_degree, Rng* rng) {
+  MCE_CHECK_LE(size_lo, size_hi);
+  const NodeId n = g.num_nodes();
+  if (n == 0 || count == 0) return g;
+
+  // Candidate pool: all nodes, or the top-degree tenth (at least size_hi
+  // nodes so a clique always fits).
+  std::vector<NodeId> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  if (bias_high_degree) {
+    std::sort(pool.begin(), pool.end(), [&g](NodeId a, NodeId b) {
+      return g.Degree(a) > g.Degree(b);
+    });
+    size_t keep = std::max<size_t>(n / 10, std::min<size_t>(n, size_hi * 4));
+    keep = std::min<size_t>(keep, n);
+    pool.resize(keep);
+  }
+
+  std::vector<std::vector<NodeId>> cliques;
+  cliques.reserve(count);
+  for (uint32_t c = 0; c < count; ++c) {
+    uint32_t size = static_cast<uint32_t>(
+        rng->NextInt(size_lo, size_hi));
+    size = std::min<uint32_t>(size, static_cast<uint32_t>(pool.size()));
+    std::vector<uint64_t> idx =
+        rng->SampleWithoutReplacement(pool.size(), size);
+    std::vector<NodeId> members;
+    members.reserve(size);
+    for (uint64_t i : idx) members.push_back(pool[i]);
+    cliques.push_back(std::move(members));
+  }
+  return OverlayCliques(g, cliques);
+}
+
+}  // namespace mce::gen

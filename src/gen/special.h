@@ -1,0 +1,45 @@
+// Structured graph families used by the theory and the tests.
+
+#ifndef MCE_GEN_SPECIAL_H_
+#define MCE_GEN_SPECIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace mce::gen {
+
+/// K_n, the complete graph on n nodes (one maximal clique).
+Graph Complete(NodeId n);
+
+/// Complete multipartite graph with `parts` parts of 3 nodes each: the
+/// Moon-Moser family, which has 3^parts maximal cliques — the worst case
+/// for MCE output size. Keep `parts` small.
+Graph MoonMoser(uint32_t parts);
+
+/// The H_n family from the proof of Theorem 1, Statement 2: degeneracy
+/// < m + 1 yet the first-level decomposition needs Omega(n) recursive
+/// rounds. Construction: nodes v_1..v_n; v_j for j <= m+1 connects to all
+/// previous nodes (so H_{m+1} is complete); v_j for j > m+1 connects to the
+/// m previous nodes of lowest current degree (which are the most recent
+/// ones). Requires n >= 1, m >= 1.
+Graph HnWorstCase(NodeId n, uint32_t m);
+
+/// Returns a copy of `g` with a clique planted on each node set in
+/// `members` (missing edges added).
+Graph OverlayCliques(const Graph& g,
+                     const std::vector<std::vector<NodeId>>& members);
+
+/// Samples `count` node subsets with sizes uniform in [size_lo, size_hi]
+/// from the id range [0, g.num_nodes()) and plants cliques on them.
+/// When `bias_high_degree` is true, members are drawn from the highest-
+/// degree tenth of the nodes (used to create hub-only cliques in the
+/// social stand-ins). Returns the augmented graph.
+Graph OverlayRandomCliques(const Graph& g, uint32_t count, uint32_t size_lo,
+                           uint32_t size_hi, bool bias_high_degree, Rng* rng);
+
+}  // namespace mce::gen
+
+#endif  // MCE_GEN_SPECIAL_H_

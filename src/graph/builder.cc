@@ -1,0 +1,51 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace mce {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  ReserveNodes(v + 1);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::HasEdgeSlow(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  auto key = std::make_pair(u, v);
+  return std::find(edges_.begin(), edges_.end(), key) != edges_.end();
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const NodeId n = num_nodes_;
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (NodeId i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<NodeId> adjacency(edges_.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  // Edges were sorted by (u, v), so each u's row is already sorted; rows for
+  // v (the larger endpoint) received entries in sorted-u order too, but a
+  // node's row mixes both roles, so sort each row to be safe.
+  for (NodeId i = 0; i < n; ++i) {
+    std::sort(adjacency.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              adjacency.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+  }
+
+  edges_.clear();
+  num_nodes_ = 0;
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace mce

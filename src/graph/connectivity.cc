@@ -1,0 +1,52 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+namespace mce {
+
+std::vector<NodeId> ComponentLabels::Members(uint32_t c) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < label.size(); ++v) {
+    if (label[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  ComponentLabels out;
+  out.label.assign(g.num_nodes(), static_cast<uint32_t>(-1));
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (out.label[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t component = out.count++;
+    out.label[start] = component;
+    queue.clear();
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId v = queue.back();
+      queue.pop_back();
+      for (NodeId u : g.Neighbors(v)) {
+        if (out.label[u] == static_cast<uint32_t>(-1)) {
+          out.label[u] = component;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+uint64_t LargestComponentSize(const Graph& g) {
+  ComponentLabels components = ConnectedComponents(g);
+  if (components.count == 0) return 0;
+  std::vector<uint64_t> sizes(components.count, 0);
+  for (uint32_t l : components.label) ++sizes[l];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace mce

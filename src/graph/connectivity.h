@@ -1,0 +1,35 @@
+// Connected components and reachability helpers.
+
+#ifndef MCE_GRAPH_CONNECTIVITY_H_
+#define MCE_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mce {
+
+/// Per-node component labels, numbered 0..count-1 in order of smallest
+/// member id.
+struct ComponentLabels {
+  std::vector<uint32_t> label;  // label[v] = component of v
+  uint32_t count = 0;
+
+  /// Members of component `c`, ascending.
+  std::vector<NodeId> Members(uint32_t c) const;
+};
+
+/// BFS-based connected components, O(n + m).
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// True iff the whole graph is one component (the empty graph is
+/// considered connected).
+bool IsConnected(const Graph& g);
+
+/// Size of the largest component (0 for the empty graph).
+uint64_t LargestComponentSize(const Graph& g);
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_CONNECTIVITY_H_

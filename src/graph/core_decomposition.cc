@@ -1,0 +1,96 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+namespace mce {
+
+CoreDecomposition ComputeCoreDecomposition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.resize(n);
+  out.position.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket sort nodes by degree (Batagelj–Zaversnik).
+  const uint32_t max_degree = g.MaxDegree();
+  std::vector<uint32_t> degree(n);
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    ++bucket_start[degree[v] + 1];
+  }
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    bucket_start[d + 1] += bucket_start[d];
+  }
+  // vert[i] lists nodes sorted by current degree; pos[v] is v's slot.
+  std::vector<NodeId>& vert = out.order;
+  std::vector<uint32_t>& pos = out.position;
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+  // bin[d] = index of the first node with current degree d.
+  std::vector<uint32_t> bin(bucket_start.begin(), bucket_start.end() - 1);
+
+  uint32_t degeneracy = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const NodeId v = vert[i];
+    degeneracy = std::max(degeneracy, degree[v]);
+    out.core[v] = degeneracy;
+    for (NodeId u : g.Neighbors(v)) {
+      if (degree[u] <= degree[v]) continue;
+      // Move u into the next-lower bucket: swap it with the first node of
+      // its current bucket, then shrink the bucket from the left.
+      const uint32_t du = degree[u];
+      const uint32_t pu = pos[u];
+      const uint32_t pw = bin[du];
+      const NodeId w = vert[pw];
+      if (u != w) {
+        pos[u] = pw;
+        vert[pw] = u;
+        pos[w] = pu;
+        vert[pu] = w;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  out.degeneracy = degeneracy;
+  return out;
+}
+
+uint32_t Degeneracy(const Graph& g) {
+  return ComputeCoreDecomposition(g).degeneracy;
+}
+
+std::vector<NodeId> KCoreNodes(const Graph& g, uint32_t k) {
+  CoreDecomposition d = ComputeCoreDecomposition(g);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (d.core[v] >= k) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+uint32_t DStar(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  // counts[d] = number of nodes with degree exactly d (degree capped at n).
+  std::vector<uint32_t> counts(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++counts[std::min<uint32_t>(g.Degree(v), n)];
+  }
+  // Walk d downward, accumulating |{v : deg(v) >= d}| until it reaches d.
+  uint64_t at_least = 0;
+  for (uint32_t d = n; d > 0; --d) {
+    at_least += counts[d];
+    if (at_least >= d) return d;
+  }
+  return 0;
+}
+
+}  // namespace mce

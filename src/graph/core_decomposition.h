@@ -1,0 +1,49 @@
+// k-core decomposition, degeneracy, degeneracy ordering, and the d*
+// parameter.
+//
+// Degeneracy ("coreness" in the paper, Section 5) is the sparsity measure
+// the whole approach leans on: Theorem 1 guarantees the first-level
+// decomposition terminates when the degeneracy d is below the block bound,
+// and the Eppstein MCE variant iterates vertices in degeneracy order.
+// The implementation is the Batagelj–Zaversnik bucket algorithm, O(n + m).
+
+#ifndef MCE_GRAPH_CORE_DECOMPOSITION_H_
+#define MCE_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mce {
+
+/// Result of the O(n + m) core decomposition.
+struct CoreDecomposition {
+  /// core[v] = largest k such that v belongs to the k-core.
+  std::vector<uint32_t> core;
+  /// Nodes in degeneracy order: each node has at most `degeneracy` neighbors
+  /// later in the order.
+  std::vector<NodeId> order;
+  /// position[v] = index of v within `order`.
+  std::vector<uint32_t> position;
+  /// The graph's degeneracy: max over v of core[v] (0 for empty graphs).
+  uint32_t degeneracy = 0;
+};
+
+CoreDecomposition ComputeCoreDecomposition(const Graph& g);
+
+/// Degeneracy only (same cost as the full decomposition).
+uint32_t Degeneracy(const Graph& g);
+
+/// Nodes of the k-core of `g` (possibly empty), i.e., the maximal induced
+/// subgraph with minimum degree >= k, as sorted parent ids.
+std::vector<NodeId> KCoreNodes(const Graph& g, uint32_t k);
+
+/// The paper's d* parameter (Section 4): the maximum value d* for which the
+/// graph has at least d* nodes with degree >= d* — the h-index of the degree
+/// sequence, an O(n) estimate of the densest region's size.
+uint32_t DStar(const Graph& g);
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_CORE_DECOMPOSITION_H_

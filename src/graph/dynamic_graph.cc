@@ -1,0 +1,83 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace mce {
+
+DynamicGraph::DynamicGraph(const Graph& g) : adjacency_(g.num_nodes()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.num_edges();
+}
+
+NodeId DynamicGraph::AddNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void DynamicGraph::EnsureNodes(NodeId n) {
+  if (n > num_nodes()) adjacency_.resize(n);
+}
+
+bool DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  MCE_CHECK_LT(u, num_nodes());
+  MCE_CHECK_LT(v, num_nodes());
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  MCE_CHECK_LT(u, num_nodes());
+  MCE_CHECK_LT(v, num_nodes());
+  if (u == v) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --num_edges_;
+  return true;
+}
+
+bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
+  MCE_DCHECK_LT(u, num_nodes());
+  MCE_DCHECK_LT(v, num_nodes());
+  const auto& nu = adjacency_[u];
+  const auto& nv = adjacency_[v];
+  const auto& shorter = nu.size() <= nv.size() ? nu : nv;
+  const NodeId target = nu.size() <= nv.size() ? v : u;
+  return std::binary_search(shorter.begin(), shorter.end(), target);
+}
+
+std::vector<NodeId> DynamicGraph::CommonNeighbors(NodeId u, NodeId v) const {
+  std::vector<NodeId> out;
+  const auto& nu = adjacency_[u];
+  const auto& nv = adjacency_[v];
+  std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder builder(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mce

@@ -1,0 +1,67 @@
+// Mutable undirected simple graph with sorted adjacency vectors.
+//
+// The CSR Graph is immutable by design (the decomposition pipeline never
+// mutates its input); the incremental-MCE engine (src/incremental) needs
+// edge insertions and deletions, which this type provides in O(degree)
+// while keeping neighbor lists sorted for O(log d) membership tests.
+
+#ifndef MCE_GRAPH_DYNAMIC_GRAPH_H_
+#define MCE_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mce {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(NodeId num_nodes) : adjacency_(num_nodes) {}
+  /// Snapshot of an immutable graph.
+  explicit DynamicGraph(const Graph& g);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Appends an isolated node and returns its id.
+  NodeId AddNode();
+
+  /// Ensures ids [0, n) exist.
+  void EnsureNodes(NodeId n);
+
+  /// Inserts {u, v}; returns false (and does nothing) when the edge exists
+  /// or u == v. Node ids must exist.
+  bool AddEdge(NodeId u, NodeId v);
+
+  /// Removes {u, v}; returns false when absent.
+  bool RemoveEdge(NodeId u, NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  uint32_t Degree(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  /// Sorted neighbor list.
+  const std::vector<NodeId>& Neighbors(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return adjacency_[v];
+  }
+
+  /// Sorted common neighborhood of u and v.
+  std::vector<NodeId> CommonNeighbors(NodeId u, NodeId v) const;
+
+  /// Immutable CSR snapshot of the current state.
+  Graph ToGraph() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,28 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace mce {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  MCE_DCHECK_LT(u, num_nodes());
+  MCE_DCHECK_LT(v, num_nodes());
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+double Graph::Density() const {
+  const uint64_t n = num_nodes();
+  if (n < 2) return 0.0;
+  return (2.0 * static_cast<double>(num_edges())) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace mce

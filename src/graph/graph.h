@@ -1,0 +1,81 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) layout.
+//
+// This is the canonical graph type of the library: generators produce it,
+// the decomposition consumes it, and the MCE storage backends (matrix,
+// bitset, adjacency list) are derived views of it. Neighbor lists are sorted
+// and duplicate-free, there are no self-loops, and each undirected edge is
+// stored in both endpoints' lists.
+
+#ifndef MCE_GRAPH_GRAPH_H_
+#define MCE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mce {
+
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class GraphBuilder;
+
+/// Immutable CSR graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  /// An empty graph with zero nodes.
+  Graph() : offsets_(1, 0) {}
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (each edge counted once).
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  uint32_t Degree(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted, duplicate-free neighbor list of `v`.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge test by binary search over the smaller endpoint's list: O(log d).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum degree over all nodes (0 for the empty graph). O(n).
+  uint32_t MaxDegree() const;
+
+  /// Graph density: 2m / (n (n - 1)); 0 when n < 2.
+  double Density() const;
+
+  bool operator==(const Graph& other) const {
+    return offsets_ == other.offsets_ && adjacency_ == other.adjacency_;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> adjacency)
+      : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
+
+  std::vector<uint64_t> offsets_;   // size n+1
+  std::vector<NodeId> adjacency_;   // size 2m, sorted within each row
+};
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_GRAPH_H_

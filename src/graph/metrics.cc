@@ -1,0 +1,82 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+#include "graph/core_decomposition.h"
+#include "graph/ordered_adjacency.h"
+
+namespace mce {
+
+GraphMetrics ComputeMetrics(const Graph& g) {
+  GraphMetrics m;
+  m.num_nodes = g.num_nodes();
+  m.num_edges = g.num_edges();
+  m.density = g.Density();
+  m.degeneracy = Degeneracy(g);
+  m.d_star = DStar(g);
+  m.max_degree = g.MaxDegree();
+  return m;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g, int truncate_at) {
+  uint32_t cap = g.MaxDegree();
+  if (truncate_at >= 0) cap = std::min<uint32_t>(cap, truncate_at);
+  std::vector<uint64_t> histogram(cap + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t d = g.Degree(v);
+    if (d <= cap) ++histogram[d];
+  }
+  return histogram;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  // For each vertex, intersect the later-neighbor lists of its later
+  // neighbors: each triangle is counted exactly once, at its order-minimal
+  // vertex. Work per edge is bounded by the degeneracy.
+  OrderedAdjacency ordered(g);
+  uint64_t triangles = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto later = ordered.LaterNeighbors(v);
+    for (size_t i = 0; i < later.size(); ++i) {
+      auto later_u = ordered.LaterNeighbors(later[i]);
+      // Both spans are sorted by id: merge-count the intersection with
+      // the remaining later neighbors of v.
+      size_t a = 0, b = 0;
+      while (a < later.size() && b < later_u.size()) {
+        if (later[a] < later_u[b]) {
+          ++a;
+        } else if (later_u[b] < later[a]) {
+          ++b;
+        } else {
+          ++triangles;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const uint64_t d = g.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+double DegreeRangeFraction(const Graph& g, uint32_t lo, uint32_t hi) {
+  if (g.num_nodes() == 0) return 0.0;
+  uint64_t in_range = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t d = g.Degree(v);
+    if (d >= lo && d <= hi) ++in_range;
+  }
+  return static_cast<double>(in_range) / g.num_nodes();
+}
+
+}  // namespace mce

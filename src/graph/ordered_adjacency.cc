@@ -1,0 +1,34 @@
+#include "graph/ordered_adjacency.h"
+
+namespace mce {
+
+OrderedAdjacency::OrderedAdjacency(const Graph& g)
+    : cores_(ComputeCoreDecomposition(g)) {
+  const NodeId n = g.num_nodes();
+  later_offset_.assign(n + 1, 0);
+  split_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    later_offset_[v + 1] = later_offset_[v] + g.Degree(v);
+  }
+  adjacency_.resize(later_offset_.back());
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t later = later_offset_[v];
+    uint64_t earlier = later_offset_[v + 1];
+    // Two passes keep each half sorted by id (Neighbors(v) is sorted).
+    for (NodeId u : g.Neighbors(v)) {
+      if (cores_.position[u] > cores_.position[v]) {
+        adjacency_[later++] = u;
+      }
+    }
+    split_[v] = later;
+    uint64_t cursor = later;
+    for (NodeId u : g.Neighbors(v)) {
+      if (cores_.position[u] < cores_.position[v]) {
+        adjacency_[cursor++] = u;
+      }
+    }
+    MCE_CHECK_EQ(cursor, earlier);
+  }
+}
+
+}  // namespace mce

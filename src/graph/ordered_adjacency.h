@@ -1,0 +1,57 @@
+// Degeneracy-ordered adjacency — the "inverted table" structure of
+// Eppstein & Strash that the paper lists among its adjacency-list variants
+// (Section 4). Every node's neighbor list is split into the neighbors that
+// come *later* in a degeneracy ordering (at most `degeneracy` of them) and
+// those that come *earlier*; the Eppstein outer loop reads the two halves
+// directly instead of re-partitioning per vertex.
+
+#ifndef MCE_GRAPH_ORDERED_ADJACENCY_H_
+#define MCE_GRAPH_ORDERED_ADJACENCY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/core_decomposition.h"
+#include "graph/graph.h"
+
+namespace mce {
+
+class OrderedAdjacency {
+ public:
+  /// Computes the degeneracy ordering of `g` and partitions every
+  /// adjacency row. O(n + m).
+  explicit OrderedAdjacency(const Graph& g);
+
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(later_offset_.size() - 1);
+  }
+
+  const CoreDecomposition& cores() const { return cores_; }
+
+  /// Neighbors of v that appear after v in the degeneracy order, sorted by
+  /// id. Size is bounded by the graph's degeneracy.
+  std::span<const NodeId> LaterNeighbors(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return {adjacency_.data() + later_offset_[v],
+            adjacency_.data() + split_[v]};
+  }
+
+  /// Neighbors of v that appear before v in the order, sorted by id.
+  std::span<const NodeId> EarlierNeighbors(NodeId v) const {
+    MCE_DCHECK_LT(v, num_nodes());
+    return {adjacency_.data() + split_[v],
+            adjacency_.data() + later_offset_[v + 1]};
+  }
+
+ private:
+  CoreDecomposition cores_;
+  // Row v occupies [later_offset_[v], later_offset_[v+1]); the later
+  // neighbors come first, ending at split_[v].
+  std::vector<uint64_t> later_offset_;
+  std::vector<uint64_t> split_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_ORDERED_ADJACENCY_H_

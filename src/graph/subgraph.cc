@@ -1,0 +1,45 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/builder.h"
+
+namespace mce {
+
+InducedSubgraph Induce(const Graph& g, std::span<const NodeId> nodes) {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(sorted.size() * 2);
+  for (NodeId i = 0; i < sorted.size(); ++i) {
+    MCE_CHECK_LT(sorted[i], g.num_nodes());
+    to_local.emplace(sorted[i], i);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(sorted.size()));
+  for (NodeId local_u = 0; local_u < sorted.size(); ++local_u) {
+    const NodeId u = sorted[local_u];
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;  // each edge once
+      auto it = to_local.find(v);
+      if (it != to_local.end()) builder.AddEdge(local_u, it->second);
+    }
+  }
+  return InducedSubgraph{builder.Build(), std::move(sorted)};
+}
+
+std::vector<NodeId> ToParentIds(const InducedSubgraph& sub,
+                                std::span<const NodeId> nodes) {
+  std::vector<NodeId> out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    MCE_CHECK_LT(v, sub.to_parent.size());
+    out.push_back(sub.to_parent[v]);
+  }
+  return out;
+}
+
+}  // namespace mce

@@ -1,0 +1,39 @@
+// Induced subgraphs with id mappings back to the parent graph.
+//
+// Both decomposition levels rely on induction: the first level recurses on
+// the subgraph induced by the hub nodes (procedure `induced` of Algorithm 1),
+// and the second level materializes each block as the subgraph induced by
+// its kernel/border/visited nodes. Cliques found in the subgraph must be
+// reported in the parent's id space, hence the to_parent mapping.
+
+#ifndef MCE_GRAPH_SUBGRAPH_H_
+#define MCE_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mce {
+
+/// A subgraph plus the mapping from its compact ids to the parent's ids.
+struct InducedSubgraph {
+  Graph graph;
+  /// to_parent[i] is the parent id of subgraph node i; strictly increasing.
+  std::vector<NodeId> to_parent;
+};
+
+/// Builds the subgraph of `g` induced by `nodes`.
+///
+/// `nodes` may be in any order and contain duplicates; the result's node i
+/// corresponds to the i-th smallest distinct input id. Runs in
+/// O(sum of degrees of `nodes`) after an O(n)-ish id-translation setup.
+InducedSubgraph Induce(const Graph& g, std::span<const NodeId> nodes);
+
+/// Translates a clique (or any node list) from subgraph ids to parent ids.
+std::vector<NodeId> ToParentIds(const InducedSubgraph& sub,
+                                std::span<const NodeId> nodes);
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,23 @@
+#include "graph/views.h"
+
+namespace mce {
+
+AdjacencyMatrix::AdjacencyMatrix(const Graph& g)
+    : n_(g.num_nodes()), cells_(static_cast<size_t>(n_) * n_, 0) {
+  for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId u : g.Neighbors(v)) {
+      cells_[static_cast<size_t>(v) * n_ + u] = 1;
+    }
+  }
+}
+
+BitsetGraph::BitsetGraph(const Graph& g) : n_(g.num_nodes()) {
+  rows_.reserve(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    Bitset row(n_);
+    for (NodeId u : g.Neighbors(v)) row.Set(u);
+    rows_.push_back(std::move(row));
+  }
+}
+
+}  // namespace mce

@@ -1,0 +1,60 @@
+// Dense adjacency views over a Graph.
+//
+// Section 4 of the paper evaluates each MCE algorithm over three data
+// structures: adjacency matrices, bitsets, and adjacency lists. The list
+// form is the Graph itself; this header provides the other two, built once
+// per block and shared by the recursion.
+
+#ifndef MCE_GRAPH_VIEWS_H_
+#define MCE_GRAPH_VIEWS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace mce {
+
+/// Dense boolean adjacency matrix. Memory is n^2 bytes, so this is only
+/// materialized for blocks (whose size the decomposition bounds by m).
+class AdjacencyMatrix {
+ public:
+  explicit AdjacencyMatrix(const Graph& g);
+
+  NodeId num_nodes() const { return n_; }
+
+  bool Adjacent(NodeId u, NodeId v) const {
+    MCE_DCHECK_LT(u, n_);
+    MCE_DCHECK_LT(v, n_);
+    return cells_[static_cast<size_t>(u) * n_ + v] != 0;
+  }
+
+ private:
+  NodeId n_;
+  std::vector<uint8_t> cells_;
+};
+
+/// Adjacency rows as bitsets: row(v) has bit u set iff {u, v} is an edge.
+/// Memory is n^2 / 8 bits; set intersections become word-parallel ANDs.
+class BitsetGraph {
+ public:
+  explicit BitsetGraph(const Graph& g);
+
+  NodeId num_nodes() const { return n_; }
+
+  const Bitset& Row(NodeId v) const {
+    MCE_DCHECK_LT(v, n_);
+    return rows_[v];
+  }
+
+  bool Adjacent(NodeId u, NodeId v) const { return Row(u).Test(v); }
+
+ private:
+  NodeId n_;
+  std::vector<Bitset> rows_;
+};
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_VIEWS_H_

@@ -1,0 +1,202 @@
+#include "incremental/incremental_mce.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/builder.h"
+#include "mce/enumerator.h"
+#include "util/check.h"
+
+namespace mce::incremental {
+
+namespace {
+
+/// True iff `inner` (sorted) is a subset of `outer` (sorted).
+bool IsSubset(const Clique& inner, const Clique& outer) {
+  return inner.size() <= outer.size() &&
+         std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+}  // namespace
+
+IncrementalMce::IncrementalMce(const Graph& initial)
+    : graph_(initial), member_(initial.num_nodes()) {
+  const MceOptions options{Algorithm::kEppstein, StorageKind::kAdjacencyList};
+  UpdateStats ignored;
+  EnumerateMaximalCliques(initial, options, [&](std::span<const NodeId> c) {
+    Clique clique(c.begin(), c.end());
+    std::sort(clique.begin(), clique.end());
+    Insert(std::move(clique), &ignored);
+  });
+}
+
+void IncrementalMce::Insert(Clique clique, UpdateStats* stats) {
+  MCE_DCHECK(std::is_sorted(clique.begin(), clique.end()));
+  auto [it, inserted] = by_content_.emplace(clique, next_id_);
+  if (!inserted) return;  // already tracked
+  const CliqueId id = next_id_++;
+  for (NodeId v : clique) member_[v].insert(id);
+  cliques_.emplace(id, std::move(clique));
+  ++stats->cliques_added;
+}
+
+void IncrementalMce::Erase(CliqueId id, UpdateStats* stats) {
+  auto it = cliques_.find(id);
+  MCE_CHECK(it != cliques_.end());
+  for (NodeId v : it->second) member_[v].erase(id);
+  by_content_.erase(it->second);
+  cliques_.erase(it);
+  ++stats->cliques_removed;
+}
+
+std::vector<IncrementalMce::CliqueId> IncrementalMce::IdsContaining(
+    NodeId v) const {
+  return {member_[v].begin(), member_[v].end()};
+}
+
+bool IncrementalMce::IsMaximalNow(const Clique& clique) const {
+  if (clique.empty()) return false;
+  // Common neighborhood of all members, via repeated intersection of the
+  // (sorted) adjacency vectors, smallest first.
+  size_t smallest = 0;
+  for (size_t i = 1; i < clique.size(); ++i) {
+    if (graph_.Degree(clique[i]) < graph_.Degree(clique[smallest])) {
+      smallest = i;
+    }
+  }
+  std::vector<NodeId> common = graph_.Neighbors(clique[smallest]);
+  std::vector<NodeId> next;
+  for (size_t i = 0; i < clique.size() && !common.empty(); ++i) {
+    if (i == smallest) continue;
+    const auto& nbrs = graph_.Neighbors(clique[i]);
+    next.clear();
+    std::set_intersection(common.begin(), common.end(), nbrs.begin(),
+                          nbrs.end(), std::back_inserter(next));
+    common.swap(next);
+  }
+  return common.empty();
+}
+
+NodeId IncrementalMce::AddNode() {
+  const NodeId v = graph_.AddNode();
+  member_.emplace_back();
+  UpdateStats ignored;
+  Insert(Clique{v}, &ignored);
+  return v;
+}
+
+Result<UpdateStats> IncrementalMce::AddEdge(NodeId u, NodeId v) {
+  if (u >= graph_.num_nodes() || v >= graph_.num_nodes()) {
+    return Status::OutOfRange("endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (!graph_.AddEdge(u, v)) {
+    return Status::AlreadyExists("edge {" + std::to_string(u) + "," +
+                                 std::to_string(v) + "} already present");
+  }
+  UpdateStats stats;
+
+  // New maximal cliques: {u, v} u K for each maximal clique K of the
+  // common-neighborhood subgraph.
+  std::vector<Clique> fresh;
+  std::vector<NodeId> common = graph_.CommonNeighbors(u, v);
+  if (common.empty()) {
+    fresh.push_back({std::min(u, v), std::max(u, v)});
+  } else {
+    // Induce the common neighborhood directly from the dynamic adjacency
+    // (O(sum of member degrees); no whole-graph snapshot). `common` is
+    // sorted, so local ids map back by index.
+    GraphBuilder builder(static_cast<NodeId>(common.size()));
+    for (NodeId local = 0; local < common.size(); ++local) {
+      const auto& nbrs = graph_.Neighbors(common[local]);
+      // Intersect this member's neighbors with the (sorted) common set.
+      size_t ci = local + 1;  // only pairs (local, later) -> each edge once
+      for (NodeId w : nbrs) {
+        while (ci < common.size() && common[ci] < w) ++ci;
+        if (ci == common.size()) break;
+        if (common[ci] == w) {
+          builder.AddEdge(local, static_cast<NodeId>(ci));
+          ++ci;
+        }
+      }
+    }
+    Graph sub = builder.Build();
+    const MceOptions options{Algorithm::kTomita,
+                             StorageKind::kAdjacencyList};
+    EnumerateMaximalCliques(sub, options,
+                            [&](std::span<const NodeId> local) {
+                              Clique c;
+                              c.reserve(local.size() + 2);
+                              for (NodeId i : local) c.push_back(common[i]);
+                              c.push_back(u);
+                              c.push_back(v);
+                              std::sort(c.begin(), c.end());
+                              fresh.push_back(std::move(c));
+                            });
+  }
+
+  // Previously-maximal cliques die iff (containing u or v) they are now
+  // covered by a fresh clique.
+  std::vector<CliqueId> candidates = IdsContaining(u);
+  {
+    std::vector<CliqueId> also_v = IdsContaining(v);
+    candidates.insert(candidates.end(), also_v.begin(), also_v.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (CliqueId id : candidates) {
+    const Clique& old = cliques_.at(id);
+    for (const Clique& f : fresh) {
+      if (IsSubset(old, f)) {
+        Erase(id, &stats);
+        break;
+      }
+    }
+  }
+  for (Clique& f : fresh) Insert(std::move(f), &stats);
+  return stats;
+}
+
+Result<UpdateStats> IncrementalMce::RemoveEdge(NodeId u, NodeId v) {
+  if (u >= graph_.num_nodes() || v >= graph_.num_nodes()) {
+    return Status::OutOfRange("endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop");
+  // Affected cliques contain both endpoints; gather BEFORE the removal.
+  std::vector<CliqueId> affected;
+  for (CliqueId id : IdsContaining(u)) {
+    if (member_[v].count(id)) affected.push_back(id);
+  }
+  if (!graph_.RemoveEdge(u, v)) {
+    return Status::NotFound("edge {" + std::to_string(u) + "," +
+                            std::to_string(v) + "} not present");
+  }
+  UpdateStats stats;
+  for (CliqueId id : affected) {
+    Clique whole = cliques_.at(id);
+    Erase(id, &stats);
+    for (NodeId drop : {u, v}) {
+      Clique half = whole;
+      half.erase(std::find(half.begin(), half.end(), drop));
+      if (half.empty()) continue;
+      if (by_content_.count(half)) continue;
+      if (IsMaximalNow(half)) Insert(std::move(half), &stats);
+    }
+  }
+  return stats;
+}
+
+CliqueSet IncrementalMce::CurrentCliques() const {
+  CliqueSet out;
+  for (const auto& [content, id] : by_content_) out.Add(content);
+  return out;
+}
+
+size_t IncrementalMce::CliquesContaining(NodeId v) const {
+  MCE_CHECK_LT(v, member_.size());
+  return member_[v].size();
+}
+
+}  // namespace mce::incremental

@@ -1,0 +1,52 @@
+#include "mce/clique_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mce {
+
+Status WriteCliques(const CliqueSet& cliques, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const Clique& c : cliques.cliques()) {
+    for (size_t i = 0; i < c.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << c[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Result<CliqueSet> ReadCliques(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CliqueSet out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    Clique clique;
+    uint64_t id = 0;
+    while (ss >> id) {
+      if (id > kInvalidNode - 1) {
+        return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                  ": node id exceeds 32-bit range");
+      }
+      clique.push_back(static_cast<NodeId>(id));
+    }
+    if (!ss.eof()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected whitespace-separated ids");
+    }
+    if (!clique.empty()) out.Add(std::move(clique));
+  }
+  if (in.bad()) return Status::IoError("read error on " + path);
+  return out;
+}
+
+}  // namespace mce

@@ -1,0 +1,24 @@
+// Clique-set persistence: the plain-text interchange format the CLI and
+// downstream pipelines use — one clique per line, space-separated sorted
+// node ids.
+
+#ifndef MCE_MCE_CLIQUE_IO_H_
+#define MCE_MCE_CLIQUE_IO_H_
+
+#include <string>
+
+#include "mce/clique.h"
+#include "util/status.h"
+
+namespace mce {
+
+/// Writes one clique per line ("v1 v2 v3 ..."), in the set's order.
+Status WriteCliques(const CliqueSet& cliques, const std::string& path);
+
+/// Reads the format back. Blank lines and '#' comments are skipped; node
+/// ids are validated to 32 bits.
+Result<CliqueSet> ReadCliques(const std::string& path);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_CLIQUE_IO_H_

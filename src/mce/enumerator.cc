@@ -1,0 +1,145 @@
+#include "mce/enumerator.h"
+
+#include <algorithm>
+
+#include "graph/ordered_adjacency.h"
+#include "graph/views.h"
+#include "mce/naive.h"
+#include "mce/pivoter.h"
+#include "util/check.h"
+
+namespace mce {
+
+namespace {
+
+/// Eppstein-Strash outer loop: process vertices in degeneracy order; for
+/// each v the candidates are its later neighbors and the exclusion set its
+/// earlier neighbors, bounding every subproblem by the degeneracy. The
+/// later/earlier split comes precomputed from the inverted-table structure
+/// (graph/ordered_adjacency.h).
+template <typename Storage>
+void EppsteinOuterVector(const Graph& g, const Storage& storage,
+                         const CliqueCallback& emit) {
+  const OrderedAdjacency ordered(g);
+  for (NodeId v : ordered.cores().order) {
+    auto later = ordered.LaterNeighbors(v);
+    auto earlier = ordered.EarlierNeighbors(v);
+    RunVectorMce(storage, PivotRule::kMaxIntersection, {v},
+                 {later.begin(), later.end()},
+                 {earlier.begin(), earlier.end()}, emit);
+  }
+}
+
+void EppsteinOuterBitset(const Graph& g, const BitsetGraph& bg,
+                         const CliqueCallback& emit) {
+  const OrderedAdjacency ordered(g);
+  for (NodeId v : ordered.cores().order) {
+    Bitset p(g.num_nodes());
+    Bitset x(g.num_nodes());
+    for (NodeId u : ordered.LaterNeighbors(v)) p.Set(u);
+    for (NodeId u : ordered.EarlierNeighbors(v)) x.Set(u);
+    RunBitsetMce(bg, PivotRule::kMaxIntersection, {v}, std::move(p),
+                 std::move(x), emit);
+  }
+}
+
+std::vector<NodeId> AllNodes(const Graph& g) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes[v] = v;
+  return nodes;
+}
+
+}  // namespace
+
+void EnumerateMaximalCliques(const Graph& g, const MceOptions& options,
+                             const CliqueCallback& emit) {
+  if (g.num_nodes() == 0) {
+    // The empty clique is the unique maximal clique of the empty graph; the
+    // paper's pipeline never reports it, so neither do we.
+    return;
+  }
+  if (options.algorithm == Algorithm::kNaive) {
+    NaiveMce(g, emit);
+    return;
+  }
+  if (options.algorithm == Algorithm::kEppstein) {
+    switch (options.storage) {
+      case StorageKind::kAdjacencyList: {
+        ListStorage s(g);
+        EppsteinOuterVector(g, s, emit);
+        return;
+      }
+      case StorageKind::kMatrix: {
+        MatrixStorage s(g);
+        EppsteinOuterVector(g, s, emit);
+        return;
+      }
+      case StorageKind::kBitset: {
+        BitsetGraph bg(g);
+        EppsteinOuterBitset(g, bg, emit);
+        return;
+      }
+    }
+  }
+  const PivotRule rule = RuleFor(options.algorithm);
+  switch (options.storage) {
+    case StorageKind::kAdjacencyList: {
+      ListStorage s(g);
+      RunVectorMce(s, rule, {}, AllNodes(g), {}, emit);
+      return;
+    }
+    case StorageKind::kMatrix: {
+      MatrixStorage s(g);
+      RunVectorMce(s, rule, {}, AllNodes(g), {}, emit);
+      return;
+    }
+    case StorageKind::kBitset: {
+      BitsetGraph bg(g);
+      Bitset p(g.num_nodes());
+      p.SetAll();
+      RunBitsetMce(bg, rule, {}, std::move(p), Bitset(g.num_nodes()), emit);
+      return;
+    }
+  }
+}
+
+CliqueSet EnumerateToSet(const Graph& g, const MceOptions& options) {
+  CliqueSet out;
+  EnumerateMaximalCliques(g, options, out.Collector());
+  out.Canonicalize();
+  return out;
+}
+
+void EnumerateSeeded(const Graph& g, const MceOptions& options, NodeId seed,
+                     std::vector<NodeId> p, std::vector<NodeId> x,
+                     const CliqueCallback& emit) {
+  MCE_CHECK_LT(seed, g.num_nodes());
+  Algorithm algorithm = options.algorithm;
+  if (algorithm == Algorithm::kEppstein || algorithm == Algorithm::kNaive) {
+    algorithm = Algorithm::kTomita;
+  }
+  const PivotRule rule = RuleFor(algorithm);
+  switch (options.storage) {
+    case StorageKind::kAdjacencyList: {
+      ListStorage s(g);
+      RunVectorMce(s, rule, {seed}, std::move(p), std::move(x), emit);
+      return;
+    }
+    case StorageKind::kMatrix: {
+      MatrixStorage s(g);
+      RunVectorMce(s, rule, {seed}, std::move(p), std::move(x), emit);
+      return;
+    }
+    case StorageKind::kBitset: {
+      BitsetGraph bg(g);
+      Bitset pb(g.num_nodes());
+      Bitset xb(g.num_nodes());
+      for (NodeId v : p) pb.Set(v);
+      for (NodeId v : x) xb.Set(v);
+      RunBitsetMce(bg, rule, {seed}, std::move(pb), std::move(xb), emit);
+      return;
+    }
+  }
+}
+
+}  // namespace mce

@@ -1,0 +1,49 @@
+// Unified entry points for maximal clique enumeration.
+//
+// Dispatches an (algorithm, storage) combination — the unit the paper's
+// decision tree selects per block — and provides the seeded form used by
+// BLOCK-ANALYSIS (Algorithm 4), which enumerates cliques that contain a
+// given kernel node while excluding already-visited nodes.
+
+#ifndef MCE_MCE_ENUMERATOR_H_
+#define MCE_MCE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/storage.h"
+
+namespace mce {
+
+/// Options selecting the data-structure/algorithm combination.
+struct MceOptions {
+  Algorithm algorithm = Algorithm::kTomita;
+  StorageKind storage = StorageKind::kAdjacencyList;
+};
+
+/// Emits every maximal clique of `g` exactly once.
+///
+/// kMatrix and kBitset materialize O(n^2)-bit structures; callers are
+/// responsible for keeping n within memory (the decomposition guarantees
+/// this for blocks; see EstimateStorageBytes).
+void EnumerateMaximalCliques(const Graph& g, const MceOptions& options,
+                             const CliqueCallback& emit);
+
+/// Convenience wrapper collecting into a canonicalized CliqueSet.
+CliqueSet EnumerateToSet(const Graph& g, const MceOptions& options);
+
+/// Seeded enumeration: emits every clique C with seed in C, C n X empty,
+/// and C maximal within {seed} u P u X — exactly procedure MCE(k, P, V) of
+/// Algorithm 4. `p` and `x` must be subsets of N(seed), sorted, disjoint.
+///
+/// kEppstein has no seeded form (its contribution is the outer vertex
+/// ordering, which the seed fixes); it runs the Tomita recursion, matching
+/// the paper's use of a generic MCE(k, P, V) procedure inside blocks.
+void EnumerateSeeded(const Graph& g, const MceOptions& options, NodeId seed,
+                     std::vector<NodeId> p, std::vector<NodeId> x,
+                     const CliqueCallback& emit);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_ENUMERATOR_H_

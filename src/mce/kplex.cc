@@ -1,0 +1,126 @@
+#include "mce/kplex.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/views.h"
+#include "util/check.h"
+
+namespace mce {
+
+namespace {
+
+/// DFS state for the increasing-order k-plex enumeration.
+class KPlexEnumerator {
+ public:
+  KPlexEnumerator(const Graph& g, const KPlexOptions& options,
+                  const CliqueCallback& emit)
+      : g_(g), bg_(g), options_(options), emit_(emit),
+        in_r_(g.num_nodes(), 0), nbrs_in_r_(g.num_nodes(), 0) {}
+
+  void Run() {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      Push(v);
+      Grow();
+      Pop(v);
+    }
+  }
+
+ private:
+  /// |R| - count of R-neighbors of v must stay <= k - 1 for v itself, and
+  /// every member's in-R neighbor count must stay >= |R| + 1 - k.
+  bool Addable(NodeId v) const {
+    if (in_r_[v]) return false;
+    const uint32_t size = static_cast<uint32_t>(r_.size());
+    if (nbrs_in_r_[v] + options_.k < size + 1) return false;
+    const Bitset& row = bg_.Row(v);
+    for (NodeId u : r_) {
+      const uint32_t adj = row.Test(u) ? 1 : 0;
+      if (nbrs_in_r_[u] + adj + options_.k < size + 1) return false;
+    }
+    return true;
+  }
+
+  void Push(NodeId v) {
+    r_.push_back(v);
+    in_r_[v] = 1;
+    bg_.Row(v).ForEach([this](size_t u) { ++nbrs_in_r_[u]; });
+  }
+
+  void Pop(NodeId v) {
+    bg_.Row(v).ForEach([this](size_t u) { --nbrs_in_r_[u]; });
+    in_r_[v] = 0;
+    r_.pop_back();
+  }
+
+  void Grow() {
+    // R is maximal iff no vertex is addable; canonical extensions are the
+    // addable vertices greater than max(R) = r_.back() (R grows sorted).
+    bool any_addable = false;
+    const NodeId frontier = r_.back();
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (!Addable(v)) continue;
+      any_addable = true;
+      if (v <= frontier) continue;
+      Push(v);
+      Grow();
+      Pop(v);
+    }
+    if (!any_addable && r_.size() >= options_.min_size) emit_(r_);
+  }
+
+  const Graph& g_;
+  BitsetGraph bg_;
+  const KPlexOptions& options_;
+  const CliqueCallback& emit_;
+  std::vector<NodeId> r_;
+  std::vector<uint8_t> in_r_;
+  std::vector<uint32_t> nbrs_in_r_;
+};
+
+}  // namespace
+
+bool IsKPlex(const Graph& g, std::span<const NodeId> nodes, uint32_t k) {
+  MCE_CHECK_GE(k, 1u);
+  const size_t size = nodes.size();
+  for (NodeId v : nodes) {
+    size_t inside = 0;
+    for (NodeId u : nodes) {
+      if (u != v && g.HasEdge(u, v)) ++inside;
+    }
+    if (inside + k < size) return false;
+  }
+  return true;
+}
+
+bool IsMaximalKPlex(const Graph& g, std::span<const NodeId> nodes,
+                    uint32_t k) {
+  if (!IsKPlex(g, nodes, k)) return false;
+  std::vector<NodeId> extended(nodes.begin(), nodes.end());
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (std::find(nodes.begin(), nodes.end(), w) != nodes.end()) continue;
+    extended.push_back(w);
+    const bool grows = IsKPlex(g, extended, k);
+    extended.pop_back();
+    if (grows) return false;
+  }
+  return true;
+}
+
+void EnumerateMaximalKPlexes(const Graph& g, const KPlexOptions& options,
+                             const CliqueCallback& emit) {
+  MCE_CHECK_GE(options.k, 1u);
+  if (g.num_nodes() == 0) return;
+  KPlexEnumerator enumerator(g, options, emit);
+  enumerator.Run();
+}
+
+CliqueSet EnumerateMaximalKPlexesToSet(const Graph& g,
+                                       const KPlexOptions& options) {
+  CliqueSet out;
+  EnumerateMaximalKPlexes(g, options, out.Collector());
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace mce

@@ -1,0 +1,53 @@
+// Maximal k-plex enumeration — the relaxed community model the paper's
+// conclusions name as future work ("k-cliques, k-clubs, k-clans, and
+// k-plexes" [5, 26]).
+//
+// A k-plex is a vertex set S where every member has at least |S| - k
+// neighbors inside S (so a 1-plex is a clique; each member of a k-plex
+// misses at most k - 1 others). k-plexes are hereditary (every subset of a
+// k-plex is a k-plex), which this enumerator exploits: depth-first growth
+// in increasing vertex order visits every k-plex exactly once, reporting
+// those with no addable vertex (the maximal ones).
+//
+// The enumeration is exact and intended for block-sized inputs: its cost
+// is proportional to the number of k-plexes, which grows quickly with k.
+
+#ifndef MCE_MCE_KPLEX_H_
+#define MCE_MCE_KPLEX_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+
+namespace mce {
+
+struct KPlexOptions {
+  /// Relaxation degree; 1 reduces to maximal clique enumeration.
+  uint32_t k = 2;
+  /// Maximal k-plexes smaller than this are not reported (k-plexes of
+  /// size < 2k - 1 may be disconnected and are rarely meaningful
+  /// communities).
+  uint32_t min_size = 1;
+};
+
+/// True iff the (distinct) `nodes` form a k-plex of `g`.
+bool IsKPlex(const Graph& g, std::span<const NodeId> nodes, uint32_t k);
+
+/// True iff `nodes` is a k-plex and no vertex of g can be added while
+/// keeping the k-plex property.
+bool IsMaximalKPlex(const Graph& g, std::span<const NodeId> nodes,
+                    uint32_t k);
+
+/// Emits every maximal k-plex of `g` (with >= options.min_size members)
+/// exactly once. options.k must be >= 1.
+void EnumerateMaximalKPlexes(const Graph& g, const KPlexOptions& options,
+                             const CliqueCallback& emit);
+
+/// Convenience wrapper collecting into a canonicalized CliqueSet.
+CliqueSet EnumerateMaximalKPlexesToSet(const Graph& g,
+                                       const KPlexOptions& options);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_KPLEX_H_

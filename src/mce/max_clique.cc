@@ -1,0 +1,123 @@
+#include "mce/max_clique.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/ordered_adjacency.h"
+#include "graph/views.h"
+
+namespace mce {
+
+namespace {
+
+class MaxCliqueSolver {
+ public:
+  MaxCliqueSolver(const Graph& g, size_t lower_bound)
+      : bg_(g), best_size_(lower_bound) {}
+
+  MaxCliqueResult Solve(const Graph& g) {
+    // Degeneracy-ordered outer loop: vertex v with its later neighbors as
+    // candidates — the maximum clique containing v as its order-minimal
+    // member lives there, and candidate sets stay small on sparse graphs.
+    OrderedAdjacency ordered(g);
+    // Iterate in REVERSE degeneracy order so dense-core vertices (with
+    // large later-neighborhoods already processed) establish a strong
+    // bound early.
+    const auto& order = ordered.cores().order;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      auto later = ordered.LaterNeighbors(v);
+      if (later.size() + 1 <= best_size_) continue;  // bound
+      current_.assign(1, v);
+      std::vector<NodeId> candidates(later.begin(), later.end());
+      Expand(&candidates);
+    }
+    MaxCliqueResult result;
+    result.clique = best_;
+    std::sort(result.clique.begin(), result.clique.end());
+    result.branches = branches_;
+    return result;
+  }
+
+ private:
+  /// Greedy coloring of `candidates` (ascending color classes); returns
+  /// the candidates reordered so vertices of high color come last, with
+  /// parallel `colors` giving each one's color number (an upper bound on
+  /// the clique size within the prefix ending at it).
+  void ColorSort(const std::vector<NodeId>& candidates,
+                 std::vector<NodeId>* reordered,
+                 std::vector<uint32_t>* colors) const {
+    reordered->clear();
+    colors->clear();
+    // color_classes[c] = vertices assigned color c (independent within a
+    // class w.r.t. adjacency).
+    std::vector<std::vector<NodeId>> color_classes;
+    for (NodeId v : candidates) {
+      size_t c = 0;
+      for (; c < color_classes.size(); ++c) {
+        bool conflict = false;
+        for (NodeId u : color_classes[c]) {
+          if (bg_.Adjacent(u, v)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == color_classes.size()) color_classes.emplace_back();
+      color_classes[c].push_back(v);
+    }
+    for (size_t c = 0; c < color_classes.size(); ++c) {
+      for (NodeId v : color_classes[c]) {
+        reordered->push_back(v);
+        colors->push_back(static_cast<uint32_t>(c + 1));
+      }
+    }
+  }
+
+  void Expand(std::vector<NodeId>* candidates) {
+    ++branches_;
+    if (candidates->empty()) {
+      if (current_.size() > best_size_) {
+        best_size_ = current_.size();
+        best_ = current_;
+      }
+      return;
+    }
+    std::vector<NodeId> reordered;
+    std::vector<uint32_t> colors;
+    ColorSort(*candidates, &reordered, &colors);
+    // Explore from the highest color downward; the color is the bound.
+    for (size_t i = reordered.size(); i-- > 0;) {
+      if (current_.size() + colors[i] <= best_size_) return;  // prune
+      const NodeId v = reordered[i];
+      current_.push_back(v);
+      std::vector<NodeId> next;
+      for (size_t j = 0; j < i; ++j) {
+        if (bg_.Adjacent(reordered[j], v)) next.push_back(reordered[j]);
+      }
+      Expand(&next);
+      current_.pop_back();
+    }
+  }
+
+  BitsetGraph bg_;
+  size_t best_size_;
+  Clique best_;
+  Clique current_;
+  uint64_t branches_ = 0;
+};
+
+}  // namespace
+
+MaxCliqueResult FindMaximumClique(const Graph& g, size_t lower_bound) {
+  if (g.num_nodes() == 0) return {};
+  MaxCliqueSolver solver(g, lower_bound);
+  return solver.Solve(g);
+}
+
+size_t CliqueNumber(const Graph& g) {
+  return FindMaximumClique(g).clique.size();
+}
+
+}  // namespace mce

@@ -1,0 +1,35 @@
+// Exact maximum clique search (branch and bound with greedy coloring).
+//
+// Related to but distinct from enumeration: the paper cites the maximum-
+// clique solvers of Ostergard [27] and Tomita & Kameda [33] among the
+// classic approaches. This is an MCQ/MaxCliqueDyn-style solver: vertices
+// are explored in degeneracy order and a greedy coloring of the candidate
+// set provides the upper bound that prunes the search. Returns one maximum
+// clique (the lexicographically determined one found first).
+
+#ifndef MCE_MCE_MAX_CLIQUE_H_
+#define MCE_MCE_MAX_CLIQUE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+
+namespace mce {
+
+struct MaxCliqueResult {
+  Clique clique;            // sorted members of a maximum clique
+  uint64_t branches = 0;    // search-tree nodes explored
+};
+
+/// Finds a maximum clique of `g`. `lower_bound` (optional) seeds the bound
+/// — pass the size of any known clique to prune harder; the result is
+/// empty when the graph has no clique of size > lower_bound.
+MaxCliqueResult FindMaximumClique(const Graph& g, size_t lower_bound = 0);
+
+/// The clique number omega(g) — size of the largest clique.
+size_t CliqueNumber(const Graph& g);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_MAX_CLIQUE_H_

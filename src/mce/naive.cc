@@ -1,0 +1,52 @@
+#include "mce/naive.h"
+
+#include <vector>
+
+namespace mce {
+
+namespace {
+
+void Extend(const Graph& g, std::vector<NodeId>* r, std::vector<NodeId> p,
+            std::vector<NodeId> x, const CliqueCallback& emit) {
+  if (p.empty() && x.empty()) {
+    emit(*r);
+    return;
+  }
+  while (!p.empty()) {
+    NodeId v = p.back();
+    p.pop_back();
+    std::vector<NodeId> p2, x2;
+    for (NodeId u : p) {
+      if (g.HasEdge(u, v)) p2.push_back(u);
+    }
+    for (NodeId u : x) {
+      if (g.HasEdge(u, v)) x2.push_back(u);
+    }
+    r->push_back(v);
+    Extend(g, r, std::move(p2), std::move(x2), emit);
+    r->pop_back();
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+void NaiveMce(const Graph& g, const CliqueCallback& emit) {
+  // Like the optimized enumerators, never report the empty clique (the
+  // unique maximal clique of the empty graph).
+  if (g.num_nodes() == 0) return;
+  std::vector<NodeId> p;
+  p.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) p.push_back(v);
+  std::vector<NodeId> r;
+  Extend(g, &r, std::move(p), {}, emit);
+}
+
+CliqueSet NaiveMceSet(const Graph& g) {
+  CliqueSet out;
+  NaiveMce(g, out.Collector());
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace mce

@@ -1,0 +1,23 @@
+// Reference maximal-clique enumerator: pivotless Bron-Kerbosch.
+//
+// Deliberately the simplest correct algorithm; every optimized variant and
+// the whole decomposition pipeline are cross-checked against it in tests.
+// Do not use it for anything large.
+
+#ifndef MCE_MCE_NAIVE_H_
+#define MCE_MCE_NAIVE_H_
+
+#include "graph/graph.h"
+#include "mce/clique.h"
+
+namespace mce {
+
+/// Emits every maximal clique of `g` exactly once.
+void NaiveMce(const Graph& g, const CliqueCallback& emit);
+
+/// Convenience wrapper collecting into a canonicalized CliqueSet.
+CliqueSet NaiveMceSet(const Graph& g);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_NAIVE_H_

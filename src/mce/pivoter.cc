@@ -1,0 +1,251 @@
+#include "mce/pivoter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mce {
+
+PivotRule RuleFor(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBKPivot:
+      return PivotRule::kMaxDegree;
+    case Algorithm::kTomita:
+    case Algorithm::kEppstein:
+      return PivotRule::kMaxIntersection;
+    case Algorithm::kXPivot:
+      return PivotRule::kVisitedFirst;
+    case Algorithm::kNaive:
+      break;
+  }
+  MCE_CHECK(false);  // kNaive has no pivot rule
+  return PivotRule::kMaxDegree;
+}
+
+namespace {
+
+template <typename Storage>
+class VectorMceRunner {
+ public:
+  VectorMceRunner(const Storage& storage, PivotRule rule,
+                  const CliqueCallback& emit)
+      : storage_(storage), rule_(rule), emit_(emit) {}
+
+  void Run(std::vector<NodeId> r, std::vector<NodeId> p,
+           std::vector<NodeId> x) {
+    r_ = std::move(r);
+    Recurse(std::move(p), std::move(x));
+  }
+
+ private:
+  NodeId ChoosePivot(const std::vector<NodeId>& p,
+                     const std::vector<NodeId>& x) const {
+    switch (rule_) {
+      case PivotRule::kMaxDegree: {
+        NodeId best = p.front();
+        for (NodeId v : p) {
+          if (storage_.Degree(v) > storage_.Degree(best)) best = v;
+        }
+        return best;
+      }
+      case PivotRule::kMaxIntersection:
+        return BestByIntersection(p, x, /*prefer_x_only=*/false);
+      case PivotRule::kVisitedFirst:
+        return BestByIntersection(p, x, /*prefer_x_only=*/true);
+    }
+    MCE_CHECK(false);
+    return p.front();
+  }
+
+  /// Node of P u X maximizing |N(u) n P|; with prefer_x_only, only X is
+  /// scanned unless it is empty (XPivot falls back to P at the root).
+  ///
+  /// The scan is capped at kPivotScanCap candidates per set: any node of
+  /// P u X is a correct pivot, and an unbounded scan makes the pivot
+  /// choice alone cubic in n on large sparse graphs (X grows linearly
+  /// while every evaluation costs |P|). The cap bounds the per-node cost
+  /// while keeping the choice deterministic (the first candidates in
+  /// sorted order are evaluated).
+  static constexpr size_t kPivotScanCap = 2048;
+
+  NodeId BestByIntersection(const std::vector<NodeId>& p,
+                            const std::vector<NodeId>& x,
+                            bool prefer_x_only) const {
+    NodeId best = kInvalidNode;
+    size_t best_count = 0;
+    auto consider = [&](const std::vector<NodeId>& set) {
+      const size_t limit = std::min(set.size(), kPivotScanCap);
+      for (size_t i = 0; i < limit; ++i) {
+        const NodeId u = set[i];
+        size_t c = storage_.CountNeighborsIn(u, p);
+        if (best == kInvalidNode || c > best_count) {
+          best = u;
+          best_count = c;
+        }
+      }
+    };
+    if (prefer_x_only && !x.empty()) {
+      consider(x);
+      return best;
+    }
+    consider(p);
+    if (!prefer_x_only) consider(x);
+    return best;
+  }
+
+  void Recurse(std::vector<NodeId> p, std::vector<NodeId> x) {
+    if (p.empty()) {
+      if (x.empty()) emit_(r_);
+      return;
+    }
+    const NodeId pivot = ChoosePivot(p, x);
+    // Candidates not adjacent to the pivot (the pivot itself, if in P,
+    // is one of them).
+    std::vector<NodeId> ext;
+    for (NodeId v : p) {
+      if (v == pivot || !storage_.Adjacent(pivot, v)) ext.push_back(v);
+    }
+    std::vector<NodeId> p2, x2;
+    for (NodeId v : ext) {
+      storage_.IntersectNeighbors(v, p, &p2);
+      storage_.IntersectNeighbors(v, x, &x2);
+      r_.push_back(v);
+      Recurse(p2, x2);
+      r_.pop_back();
+      // Move v from P to X, keeping both sorted.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::upper_bound(x.begin(), x.end(), v), v);
+    }
+  }
+
+  const Storage& storage_;
+  const PivotRule rule_;
+  const CliqueCallback& emit_;
+  std::vector<NodeId> r_;
+};
+
+class BitsetMceRunner {
+ public:
+  BitsetMceRunner(const BitsetGraph& bg, PivotRule rule,
+                  const CliqueCallback& emit)
+      : bg_(bg), rule_(rule), emit_(emit) {
+    // Degrees feed only the kMaxDegree pivot rule; computing them costs
+    // O(n^2 / 64), which would dominate callers that construct a runner
+    // per seed vertex (the Eppstein outer loop).
+    if (rule_ == PivotRule::kMaxDegree) {
+      degree_.reserve(bg.num_nodes());
+      for (NodeId v = 0; v < bg.num_nodes(); ++v) {
+        degree_.push_back(static_cast<uint32_t>(bg.Row(v).Count()));
+      }
+    }
+  }
+
+  void Run(std::vector<NodeId> r, Bitset p, Bitset x) {
+    r_ = std::move(r);
+    Recurse(std::move(p), std::move(x));
+  }
+
+ private:
+  // Same bounded-scan rationale as the vector runner (see kPivotScanCap
+  // there): pivot evaluation must not dominate the recursion on large
+  // candidate sets.
+  static constexpr size_t kPivotScanCap = 2048;
+
+  NodeId ChoosePivot(const Bitset& p, const Bitset& x) const {
+    NodeId best = kInvalidNode;
+    size_t best_score = 0;
+    size_t scanned = 0;
+    auto consider_count = [&](size_t u) {
+      if (scanned++ >= kPivotScanCap) return;
+      size_t c = bg_.Row(static_cast<NodeId>(u)).AndCount(p);
+      if (best == kInvalidNode || c > best_score) {
+        best = static_cast<NodeId>(u);
+        best_score = c;
+      }
+    };
+    switch (rule_) {
+      case PivotRule::kMaxDegree: {
+        p.ForEach([&](size_t u) {
+          if (best == kInvalidNode || degree_[u] > best_score) {
+            best = static_cast<NodeId>(u);
+            best_score = degree_[u];
+          }
+        });
+        return best;
+      }
+      case PivotRule::kMaxIntersection: {
+        p.ForEach(consider_count);
+        x.ForEach(consider_count);
+        return best;
+      }
+      case PivotRule::kVisitedFirst: {
+        if (x.Any()) {
+          x.ForEach(consider_count);
+        } else {
+          p.ForEach(consider_count);
+        }
+        return best;
+      }
+    }
+    MCE_CHECK(false);
+    return best;
+  }
+
+  void Recurse(Bitset p, Bitset x) {
+    if (p.None()) {
+      if (x.None()) emit_(r_);
+      return;
+    }
+    const NodeId pivot = ChoosePivot(p, x);
+    Bitset ext = p;
+    ext.AndNot(bg_.Row(pivot));
+    if (p.Test(pivot)) ext.Set(pivot);
+    const std::vector<NodeId> candidates = ext.ToVector();
+    for (NodeId v : candidates) {
+      Bitset p2 = p;
+      p2.And(bg_.Row(v));
+      Bitset x2 = x;
+      x2.And(bg_.Row(v));
+      r_.push_back(v);
+      Recurse(std::move(p2), std::move(x2));
+      r_.pop_back();
+      p.Clear(v);
+      x.Set(v);
+    }
+  }
+
+  const BitsetGraph& bg_;
+  const PivotRule rule_;
+  const CliqueCallback& emit_;
+  std::vector<NodeId> r_;
+  std::vector<uint32_t> degree_;
+};
+
+}  // namespace
+
+template <typename Storage>
+void RunVectorMce(const Storage& storage, PivotRule rule,
+                  std::vector<NodeId> r, std::vector<NodeId> p,
+                  std::vector<NodeId> x, const CliqueCallback& emit) {
+  VectorMceRunner<Storage> runner(storage, rule, emit);
+  runner.Run(std::move(r), std::move(p), std::move(x));
+}
+
+template void RunVectorMce<ListStorage>(const ListStorage&, PivotRule,
+                                        std::vector<NodeId>,
+                                        std::vector<NodeId>,
+                                        std::vector<NodeId>,
+                                        const CliqueCallback&);
+template void RunVectorMce<MatrixStorage>(const MatrixStorage&, PivotRule,
+                                          std::vector<NodeId>,
+                                          std::vector<NodeId>,
+                                          std::vector<NodeId>,
+                                          const CliqueCallback&);
+
+void RunBitsetMce(const BitsetGraph& bg, PivotRule rule, std::vector<NodeId> r,
+                  Bitset p, Bitset x, const CliqueCallback& emit) {
+  BitsetMceRunner runner(bg, rule, emit);
+  runner.Run(std::move(r), std::move(p), std::move(x));
+}
+
+}  // namespace mce

@@ -1,0 +1,75 @@
+// Generic Bron-Kerbosch recursion with pluggable pivot rules.
+//
+// All four algorithm variants of Section 4 share the BK skeleton
+//   extend(R, P, X):
+//     if P and X empty: report R
+//     pick pivot u in P u X; for each v in P \ N(u):
+//       extend(R + v, P n N(v), X n N(v)); move v from P to X
+// and differ only in the pivot choice:
+//   BKPivot  — highest-degree node of P (Bron-Kerbosch 1973, version 2)
+//   Tomita   — node of P u X maximizing |N(u) n P| (Tomita et al. 2006)
+//   XPivot   — this paper's variant: the maximizing node is drawn from the
+//              set X of already-visited nodes (falling back to P when X is
+//              empty). The paper prints "N(u) u P" but, as with Tomita, the
+//              quantity that prunes is the intersection; we maximize
+//              |N(u) n P|.
+// Eppstein is an outer-loop ordering (see enumerator.cc) whose inner
+// recursion is Tomita's.
+//
+// Two set representations are provided: sorted vectors (for the List and
+// Matrix storages) and Bitsets (for the BitSets storage).
+
+#ifndef MCE_MCE_PIVOTER_H_
+#define MCE_MCE_PIVOTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/views.h"
+#include "mce/clique.h"
+#include "mce/storage.h"
+#include "util/bitset.h"
+
+namespace mce {
+
+/// Pivot selection rule implementing the algorithm variants above.
+enum class PivotRule : uint8_t {
+  kMaxDegree = 0,        // BKPivot
+  kMaxIntersection = 1,  // Tomita (and Eppstein's inner recursion)
+  kVisitedFirst = 2,     // XPivot
+};
+
+/// Maps an algorithm to its pivot rule. kEppstein maps to kMaxIntersection
+/// (its outer ordering is handled by the caller); kNaive is not a pivoting
+/// algorithm and must not be passed here.
+PivotRule RuleFor(Algorithm algorithm);
+
+/// Runs the BK recursion over sorted-vector sets. `r` is the clique under
+/// construction (reported cliques are r + recursion additions), `p` and `x`
+/// must be sorted and disjoint, and every node of `p`/`x` must be adjacent
+/// to every node of `r`. Storage is ListStorage or MatrixStorage.
+template <typename Storage>
+void RunVectorMce(const Storage& storage, PivotRule rule,
+                  std::vector<NodeId> r, std::vector<NodeId> p,
+                  std::vector<NodeId> x, const CliqueCallback& emit);
+
+extern template void RunVectorMce<ListStorage>(const ListStorage&, PivotRule,
+                                               std::vector<NodeId>,
+                                               std::vector<NodeId>,
+                                               std::vector<NodeId>,
+                                               const CliqueCallback&);
+extern template void RunVectorMce<MatrixStorage>(const MatrixStorage&,
+                                                 PivotRule,
+                                                 std::vector<NodeId>,
+                                                 std::vector<NodeId>,
+                                                 std::vector<NodeId>,
+                                                 const CliqueCallback&);
+
+/// Bitset-set variant of the same recursion. `p`/`x` are node-indexed
+/// bitsets of size bg.num_nodes().
+void RunBitsetMce(const BitsetGraph& bg, PivotRule rule, std::vector<NodeId> r,
+                  Bitset p, Bitset x, const CliqueCallback& emit);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_PIVOTER_H_

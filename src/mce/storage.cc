@@ -1,0 +1,102 @@
+#include "mce/storage.h"
+
+#include <algorithm>
+
+namespace mce {
+
+const char* ToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBKPivot:
+      return "BKPivot";
+    case Algorithm::kTomita:
+      return "Tomita";
+    case Algorithm::kEppstein:
+      return "Eppstein";
+    case Algorithm::kXPivot:
+      return "XPivot";
+    case Algorithm::kNaive:
+      return "Naive";
+  }
+  return "?";
+}
+
+const char* ToString(StorageKind s) {
+  switch (s) {
+    case StorageKind::kAdjacencyList:
+      return "Lists";
+    case StorageKind::kMatrix:
+      return "Matrix";
+    case StorageKind::kBitset:
+      return "BitSets";
+  }
+  return "?";
+}
+
+std::string ComboName(StorageKind s, Algorithm a) {
+  return std::string(ToString(s)) + "/" + ToString(a);
+}
+
+uint64_t EstimateStorageBytes(uint64_t n, uint64_t m, StorageKind storage) {
+  switch (storage) {
+    case StorageKind::kAdjacencyList:
+      return 2 * m * sizeof(NodeId) + (n + 1) * sizeof(uint64_t);
+    case StorageKind::kMatrix:
+      return n * n;
+    case StorageKind::kBitset:
+      return n * ((n + 63) / 64) * 8;
+  }
+  return 0;
+}
+
+void ListStorage::IntersectNeighbors(NodeId v, const std::vector<NodeId>& set,
+                                     std::vector<NodeId>* out) const {
+  out->clear();
+  auto nbrs = g_->Neighbors(v);
+  std::set_intersection(set.begin(), set.end(), nbrs.begin(), nbrs.end(),
+                        std::back_inserter(*out));
+}
+
+size_t ListStorage::CountNeighborsIn(NodeId v,
+                                     const std::vector<NodeId>& set) const {
+  auto nbrs = g_->Neighbors(v);
+  size_t count = 0;
+  auto it = set.begin();
+  auto jt = nbrs.begin();
+  while (it != set.end() && jt != nbrs.end()) {
+    if (*it < *jt) {
+      ++it;
+    } else if (*jt < *it) {
+      ++jt;
+    } else {
+      ++count;
+      ++it;
+      ++jt;
+    }
+  }
+  return count;
+}
+
+MatrixStorage::MatrixStorage(const Graph& g) : matrix_(g) {
+  degree_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree_.push_back(g.Degree(v));
+}
+
+void MatrixStorage::IntersectNeighbors(NodeId v,
+                                       const std::vector<NodeId>& set,
+                                       std::vector<NodeId>* out) const {
+  out->clear();
+  for (NodeId u : set) {
+    if (matrix_.Adjacent(v, u)) out->push_back(u);
+  }
+}
+
+size_t MatrixStorage::CountNeighborsIn(NodeId v,
+                                       const std::vector<NodeId>& set) const {
+  size_t count = 0;
+  for (NodeId u : set) {
+    if (matrix_.Adjacent(v, u)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mce

@@ -1,0 +1,90 @@
+// Storage backends for the MCE algorithms (Section 4).
+//
+// The paper evaluates each algorithm over three graph representations:
+// adjacency lists, dense adjacency matrices, and bitset rows. ListStorage
+// and MatrixStorage share a duck-typed interface consumed by the generic
+// recursion in pivoter.h; the bitset backend has its own recursion (sets are
+// Bitsets, intersections are word-parallel ANDs) in pivoter.h as well.
+
+#ifndef MCE_MCE_STORAGE_H_
+#define MCE_MCE_STORAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/views.h"
+
+namespace mce {
+
+/// MCE algorithm selector (the four variants of Section 4 + the reference).
+enum class Algorithm : uint8_t {
+  kBKPivot = 0,  // Bron-Kerbosch, pivot = highest-degree node of P
+  kTomita = 1,   // pivot in P u X maximizing |N(u) n P|
+  kEppstein = 2, // degeneracy-ordered outer loop, Tomita pivot inside
+  kXPivot = 3,   // this paper's variant: pivot drawn from X
+  kNaive = 4,    // pivotless reference (tests only)
+};
+
+/// Graph representation selector.
+enum class StorageKind : uint8_t {
+  kAdjacencyList = 0,
+  kMatrix = 1,
+  kBitset = 2,
+};
+
+const char* ToString(Algorithm a);
+const char* ToString(StorageKind s);
+
+/// "Matrix/Tomita"-style label used by the benchmark tables.
+std::string ComboName(StorageKind s, Algorithm a);
+
+/// Approximate bytes needed to materialize `storage` for an n-node graph
+/// with m undirected edges. Used by benches to skip infeasible combos.
+uint64_t EstimateStorageBytes(uint64_t n, uint64_t m, StorageKind storage);
+
+/// Adjacency-list backend: a thin view over the CSR Graph (no copy).
+/// Intersections run on sorted ranges; the candidate sets passed in must be
+/// sorted, which the generic recursion maintains.
+class ListStorage {
+ public:
+  explicit ListStorage(const Graph& g) : g_(&g) {}
+
+  NodeId num_nodes() const { return g_->num_nodes(); }
+  uint32_t Degree(NodeId v) const { return g_->Degree(v); }
+  bool Adjacent(NodeId u, NodeId v) const { return g_->HasEdge(u, v); }
+
+  /// out = sorted intersection of N(v) with the sorted `set`.
+  void IntersectNeighbors(NodeId v, const std::vector<NodeId>& set,
+                          std::vector<NodeId>* out) const;
+
+  /// |N(v) n set| for sorted `set`.
+  size_t CountNeighborsIn(NodeId v, const std::vector<NodeId>& set) const;
+
+ private:
+  const Graph* g_;
+};
+
+/// Dense-matrix backend: O(1) adjacency tests, O(|set|) intersections.
+class MatrixStorage {
+ public:
+  explicit MatrixStorage(const Graph& g);
+
+  NodeId num_nodes() const { return matrix_.num_nodes(); }
+  uint32_t Degree(NodeId v) const { return degree_[v]; }
+  bool Adjacent(NodeId u, NodeId v) const { return matrix_.Adjacent(u, v); }
+
+  void IntersectNeighbors(NodeId v, const std::vector<NodeId>& set,
+                          std::vector<NodeId>* out) const;
+
+  size_t CountNeighborsIn(NodeId v, const std::vector<NodeId>& set) const;
+
+ private:
+  AdjacencyMatrix matrix_;
+  std::vector<uint32_t> degree_;
+};
+
+}  // namespace mce
+
+#endif  // MCE_MCE_STORAGE_H_

@@ -1,0 +1,93 @@
+#include "util/bitset.h"
+
+#include <algorithm>
+
+namespace mce {
+
+void Bitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitset::SetAll() {
+  if (size_ == 0) return;
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  // Mask off the bits past size_ in the last word so Count() stays exact.
+  size_t tail = size_ & 63;
+  if (tail != 0) words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+size_t Bitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool Bitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void Bitset::And(const Bitset& other) {
+  MCE_DCHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitset::Or(const Bitset& other) {
+  MCE_DCHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitset::AndNot(const Bitset& other) {
+  MCE_DCHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+size_t Bitset::AndCount(const Bitset& other) const {
+  MCE_DCHECK_EQ(size_, other.size_);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  MCE_DCHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  MCE_DCHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::FindFirst() const { return FindNext(0); }
+
+size_t Bitset::FindNext(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from >> 6;
+  uint64_t bits = words_[w] & (~uint64_t{0} << (from & 63));
+  for (;;) {
+    if (bits != 0) {
+      size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+      return i < size_ ? i : size_;
+    }
+    if (++w == words_.size()) return size_;
+    bits = words_[w];
+  }
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace mce

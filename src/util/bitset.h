@@ -1,0 +1,108 @@
+// Dynamic fixed-capacity bitset tuned for clique enumeration.
+//
+// The BitSets storage backend of the MCE algorithms (Section 4 of the paper)
+// represents candidate/excluded sets as bitsets and intersects them against
+// bitset adjacency rows. The operations that dominate are And/AndCount and
+// iteration over set bits, so those are the ones this class optimizes.
+
+#ifndef MCE_UTIL_BITSET_H_
+#define MCE_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mce {
+
+/// Fixed-size (set at construction) bitset over indices [0, size).
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+  explicit Bitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  Bitset(const Bitset&) = default;
+  Bitset& operator=(const Bitset&) = default;
+  Bitset(Bitset&&) = default;
+  Bitset& operator=(Bitset&&) = default;
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    MCE_DCHECK_LT(i, size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    MCE_DCHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    MCE_DCHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets all bits to zero without changing the capacity.
+  void Reset();
+
+  /// Sets bits [0, size) to one.
+  void SetAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  /// this &= other. Sizes must match.
+  void And(const Bitset& other);
+  /// this |= other. Sizes must match.
+  void Or(const Bitset& other);
+  /// this &= ~other. Sizes must match.
+  void AndNot(const Bitset& other);
+
+  /// |this & other| without materializing the intersection.
+  size_t AndCount(const Bitset& other) const;
+
+  /// True iff (this & other) has at least one set bit.
+  bool Intersects(const Bitset& other) const;
+
+  /// True iff every set bit of this is also set in other.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// Index of the first set bit, or size() when empty.
+  size_t FindFirst() const;
+
+  /// Index of the first set bit at position >= from, or size() when none.
+  size_t FindNext(size_t from) const;
+
+  /// Calls fn(i) for each set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn(w * 64 + tz);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Materializes the set bits as a sorted vector of indices.
+  std::vector<uint32_t> ToVector() const;
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mce
+
+#endif  // MCE_UTIL_BITSET_H_

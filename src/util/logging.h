@@ -1,0 +1,65 @@
+// Minimal leveled logger.
+//
+// Usage: MCE_LOG(INFO) << "built " << n << " blocks";
+// Severity below the global threshold is compiled to a no-op stream.
+
+#ifndef MCE_UTIL_LOGGING_H_
+#define MCE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mce {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the minimum severity that is emitted. Default: kWarning, so library
+/// consumers are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MCE_LOG_DEBUG \
+  ::mce::internal::LogMessage(::mce::LogLevel::kDebug, __FILE__, __LINE__)
+#define MCE_LOG_INFO \
+  ::mce::internal::LogMessage(::mce::LogLevel::kInfo, __FILE__, __LINE__)
+#define MCE_LOG_WARNING \
+  ::mce::internal::LogMessage(::mce::LogLevel::kWarning, __FILE__, __LINE__)
+#define MCE_LOG_ERROR \
+  ::mce::internal::LogMessage(::mce::LogLevel::kError, __FILE__, __LINE__)
+
+#define MCE_LOG(severity) MCE_LOG_##severity
+
+}  // namespace mce
+
+#endif  // MCE_UTIL_LOGGING_H_

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (graph generators, schedulers, samplers) take an
+// explicit Rng so every experiment in the paper reproduction is replayable
+// from a seed. The engine is xoshiro256**, seeded via SplitMix64.
+
+#ifndef MCE_UTIL_RANDOM_H_
+#define MCE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mce {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator. Copyable (forking a stream is deliberate and
+/// cheap); identical seeds yield identical streams on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  /// sampling, so there is no modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (Floyd's algorithm); the result
+  /// order is unspecified but deterministic. Requires k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mce
+
+#endif  // MCE_UTIL_RANDOM_H_

@@ -1,0 +1,179 @@
+// Status / Result error-handling primitives (Arrow/RocksDB style).
+//
+// The library does not throw exceptions. Fallible operations (I/O, parsing,
+// configuration validation) return a Status, or a Result<T> when they also
+// produce a value. Algorithmic preconditions that indicate programmer error
+// are enforced with MCE_CHECK (see util/check.h) and abort.
+
+#ifndef MCE_UTIL_STATUS_H_
+#define MCE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mce {
+
+// Broad error categories; the message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIoError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kFailedPrecondition = 6,
+  kResourceExhausted = 7,
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a message for non-OK.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a non-OK Status. Access to the value when
+/// holding an error aborts, so callers must test ok() first (or use
+/// ValueOr / MCE_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps
+  // `return value;` / `return Status::IoError(...);` ergonomic, mirroring
+  // arrow::Result. NOLINT(google-explicit-constructor) on both.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Returns the held value, or `fallback` when holding an error.
+  T ValueOr(T fallback) const& {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(payload_));
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MCE_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::mce::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define MCE_CONCAT_IMPL(a, b) a##b
+#define MCE_CONCAT(a, b) MCE_CONCAT_IMPL(a, b)
+
+/// MCE_ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>); on
+/// error returns the Status, otherwise move-assigns the value into `lhs`.
+#define MCE_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  MCE_ASSIGN_OR_RETURN_IMPL(MCE_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define MCE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace mce
+
+#endif  // MCE_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker pool for intra-machine parallelism.
+//
+// The paper's cluster machines each run 4 CPUs x 8 threads and process
+// their assigned blocks in parallel; ParallelAnalyzeBlocks (decomp) uses
+// this pool for the same purpose on the local machine. Tasks are opaque
+// std::function<void()>; Wait() drains the queue.
+
+#ifndef MCE_UTIL_THREAD_POOL_H_
+#define MCE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mce {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mce
+
+#endif  // MCE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,177 @@
+#include "baseline/truncated_mce.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::baseline {
+namespace {
+
+TEST(TruncatedMceTest, NoTruncationMeansExactResult) {
+  // With m above every closed neighborhood the baseline is just a block
+  // decomposition: it must be exact.
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(30, 0.15 + 0.05 * trial, &rng);
+    TruncatedMceOptions options;
+    options.max_block_size = g.num_nodes() + 1;
+    TruncatedMceResult result = TruncatedBlockMce(g, options);
+    EXPECT_EQ(result.truncated_nodes, 0u);
+    EXPECT_EQ(result.dropped_neighbors, 0u);
+    mce::test::ExpectMatchesNaive(g, result.cliques);
+  }
+}
+
+TEST(TruncatedMceTest, HubsAreTruncated) {
+  Graph g = mce::test::StarGraph(20);  // center degree 19
+  TruncatedMceOptions options;
+  options.max_block_size = 5;
+  TruncatedMceResult result = TruncatedBlockMce(g, options);
+  EXPECT_EQ(result.truncated_nodes, 1u);  // only the center
+  EXPECT_EQ(result.dropped_neighbors, 19u - 4u);
+}
+
+TEST(TruncatedMceTest, MissesCliquesThroughDroppedNeighbors) {
+  // The paper's failure scenario: a hub whose neighborhood exceeds m and
+  // contains a clique spanning the dropped part.
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  TruncatedMceOptions options;
+  options.max_block_size = 4;  // even D's triangle {D,S,E} cannot fit with
+                               // the rest of D's neighborhood
+  TruncatedMceResult result = TruncatedBlockMce(g, options);
+  CliqueSet truth = Figure1Cliques();
+  BaselineComparison cmp = CompareWithTruth(g, result.cliques, truth);
+  EXPECT_GT(cmp.missed + cmp.erroneous, 0u)
+      << "truncation at m=4 must corrupt the result on Figure 1";
+}
+
+TEST(TruncatedMceTest, QuantifiesLossOnScaleFreeGraphs) {
+  Rng rng(13);
+  Graph base = gen::BarabasiAlbert(150, 3, &rng);
+  Graph g = gen::OverlayRandomCliques(base, 10, 5, 9, true, &rng);
+  TruncatedMceOptions options;
+  options.max_block_size = 12;
+  TruncatedMceResult result = TruncatedBlockMce(g, options);
+  EXPECT_GT(result.truncated_nodes, 0u);
+  CliqueSet truth = NaiveMceSet(g);
+  BaselineComparison cmp = CompareWithTruth(g, result.cliques, truth);
+  // The baseline must be visibly lossy where the hub cliques live.
+  EXPECT_GT(cmp.missed, 0u);
+  // Everything it got right is genuinely maximal.
+  EXPECT_EQ(cmp.correct + cmp.missed, truth.size());
+  EXPECT_EQ(cmp.correct + cmp.erroneous, result.cliques.size());
+}
+
+TEST(TruncatedMceTest, ErroneousCliquesAreNonMaximal) {
+  Rng rng(17);
+  Graph base = gen::BarabasiAlbert(100, 3, &rng);
+  Graph g = gen::OverlayRandomCliques(base, 8, 5, 9, true, &rng);
+  TruncatedMceOptions options;
+  options.max_block_size = 10;
+  TruncatedMceResult result = TruncatedBlockMce(g, options);
+  CliqueSet truth = NaiveMceSet(g);
+  // Every reported clique must at least be a clique (the corruption is
+  // about maximality, not adjacency).
+  for (const Clique& c : result.cliques.cliques()) {
+    EXPECT_TRUE(IsClique(g, c));
+  }
+  BaselineComparison cmp = CompareWithTruth(g, result.cliques, truth);
+  if (cmp.erroneous > 0) {
+    // Find one erroneous clique and confirm it is non-maximal.
+    truth.Canonicalize();
+    for (const Clique& c : result.cliques.cliques()) {
+      if (!std::binary_search(truth.cliques().begin(),
+                              truth.cliques().end(), c)) {
+        EXPECT_FALSE(IsMaximalClique(g, c));
+        break;
+      }
+    }
+  }
+}
+
+TEST(TruncatedMceTest, PoliciesAreDeterministic) {
+  Rng rng(19);
+  Graph g = gen::BarabasiAlbert(80, 3, &rng);
+  for (TruncationPolicy policy : {TruncationPolicy::kKeepLowDegree,
+                                  TruncationPolicy::kKeepFirstIds}) {
+    TruncatedMceOptions options;
+    options.max_block_size = 8;
+    options.policy = policy;
+    TruncatedMceResult r1 = TruncatedBlockMce(g, options);
+    TruncatedMceResult r2 = TruncatedBlockMce(g, options);
+    EXPECT_TRUE(CliqueSet::Equal(r1.cliques, r2.cliques));
+    EXPECT_EQ(r1.truncated_nodes, r2.truncated_nodes);
+  }
+}
+
+TEST(PartitionedMceTest, WholeGraphBlockIsExact) {
+  Rng rng(23);
+  Graph g = gen::ErdosRenyiGnp(30, 0.2, &rng);
+  PartitionedMceResult result =
+      PartitionedBlockMce(g, g.num_nodes());
+  EXPECT_EQ(result.num_blocks, 1u);
+  mce::test::ExpectMatchesNaive(g, result.cliques);
+}
+
+TEST(PartitionedMceTest, MissesInterBlockCliques) {
+  // A clique spanning any chunk boundary is lost — the Section 7 critique
+  // of BMC. Take K12 with chunk size 6: no block sees the whole clique.
+  Graph g = gen::Complete(12);
+  PartitionedMceResult result = PartitionedBlockMce(g, 6);
+  EXPECT_EQ(result.num_blocks, 2u);
+  CliqueSet truth = NaiveMceSet(g);
+  BaselineComparison cmp = CompareWithTruth(g, result.cliques, truth);
+  EXPECT_EQ(cmp.correct, 0u);   // the true K12 is never found
+  EXPECT_EQ(cmp.missed, 1u);
+  EXPECT_GT(cmp.erroneous, 0u);  // chunk-local K6s are non-maximal in G
+}
+
+TEST(PartitionedMceTest, LossGrowsAsBlocksShrink) {
+  Rng rng(29);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(120, 3, &rng), 10,
+                                      5, 10, false, &rng);
+  CliqueSet truth = NaiveMceSet(g);
+  uint64_t previous_missed = 0;
+  bool first = true;
+  for (uint32_t block_size : {120u, 40u, 12u}) {
+    PartitionedMceResult result = PartitionedBlockMce(g, block_size);
+    CliqueSet reported = result.cliques;  // copy; compare canonicalizes
+    BaselineComparison cmp = CompareWithTruth(g, reported, truth);
+    if (!first) {
+      EXPECT_GE(cmp.missed, previous_missed)
+          << "block_size=" << block_size;
+    }
+    previous_missed = cmp.missed;
+    first = false;
+  }
+  EXPECT_GT(previous_missed, 0u);
+}
+
+TEST(PartitionedMceTest, EmptyGraph) {
+  PartitionedMceResult result = PartitionedBlockMce(Graph(), 5);
+  EXPECT_EQ(result.num_blocks, 0u);
+  EXPECT_EQ(result.cliques.size(), 0u);
+}
+
+TEST(CompareWithTruthTest, CountsAllThreeBuckets) {
+  Graph g = gen::Complete(4);
+  CliqueSet reported;
+  reported.Add(Clique{0, 1, 2});     // erroneous (non-maximal)
+  reported.Add(Clique{0, 1, 2, 3});  // correct
+  CliqueSet truth;
+  truth.Add(Clique{0, 1, 2, 3});
+  truth.Add(Clique{9, 10});  // pretend a second one was missed
+  BaselineComparison cmp = CompareWithTruth(g, reported, truth);
+  EXPECT_EQ(cmp.correct, 1u);
+  EXPECT_EQ(cmp.erroneous, 1u);
+  EXPECT_EQ(cmp.missed, 1u);
+  EXPECT_EQ(cmp.largest_missed, 2u);
+}
+
+}  // namespace
+}  // namespace mce::baseline

@@ -1,0 +1,147 @@
+// End-to-end exercises of the mce_cli binary (path injected by CMake as
+// MCE_CLI_PATH): generate -> stats -> enumerate -> top -> communities ->
+// convert, plus error handling for bad invocations.
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef MCE_CLI_PATH
+#error "MCE_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string(MCE_CLI_PATH) + " " + args + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string TempFile(const std::string& name) {
+  return testing::TempDir() + "/mce_cli_test_" + name;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_path_ = new std::string(TempFile("g.txt"));
+    CommandResult r = RunCli("generate --model twitter1 --scale 0.02 --output " + *graph_path_);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+  }
+  static void TearDownTestSuite() {
+    std::remove(graph_path_->c_str());
+    delete graph_path_;
+    graph_path_ = nullptr;
+  }
+
+  static std::string* graph_path_;
+};
+
+std::string* CliTest::graph_path_ = nullptr;
+
+TEST_F(CliTest, StatsPrintsMetrics) {
+  CommandResult r = RunCli("stats --input " + *graph_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("nodes:"), std::string::npos);
+  EXPECT_NE(r.output.find("degeneracy:"), std::string::npos);
+  EXPECT_NE(r.output.find("d*:"), std::string::npos);
+}
+
+TEST_F(CliTest, EnumerateHumanReadable) {
+  CommandResult r = RunCli("enumerate --input " + *graph_path_ +
+                        " --ratio 0.5 --top 2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cliques="), std::string::npos);
+  EXPECT_NE(r.output.find("clique["), std::string::npos);
+}
+
+TEST_F(CliTest, EnumerateJson) {
+  CommandResult r =
+      RunCli("enumerate --input " + *graph_path_ + " --ratio 0.5 --json true");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_NE(r.output.find("\"total_cliques\":"), std::string::npos);
+  EXPECT_NE(r.output.find("\"levels\":["), std::string::npos);
+}
+
+TEST_F(CliTest, EnumerateWritesCliqueFile) {
+  const std::string out = TempFile("cliques.txt");
+  CommandResult r = RunCli("enumerate --input " + *graph_path_ +
+                        " --ratio 0.5 --output " + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("wrote"), std::string::npos);
+  FILE* f = fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  fclose(f);
+  std::remove(out.c_str());
+}
+
+TEST_F(CliTest, TopPrintsLargest) {
+  CommandResult r = RunCli("top --input " + *graph_path_ + " --k 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clique["), std::string::npos);
+}
+
+TEST_F(CliTest, CommunitiesRuns) {
+  CommandResult r = RunCli("communities --input " + *graph_path_ + " --k 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("k-clique communities"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertToBinaryAndBack) {
+  const std::string bin = TempFile("g.bin");
+  CommandResult r1 =
+      RunCli("convert --input " + *graph_path_ + " --output " + bin +
+          " --to binary");
+  EXPECT_EQ(r1.exit_code, 0) << r1.output;
+  CommandResult r2 = RunCli("stats --input " + bin);
+  EXPECT_EQ(r2.exit_code, 0) << r2.output;
+  std::remove(bin.c_str());
+}
+
+TEST_F(CliTest, ConvertToDot) {
+  const std::string dot = TempFile("g.dot");
+  CommandResult r = RunCli("convert --input " + *graph_path_ + " --output " +
+                        dot + " --to dot");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::remove(dot.c_str());
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  CommandResult r = RunCli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingInputFails) {
+  CommandResult r = RunCli("stats --input /nonexistent/zzz.txt");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, BadRatioFails) {
+  CommandResult r =
+      RunCli("enumerate --input " + *graph_path_ + " --ratio 5.0");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "community/percolation.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/builder.h"
+#include "mce/enumerator.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::community {
+namespace {
+
+TEST(PercolationTest, TwoDisjointTrianglesAreTwoCommunities) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  std::vector<Community> communities = KCliqueCommunities(b.Build(), 3);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].members.size(), 3u);
+  EXPECT_EQ(communities[1].members.size(), 3u);
+}
+
+TEST(PercolationTest, SharedEdgeMergesTriangles) {
+  // Triangles {0,1,2} and {1,2,3} share the edge {1,2} (k-1 = 2 nodes for
+  // k = 3): one community {0,1,2,3}.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  std::vector<Community> communities = KCliqueCommunities(b.Build(), 3);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].members, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(communities[0].clique_indices.size(), 2u);
+}
+
+TEST(PercolationTest, SharedVertexDoesNotMergeForKThree) {
+  // Two triangles sharing only node 2: overlap 1 < k-1 = 2, so two
+  // communities (the node belongs to both — overlap is allowed).
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  std::vector<Community> communities = KCliqueCommunities(b.Build(), 3);
+  ASSERT_EQ(communities.size(), 2u);
+  // Node 2 appears in both.
+  for (const Community& c : communities) {
+    EXPECT_TRUE(std::find(c.members.begin(), c.members.end(), 2) !=
+                c.members.end());
+  }
+}
+
+TEST(PercolationTest, KTwoIsConnectedComponents) {
+  // For k = 2, cliques are edges and sharing k-1 = 1 node chains them:
+  // communities = connected components with at least one edge.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  b.ReserveNodes(6);  // node 5 isolated
+  std::vector<Community> communities = KCliqueCommunities(b.Build(), 2);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].members, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(communities[1].members, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(PercolationTest, SmallCliquesAreIgnored) {
+  // k = 4 on a graph whose largest clique is a triangle: no communities.
+  Graph g = mce::test::CycleGraph(6);
+  EXPECT_TRUE(KCliqueCommunities(g, 4).empty());
+}
+
+TEST(PercolationTest, CliqueSetOverloadAgrees) {
+  Rng rng(21);
+  Graph g = gen::OverlayRandomCliques(gen::ErdosRenyiGnp(40, 0.05, &rng), 5,
+                                      4, 7, false, &rng);
+  CliqueSet cliques = EnumerateToSet(
+      g, MceOptions{Algorithm::kTomita, StorageKind::kAdjacencyList});
+  std::vector<Community> a = KCliqueCommunities(cliques, 3);
+  std::vector<Community> b = KCliqueCommunities(g, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members);
+  }
+}
+
+TEST(PercolationTest, CommunitiesSortedLargestFirst) {
+  GraphBuilder b;
+  // K5 on {0..4} and a triangle {5,6,7}.
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  b.AddEdge(5, 7);
+  std::vector<Community> communities = KCliqueCommunities(b.Build(), 3);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_GT(communities[0].members.size(), communities[1].members.size());
+}
+
+TEST(PercolationTest, RejectsKBelowTwo) {
+  EXPECT_DEATH(KCliqueCommunities(mce::test::PathGraph(3), 1),
+               "Check failed");
+}
+
+TEST(PercolationTest, MembersAreSortedUnique) {
+  Rng rng(23);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(60, 2, &rng), 8, 4,
+                                      8, false, &rng);
+  for (const Community& c : KCliqueCommunities(g, 3)) {
+    EXPECT_TRUE(std::is_sorted(c.members.begin(), c.members.end()));
+    EXPECT_TRUE(std::adjacent_find(c.members.begin(), c.members.end()) ==
+                c.members.end());
+    EXPECT_FALSE(c.clique_indices.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mce::community

@@ -1,0 +1,126 @@
+#include "community/relaxations.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/builder.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::community {
+namespace {
+
+TEST(PowerGraphTest, KOneIsIdentity) {
+  Graph g = mce::test::PathGraph(5);
+  EXPECT_TRUE(PowerGraph(g, 1) == g);
+}
+
+TEST(PowerGraphTest, PathSquared) {
+  // P5 squared: i ~ j iff |i - j| <= 2.
+  Graph g2 = PowerGraph(mce::test::PathGraph(5), 2);
+  EXPECT_TRUE(g2.HasEdge(0, 2));
+  EXPECT_TRUE(g2.HasEdge(1, 3));
+  EXPECT_FALSE(g2.HasEdge(0, 3));
+  EXPECT_EQ(g2.num_edges(), 4u + 3u);
+}
+
+TEST(PowerGraphTest, LargeKConnectsComponents) {
+  Graph g = mce::test::PathGraph(6);
+  Graph g5 = PowerGraph(g, 5);
+  EXPECT_DOUBLE_EQ(g5.Density(), 1.0);  // diameter 5 path -> complete
+  // Disconnected parts never connect, no matter k.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph disconnected = PowerGraph(b.Build(), 10);
+  EXPECT_FALSE(disconnected.HasEdge(1, 2));
+}
+
+TEST(PowerGraphTest, MatchesPairwiseDistances) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyiGnp(30, 0.08, &rng);
+  Graph g2 = PowerGraph(g, 2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      // distance <= 2 <=> adjacent or sharing a neighbor.
+      bool within2 = g.HasEdge(u, v) ||
+                     !CommonNeighbors(g, Clique{u, v}).empty();
+      EXPECT_EQ(g2.HasEdge(u, v), within2) << u << "," << v;
+    }
+  }
+}
+
+TEST(DistanceKCliquesTest, KOneIsPlainMce) {
+  Rng rng(5);
+  Graph g = gen::ErdosRenyiGnp(25, 0.25, &rng);
+  CliqueSet kcliques = MaximalDistanceKCliques(g, 1);
+  mce::test::ExpectMatchesNaive(g, kcliques);
+}
+
+TEST(DistanceKCliquesTest, StarIsATwoClique) {
+  // Every pair of leaves is within distance 2 through the center: the
+  // whole star is one maximal 2-clique.
+  Graph g = mce::test::StarGraph(8);
+  CliqueSet kcliques = MaximalDistanceKCliques(g, 2);
+  ASSERT_EQ(kcliques.size(), 1u);
+  EXPECT_EQ(kcliques.cliques()[0].size(), 8u);
+}
+
+TEST(InducedDiameterTest, Definition) {
+  Graph g = mce::test::PathGraph(5);
+  EXPECT_TRUE(InducedDiameterAtMost(g, Clique{0, 1, 2}, 2));
+  EXPECT_FALSE(InducedDiameterAtMost(g, Clique{0, 1, 2, 3}, 2));
+  EXPECT_TRUE(InducedDiameterAtMost(g, Clique{0, 1, 2, 3}, 3));
+  // Disconnected induced set: infinite diameter.
+  EXPECT_FALSE(InducedDiameterAtMost(g, Clique{0, 4}, 10));
+  EXPECT_TRUE(InducedDiameterAtMost(g, Clique{2}, 0));
+  EXPECT_TRUE(InducedDiameterAtMost(g, Clique{}, 0));
+}
+
+TEST(KClansTest, ClassicCounterexample) {
+  // C6: the maximal 2-cliques are the six consecutive triples
+  // {i, i+1, i+2} (paths of induced diameter 2 -> 2-clans) plus the two
+  // independent triples {0,2,4} and {1,3,5}, whose pairwise distance-2
+  // connections all run through EXCLUDED nodes — their induced subgraphs
+  // are edgeless, so they are 2-cliques but not 2-clans.
+  Graph g = mce::test::CycleGraph(6);
+  CliqueSet two_cliques = MaximalDistanceKCliques(g, 2);
+  CliqueSet two_clans = KClans(g, 2);
+  EXPECT_EQ(two_cliques.size(), 8u);
+  EXPECT_EQ(two_clans.size(), 6u);
+  two_cliques.Canonicalize();
+  EXPECT_TRUE(std::binary_search(two_cliques.cliques().begin(),
+                                 two_cliques.cliques().end(),
+                                 Clique{0, 2, 4}));
+  two_clans.Canonicalize();
+  EXPECT_FALSE(std::binary_search(two_clans.cliques().begin(),
+                                  two_clans.cliques().end(),
+                                  Clique{0, 2, 4}));
+  for (const Clique& c : two_clans.cliques()) {
+    EXPECT_TRUE(InducedDiameterAtMost(g, c, 2));
+  }
+}
+
+TEST(KClansTest, CompleteGraphIsItsOwnClan) {
+  Graph g = gen::Complete(5);
+  CliqueSet clans = KClans(g, 2);
+  ASSERT_EQ(clans.size(), 1u);
+  EXPECT_EQ(clans.cliques()[0].size(), 5u);
+}
+
+TEST(KClansTest, EveryClanIsAKClique) {
+  Rng rng(7);
+  Graph g = gen::ErdosRenyiGnp(25, 0.1, &rng);
+  CliqueSet kcliques = MaximalDistanceKCliques(g, 2);
+  kcliques.Canonicalize();
+  CliqueSet clans = KClans(g, 2);
+  for (const Clique& clan : clans.cliques()) {
+    EXPECT_TRUE(std::binary_search(kcliques.cliques().begin(),
+                                   kcliques.cliques().end(), clan));
+  }
+}
+
+}  // namespace
+}  // namespace mce::community

@@ -1,0 +1,85 @@
+#include "core/clique_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+
+namespace mce {
+namespace {
+
+CliqueSet SampleCliques() {
+  CliqueSet cs;
+  cs.Add(Clique{0, 1});
+  cs.Add(Clique{1, 2, 3});
+  cs.Add(Clique{0, 2, 3, 4});
+  cs.Add(Clique{4});
+  return cs;
+}
+
+TEST(CliqueSizeHistogramTest, CountsBySize) {
+  CliqueSet cs = SampleCliques();
+  std::vector<uint64_t> h = CliqueSizeHistogram(cs);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[3], 1u);
+  EXPECT_EQ(h[4], 1u);
+}
+
+TEST(CliqueSizeHistogramTest, EmptySet) {
+  CliqueSet cs;
+  std::vector<uint64_t> h = CliqueSizeHistogram(cs);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 0u);
+}
+
+TEST(LargestCliqueIndicesTest, OrdersBySizeThenContent) {
+  CliqueSet cs = SampleCliques();
+  std::vector<size_t> top = LargestCliqueIndices(cs, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(cs.cliques()[top[0]].size(), 4u);
+  EXPECT_EQ(cs.cliques()[top[1]].size(), 3u);
+  // Asking for more than exists returns everything.
+  EXPECT_EQ(LargestCliqueIndices(cs, 100).size(), 4u);
+  EXPECT_TRUE(LargestCliqueIndices(cs, 0).empty());
+}
+
+TEST(PerNodeCliqueCountsTest, CountsMembership) {
+  CliqueSet cs = SampleCliques();
+  std::vector<uint64_t> counts = PerNodeCliqueCounts(cs, 6);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2, 2, 2, 2, 0}));
+}
+
+TEST(PerNodeCliqueCountsTest, DiesOnOutOfRangeMember) {
+  CliqueSet cs;
+  cs.Add(Clique{7});
+  EXPECT_DEATH(PerNodeCliqueCounts(cs, 3), "Check failed");
+}
+
+TEST(TopParticipantsTest, RanksByCount) {
+  CliqueSet cs;
+  cs.Add(Clique{0, 1});
+  cs.Add(Clique{1, 2});
+  cs.Add(Clique{1, 3});
+  std::vector<NodeId> top = TopParticipants(cs, 4, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // in 3 cliques
+  EXPECT_EQ(top[1], 0u);  // tie at 1 broken by id
+}
+
+TEST(TopParticipantsTest, AgreesWithNaiveOnRealGraph) {
+  Graph g = test::Figure1Graph();
+  CliqueSet cs = NaiveMceSet(g);
+  std::vector<uint64_t> counts = PerNodeCliqueCounts(cs, g.num_nodes());
+  // D is in {H,F,D}, {D,S,E}, {D,P}, {D,R}, {D,Z} = 5 cliques.
+  using namespace mce::test;
+  EXPECT_EQ(counts[D], 5u);
+  EXPECT_EQ(TopParticipants(cs, g.num_nodes(), 1)[0],
+            static_cast<NodeId>(D));
+}
+
+}  // namespace
+}  // namespace mce

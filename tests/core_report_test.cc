@@ -1,0 +1,68 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(RunReportJsonTest, SerializesSerialRun) {
+  Rng rng(5);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  MaxCliqueFinder::Options options;
+  options.block_size = 15;
+  MaxCliqueFinder finder(options);
+  Result<FindResult> result = finder.Find(g);
+  ASSERT_TRUE(result.ok());
+  std::string json = RunReportJson(*result);
+  // Spot-check the schema (no JSON parser in the toolchain; the format is
+  // machine-generated and flat).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"block_size\":15"), std::string::npos);
+  EXPECT_NE(json.find("\"total_cliques\":" +
+                      std::to_string(result->stats.total_cliques)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"levels\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"used_fallback\":false"), std::string::npos);
+  // Balanced braces/brackets.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RunReportJsonTest, SerializesClusterRun) {
+  Rng rng(7);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  MaxCliqueFinder::Options options;
+  options.block_size = 15;
+  options.simulate_cluster = true;
+  options.cluster.num_workers = 4;
+  MaxCliqueFinder finder(options);
+  Result<FindResult> result = finder.Find(g);
+  ASSERT_TRUE(result.ok());
+  std::string json = RunReportJson(*result);
+  EXPECT_NE(json.find("\"cluster\":{\"workers\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_shipped\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"cluster\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,95 @@
+#include "core/top_cliques.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+/// Reference: filter a full naive enumeration by size.
+CliqueSet NaiveAtLeast(const Graph& g, uint32_t min_size) {
+  CliqueSet out;
+  NaiveMce(g, [&](std::span<const NodeId> c) {
+    if (c.size() >= min_size) out.Add(c);
+  });
+  out.Canonicalize();
+  return out;
+}
+
+TEST(MaximalCliquesAtLeastTest, MatchesFilteredFullEnumeration) {
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::OverlayRandomCliques(
+        gen::ErdosRenyiGnp(40, 0.08, &rng), 4, 4, 8, false, &rng);
+    for (uint32_t min_size : {1u, 2u, 3u, 5u, 8u}) {
+      CliqueSet actual = MaximalCliquesAtLeast(g, min_size);
+      CliqueSet expected = NaiveAtLeast(g, min_size);
+      mce::test::ExpectSameCliques(actual, expected);
+    }
+  }
+}
+
+TEST(MaximalCliquesAtLeastTest, ThresholdAboveMaxCliqueIsEmpty) {
+  Graph g = test::PathGraph(10);  // max clique size 2
+  EXPECT_EQ(MaximalCliquesAtLeast(g, 3).size(), 0u);
+  EXPECT_EQ(MaximalCliquesAtLeast(g, 100).size(), 0u);
+}
+
+TEST(MaximalCliquesAtLeastTest, EmptyGraph) {
+  EXPECT_EQ(MaximalCliquesAtLeast(Graph(), 2).size(), 0u);
+}
+
+TEST(TopKMaximalCliquesTest, ReturnsLargestFirst) {
+  // K5 on {0..4}, triangle {5,6,7}, edge {8,9}.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  b.AddEdge(5, 7);
+  b.AddEdge(8, 9);
+  Graph g = b.Build();
+  std::vector<Clique> top = TopKMaximalCliques(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].size(), 5u);
+  EXPECT_EQ(top[1].size(), 3u);
+}
+
+TEST(TopKMaximalCliquesTest, MatchesSortOfFullEnumeration) {
+  Rng rng(43);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(80, 2, &rng), 6, 4,
+                                      9, true, &rng);
+  CliqueSet all = NaiveMceSet(g);
+  for (size_t k : {1u, 5u, 20u, 10000u}) {
+    std::vector<Clique> top = TopKMaximalCliques(g, k);
+    EXPECT_EQ(top.size(), std::min<size_t>(k, all.size()));
+    // Sizes must be non-increasing and match the k largest sizes overall.
+    std::vector<size_t> all_sizes;
+    for (const Clique& c : all.cliques()) all_sizes.push_back(c.size());
+    std::sort(all_sizes.rbegin(), all_sizes.rend());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].size(), all_sizes[i]) << "k=" << k << " i=" << i;
+      EXPECT_TRUE(IsMaximalClique(g, top[i]));
+    }
+  }
+}
+
+TEST(TopKMaximalCliquesTest, KZero) {
+  EXPECT_TRUE(TopKMaximalCliques(test::PathGraph(4), 0).empty());
+}
+
+TEST(TopKMaximalCliquesTest, WorksOnCompleteGraph) {
+  Graph g = gen::Complete(8);
+  std::vector<Clique> top = TopKMaximalCliques(g, 3);
+  ASSERT_EQ(top.size(), 1u);  // only one maximal clique exists
+  EXPECT_EQ(top[0].size(), 8u);
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,121 @@
+#include "core/verify.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/max_clique_finder.h"
+#include "gen/generators.h"
+#include "mce/clique_io.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(VerifyTest, CleanResultPasses) {
+  Graph g = test::Figure1Graph();
+  CliqueSet cliques = NaiveMceSet(g);
+  VerificationReport report = VerifyAgainstReference(g, cliques);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.checked, 12u);
+  EXPECT_NE(report.ToString().find("[OK]"), std::string::npos);
+}
+
+TEST(VerifyTest, DetectsNonClique) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  CliqueSet bad;
+  bad.Add(Clique{A, D});  // not adjacent
+  VerificationReport report = VerifyCliques(g, bad);
+  EXPECT_EQ(report.not_a_clique, 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyTest, DetectsNonMaximal) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  CliqueSet bad;
+  bad.Add(Clique{A, J});  // extendable by H
+  VerificationReport report = VerifyCliques(g, bad);
+  EXPECT_EQ(report.not_maximal, 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyTest, DetectsDuplicates) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  CliqueSet bad;
+  bad.Add(Clique{A, J, H});
+  bad.Add(Clique{H, J, A});  // same clique
+  VerificationReport report = VerifyCliques(g, bad);
+  EXPECT_EQ(report.duplicates, 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyTest, DetectsMissing) {
+  Graph g = test::Figure1Graph();
+  CliqueSet partial = NaiveMceSet(g);
+  partial.mutable_cliques().pop_back();  // drop one clique
+  VerificationReport report = VerifyAgainstReference(g, partial);
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyTest, CertifiesThePipeline) {
+  Rng rng(3);
+  Graph g = gen::BarabasiAlbert(120, 3, &rng);
+  MaxCliqueFinder::Options options;
+  options.block_size_ratio = 0.2;
+  MaxCliqueFinder finder(options);
+  Result<FindResult> result = finder.Find(g);
+  ASSERT_TRUE(result.ok());
+  VerificationReport report = VerifyAgainstReference(g, result->cliques);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(CliqueIoTest, RoundTrip) {
+  Graph g = test::Figure1Graph();
+  CliqueSet cliques = NaiveMceSet(g);
+  std::string path = testing::TempDir() + "/mce_cliques_rt.txt";
+  ASSERT_TRUE(WriteCliques(cliques, path).ok());
+  Result<CliqueSet> back = ReadCliques(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(CliqueSet::Equal(*back, cliques));
+  std::remove(path.c_str());
+}
+
+TEST(CliqueIoTest, SkipsCommentsAndBlankLines) {
+  std::string path = testing::TempDir() + "/mce_cliques_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# header\n\n1 2 3\n\n4 5\n";
+  }
+  Result<CliqueSet> cs = ReadCliques(path);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CliqueIoTest, RejectsGarbage) {
+  std::string path = testing::TempDir() + "/mce_cliques_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2 x 3\n";
+  }
+  Result<CliqueSet> cs = ReadCliques(path);
+  EXPECT_FALSE(cs.ok());
+  EXPECT_EQ(cs.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CliqueIoTest, MissingFile) {
+  Result<CliqueSet> cs = ReadCliques("/nonexistent/zzz.cliques");
+  EXPECT_FALSE(cs.ok());
+  EXPECT_EQ(cs.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,139 @@
+#include "decision/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mce::decision {
+namespace {
+
+std::vector<MceOptions> TwoLabelSpace() {
+  return {{Algorithm::kTomita, StorageKind::kBitset},
+          {Algorithm::kEppstein, StorageKind::kAdjacencyList}};
+}
+
+TrainingExample Example(double nodes, double degeneracy, int label) {
+  TrainingExample e;
+  e.features.num_nodes = nodes;
+  e.features.degeneracy = degeneracy;
+  e.label = label;
+  return e;
+}
+
+TEST(TrainerTest, LearnsAxisAlignedSplit) {
+  // degeneracy > 20 -> label 0 (bitset/tomita), else label 1.
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 20; ++i) {
+    examples.push_back(Example(100 + i, 30 + i, 0));
+    examples.push_back(Example(100 + i, 5 + (i % 10), 1));
+  }
+  DecisionTree tree = TrainDecisionTree(examples, TwoLabelSpace());
+  EXPECT_DOUBLE_EQ(Accuracy(tree, examples, TwoLabelSpace()), 1.0);
+  // Generalizes to unseen points on either side.
+  EXPECT_EQ(tree.Classify(Example(500, 100, 0).features).storage,
+            StorageKind::kBitset);
+  EXPECT_EQ(tree.Classify(Example(500, 1, 0).features).storage,
+            StorageKind::kAdjacencyList);
+}
+
+TEST(TrainerTest, PureInputYieldsSingleLeaf) {
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 10; ++i) examples.push_back(Example(i, i, 0));
+  DecisionTree tree = TrainDecisionTree(examples, TwoLabelSpace());
+  EXPECT_EQ(tree.NumLeaves(), 1u);
+  EXPECT_EQ(tree.Classify(examples[0].features).algorithm,
+            Algorithm::kTomita);
+}
+
+TEST(TrainerTest, RespectsMaxDepth) {
+  // label 1 iff degeneracy > 10 or nodes > 10: greedy CART needs depth 2
+  // (first split is pure on one side, the other needs a second cut).
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 10; ++i) {
+    examples.push_back(Example(1, 1, 0));
+    examples.push_back(Example(1, 20, 1));
+    examples.push_back(Example(20, 1, 1));
+    examples.push_back(Example(20, 20, 1));
+  }
+  TrainerOptions options;
+  options.max_depth = 1;
+  options.min_samples_leaf = 1;
+  DecisionTree shallow =
+      TrainDecisionTree(examples, TwoLabelSpace(), options);
+  EXPECT_LE(shallow.Depth(), 1);
+  EXPECT_LT(Accuracy(shallow, examples, TwoLabelSpace()), 1.0);
+
+  options.max_depth = 4;
+  DecisionTree deep = TrainDecisionTree(examples, TwoLabelSpace(), options);
+  EXPECT_DOUBLE_EQ(Accuracy(deep, examples, TwoLabelSpace()), 1.0);
+  EXPECT_GE(deep.Depth(), 2);
+}
+
+TEST(TrainerTest, MinSamplesLeafBlocksTinySplits) {
+  // One outlier among 20: min_samples_leaf = 5 forbids isolating it, so
+  // whatever the tree does, the outlier lands in a majority-0 leaf.
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 20; ++i) examples.push_back(Example(i, 5, 0));
+  TrainingExample outlier = Example(100, 50, 1);
+  examples.push_back(outlier);
+  TrainerOptions options;
+  options.min_samples_leaf = 5;
+  DecisionTree tree = TrainDecisionTree(examples, TwoLabelSpace(), options);
+  // Label 0's combo is BitSets/Tomita; the outlier (label 1) cannot be
+  // isolated, so it is misclassified into the majority.
+  EXPECT_EQ(tree.Classify(outlier.features).storage, StorageKind::kBitset);
+  // With min_samples_leaf = 1 the outlier IS isolated and classified as
+  // its own label (Lists/Eppstein).
+  options.min_samples_leaf = 1;
+  DecisionTree greedy = TrainDecisionTree(examples, TwoLabelSpace(), options);
+  EXPECT_EQ(greedy.Classify(outlier.features).storage,
+            StorageKind::kAdjacencyList);
+}
+
+TEST(TrainerTest, MultiClassSplit) {
+  std::vector<MceOptions> labels = {
+      {Algorithm::kBKPivot, StorageKind::kMatrix},
+      {Algorithm::kTomita, StorageKind::kBitset},
+      {Algorithm::kXPivot, StorageKind::kAdjacencyList},
+  };
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 15; ++i) {
+    examples.push_back(Example(10, 5 + (i % 3), 0));
+    examples.push_back(Example(1000, 40 + (i % 3), 1));
+    examples.push_back(Example(100000, 8 + (i % 3), 2));
+  }
+  DecisionTree tree = TrainDecisionTree(examples, labels);
+  EXPECT_DOUBLE_EQ(Accuracy(tree, examples, labels), 1.0);
+  EXPECT_GE(tree.NumLeaves(), 3u);
+}
+
+TEST(TrainerTest, AccuracyOnHeldOut) {
+  // Noisy but separable data: train/test split should still score > 0.8.
+  Rng rng(3);
+  std::vector<TrainingExample> train, test;
+  for (int i = 0; i < 200; ++i) {
+    double degeneracy = rng.NextDouble() * 60;
+    int label = degeneracy > 30 ? 0 : 1;
+    if (rng.NextBool(0.05)) label = 1 - label;  // 5% label noise
+    TrainingExample e = Example(rng.NextDouble() * 1000, degeneracy, label);
+    (i % 5 == 0 ? test : train).push_back(e);
+  }
+  TrainerOptions options;
+  options.max_depth = 3;
+  options.min_samples_leaf = 8;
+  DecisionTree tree = TrainDecisionTree(train, TwoLabelSpace(), options);
+  EXPECT_GT(Accuracy(tree, test, TwoLabelSpace()), 0.8);
+}
+
+TEST(TrainerTest, EmptyExamplesDie) {
+  std::vector<TrainingExample> none;
+  EXPECT_DEATH(TrainDecisionTree(none, TwoLabelSpace()), "Check failed");
+}
+
+TEST(TrainerTest, OutOfRangeLabelDies) {
+  std::vector<TrainingExample> examples{Example(1, 1, 7)};
+  EXPECT_DEATH(TrainDecisionTree(examples, TwoLabelSpace()), "Check failed");
+}
+
+}  // namespace
+}  // namespace mce::decision

@@ -1,0 +1,133 @@
+#include "decision/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "decision/features.h"
+#include "gen/special.h"
+#include "test_util.h"
+
+namespace mce::decision {
+namespace {
+
+BlockFeatures MakeFeatures(double nodes, double degeneracy) {
+  BlockFeatures f;
+  f.num_nodes = nodes;
+  f.degeneracy = degeneracy;
+  return f;
+}
+
+TEST(PaperTreeTest, MatchesFigure3Leaves) {
+  DecisionTree tree = PaperDecisionTree();
+  // Sparse block (degeneracy <= 25) -> Lists/XPivot.
+  {
+    MceOptions o = tree.Classify(MakeFeatures(100000, 10));
+    EXPECT_EQ(o.storage, StorageKind::kAdjacencyList);
+    EXPECT_EQ(o.algorithm, Algorithm::kXPivot);
+  }
+  // Dense small block -> Matrix/XPivot.
+  {
+    MceOptions o = tree.Classify(MakeFeatures(500, 30));
+    EXPECT_EQ(o.storage, StorageKind::kMatrix);
+    EXPECT_EQ(o.algorithm, Algorithm::kXPivot);
+  }
+  // Large block, degeneracy in (25, 52] -> Matrix/BKPivot.
+  {
+    MceOptions o = tree.Classify(MakeFeatures(20000, 40));
+    EXPECT_EQ(o.storage, StorageKind::kMatrix);
+    EXPECT_EQ(o.algorithm, Algorithm::kBKPivot);
+  }
+  // Large block, very dense (degeneracy > 52) -> BitSets/Tomita.
+  {
+    MceOptions o = tree.Classify(MakeFeatures(20000, 80));
+    EXPECT_EQ(o.storage, StorageKind::kBitset);
+    EXPECT_EQ(o.algorithm, Algorithm::kTomita);
+  }
+}
+
+TEST(PaperTreeTest, BoundaryValues) {
+  DecisionTree tree = PaperDecisionTree();
+  // degeneracy exactly 25 is NOT > 25: sparse leaf.
+  EXPECT_EQ(tree.Classify(MakeFeatures(10, 25)).storage,
+            StorageKind::kAdjacencyList);
+  // #nodes = 8558 is not < 8558: goes to the large-block side.
+  MceOptions o = tree.Classify(MakeFeatures(8558, 30));
+  EXPECT_EQ(o.algorithm, Algorithm::kBKPivot);
+  // #nodes = 8557 takes the small side.
+  EXPECT_EQ(tree.Classify(MakeFeatures(8557, 30)).algorithm,
+            Algorithm::kXPivot);
+  // degeneracy exactly 52: Matrix/BKPivot (not > 52).
+  EXPECT_EQ(tree.Classify(MakeFeatures(9000, 52)).storage,
+            StorageKind::kMatrix);
+}
+
+TEST(PaperTreeTest, ShapeStats) {
+  DecisionTree tree = PaperDecisionTree();
+  EXPECT_EQ(tree.NumLeaves(), 4u);
+  EXPECT_EQ(tree.Depth(), 3);
+  std::string rendered = tree.ToString();
+  EXPECT_NE(rendered.find("degeneracy > 25"), std::string::npos);
+  EXPECT_NE(rendered.find("Lists/XPivot"), std::string::npos);
+  EXPECT_NE(rendered.find("BitSets/Tomita"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, SingleLeafAlwaysReturnsSame) {
+  DecisionTree tree(MceOptions{Algorithm::kEppstein,
+                               StorageKind::kAdjacencyList});
+  for (double d : {0.0, 10.0, 1000.0}) {
+    MceOptions o = tree.Classify(MakeFeatures(d, d));
+    EXPECT_EQ(o.algorithm, Algorithm::kEppstein);
+  }
+  EXPECT_EQ(tree.NumLeaves(), 1u);
+  EXPECT_EQ(tree.Depth(), 0);
+}
+
+TEST(DecisionTreeTest, ValidationRejectsCycles) {
+  std::vector<DecisionTree::Node> nodes(1);
+  nodes[0].is_leaf = false;
+  nodes[0].feature = FeatureId::kDensity;
+  nodes[0].threshold = 0.5;
+  nodes[0].true_child = 0;  // self-cycle
+  nodes[0].false_child = 0;
+  EXPECT_DEATH(DecisionTree tree(std::move(nodes)), "Check failed");
+}
+
+TEST(DecisionTreeTest, ValidationRejectsOutOfRangeChild) {
+  std::vector<DecisionTree::Node> nodes(1);
+  nodes[0].is_leaf = false;
+  nodes[0].true_child = 5;
+  nodes[0].false_child = 6;
+  EXPECT_DEATH(DecisionTree tree(std::move(nodes)), "Check failed");
+}
+
+TEST(FeaturesTest, ComputeFeaturesOnFigure1) {
+  Graph g = mce::test::Figure1Graph();
+  BlockFeatures f = ComputeFeatures(g);
+  EXPECT_EQ(f.num_nodes, 16);
+  EXPECT_EQ(f.num_edges, 18);
+  EXPECT_GT(f.density, 0.0);
+  EXPECT_EQ(f.degeneracy, 2);  // triangles are the densest substructures
+  EXPECT_GT(f.d_star, 0.0);
+}
+
+TEST(FeaturesTest, GetAndArrayAgree) {
+  BlockFeatures f;
+  f.num_nodes = 1;
+  f.num_edges = 2;
+  f.density = 3;
+  f.degeneracy = 4;
+  f.d_star = 5;
+  auto arr = f.AsArray();
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_EQ(arr[i], f.Get(static_cast<FeatureId>(i)));
+    EXPECT_EQ(arr[i], i + 1);
+  }
+  EXPECT_NE(f.ToString().find("degeneracy=4"), std::string::npos);
+}
+
+TEST(FeaturesTest, FeatureNames) {
+  EXPECT_STREQ(FeatureName(FeatureId::kNumNodes), "#nodes");
+  EXPECT_STREQ(FeatureName(FeatureId::kDStar), "d*");
+}
+
+}  // namespace
+}  // namespace mce::decision

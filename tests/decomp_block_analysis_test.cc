@@ -1,0 +1,158 @@
+#include "decomp/block_analysis.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "decomp/blocks.h"
+#include "decomp/cut.h"
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::decomp {
+namespace {
+
+/// Analyzes all blocks of a decomposition of `g` and returns the union of
+/// their cliques (parent ids).
+CliqueSet AnalyzeAll(const Graph& /*g*/, const std::vector<Block>& blocks,
+                     const BlockAnalysisOptions& options) {
+  CliqueSet out;
+  for (const Block& block : blocks) {
+    AnalyzeBlock(block, options, out.Collector());
+  }
+  return out;
+}
+
+class BlockAnalysisStorageTest
+    : public ::testing::TestWithParam<StorageKind> {};
+
+TEST_P(BlockAnalysisStorageTest, UnionOverBlocksEqualsFeasibleCliques) {
+  // With m large enough that there are no hubs, the union over blocks must
+  // be ALL maximal cliques, each exactly once.
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(35, 0.15 + 0.05 * trial, &rng);
+    const uint32_t m = g.num_nodes();  // everything feasible
+    CutResult cut = Cut(g, m);
+    ASSERT_TRUE(cut.hubs.empty());
+    BlocksOptions boptions;
+    boptions.max_block_size = m;
+    std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+
+    BlockAnalysisOptions aoptions;
+    aoptions.fixed = {Algorithm::kTomita, GetParam()};
+    CliqueSet got = AnalyzeAll(g, blocks, aoptions);
+    const size_t raw_count = got.size();
+    got.Canonicalize();
+    EXPECT_EQ(raw_count, got.size()) << "duplicate cliques across blocks";
+    mce::test::ExpectMatchesNaive(g, got);
+  }
+}
+
+TEST_P(BlockAnalysisStorageTest, SmallBlocksStillUniqueAndCorrect) {
+  // Small m creates hubs; the block union must equal exactly the maximal
+  // cliques that contain at least one feasible node.
+  Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::BarabasiAlbert(60, 3, &rng);
+    const uint32_t m = 10;
+    CutResult cut = Cut(g, m);
+    BlocksOptions boptions;
+    boptions.max_block_size = m;
+    std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+
+    BlockAnalysisOptions aoptions;
+    aoptions.fixed = {Algorithm::kTomita, GetParam()};
+    CliqueSet got = AnalyzeAll(g, blocks, aoptions);
+    const size_t raw_count = got.size();
+    got.Canonicalize();
+    EXPECT_EQ(raw_count, got.size()) << "duplicate cliques across blocks";
+
+    std::unordered_set<NodeId> feasible(cut.feasible.begin(),
+                                        cut.feasible.end());
+    CliqueSet expected;
+    NaiveMce(g, [&](std::span<const NodeId> c) {
+      for (NodeId v : c) {
+        if (feasible.count(v)) {
+          expected.Add(c);
+          return;
+        }
+      }
+    });
+    mce::test::ExpectSameCliques(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorages, BlockAnalysisStorageTest,
+                         ::testing::Values(StorageKind::kAdjacencyList,
+                                           StorageKind::kMatrix,
+                                           StorageKind::kBitset),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(BlockAnalysisTest, DecisionTreeSelectsPerBlock) {
+  Graph g = mce::test::Figure1Graph();
+  const uint32_t m = 5;
+  CutResult cut = Cut(g, m);
+  BlocksOptions boptions;
+  boptions.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+
+  decision::DecisionTree tree = decision::PaperDecisionTree();
+  BlockAnalysisOptions aoptions;
+  aoptions.tree = &tree;
+  CliqueSet got = AnalyzeAll(g, blocks, aoptions);
+  got.Canonicalize();
+  // The feasible-side cliques of Figure 1: everything except {D,S,E}.
+  CliqueSet expected = mce::test::Figure1Cliques();
+  CliqueSet expected_feasible;
+  for (const Clique& c : expected.cliques()) {
+    using namespace mce::test;
+    if (c == Clique{static_cast<NodeId>(D), static_cast<NodeId>(E),
+                    static_cast<NodeId>(S)}) {
+      continue;
+    }
+    expected_feasible.Add(c);
+  }
+  mce::test::ExpectSameCliques(got, expected_feasible);
+}
+
+TEST(BlockAnalysisTest, ReportsUsedComboAndCount) {
+  Graph g = gen::Complete(4);
+  std::vector<NodeId> feasible{0, 1, 2, 3};
+  BlocksOptions boptions;
+  boptions.max_block_size = 4;
+  std::vector<Block> blocks = BuildBlocks(g, feasible, boptions);
+  ASSERT_EQ(blocks.size(), 1u);
+  BlockAnalysisOptions aoptions;
+  aoptions.fixed = {Algorithm::kBKPivot, StorageKind::kMatrix};
+  CliqueSet sink;
+  BlockAnalysisResult r = AnalyzeBlock(blocks[0], aoptions, sink.Collector());
+  EXPECT_EQ(r.num_cliques, 1u);
+  EXPECT_EQ(r.used.algorithm, Algorithm::kBKPivot);
+  EXPECT_EQ(r.used.storage, StorageKind::kMatrix);
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(BlockAnalysisTest, EppsteinFixedComboFallsBackToSeededTomita) {
+  // Requesting Eppstein per-block must still be correct (the seeded loop
+  // substitutes the Tomita pivot internally).
+  Rng rng(45);
+  Graph g = gen::ErdosRenyiGnp(30, 0.2, &rng);
+  const uint32_t m = g.num_nodes();
+  CutResult cut = Cut(g, m);
+  BlocksOptions boptions;
+  boptions.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+  BlockAnalysisOptions aoptions;
+  aoptions.fixed = {Algorithm::kEppstein, StorageKind::kAdjacencyList};
+  CliqueSet got = AnalyzeAll(g, blocks, aoptions);
+  mce::test::ExpectMatchesNaive(g, got);
+}
+
+}  // namespace
+}  // namespace mce::decomp

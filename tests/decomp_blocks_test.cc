@@ -1,0 +1,250 @@
+#include "decomp/blocks.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "decomp/cut.h"
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::decomp {
+namespace {
+
+/// Structural invariants of Algorithm 3, checked for any decomposition.
+void CheckBlockInvariants(const Graph& g, const std::vector<NodeId>& feasible,
+                          const std::vector<Block>& blocks, uint32_t m) {
+  std::unordered_set<NodeId> feasible_set(feasible.begin(), feasible.end());
+  std::unordered_map<NodeId, int> kernel_block;  // node -> block index
+
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& block = blocks[bi];
+    // Block size bound.
+    EXPECT_LE(block.num_nodes(), m) << "block " << bi;
+    ASSERT_EQ(block.roles.size(), block.subgraph.to_parent.size());
+    ASSERT_FALSE(block.kernel_local.empty());
+
+    std::unordered_set<NodeId> block_parents(block.subgraph.to_parent.begin(),
+                                             block.subgraph.to_parent.end());
+    for (NodeId local : block.kernel_local) {
+      EXPECT_EQ(block.roles[local], NodeRole::kKernel);
+      const NodeId parent = block.subgraph.to_parent[local];
+      // Kernels are feasible and belong to exactly one block.
+      EXPECT_TRUE(feasible_set.count(parent));
+      EXPECT_EQ(kernel_block.count(parent), 0u)
+          << "node " << parent << " kernel twice";
+      kernel_block[parent] = static_cast<int>(bi);
+      // All neighbors of a kernel are inside the block.
+      for (NodeId nbr : g.Neighbors(parent)) {
+        EXPECT_TRUE(block_parents.count(nbr))
+            << "neighbor " << nbr << " of kernel " << parent
+            << " missing from block " << bi;
+      }
+    }
+  }
+  // Kernels form a partition of the feasible set.
+  EXPECT_EQ(kernel_block.size(), feasible.size());
+
+  // Visited nodes are exactly the block members that were kernels of
+  // earlier blocks; border nodes were never kernels before this block.
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& block = blocks[bi];
+    for (NodeId local = 0; local < block.roles.size(); ++local) {
+      const NodeId parent = block.subgraph.to_parent[local];
+      auto it = kernel_block.find(parent);
+      switch (block.roles[local]) {
+        case NodeRole::kKernel:
+          ASSERT_NE(it, kernel_block.end());
+          EXPECT_EQ(it->second, static_cast<int>(bi));
+          break;
+        case NodeRole::kVisited:
+          ASSERT_NE(it, kernel_block.end());
+          EXPECT_LT(it->second, static_cast<int>(bi));
+          break;
+        case NodeRole::kBorder:
+          if (it != kernel_block.end()) {
+            EXPECT_GT(it->second, static_cast<int>(bi));
+          }
+          break;
+      }
+    }
+  }
+}
+
+TEST(BlocksTest, Figure1DecompositionInvariants) {
+  Graph g = mce::test::Figure1Graph();
+  const uint32_t m = 5;
+  CutResult cut = Cut(g, m);
+  BlocksOptions options;
+  options.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, options);
+  CheckBlockInvariants(g, cut.feasible, blocks, m);
+  // Hubs never appear as kernels but do appear as borders somewhere (their
+  // neighborhoods are distributed among the blocks).
+  using namespace mce::test;
+  bool hub_seen_as_border = false;
+  for (const Block& block : blocks) {
+    for (NodeId local = 0; local < block.roles.size(); ++local) {
+      NodeId parent = block.subgraph.to_parent[local];
+      if (parent == D || parent == S || parent == E) {
+        EXPECT_NE(block.roles[local], NodeRole::kKernel);
+        if (block.roles[local] == NodeRole::kBorder) {
+          hub_seen_as_border = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(hub_seen_as_border);
+}
+
+// Section 3.2: "every maximal clique occurs in at least one block" — every
+// maximal clique with at least one feasible node must be fully contained in
+// the block where some member is a kernel and, in the first such block (by
+// build order), contain no visited node.
+void CheckCliqueCoverage(const Graph& g, const std::vector<NodeId>& feasible,
+                         const std::vector<Block>& blocks) {
+  std::unordered_set<NodeId> feasible_set(feasible.begin(), feasible.end());
+  CliqueSet all = NaiveMceSet(g);
+  for (const Clique& clique : all.cliques()) {
+    bool has_feasible = false;
+    for (NodeId v : clique) {
+      if (feasible_set.count(v)) has_feasible = true;
+    }
+    if (!has_feasible) continue;
+    // Find a block containing the whole clique with >= 1 kernel member and
+    // no visited member.
+    bool covered = false;
+    for (const Block& block : blocks) {
+      std::unordered_map<NodeId, NodeId> to_local;
+      for (NodeId local = 0; local < block.subgraph.to_parent.size();
+           ++local) {
+        to_local[block.subgraph.to_parent[local]] = local;
+      }
+      bool whole = true, has_kernel = false, has_visited = false;
+      for (NodeId v : clique) {
+        auto it = to_local.find(v);
+        if (it == to_local.end()) {
+          whole = false;
+          break;
+        }
+        if (block.roles[it->second] == NodeRole::kKernel) has_kernel = true;
+        if (block.roles[it->second] == NodeRole::kVisited) has_visited = true;
+      }
+      if (whole && has_kernel && !has_visited) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "clique of size " << clique.size()
+                         << " not covered without visited nodes";
+  }
+}
+
+TEST(BlocksTest, EveryCliqueCoveredOnRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(40, 0.1 + 0.05 * trial, &rng);
+    const uint32_t m = 12;
+    CutResult cut = Cut(g, m);
+    BlocksOptions options;
+    options.max_block_size = m;
+    std::vector<Block> blocks = BuildBlocks(g, cut.feasible, options);
+    CheckBlockInvariants(g, cut.feasible, blocks, m);
+    CheckCliqueCoverage(g, cut.feasible, blocks);
+  }
+}
+
+TEST(BlocksTest, SeedPoliciesAllSatisfyInvariants) {
+  Rng rng(33);
+  Graph g = gen::BarabasiAlbert(120, 3, &rng);
+  const uint32_t m = 30;
+  CutResult cut = Cut(g, m);
+  for (SeedPolicy policy : {SeedPolicy::kLowestDegree,
+                            SeedPolicy::kHighestDegree,
+                            SeedPolicy::kFirstId}) {
+    BlocksOptions options;
+    options.max_block_size = m;
+    options.seed_policy = policy;
+    std::vector<Block> blocks = BuildBlocks(g, cut.feasible, options);
+    CheckBlockInvariants(g, cut.feasible, blocks, m);
+  }
+}
+
+TEST(BlocksTest, HighThresholdProducesMoreBlocks) {
+  Rng rng(35);
+  Graph g = gen::ErdosRenyiGnp(80, 0.15, &rng);
+  const uint32_t m = 40;
+  CutResult cut = Cut(g, m);
+  BlocksOptions loose;
+  loose.max_block_size = m;
+  loose.min_adjacency = 1;
+  BlocksOptions strict;
+  strict.max_block_size = m;
+  strict.min_adjacency = 4;  // only strongly-attached candidates join
+  std::vector<Block> loose_blocks = BuildBlocks(g, cut.feasible, loose);
+  std::vector<Block> strict_blocks = BuildBlocks(g, cut.feasible, strict);
+  EXPECT_GE(strict_blocks.size(), loose_blocks.size());
+  CheckBlockInvariants(g, cut.feasible, strict_blocks, m);
+}
+
+TEST(BlocksTest, IsolatedNodesGetSingletonBlocks) {
+  GraphBuilder b;
+  b.ReserveNodes(3);
+  Graph g = b.Build();
+  std::vector<NodeId> feasible{0, 1, 2};
+  BlocksOptions options;
+  options.max_block_size = 4;
+  std::vector<Block> blocks = BuildBlocks(g, feasible, options);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (const Block& block : blocks) {
+    EXPECT_EQ(block.num_nodes(), 1u);
+    EXPECT_EQ(block.kernel_local.size(), 1u);
+  }
+}
+
+TEST(BlocksTest, EmptyFeasibleSetYieldsNoBlocks) {
+  Graph g = gen::Complete(6);
+  BlocksOptions options;
+  options.max_block_size = 3;
+  EXPECT_TRUE(BuildBlocks(g, {}, options).empty());
+}
+
+TEST(BlocksTest, DeterministicAcrossRuns) {
+  Rng rng(37);
+  Graph g = gen::BarabasiAlbert(100, 3, &rng);
+  const uint32_t m = 25;
+  CutResult cut = Cut(g, m);
+  BlocksOptions options;
+  options.max_block_size = m;
+  std::vector<Block> b1 = BuildBlocks(g, cut.feasible, options);
+  std::vector<Block> b2 = BuildBlocks(g, cut.feasible, options);
+  ASSERT_EQ(b1.size(), b2.size());
+  for (size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(b1[i].subgraph.to_parent, b2[i].subgraph.to_parent);
+    EXPECT_EQ(b1[i].kernel_local, b2[i].kernel_local);
+  }
+}
+
+TEST(BlockTest, RoleCountsAndBytes) {
+  Graph g = mce::test::Figure1Graph();
+  const uint32_t m = 5;
+  CutResult cut = Cut(g, m);
+  BlocksOptions options;
+  options.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, options);
+  for (const Block& block : blocks) {
+    EXPECT_EQ(block.CountRole(NodeRole::kKernel) +
+                  block.CountRole(NodeRole::kBorder) +
+                  block.CountRole(NodeRole::kVisited),
+              block.num_nodes());
+    EXPECT_GT(block.EstimatedBytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mce::decomp

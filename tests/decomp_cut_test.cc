@@ -1,0 +1,73 @@
+#include "decomp/cut.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/special.h"
+#include "test_util.h"
+
+namespace mce::decomp {
+namespace {
+
+TEST(CutTest, Figure1ExampleWithMFive) {
+  // Section 2: with m = 5 the hub set of the running example is {D, S, E}
+  // (degrees 7, 5, 5); everything else is feasible.
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  CutResult cut = Cut(g, 5);
+  EXPECT_EQ(cut.hubs, (std::vector<NodeId>{D, E, S}));
+  EXPECT_EQ(cut.feasible.size(), g.num_nodes() - 3);
+}
+
+TEST(CutTest, FeasibilityBoundaryIsClosedNeighborhood) {
+  // A node of degree d is feasible iff d + 1 <= m.
+  Graph g = test::StarGraph(6);  // center degree 5
+  EXPECT_TRUE(IsFeasibleNode(g, 0, 6));
+  EXPECT_FALSE(IsFeasibleNode(g, 0, 5));
+  CutResult at5 = Cut(g, 5);
+  EXPECT_EQ(at5.hubs, (std::vector<NodeId>{0}));
+  CutResult at6 = Cut(g, 6);
+  EXPECT_TRUE(at6.hubs.empty());
+}
+
+TEST(CutTest, PartitionIsCompleteAndDisjoint) {
+  Graph g = test::Figure1Graph();
+  for (uint32_t m : {2u, 3u, 5u, 8u, 100u}) {
+    CutResult cut = Cut(g, m);
+    EXPECT_EQ(cut.feasible.size() + cut.hubs.size(), g.num_nodes());
+    // Ascending and disjoint.
+    std::vector<NodeId> all = cut.feasible;
+    all.insert(all.end(), cut.hubs.begin(), cut.hubs.end());
+    std::sort(all.begin(), all.end());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(all[v], v);
+  }
+}
+
+TEST(CutTest, LargeMMakesEverythingFeasible) {
+  Graph g = gen::Complete(10);
+  CutResult cut = Cut(g, 10);  // degree 9, closed neighborhood 10 <= 10
+  EXPECT_TRUE(cut.hubs.empty());
+}
+
+TEST(CutTest, TinyMMakesEverythingHub) {
+  Graph g = gen::Complete(10);
+  CutResult cut = Cut(g, 5);
+  EXPECT_TRUE(cut.feasible.empty());
+  EXPECT_EQ(cut.hubs.size(), 10u);
+}
+
+TEST(CutTest, EmptyGraph) {
+  CutResult cut = Cut(Graph(), 5);
+  EXPECT_TRUE(cut.feasible.empty());
+  EXPECT_TRUE(cut.hubs.empty());
+}
+
+TEST(CutTest, IsolatedNodesAreAlwaysFeasibleForMGe1) {
+  GraphBuilder b;
+  b.ReserveNodes(3);
+  Graph g = b.Build();
+  CutResult cut = Cut(g, 1);
+  EXPECT_EQ(cut.feasible.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mce::decomp

@@ -1,0 +1,125 @@
+#include "decomp/filter.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/subgraph.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::decomp {
+namespace {
+
+TEST(FilterContainedTest, DropsContainedKeepsOthers) {
+  CliqueSet ch, cf;
+  ch.Add(Clique{1, 2});        // contained in {1,2,3}
+  ch.Add(Clique{4, 5});        // not contained
+  ch.Add(Clique{1, 2, 3});     // equal counts as contained
+  cf.Add(Clique{1, 2, 3});
+  cf.Add(Clique{6});
+  CliqueSet out = FilterContainedCliques(ch, cf);
+  CliqueSet expected;
+  expected.Add(Clique{4, 5});
+  mce::test::ExpectSameCliques(out, expected);
+}
+
+TEST(FilterContainedTest, EmptyInputs) {
+  CliqueSet empty, some;
+  some.Add(Clique{1});
+  EXPECT_EQ(FilterContainedCliques(empty, some).size(), 0u);
+  EXPECT_EQ(FilterContainedCliques(some, empty).size(), 1u);
+}
+
+TEST(IsMaximalInGraphTest, MatchesDefinition) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  EXPECT_TRUE(IsMaximalInGraph(g, Clique{D, S, E}));
+  EXPECT_FALSE(IsMaximalInGraph(g, Clique{D, S}));
+  EXPECT_FALSE(IsMaximalInGraph(g, Clique{A, J}));
+}
+
+TEST(FilterNonMaximalTest, KeepsOnlyMaximal) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  CliqueSet in;
+  in.Add(Clique{D, S, E});
+  in.Add(Clique{D, S});
+  in.Add(Clique{H, F, D});
+  in.Add(Clique{F, D});
+  CliqueSet out = FilterNonMaximal(g, in);
+  CliqueSet expected;
+  expected.Add(Clique{D, S, E});
+  expected.Add(Clique{H, F, D});
+  mce::test::ExpectSameCliques(out, expected);
+}
+
+// Lemma 1, property-tested: for a random graph and a random bipartition
+// (N1, N2), let C1 = maximal cliques of G with a node in N1 and C2 =
+// maximal cliques of the subgraph induced by N2. Then
+// C1 u filter(C2, C1) = all maximal cliques of G, and the two filter
+// implementations agree on C2.
+TEST(Lemma1PropertyTest, HoldsOnRandomBipartitions) {
+  Rng rng(51);
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(26, 0.15 + 0.04 * (trial % 5), &rng);
+    std::unordered_set<NodeId> n1;
+    std::vector<NodeId> n2;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.NextBool(0.5)) {
+        n1.insert(v);
+      } else {
+        n2.push_back(v);
+      }
+    }
+    CliqueSet all = NaiveMceSet(g);
+    CliqueSet c1;
+    for (const Clique& c : all.cliques()) {
+      for (NodeId v : c) {
+        if (n1.count(v)) {
+          c1.Add(c);
+          break;
+        }
+      }
+    }
+    InducedSubgraph sub = Induce(g, n2);
+    CliqueSet c2;
+    NaiveMce(sub.graph, [&](std::span<const NodeId> local) {
+      c2.Add(ToParentIds(sub, local));
+    });
+
+    // The two filters agree.
+    CliqueSet by_containment = FilterContainedCliques(c2, c1);
+    CliqueSet by_maximality = FilterNonMaximal(g, c2);
+    mce::test::ExpectSameCliques(by_containment, by_maximality);
+
+    // And the union reconstructs all maximal cliques (Lemma 1).
+    CliqueSet reconstructed = c1;
+    reconstructed.Merge(std::move(by_containment));
+    mce::test::ExpectSameCliques(reconstructed, all);
+  }
+}
+
+TEST(FilterEquivalenceTest, HubSideOfFigure1) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  // C_h = maximal cliques of the induced hub triangle = {D,S,E}. It is
+  // maximal in G, so both filters keep it.
+  CliqueSet ch;
+  ch.Add(Clique{D, S, E});
+  CliqueSet cf = Figure1Cliques();  // superset of C_f; contains no {D,S,E}
+  CliqueSet cf_without;
+  for (const Clique& c : cf.cliques()) {
+    if (!(c == Clique{static_cast<NodeId>(D), static_cast<NodeId>(E),
+                      static_cast<NodeId>(S)})) {
+      cf_without.Add(c);
+    }
+  }
+  EXPECT_EQ(FilterContainedCliques(ch, cf_without).size(), 1u);
+  EXPECT_EQ(FilterNonMaximal(g, ch).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mce::decomp

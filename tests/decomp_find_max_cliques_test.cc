@@ -1,0 +1,293 @@
+#include "decomp/find_max_cliques.h"
+
+#include <unordered_set>
+
+#include "decomp/block_analysis.h"
+#include "decomp/cut.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/core_decomposition.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::decomp {
+namespace {
+
+FindMaxCliquesOptions OptionsWithM(uint32_t m) {
+  FindMaxCliquesOptions options;
+  options.max_block_size = m;
+  return options;
+}
+
+TEST(FindMaxCliquesTest, Figure1WithPaperBlockSize) {
+  Graph g = mce::test::Figure1Graph();
+  FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(5));
+  CliqueSet expected = mce::test::Figure1Cliques();
+  mce::test::ExpectSameCliques(result.cliques, expected);
+  EXPECT_FALSE(result.used_fallback);
+  // The hub triangle {D,S,E} must originate from level >= 1.
+  using namespace mce::test;
+  bool found_hub_clique = false;
+  for (size_t i = 0; i < result.cliques.size(); ++i) {
+    if (result.cliques.cliques()[i] ==
+        Clique{static_cast<NodeId>(D), static_cast<NodeId>(E),
+               static_cast<NodeId>(S)}) {
+      EXPECT_GE(result.origin_level[i], 1u);
+      found_hub_clique = true;
+    } else {
+      EXPECT_EQ(result.origin_level[i], 0u);
+    }
+  }
+  EXPECT_TRUE(found_hub_clique);
+  EXPECT_GE(result.NumLevels(), 2u);
+}
+
+// The central completeness property across families and block sizes.
+class FindMaxCliquesSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FindMaxCliquesSweepTest, MatchesNaiveAcrossFamilies) {
+  const uint32_t m = GetParam();
+  Rng rng(61);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::ErdosRenyiGnp(30, 0.15, &rng));
+  graphs.push_back(gen::ErdosRenyiGnp(30, 0.4, &rng));
+  graphs.push_back(gen::BarabasiAlbert(50, 3, &rng));
+  graphs.push_back(gen::WattsStrogatz(40, 4, 0.2, &rng));
+  graphs.push_back(gen::OverlayRandomCliques(
+      gen::BarabasiAlbert(45, 2, &rng), 4, 4, 8, true, &rng));
+  graphs.push_back(mce::test::StarGraph(20));
+  graphs.push_back(gen::MoonMoser(3));
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(m));
+    mce::test::ExpectMatchesNaive(g, result.cliques);
+    EXPECT_EQ(result.cliques.size(), result.origin_level.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, FindMaxCliquesSweepTest,
+                         ::testing::Values(3u, 5u, 8u, 12u, 20u, 64u),
+                         [](const auto& info) {
+                           return "m" + std::to_string(info.param);
+                         });
+
+TEST(FindMaxCliquesTest, DecisionTreeDrivenRunIsCorrect) {
+  Rng rng(63);
+  Graph g = gen::BarabasiAlbert(60, 4, &rng);
+  decision::DecisionTree tree = decision::PaperDecisionTree();
+  FindMaxCliquesOptions options = OptionsWithM(15);
+  options.tree = &tree;
+  FindMaxCliquesResult result = FindMaxCliques(g, options);
+  mce::test::ExpectMatchesNaive(g, result.cliques);
+}
+
+TEST(FindMaxCliquesTest, FallbackOnDenseCore) {
+  // K10 with m = 5: no feasible nodes at all -> fallback, still complete.
+  Graph g = gen::Complete(10);
+  FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(5));
+  EXPECT_TRUE(result.used_fallback);
+  ASSERT_EQ(result.cliques.size(), 1u);
+  EXPECT_EQ(result.cliques.cliques()[0].size(), 10u);
+  EXPECT_GE(result.origin_level[0], 0u);
+}
+
+TEST(FindMaxCliquesTest, FallbackAfterSomeLevels) {
+  // A K8 core plus pendant nodes: with m = 6 the pendants peel off over
+  // levels, then the K8 core (its own 6-core) triggers the fallback.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(0, 8);
+  b.AddEdge(1, 9);
+  Graph g = b.Build();
+  FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(6));
+  EXPECT_TRUE(result.used_fallback);
+  mce::test::ExpectMatchesNaive(g, result.cliques);
+}
+
+TEST(FindMaxCliquesTest, NoFallbackWhenMExceedsDegeneracy) {
+  // Theorem 1: m > degeneracy guarantees the recursion empties out.
+  Rng rng(65);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::BarabasiAlbert(80, 3, &rng);
+    const uint32_t m = Degeneracy(g) + 1;
+    FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(m));
+    EXPECT_FALSE(result.used_fallback) << "trial " << trial;
+    mce::test::ExpectMatchesNaive(g, result.cliques);
+  }
+}
+
+TEST(FindMaxCliquesTest, HnWorstCaseNeedsManyLevels) {
+  // Theorem 1, Statement 2: on H_n each first-level iteration peels only
+  // the tail node, so the number of levels grows with n (Omega(n)).
+  const uint32_t m_construct = 4;
+  const NodeId n = 24;
+  Graph h = gen::HnWorstCase(n, m_construct);
+  // CUT keeps nodes of degree >= m_cut; use m_cut = m_construct + 1 so
+  // v_j (degree m) is feasible but v_{j-1} (degree m+1) is not.
+  FindMaxCliquesResult result = FindMaxCliques(h, OptionsWithM(m_construct + 1));
+  EXPECT_FALSE(result.used_fallback);
+  mce::test::ExpectMatchesNaive(h, result.cliques);
+  // Levels scale linearly: at least n - (m + 3) rounds.
+  EXPECT_GE(result.NumLevels(), static_cast<size_t>(n - m_construct - 4));
+}
+
+TEST(FindMaxCliquesTest, LevelStatsAreConsistent) {
+  Rng rng(67);
+  Graph g = gen::BarabasiAlbert(100, 4, &rng);
+  FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(12));
+  ASSERT_GE(result.levels.size(), 1u);
+  // Level 0 covers the whole graph.
+  EXPECT_EQ(result.levels[0].num_nodes, g.num_nodes());
+  EXPECT_EQ(result.levels[0].num_edges, g.num_edges());
+  for (size_t l = 0; l < result.levels.size(); ++l) {
+    const LevelStats& s = result.levels[l];
+    EXPECT_EQ(s.feasible + s.hubs, s.num_nodes);
+    if (l + 1 < result.levels.size()) {
+      // Next level is the induced hub graph.
+      EXPECT_EQ(result.levels[l + 1].num_nodes, s.hubs);
+      EXPECT_LT(result.levels[l + 1].num_nodes, s.num_nodes);
+    }
+  }
+  // origin_level values must be < NumLevels.
+  for (uint32_t l : result.origin_level) {
+    EXPECT_LT(l, result.NumLevels());
+  }
+}
+
+TEST(FindMaxCliquesTest, SmallerMMeansMoreHubCliques) {
+  // The paper's effectiveness claim: shrinking m reclassifies more nodes
+  // as hubs, so more (and larger) cliques originate from the hub side.
+  Rng rng(69);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(120, 3, &rng), 8, 5,
+                                      10, true, &rng);
+  FindMaxCliquesResult big = FindMaxCliques(g, OptionsWithM(60));
+  FindMaxCliquesResult small = FindMaxCliques(g, OptionsWithM(10));
+  mce::test::ExpectMatchesNaive(g, big.cliques);
+  {
+    CliqueSet expected = NaiveMceSet(g);
+    mce::test::ExpectSameCliques(small.cliques, expected);
+  }
+  EXPECT_GE(small.CliquesFromLevel(1), big.CliquesFromLevel(1));
+}
+
+TEST(FindMaxCliquesTest, EmptyGraph) {
+  FindMaxCliquesResult result = FindMaxCliques(Graph(), OptionsWithM(5));
+  EXPECT_EQ(result.cliques.size(), 0u);
+  EXPECT_FALSE(result.used_fallback);
+  EXPECT_EQ(result.NumLevels(), 1u);
+}
+
+TEST(FindMaxCliquesTest, BlockObserverSeesEveryBlock) {
+  Rng rng(71);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  FindMaxCliquesOptions options = OptionsWithM(12);
+  uint64_t observed_blocks = 0;
+  uint64_t observed_cliques = 0;
+  options.block_observer = [&](const BlockTaskRecord& r) {
+    ++observed_blocks;
+    observed_cliques += r.cliques;
+    EXPECT_GT(r.nodes, 0u);
+    EXPECT_GT(r.bytes, 0u);
+  };
+  FindMaxCliquesResult result = FindMaxCliques(g, options);
+  uint64_t stat_blocks = 0, stat_cliques = 0;
+  for (const LevelStats& s : result.levels) {
+    stat_blocks += s.blocks;
+    stat_cliques += s.cliques;
+  }
+  EXPECT_EQ(observed_blocks, stat_blocks);
+  EXPECT_EQ(observed_cliques, stat_cliques);
+}
+
+TEST(StreamingTest, MatchesMaterializedResult) {
+  Rng rng(75);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(80, 3, &rng), 6, 4,
+                                      9, true, &rng);
+  FindMaxCliquesOptions options = OptionsWithM(10);
+  FindMaxCliquesResult batch = FindMaxCliques(g, options);
+
+  CliqueSet streamed;
+  std::vector<uint32_t> levels_seen;
+  StreamingStats stats = FindMaxCliquesStreaming(
+      g, options, [&](std::span<const NodeId> c, uint32_t level) {
+        streamed.Add(c);
+        levels_seen.push_back(level);
+      });
+  mce::test::ExpectSameCliques(streamed, batch.cliques);
+  EXPECT_EQ(stats.cliques_emitted, batch.cliques.size());
+  EXPECT_EQ(stats.levels.size(), batch.levels.size());
+  EXPECT_EQ(stats.used_fallback, batch.used_fallback);
+  // Same multiset of origin levels.
+  std::sort(levels_seen.begin(), levels_seen.end());
+  std::vector<uint32_t> batch_levels = batch.origin_level;
+  std::sort(batch_levels.begin(), batch_levels.end());
+  EXPECT_EQ(levels_seen, batch_levels);
+}
+
+TEST(StreamingTest, EmitsEachCliqueOnce) {
+  Rng rng(77);
+  Graph g = gen::ErdosRenyiGnp(50, 0.2, &rng);
+  CliqueSet streamed;
+  FindMaxCliquesStreaming(g, OptionsWithM(8),
+                          [&](std::span<const NodeId> c, uint32_t) {
+                            streamed.Add(c);
+                          });
+  const size_t raw = streamed.size();
+  streamed.Canonicalize();
+  EXPECT_EQ(raw, streamed.size());
+  mce::test::ExpectMatchesNaive(g, streamed);
+}
+
+TEST(StreamingTest, FallbackStreamsToo) {
+  Graph g = gen::Complete(9);
+  CliqueSet streamed;
+  StreamingStats stats = FindMaxCliquesStreaming(
+      g, OptionsWithM(4),
+      [&](std::span<const NodeId> c, uint32_t) { streamed.Add(c); });
+  EXPECT_TRUE(stats.used_fallback);
+  ASSERT_EQ(streamed.size(), 1u);
+  EXPECT_EQ(streamed.cliques()[0].size(), 9u);
+}
+
+TEST(BlockAnalysisGuardTest, OversizedBlockFallsBackToLists) {
+  // Force a bitset choice but set the budget below the block's bitset
+  // size: the analysis must degrade to lists and stay correct.
+  Rng rng(79);
+  Graph g = gen::ErdosRenyiGnp(60, 0.2, &rng);
+  FindMaxCliquesOptions options = OptionsWithM(60);
+  options.fixed = {Algorithm::kTomita, StorageKind::kBitset};
+  FindMaxCliquesResult normal = FindMaxCliques(g, options);
+  mce::test::ExpectMatchesNaive(g, normal.cliques);
+  // Now run block analysis directly with a tiny budget.
+  CutResult cut = Cut(g, 60);
+  BlocksOptions boptions;
+  boptions.max_block_size = 60;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+  BlockAnalysisOptions aoptions;
+  aoptions.fixed = {Algorithm::kTomita, StorageKind::kBitset};
+  aoptions.max_storage_bytes = 8;  // nothing dense fits
+  CliqueSet got;
+  for (const Block& block : blocks) {
+    BlockAnalysisResult r = AnalyzeBlock(block, aoptions, got.Collector());
+    EXPECT_EQ(r.used.storage, StorageKind::kAdjacencyList);
+  }
+  mce::test::ExpectMatchesNaive(g, got);
+}
+
+TEST(FindMaxCliquesTest, AllReportedCliquesAreMaximal) {
+  Rng rng(73);
+  Graph g = gen::ErdosRenyiGnp(40, 0.25, &rng);
+  FindMaxCliquesResult result = FindMaxCliques(g, OptionsWithM(8));
+  for (const Clique& c : result.cliques.cliques()) {
+    EXPECT_TRUE(IsMaximalClique(g, c));
+  }
+}
+
+}  // namespace
+}  // namespace mce::decomp

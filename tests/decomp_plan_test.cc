@@ -1,0 +1,89 @@
+#include "decomp/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/find_max_cliques.h"
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::decomp {
+namespace {
+
+TEST(PlanTest, MatchesPipelineLevelStructure) {
+  Rng rng(3);
+  Graph g = gen::BarabasiAlbert(150, 3, &rng);
+  PlanOptions options;
+  options.max_block_size = 15;
+  DecompositionPlan plan = ComputePlan(g, options);
+
+  FindMaxCliquesOptions pipeline_options;
+  pipeline_options.max_block_size = 15;
+  FindMaxCliquesResult result = FindMaxCliques(g, pipeline_options);
+  ASSERT_EQ(plan.levels.size(), result.levels.size());
+  for (size_t l = 0; l < plan.levels.size(); ++l) {
+    EXPECT_EQ(plan.levels[l].num_nodes, result.levels[l].num_nodes);
+    EXPECT_EQ(plan.levels[l].feasible, result.levels[l].feasible);
+    EXPECT_EQ(plan.levels[l].hubs, result.levels[l].hubs);
+    EXPECT_EQ(plan.levels[l].blocks, result.levels[l].blocks);
+  }
+  EXPECT_EQ(plan.hits_fallback, result.used_fallback);
+}
+
+TEST(PlanTest, ReplicationAtLeastOne) {
+  Rng rng(5);
+  Graph g = gen::ErdosRenyiGnp(100, 0.08, &rng);
+  PlanOptions options;
+  options.max_block_size = 20;
+  DecompositionPlan plan = ComputePlan(g, options);
+  for (const LevelPlan& level : plan.levels) {
+    if (level.blocks == 0) continue;
+    EXPECT_GE(level.replication_factor, 1.0 - 1e-9);
+    EXPECT_GE(level.max_block_nodes, level.min_block_nodes);
+    EXPECT_LE(level.max_block_nodes, 20u);
+    EXPECT_GT(level.total_block_bytes, 0u);
+  }
+  EXPECT_GE(plan.OverallReplication(), 1.0 - 1e-9);
+}
+
+TEST(PlanTest, SmallerBlocksFragmentButHubRecursionBoundsReplication) {
+  Rng rng(7);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(200, 3, &rng), 10,
+                                      4, 10, true, &rng);
+  PlanOptions big;
+  big.max_block_size = 80;
+  PlanOptions small;
+  small.max_block_size = 12;
+  DecompositionPlan plan_big = ComputePlan(g, big);
+  DecompositionPlan plan_small = ComputePlan(g, small);
+  // Smaller blocks fragment the feasible side...
+  EXPECT_GT(plan_small.TotalBlocks(), plan_big.TotalBlocks());
+  // ...but replication does NOT explode: shrinking m reclassifies the
+  // high-degree nodes as hubs, so their neighborhoods move into the
+  // recursion instead of being copied into every block — the whole point
+  // of the two-level decomposition. (A single-level scheme would copy a
+  // hub's neighborhood wherever it appears; see baseline tests.)
+  EXPECT_LT(plan_small.OverallReplication(),
+            2.0 * plan_big.OverallReplication());
+  EXPECT_GT(plan_small.levels.front().hubs, plan_big.levels.front().hubs);
+}
+
+TEST(PlanTest, FallbackDetected) {
+  Graph g = gen::Complete(12);
+  PlanOptions options;
+  options.max_block_size = 6;
+  DecompositionPlan plan = ComputePlan(g, options);
+  EXPECT_TRUE(plan.hits_fallback);
+}
+
+TEST(PlanTest, EmptyGraph) {
+  DecompositionPlan plan = ComputePlan(Graph(), PlanOptions{});
+  ASSERT_EQ(plan.levels.size(), 1u);
+  EXPECT_EQ(plan.levels[0].blocks, 0u);
+  EXPECT_FALSE(plan.hits_fallback);
+  EXPECT_EQ(plan.OverallReplication(), 0.0);
+}
+
+}  // namespace
+}  // namespace mce::decomp

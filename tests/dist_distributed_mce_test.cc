@@ -1,0 +1,83 @@
+#include "dist/distributed_mce.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::dist {
+namespace {
+
+decomp::FindMaxCliquesOptions OptionsWithM(uint32_t m) {
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = m;
+  return options;
+}
+
+TEST(DistributedMceTest, CliquesIdenticalToSerialRun) {
+  Rng rng(81);
+  Graph g = gen::BarabasiAlbert(80, 3, &rng);
+  ClusterConfig cluster;
+  cluster.num_workers = 4;
+  DistributedResult dist = RunDistributedMce(g, OptionsWithM(12), cluster);
+  decomp::FindMaxCliquesResult serial =
+      decomp::FindMaxCliques(g, OptionsWithM(12));
+  mce::test::ExpectSameCliques(dist.algorithm.cliques, serial.cliques);
+  EXPECT_EQ(dist.algorithm.origin_level, serial.origin_level);
+}
+
+TEST(DistributedMceTest, MatchesNaiveReference) {
+  Rng rng(83);
+  Graph g = gen::ErdosRenyiGnp(35, 0.2, &rng);
+  ClusterConfig cluster;
+  DistributedResult dist = RunDistributedMce(g, OptionsWithM(10), cluster);
+  mce::test::ExpectMatchesNaive(g, dist.algorithm.cliques);
+}
+
+TEST(DistributedMceTest, OneSimulationPerLevel) {
+  Rng rng(85);
+  Graph g = gen::BarabasiAlbert(100, 4, &rng);
+  ClusterConfig cluster;
+  DistributedResult dist = RunDistributedMce(g, OptionsWithM(15), cluster);
+  EXPECT_EQ(dist.levels.size(), dist.algorithm.levels.size());
+  // Task counts per level match the level's block counts.
+  for (size_t l = 0; l < dist.levels.size(); ++l) {
+    uint64_t tasks = 0;
+    for (const WorkerTimeline& w : dist.levels[l].simulation.workers) {
+      tasks += w.tasks;
+    }
+    EXPECT_EQ(tasks, dist.algorithm.levels[l].blocks);
+  }
+}
+
+TEST(DistributedMceTest, TimingAggregatesArePlausible) {
+  Rng rng(87);
+  Graph g = gen::GenerateSocialNetwork(gen::Twitter1Config(0.02));
+  ClusterConfig cluster;
+  cluster.num_workers = 10;
+  DistributedResult dist = RunDistributedMce(g, OptionsWithM(40), cluster);
+  EXPECT_GT(dist.TotalSeconds(), 0.0);
+  EXPECT_GE(dist.SerialAnalysisSeconds(), 0.0);
+  // Including communication the speedup is positive and bounded by the
+  // worker count (it can be < 1 when latency dominates tiny tasks).
+  EXPECT_GT(dist.AnalysisSpeedup(), 0.0);
+  EXPECT_LE(dist.AnalysisSpeedup(), cluster.num_workers + 1e-9);
+  // The placement itself must always be within [1, workers].
+  EXPECT_GE(dist.AnalysisComputeSpeedup(), 1.0 - 1e-9);
+  EXPECT_LE(dist.AnalysisComputeSpeedup(), cluster.num_workers + 1e-9);
+}
+
+TEST(DistributedMceTest, HashPartitioningStillCorrect) {
+  Rng rng(89);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  ClusterConfig cluster;
+  cluster.strategy = PartitionStrategy::kHash;
+  DistributedResult dist = RunDistributedMce(g, OptionsWithM(12), cluster);
+  mce::test::ExpectMatchesNaive(g, dist.algorithm.cliques);
+}
+
+}  // namespace
+}  // namespace mce::dist

@@ -1,0 +1,101 @@
+#include "dist/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mce::dist {
+namespace {
+
+std::vector<double> WorkerLoads(const std::vector<double>& costs,
+                                const std::vector<int>& assignment,
+                                int workers) {
+  std::vector<double> loads(workers, 0.0);
+  for (size_t i = 0; i < costs.size(); ++i) loads[assignment[i]] += costs[i];
+  return loads;
+}
+
+TEST(SchedulerTest, AssignmentsAreInRange) {
+  std::vector<double> costs(37, 1.0);
+  for (PartitionStrategy s : {PartitionStrategy::kGreedyLpt,
+                              PartitionStrategy::kHash,
+                              PartitionStrategy::kRoundRobin}) {
+    std::vector<int> a = AssignTasks(costs, 5, s);
+    ASSERT_EQ(a.size(), costs.size());
+    for (int w : a) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, 5);
+    }
+  }
+}
+
+TEST(SchedulerTest, GreedyLptBalancesUniformTasks) {
+  std::vector<double> costs(100, 1.0);
+  std::vector<int> a = AssignTasks(costs, 4, PartitionStrategy::kGreedyLpt);
+  std::vector<double> loads = WorkerLoads(costs, a, 4);
+  for (double l : loads) EXPECT_DOUBLE_EQ(l, 25.0);
+}
+
+TEST(SchedulerTest, GreedyLptHandlesSkewedTasks) {
+  // One giant task plus many small ones: LPT puts the giant alone-ish.
+  std::vector<double> costs{100.0};
+  for (int i = 0; i < 50; ++i) costs.push_back(2.0);
+  std::vector<int> a = AssignTasks(costs, 2, PartitionStrategy::kGreedyLpt);
+  std::vector<double> loads = WorkerLoads(costs, a, 2);
+  // Optimal split: 100 vs 100; LPT achieves it here.
+  EXPECT_DOUBLE_EQ(std::max(loads[0], loads[1]), 100.0);
+}
+
+TEST(SchedulerTest, GreedyLptBeatsHashOnHeterogeneousTasks) {
+  // Scale-free-like task sizes (the paper's point about hash partitioning).
+  std::vector<double> costs;
+  for (int i = 1; i <= 200; ++i) costs.push_back(1000.0 / i);
+  const int workers = 10;
+  auto lpt = AssignTasks(costs, workers, PartitionStrategy::kGreedyLpt);
+  auto hash = AssignTasks(costs, workers, PartitionStrategy::kHash, 13);
+  auto max_load = [&](const std::vector<int>& a) {
+    std::vector<double> loads = WorkerLoads(costs, a, workers);
+    return *std::max_element(loads.begin(), loads.end());
+  };
+  EXPECT_LT(max_load(lpt), max_load(hash));
+}
+
+TEST(SchedulerTest, RoundRobinCycles) {
+  std::vector<double> costs(7, 1.0);
+  std::vector<int> a = AssignTasks(costs, 3, PartitionStrategy::kRoundRobin);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(SchedulerTest, HashIsDeterministicInSeed) {
+  std::vector<double> costs(50, 1.0);
+  auto a1 = AssignTasks(costs, 7, PartitionStrategy::kHash, 42);
+  auto a2 = AssignTasks(costs, 7, PartitionStrategy::kHash, 42);
+  auto a3 = AssignTasks(costs, 7, PartitionStrategy::kHash, 43);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+}
+
+TEST(SchedulerTest, SingleWorkerGetsEverything) {
+  std::vector<double> costs(10, 3.0);
+  for (PartitionStrategy s : {PartitionStrategy::kGreedyLpt,
+                              PartitionStrategy::kHash,
+                              PartitionStrategy::kRoundRobin}) {
+    std::vector<int> a = AssignTasks(costs, 1, s);
+    for (int w : a) EXPECT_EQ(w, 0);
+  }
+}
+
+TEST(SchedulerTest, EmptyTaskList) {
+  std::vector<double> none;
+  EXPECT_TRUE(AssignTasks(none, 4, PartitionStrategy::kGreedyLpt).empty());
+}
+
+TEST(SchedulerTest, StrategyNames) {
+  EXPECT_STREQ(ToString(PartitionStrategy::kGreedyLpt), "greedy-lpt");
+  EXPECT_STREQ(ToString(PartitionStrategy::kHash), "hash");
+  EXPECT_STREQ(ToString(PartitionStrategy::kRoundRobin), "round-robin");
+}
+
+}  // namespace
+}  // namespace mce::dist

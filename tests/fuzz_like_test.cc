@@ -1,0 +1,174 @@
+// Robustness suite: hostile inputs for the parsers and randomized
+// differential checks for the set structures — the failure-injection end
+// of the test pyramid.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/mce_fuzz_" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(BinaryFuzzTest, RandomBytesNeverCrashTheReader) {
+  Rng rng(99);
+  const std::string path = TempPath("random.bin");
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes;
+    const size_t len = rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    WriteBytes(path, bytes);
+    Result<Graph> g = ReadBinary(path);
+    // Random bytes must be rejected (the magic is 8 specific bytes), and
+    // rejection must be an error Status, not a crash.
+    EXPECT_FALSE(g.ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFuzzTest, CorruptedHeaderFieldsAreRejected) {
+  const std::string path = TempPath("corrupt.bin");
+  // Valid magic, absurd node count (> 32-bit range).
+  uint64_t magic = 0x4d43454752463031ULL;
+  uint64_t n = 1ull << 40;
+  uint64_t m = 0;
+  std::string bytes(reinterpret_cast<char*>(&magic), 8);
+  bytes.append(reinterpret_cast<char*>(&n), 8);
+  bytes.append(reinterpret_cast<char*>(&m), 8);
+  WriteBytes(path, bytes);
+  Result<Graph> g = ReadBinary(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFuzzTest, EdgeEndpointOutOfRangeIsRejected) {
+  const std::string path = TempPath("badedge.bin");
+  uint64_t magic = 0x4d43454752463031ULL;
+  uint64_t n = 3, m = 1;
+  uint32_t u = 0, v = 7;  // v >= n
+  std::string bytes(reinterpret_cast<char*>(&magic), 8);
+  bytes.append(reinterpret_cast<char*>(&n), 8);
+  bytes.append(reinterpret_cast<char*>(&m), 8);
+  bytes.append(reinterpret_cast<char*>(&u), 4);
+  bytes.append(reinterpret_cast<char*>(&v), 4);
+  WriteBytes(path, bytes);
+  Result<Graph> g = ReadBinary(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListFuzzTest, HostileTextNeverCrashes) {
+  Rng rng(7);
+  const std::string path = TempPath("hostile.txt");
+  const char* cases[] = {
+      "-1 -2\n",          // negative ids (parse as unsigned fails)
+      "1.5 2.7\n",        // floats (istream stops at '.')
+      "1 2 3 4 5 6 7\n",  // extra columns
+      "\xff\xfe binary\n",
+      "999999999999999999999999 1\n",  // overflow
+      "1\n",                            // missing column
+  };
+  for (const char* text : cases) {
+    WriteBytes(path, text);
+    Result<Graph> g = ReadEdgeList(path);  // must not crash
+    (void)g;
+  }
+  // Random ASCII soup.
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string soup;
+    for (int i = 0; i < 120; ++i) {
+      soup.push_back(static_cast<char>(' ' + rng.NextBounded(95)));
+      if (rng.NextBool(0.1)) soup.push_back('\n');
+    }
+    WriteBytes(path, soup);
+    Result<Graph> g = ReadEdgeList(path);
+    (void)g;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BitsetDifferentialTest, RandomOpsMatchStdSet) {
+  Rng rng(2024);
+  const size_t kSize = 300;
+  Bitset bitset(kSize);
+  std::set<size_t> reference;
+  for (int step = 0; step < 3000; ++step) {
+    const size_t i = rng.NextBounded(kSize);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        bitset.Set(i);
+        reference.insert(i);
+        break;
+      case 1:
+        bitset.Clear(i);
+        reference.erase(i);
+        break;
+      default:
+        EXPECT_EQ(bitset.Test(i), reference.count(i) > 0);
+    }
+    if (step % 250 == 0) {
+      EXPECT_EQ(bitset.Count(), reference.size());
+      EXPECT_EQ(bitset.FindFirst(),
+                reference.empty() ? kSize : *reference.begin());
+    }
+  }
+  std::vector<uint32_t> from_bitset = bitset.ToVector();
+  std::vector<uint32_t> from_reference(reference.begin(), reference.end());
+  EXPECT_EQ(from_bitset, from_reference);
+}
+
+TEST(BitsetDifferentialTest, BinaryOpsMatchSetAlgebra) {
+  Rng rng(31);
+  const size_t kSize = 200;
+  for (int trial = 0; trial < 20; ++trial) {
+    Bitset a(kSize), b(kSize);
+    std::set<size_t> sa, sb;
+    for (int i = 0; i < 80; ++i) {
+      size_t x = rng.NextBounded(kSize);
+      a.Set(x);
+      sa.insert(x);
+      size_t y = rng.NextBounded(kSize);
+      b.Set(y);
+      sb.insert(y);
+    }
+    // Intersection.
+    Bitset i = a;
+    i.And(b);
+    size_t expected_and = 0;
+    for (size_t x : sa) expected_and += sb.count(x);
+    EXPECT_EQ(i.Count(), expected_and);
+    EXPECT_EQ(a.AndCount(b), expected_and);
+    // Union.
+    Bitset u = a;
+    u.Or(b);
+    std::set<size_t> su = sa;
+    su.insert(sb.begin(), sb.end());
+    EXPECT_EQ(u.Count(), su.size());
+    // Difference.
+    Bitset d = a;
+    d.AndNot(b);
+    EXPECT_EQ(d.Count(), sa.size() - expected_and);
+  }
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,239 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/special.h"
+#include "graph/core_decomposition.h"
+#include "util/random.h"
+
+namespace mce::gen {
+namespace {
+
+TEST(ErdosRenyiTest, ZeroProbabilityMeansNoEdges) {
+  Rng rng(1);
+  Graph g = ErdosRenyiGnp(50, 0.0, &rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityMeansComplete) {
+  Rng rng(2);
+  Graph g = ErdosRenyiGnp(20, 1.0, &rng);
+  EXPECT_EQ(g.num_edges(), 20u * 19 / 2);
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(3);
+  const NodeId n = 200;
+  const double p = 0.1;
+  const double expected = p * n * (n - 1) / 2.0;  // 1990
+  double total = 0;
+  for (int t = 0; t < 5; ++t) {
+    total += static_cast<double>(ErdosRenyiGnp(n, p, &rng).num_edges());
+  }
+  double mean = total / 5.0;
+  EXPECT_NEAR(mean, expected, expected * 0.1);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  Graph g1 = ErdosRenyiGnp(60, 0.2, &a);
+  Graph g2 = ErdosRenyiGnp(60, 0.2, &b);
+  EXPECT_TRUE(g1 == g2);
+}
+
+TEST(ErdosRenyiTest, SmallPStillProducesValidGraph) {
+  Rng rng(4);
+  Graph g = ErdosRenyiGnp(1000, 0.001, &rng);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Expected ~500 edges; verify sane bounds rather than exact values.
+  EXPECT_GT(g.num_edges(), 300u);
+  EXPECT_LT(g.num_edges(), 800u);
+}
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  Rng rng(5);
+  Graph g = ErdosRenyiGnm(40, 100, &rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_EQ(g.num_edges(), 100u);
+}
+
+TEST(ErdosRenyiGnmTest, MaxEdges) {
+  Rng rng(6);
+  Graph g = ErdosRenyiGnm(10, 45, &rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+}
+
+TEST(ErdosRenyiGnmTest, ZeroEdges) {
+  Rng rng(7);
+  Graph g = ErdosRenyiGnm(10, 0, &rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(BarabasiAlbertTest, SizeAndMinimumDegree) {
+  Rng rng(8);
+  const NodeId n = 300;
+  const uint32_t attach = 4;
+  Graph g = BarabasiAlbert(n, attach, &rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Every node attaches with `attach` edges (the seed clique has more).
+  for (NodeId v = 0; v < n; ++v) EXPECT_GE(g.Degree(v), attach);
+  // Edge count: seed clique + attach per added node.
+  const uint64_t seed_edges = static_cast<uint64_t>(attach + 1) * attach / 2;
+  EXPECT_EQ(g.num_edges(), seed_edges + static_cast<uint64_t>(n - attach - 1) * attach);
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Rng rng(9);
+  Graph g = BarabasiAlbert(2000, 3, &rng);
+  // Scale-free: the hub should greatly exceed the median degree (3-6).
+  EXPECT_GT(g.MaxDegree(), 40u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  Rng a(10), b(10);
+  EXPECT_TRUE(BarabasiAlbert(100, 2, &a) == BarabasiAlbert(100, 2, &b));
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(11);
+  Graph g = WattsStrogatz(20, 4, 0.0, &rng);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);  // n * k/2
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeCount) {
+  Rng rng(12);
+  Graph g = WattsStrogatz(50, 6, 0.3, &rng);
+  EXPECT_EQ(g.num_edges(), 50u * 3);
+}
+
+TEST(WattsStrogatzTest, FullRewiringStillValid) {
+  Rng rng(13);
+  Graph g = WattsStrogatz(40, 4, 1.0, &rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_EQ(g.num_edges(), 80u);
+}
+
+TEST(ConfigurationModelTest, DegreesRespectBounds) {
+  Rng rng(31);
+  Graph g = PowerLawConfigurationModel(1000, 2.5, 2, 100, &rng);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Stub matching drops self-loops/duplicates, so degrees can fall below
+  // the drawn value but never above max_degree (+ nothing is added).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(g.Degree(v), 100u);
+  }
+  EXPECT_GT(g.num_edges(), 500u);
+}
+
+TEST(ConfigurationModelTest, HeavyTailShape) {
+  Rng rng(33);
+  Graph g = PowerLawConfigurationModel(3000, 2.2, 1, 400, &rng);
+  // Power law: the bulk of the nodes sits at low degree...
+  uint64_t low = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.Degree(v) <= 5) ++low;
+  }
+  EXPECT_GT(static_cast<double>(low) / g.num_nodes(), 0.6);
+  // ...but the tail reaches far out.
+  EXPECT_GT(g.MaxDegree(), 50u);
+}
+
+TEST(ConfigurationModelTest, Deterministic) {
+  Rng a(35), b(35);
+  Graph g1 = PowerLawConfigurationModel(300, 2.5, 1, 50, &a);
+  Graph g2 = PowerLawConfigurationModel(300, 2.5, 1, 50, &b);
+  EXPECT_TRUE(g1 == g2);
+}
+
+TEST(ConfigurationModelTest, SteeperGammaMeansThinnerTail) {
+  Rng a(37), b(39);
+  Graph shallow = PowerLawConfigurationModel(2000, 2.0, 1, 300, &a);
+  Graph steep = PowerLawConfigurationModel(2000, 3.5, 1, 300, &b);
+  EXPECT_GT(shallow.num_edges(), steep.num_edges());
+}
+
+TEST(CompleteTest, AllPairsConnected) {
+  Graph g = Complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+}
+
+TEST(MoonMoserTest, StructureAndDegeneracy) {
+  Graph g = MoonMoser(3);  // 9 nodes, complete 3-partite
+  EXPECT_EQ(g.num_nodes(), 9u);
+  // Each node adjacent to all 6 nodes of the other parts.
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.Degree(v), 6u);
+  // Nodes in the same part are non-adjacent.
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+}
+
+TEST(HnWorstCaseTest, PrefixIsComplete) {
+  Graph h = HnWorstCase(10, 4);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) EXPECT_TRUE(h.HasEdge(u, v));
+  }
+}
+
+TEST(HnWorstCaseTest, LastNodeHasDegreeM) {
+  // Property (a) of the Theorem 1 proof: v_j has degree m in H_j.
+  for (uint32_t m : {2u, 4u}) {
+    for (NodeId n : {static_cast<NodeId>(m + 5), static_cast<NodeId>(20)}) {
+      Graph h = HnWorstCase(n, m);
+      EXPECT_EQ(h.Degree(n - 1), m) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(HnWorstCaseTest, PeelingRemovesOneNodePerRound) {
+  // Properties (a)-(c): for j > m+3, removing all nodes of degree <= m
+  // from H_j removes exactly v_j. This is what forces Omega(n) rounds.
+  const uint32_t m = 4;
+  const NodeId n = 16;
+  Graph h = HnWorstCase(n, m);
+  // Count nodes of degree <= m: should be exactly the last node (v_n) plus
+  // none others once n > m+3.
+  uint32_t low_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (h.Degree(v) <= m) ++low_degree;
+  }
+  EXPECT_EQ(low_degree, 1u);
+}
+
+TEST(OverlayCliquesTest, PlantsClique) {
+  Rng rng(14);
+  Graph base = ErdosRenyiGnp(20, 0.0, &rng);
+  Graph g = OverlayCliques(base, {{2, 5, 7, 11}});
+  EXPECT_TRUE(g.HasEdge(2, 5));
+  EXPECT_TRUE(g.HasEdge(5, 11));
+  EXPECT_TRUE(g.HasEdge(7, 11));
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(OverlayRandomCliquesTest, RespectsSizesAndDeterminism) {
+  Rng rng1(15), rng2(15);
+  Graph base = BarabasiAlbert(200, 2, &rng1);
+  Rng base_rng(16), base_rng2(16);
+  Graph g1 = OverlayRandomCliques(base, 5, 4, 8, false, &base_rng);
+  Graph g2 = OverlayRandomCliques(base, 5, 4, 8, false, &base_rng2);
+  EXPECT_TRUE(g1 == g2);
+  EXPECT_GE(g1.num_edges(), base.num_edges());
+}
+
+TEST(OverlayRandomCliquesTest, HighDegreeBiasTargetsHubs) {
+  Rng rng(17);
+  Graph base = BarabasiAlbert(500, 2, &rng);
+  Rng orng(18);
+  Graph g = OverlayRandomCliques(base, 10, 5, 10, true, &orng);
+  // The planted edges should concentrate on high-degree nodes: total new
+  // degree at the top decile should grow.
+  uint64_t added = g.num_edges() - base.num_edges();
+  EXPECT_GT(added, 0u);
+}
+
+}  // namespace
+}  // namespace mce::gen

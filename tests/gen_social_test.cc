@@ -1,0 +1,136 @@
+#include "gen/social.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/core_decomposition.h"
+#include "graph/metrics.h"
+
+namespace mce::gen {
+namespace {
+
+TEST(SocialTest, AllDatasetConfigsGenerate) {
+  for (const SocialNetworkConfig& config : AllDatasetConfigs(0.05)) {
+    Graph g = GenerateSocialNetwork(config);
+    EXPECT_EQ(g.num_nodes(), config.num_nodes) << config.name;
+    EXPECT_GT(g.num_edges(), 0u) << config.name;
+  }
+}
+
+TEST(SocialTest, DeterministicInSeed) {
+  SocialNetworkConfig c = Twitter1Config(0.05);
+  Graph g1 = GenerateSocialNetwork(c);
+  Graph g2 = GenerateSocialNetwork(c);
+  EXPECT_TRUE(g1 == g2);
+  c.seed += 1;
+  Graph g3 = GenerateSocialNetwork(c);
+  EXPECT_FALSE(g1 == g3);
+}
+
+TEST(SocialTest, ScaleFreeShape) {
+  // The stand-ins must reproduce the shape Figure 6 shows: the bulk of the
+  // nodes at low degree, with a heavy tail.
+  SocialNetworkConfig c = Twitter1Config(0.2);
+  Graph g = GenerateSocialNetwork(c);
+  const double low_degree_fraction = DegreeRangeFraction(g, 1, 20);
+  EXPECT_GT(low_degree_fraction, 0.6);
+  // And a far-out hub (super-hub reach ~4% of n).
+  EXPECT_GT(g.MaxDegree(), g.num_nodes() / 50);
+}
+
+TEST(SocialTest, FacebookHasExtremeHub) {
+  // Table 3: facebook's maximum degree is more than half its node count;
+  // the stand-in mirrors that with super_hub_reach = 0.3 plus organic
+  // degree.
+  Graph g = GenerateSocialNetwork(FacebookConfig(0.1));
+  EXPECT_GT(g.MaxDegree(), g.num_nodes() / 4);
+}
+
+TEST(SocialTest, DatasetOrderingMatchesTable3) {
+  // twitter1 < twitter2 < twitter3 in nodes and edges.
+  auto configs = AllDatasetConfigs(0.05);
+  Graph t1 = GenerateSocialNetwork(configs[0]);
+  Graph t2 = GenerateSocialNetwork(configs[1]);
+  Graph t3 = GenerateSocialNetwork(configs[2]);
+  EXPECT_LT(t1.num_nodes(), t2.num_nodes());
+  EXPECT_LT(t2.num_nodes(), t3.num_nodes());
+  EXPECT_LT(t1.num_edges(), t2.num_edges());
+  EXPECT_LT(t2.num_edges(), t3.num_edges());
+}
+
+TEST(SocialTest, PlantedCliquesRaiseDegeneracy) {
+  // Without planted cliques the BA degeneracy is ~attach; with them the
+  // degeneracy reflects the largest planted community.
+  SocialNetworkConfig with = Twitter1Config(0.1);
+  SocialNetworkConfig without = with;
+  without.community_cliques = 0;
+  without.hub_cliques = 0;
+  Graph g_with = GenerateSocialNetwork(with);
+  Graph g_without = GenerateSocialNetwork(without);
+  EXPECT_GT(Degeneracy(g_with), Degeneracy(g_without));
+}
+
+TEST(SocialTest, HubCliquesExistAmongTopDegreeNodes) {
+  // The hub-clique overlay must create dense structure among high-degree
+  // nodes — that is the structure Figures 9-11 measure. Verify the top
+  // decile's induced density is noticeably above the global density.
+  Graph g = GenerateSocialNetwork(Twitter2Config(0.1));
+  std::vector<NodeId> by_degree(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&g](NodeId a, NodeId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  const size_t top = g.num_nodes() / 10;
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top; ++i) {
+    for (size_t j = i + 1; j < top; ++j) {
+      if (g.HasEdge(by_degree[i], by_degree[j])) ++top_edges;
+    }
+  }
+  const double top_density =
+      2.0 * static_cast<double>(top_edges) / (top * (top - 1.0));
+  EXPECT_GT(top_density, 5 * g.Density());
+}
+
+TEST(SocialTest, TopHubCliqueClearsEveryRatioThreshold) {
+  // The property Figures 9-11 rely on: at least one planted clique whose
+  // members ALL have degree >= 0.9 * max degree, so hub-only cliques exist
+  // even at m/d = 0.9.
+  Graph g = GenerateSocialNetwork(Twitter1Config(0.1));
+  const uint32_t d = g.MaxDegree();
+  const uint32_t threshold = static_cast<uint32_t>(0.9 * d);
+  // Count nodes above the 0.9 threshold: must be at least a clique's worth.
+  uint32_t above = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.Degree(v) >= threshold) ++above;
+  }
+  EXPECT_GE(above, Twitter1Config(0.1).hub_clique_size_lo);
+}
+
+TEST(SocialTest, BoostedDegreesSpreadAcrossRatios) {
+  // The hub-clique boost fractions are spread over [frac_lo, 1.0]: the
+  // degree sequence should populate mid-range degrees (0.2..0.8 of max),
+  // not just the BA bulk and the super hubs.
+  Graph g = GenerateSocialNetwork(Twitter2Config(0.1));
+  const uint32_t d = g.MaxDegree();
+  uint32_t mid_range = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const uint32_t deg = g.Degree(v);
+    if (deg >= d / 5 && deg <= 4 * d / 5) ++mid_range;
+  }
+  EXPECT_GT(mid_range, 20u);
+}
+
+TEST(SocialTest, NamesAreStable) {
+  auto configs = AllDatasetConfigs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].name, "twitter1");
+  EXPECT_EQ(configs[1].name, "twitter2");
+  EXPECT_EQ(configs[2].name, "twitter3");
+  EXPECT_EQ(configs[3].name, "facebook");
+  EXPECT_EQ(configs[4].name, "google+");
+}
+
+}  // namespace
+}  // namespace mce::gen

@@ -1,0 +1,90 @@
+#include "graph/connectivity.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/io.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(ConnectivityTest, SingleComponent) {
+  Graph g = test::PathGraph(6);
+  ComponentLabels c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(LargestComponentSize(g), 6u);
+}
+
+TEST(ConnectivityTest, MultipleComponents) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.ReserveNodes(6);  // node 5 isolated
+  Graph g = b.Build();
+  ComponentLabels c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(LargestComponentSize(g), 3u);
+  // Labels numbered by smallest member: {0,1}=0, {2,3,4}=1, {5}=2.
+  EXPECT_EQ(c.label[0], 0u);
+  EXPECT_EQ(c.label[1], 0u);
+  EXPECT_EQ(c.label[2], 1u);
+  EXPECT_EQ(c.label[4], 1u);
+  EXPECT_EQ(c.label[5], 2u);
+  EXPECT_EQ(c.Members(1), (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  EXPECT_TRUE(IsConnected(Graph()));
+  EXPECT_EQ(LargestComponentSize(Graph()), 0u);
+  EXPECT_EQ(ConnectedComponents(Graph()).count, 0u);
+}
+
+TEST(ConnectivityTest, ComponentLabelsAreConsistentWithEdges) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyiGnp(80, 0.02, &rng);
+  ComponentLabels c = ConnectedComponents(g);
+  // Every edge stays within one component.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      EXPECT_EQ(c.label[u], c.label[v]);
+    }
+  }
+  // Component sizes sum to n.
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < c.count; ++i) total += c.Members(i).size();
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(WriteDotTest, ProducesParsableOutput) {
+  Graph g = test::PathGraph(3);
+  std::string path = testing::TempDir() + "/mce_dot_test.dot";
+  ASSERT_TRUE(WriteDot(g, path, {"a", "b", "c"}, {1}).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("graph mce {"), std::string::npos);
+  EXPECT_NE(content.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(content.find("label=\"b\""), std::string::npos);
+  EXPECT_NE(content.find("fillcolor=lightblue"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteDotTest, ValidatesInputs) {
+  Graph g = test::PathGraph(3);
+  std::string path = testing::TempDir() + "/mce_dot_invalid.dot";
+  EXPECT_EQ(WriteDot(g, path, {"only-one"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteDot(g, path, {}, {99}).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mce

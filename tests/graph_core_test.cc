@@ -1,0 +1,217 @@
+#include "graph/core_decomposition.h"
+#include "graph/ordered_adjacency.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/builder.h"
+#include "graph/metrics.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(CoreDecompositionTest, PathGraphHasDegeneracyOne) {
+  Graph g = test::PathGraph(10);
+  CoreDecomposition d = ComputeCoreDecomposition(g);
+  EXPECT_EQ(d.degeneracy, 1u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(d.core[v], 1u);
+}
+
+TEST(CoreDecompositionTest, CycleGraphHasDegeneracyTwo) {
+  Graph g = test::CycleGraph(8);
+  EXPECT_EQ(Degeneracy(g), 2u);
+}
+
+TEST(CoreDecompositionTest, CompleteGraph) {
+  Graph g = gen::Complete(6);
+  CoreDecomposition d = ComputeCoreDecomposition(g);
+  EXPECT_EQ(d.degeneracy, 5u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d.core[v], 5u);
+}
+
+TEST(CoreDecompositionTest, StarGraphHasDegeneracyOne) {
+  Graph g = test::StarGraph(20);
+  EXPECT_EQ(Degeneracy(g), 1u);
+}
+
+TEST(CoreDecompositionTest, EmptyGraph) {
+  Graph g;
+  CoreDecomposition d = ComputeCoreDecomposition(g);
+  EXPECT_EQ(d.degeneracy, 0u);
+  EXPECT_TRUE(d.order.empty());
+}
+
+TEST(CoreDecompositionTest, MixedCoreNumbers) {
+  // Triangle {0,1,2} with a pendant path 2-3-4: cores 2,2,2,1,1.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  Graph g = b.Build();
+  CoreDecomposition d = ComputeCoreDecomposition(g);
+  EXPECT_EQ(d.core[0], 2u);
+  EXPECT_EQ(d.core[1], 2u);
+  EXPECT_EQ(d.core[2], 2u);
+  EXPECT_EQ(d.core[3], 1u);
+  EXPECT_EQ(d.core[4], 1u);
+  EXPECT_EQ(d.degeneracy, 2u);
+}
+
+// The defining property of a degeneracy ordering: every node has at most
+// `degeneracy` neighbors that appear later in the order.
+TEST(CoreDecompositionTest, OrderingPropertyOnRandomGraphs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(60, 0.1 + 0.05 * trial, &rng);
+    CoreDecomposition d = ComputeCoreDecomposition(g);
+    ASSERT_EQ(d.order.size(), g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      uint32_t later = 0;
+      for (NodeId u : g.Neighbors(v)) {
+        if (d.position[u] > d.position[v]) ++later;
+      }
+      EXPECT_LE(later, d.degeneracy);
+    }
+    // position is the inverse of order.
+    for (uint32_t i = 0; i < d.order.size(); ++i) {
+      EXPECT_EQ(d.position[d.order[i]], i);
+    }
+  }
+}
+
+TEST(CoreDecompositionTest, CoreNumbersAreMonotoneUnderEdgeAddition) {
+  Rng rng(7);
+  Graph g1 = gen::ErdosRenyiGnp(40, 0.1, &rng);
+  CoreDecomposition d1 = ComputeCoreDecomposition(g1);
+  // Add the complete graph on nodes 0..4.
+  Graph g2 = gen::OverlayCliques(g1, {{0, 1, 2, 3, 4}});
+  CoreDecomposition d2 = ComputeCoreDecomposition(g2);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_GE(d2.core[v], d1.core[v]);
+}
+
+TEST(KCoreNodesTest, ExtractsCorrectCore) {
+  GraphBuilder b;
+  // K4 on {0..3} plus pendant 3-4.
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(3, 4);
+  Graph g = b.Build();
+  EXPECT_EQ(KCoreNodes(g, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(KCoreNodes(g, 1).size(), 5u);
+  EXPECT_TRUE(KCoreNodes(g, 4).empty());
+}
+
+TEST(DStarTest, KnownValues) {
+  // Star K_{1,9}: one node of degree 9, nine of degree 1 -> d* = 1?
+  // |{v: deg >= 1}| = 10 >= 1, |{v: deg >= 2}| = 1 < 2 -> d* = 1.
+  EXPECT_EQ(DStar(test::StarGraph(10)), 1u);
+  // Complete graph K6: all degrees 5, 6 nodes with deg >= 5 -> d* = 5.
+  EXPECT_EQ(DStar(gen::Complete(6)), 5u);
+  // Path of 10: degrees mostly 2 -> d* = 2.
+  EXPECT_EQ(DStar(test::PathGraph(10)), 2u);
+  EXPECT_EQ(DStar(Graph()), 0u);
+}
+
+TEST(DStarTest, AtLeastDegeneracyHalf) {
+  // d* upper-bounds nothing in general, but it is always >= the degeneracy
+  // is false; instead check the definition directly on random graphs.
+  Rng rng(11);
+  for (int t = 0; t < 8; ++t) {
+    Graph g = gen::ErdosRenyiGnp(50, 0.15, &rng);
+    uint32_t ds = DStar(g);
+    uint32_t count = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.Degree(v) >= ds) ++count;
+    }
+    EXPECT_GE(count, ds);
+    // Maximality: ds+1 fails.
+    uint32_t count_next = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.Degree(v) >= ds + 1) ++count_next;
+    }
+    EXPECT_LT(count_next, ds + 1);
+  }
+}
+
+TEST(HnWorstCaseTest, DegeneracyStaysBelowMPlusOne) {
+  // Theorem 1: H_n has degeneracy < m + 1 (so <= m).
+  for (uint32_t m : {2u, 4u, 6u}) {
+    Graph h = gen::HnWorstCase(30, m);
+    EXPECT_LE(Degeneracy(h), m);
+  }
+}
+
+TEST(OrderedAdjacencyTest, PartitionsEveryRow) {
+  Rng rng(91);
+  Graph g = gen::BarabasiAlbert(150, 4, &rng);
+  OrderedAdjacency ordered(g);
+  EXPECT_EQ(ordered.num_nodes(), g.num_nodes());
+  const CoreDecomposition& cores = ordered.cores();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto later = ordered.LaterNeighbors(v);
+    auto earlier = ordered.EarlierNeighbors(v);
+    EXPECT_EQ(later.size() + earlier.size(), g.Degree(v));
+    // The degeneracy bound on the later side.
+    EXPECT_LE(later.size(), cores.degeneracy);
+    // Each half is sorted by id and correctly classified.
+    EXPECT_TRUE(std::is_sorted(later.begin(), later.end()));
+    EXPECT_TRUE(std::is_sorted(earlier.begin(), earlier.end()));
+    for (NodeId u : later) {
+      EXPECT_GT(cores.position[u], cores.position[v]);
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+    for (NodeId u : earlier) {
+      EXPECT_LT(cores.position[u], cores.position[v]);
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(OrderedAdjacencyTest, EmptyGraph) {
+  OrderedAdjacency ordered((Graph()));
+  EXPECT_EQ(ordered.num_nodes(), 0u);
+}
+
+TEST(MetricsTest, ComputeMetricsAgreesWithPieces) {
+  Graph g = test::Figure1Graph();
+  GraphMetrics m = ComputeMetrics(g);
+  EXPECT_EQ(m.num_nodes, g.num_nodes());
+  EXPECT_EQ(m.num_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(m.density, g.Density());
+  EXPECT_EQ(m.degeneracy, Degeneracy(g));
+  EXPECT_EQ(m.d_star, DStar(g));
+  EXPECT_EQ(m.max_degree, 7u);
+}
+
+TEST(MetricsTest, DegreeHistogram) {
+  Graph g = test::StarGraph(6);  // center degree 5, leaves degree 1
+  std::vector<uint64_t> h = DegreeHistogram(g);
+  ASSERT_EQ(h.size(), 6u);
+  EXPECT_EQ(h[1], 5u);
+  EXPECT_EQ(h[5], 1u);
+  EXPECT_EQ(h[0], 0u);
+  // Truncated at 1: only leaves counted.
+  std::vector<uint64_t> t = DegreeHistogram(g, 1);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1], 5u);
+}
+
+TEST(MetricsTest, DegreeRangeFraction) {
+  Graph g = test::StarGraph(6);
+  EXPECT_DOUBLE_EQ(DegreeRangeFraction(g, 1, 1), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(DegreeRangeFraction(g, 1, 5), 1.0);
+  EXPECT_DOUBLE_EQ(DegreeRangeFraction(g, 2, 4), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeRangeFraction(Graph(), 0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace mce

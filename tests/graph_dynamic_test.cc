@@ -1,0 +1,114 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(DynamicGraphTest, StartsEmpty) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, AddAndRemoveEdges) {
+  DynamicGraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // duplicate
+  EXPECT_FALSE(g.AddEdge(1, 0));  // reversed duplicate
+  EXPECT_FALSE(g.AddEdge(2, 2));  // self-loop
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // already gone
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(DynamicGraphTest, NeighborsStaySorted) {
+  DynamicGraph g(6);
+  g.AddEdge(3, 5);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 0);
+  EXPECT_EQ(g.Neighbors(3), (std::vector<NodeId>{0, 1, 4, 5}));
+  g.RemoveEdge(3, 4);
+  EXPECT_EQ(g.Neighbors(3), (std::vector<NodeId>{0, 1, 5}));
+  EXPECT_EQ(g.Degree(3), 3u);
+}
+
+TEST(DynamicGraphTest, RoundTripsThroughGraph) {
+  Rng rng(5);
+  Graph source = gen::ErdosRenyiGnp(40, 0.2, &rng);
+  DynamicGraph dynamic(source);
+  EXPECT_EQ(dynamic.num_nodes(), source.num_nodes());
+  EXPECT_EQ(dynamic.num_edges(), source.num_edges());
+  Graph back = dynamic.ToGraph();
+  EXPECT_TRUE(back == source);
+}
+
+TEST(DynamicGraphTest, AddNodeGrows) {
+  DynamicGraph g(2);
+  NodeId v = g.AddNode();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.AddEdge(v, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+}
+
+TEST(DynamicGraphTest, EnsureNodesNeverShrinks) {
+  DynamicGraph g(3);
+  g.EnsureNodes(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  g.EnsureNodes(2);
+  EXPECT_EQ(g.num_nodes(), 6u);
+}
+
+TEST(DynamicGraphTest, CommonNeighbors) {
+  DynamicGraph g(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 4);
+  EXPECT_EQ(g.CommonNeighbors(0, 1), (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(g.CommonNeighbors(2, 3).empty() ||
+              g.CommonNeighbors(2, 3) == (std::vector<NodeId>{0, 1}));
+  // 2 and 3 share exactly {0, 1}.
+  EXPECT_EQ(g.CommonNeighbors(2, 3), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DynamicGraphTest, RandomEditScriptMatchesRebuild) {
+  // Property: after any script of inserts/removals, ToGraph() equals a
+  // graph built from the surviving edge set.
+  Rng rng(7);
+  const NodeId n = 25;
+  DynamicGraph dynamic(n);
+  std::set<std::pair<NodeId, NodeId>> truth;
+  for (int step = 0; step < 600; ++step) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    auto key = std::minmax(u, v);
+    if (rng.NextBool(0.6)) {
+      EXPECT_EQ(dynamic.AddEdge(u, v), truth.insert(key).second);
+    } else {
+      EXPECT_EQ(dynamic.RemoveEdge(u, v), truth.erase(key) > 0);
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : truth) builder.AddEdge(u, v);
+  Graph expected = builder.Build();
+  EXPECT_TRUE(dynamic.ToGraph() == expected);
+  EXPECT_EQ(dynamic.num_edges(), truth.size());
+}
+
+}  // namespace
+}  // namespace mce

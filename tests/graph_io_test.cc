@@ -1,0 +1,227 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/mce_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  Rng rng(5);
+  Graph g = gen::ErdosRenyiGnp(30, 0.2, &rng);
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  Result<Graph> back = ReadEdgeList(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == g);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListSkipsCommentsAndBlanks) {
+  std::string path = TempPath("comments.txt");
+  WriteFile(path,
+            "# a comment\n"
+            "% another comment\n"
+            "\n"
+            "0 1\n"
+            "  \t\n"
+            "1 2\n");
+  Result<Graph> g = ReadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListRejectsGarbage) {
+  std::string path = TempPath("garbage.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  Result<Graph> g = ReadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListMissingFile) {
+  Result<Graph> g = ReadEdgeList(TempPath("does_not_exist.txt"));
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TriplesInternLabelsInFirstSeenOrder) {
+  std::string path = TempPath("triples.txt");
+  WriteFile(path,
+            "alice follows bob\n"
+            "bob follows carol\n"
+            "alice follows carol\n");
+  Result<LabeledGraph> lg = ReadTriples(path);
+  ASSERT_TRUE(lg.ok()) << lg.status();
+  EXPECT_EQ(lg->graph.num_nodes(), 3u);
+  EXPECT_EQ(lg->graph.num_edges(), 3u);
+  EXPECT_EQ(lg->labels,
+            (std::vector<std::string>{"alice", "bob", "carol"}));
+  EXPECT_EQ(lg->edge_labels, (std::vector<std::string>{"follows"}));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TriplesRejectsShortLines) {
+  std::string path = TempPath("bad_triples.txt");
+  WriteFile(path, "only two\n");
+  Result<LabeledGraph> lg = ReadTriples(path);
+  EXPECT_FALSE(lg.ok());
+  EXPECT_EQ(lg.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TriplesRoundTrip) {
+  std::string path = TempPath("triples_rt.txt");
+  WriteFile(path,
+            "x knows y\n"
+            "y knows z\n");
+  Result<LabeledGraph> lg = ReadTriples(path);
+  ASSERT_TRUE(lg.ok());
+  std::string path2 = TempPath("triples_rt2.txt");
+  ASSERT_TRUE(WriteTriples(*lg, path2).ok());
+  Result<LabeledGraph> lg2 = ReadTriples(path2);
+  ASSERT_TRUE(lg2.ok());
+  EXPECT_TRUE(lg->graph == lg2->graph);
+  EXPECT_EQ(lg->labels, lg2->labels);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST_F(IoTest, WriteTriplesValidatesLabelCount) {
+  LabeledGraph lg;
+  lg.graph = test::PathGraph(3);
+  lg.labels = {"a"};  // wrong size
+  Status s = WriteTriples(lg, TempPath("invalid.txt"));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  Rng rng(9);
+  Graph g = gen::BarabasiAlbert(100, 3, &rng);
+  std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  Result<Graph> back = ReadBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == g);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic) {
+  std::string path = TempPath("not_binary.bin");
+  WriteFile(path, "this is definitely not the binary format header");
+  Result<Graph> g = ReadBinary(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  Graph g = test::PathGraph(5);
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  // Truncate the file to cut into the edge section.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - 4));
+  }
+  Result<Graph> back = ReadBinary(path);
+  EXPECT_FALSE(back.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TriplesToleratesSelfLoopsAndDuplicates) {
+  std::string path = TempPath("loops.txt");
+  WriteFile(path,
+            "a knows a\n"   // self-loop: label interned, edge dropped
+            "a knows b\n"
+            "b knows a\n"   // duplicate (reversed)
+            "a knows b\n");  // duplicate
+  Result<LabeledGraph> lg = ReadTriples(path);
+  ASSERT_TRUE(lg.ok()) << lg.status();
+  EXPECT_EQ(lg->graph.num_nodes(), 2u);
+  EXPECT_EQ(lg->graph.num_edges(), 1u);
+  EXPECT_FALSE(lg->graph.HasEdge(0, 0));
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, TriplesWithExtraTokensIgnoresTail) {
+  // Only the first three tokens are the triple; trailing columns (e.g.
+  // timestamps) are ignored per line.
+  std::string path = TempPath("extra.txt");
+  WriteFile(path, "a knows b 2016-03-15 extra\n");
+  Result<LabeledGraph> lg = ReadTriples(path);
+  ASSERT_TRUE(lg.ok());
+  EXPECT_EQ(lg->graph.num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListRejectsHugeIds) {
+  std::string path = TempPath("huge.txt");
+  WriteFile(path, "0 99999999999\n");
+  Result<Graph> g = ReadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, WriteToUnwritablePathFails) {
+  Graph g = test::PathGraph(3);
+  EXPECT_EQ(WriteEdgeList(g, "/nonexistent_dir_zzz/out.txt").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(WriteBinary(g, "/nonexistent_dir_zzz/out.bin").code(),
+            StatusCode::kIoError);
+  LabeledGraph lg;
+  lg.graph = g;
+  lg.labels = {"a", "b", "c"};
+  EXPECT_EQ(WriteTriples(lg, "/nonexistent_dir_zzz/out.triples").code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(IoTest, LabelInternerBasics) {
+  LabelInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Lookup("b"), 1u);
+  EXPECT_EQ(interner.Lookup("zzz"), kInvalidNode);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTrips) {
+  Graph g;
+  std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  Result<Graph> back = ReadBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mce

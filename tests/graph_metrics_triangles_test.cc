@@ -1,0 +1,79 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "gen/special.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+/// O(n^3) reference triangle counter.
+uint64_t NaiveTriangles(const Graph& g) {
+  uint64_t t = 0;
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (NodeId c = b + 1; c < g.num_nodes(); ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++t;
+      }
+    }
+  }
+  return t;
+}
+
+TEST(TrianglesTest, KnownCounts) {
+  EXPECT_EQ(CountTriangles(gen::Complete(4)), 4u);
+  EXPECT_EQ(CountTriangles(gen::Complete(6)), 20u);  // C(6,3)
+  EXPECT_EQ(CountTriangles(test::PathGraph(10)), 0u);
+  EXPECT_EQ(CountTriangles(test::CycleGraph(3)), 1u);
+  EXPECT_EQ(CountTriangles(test::CycleGraph(6)), 0u);
+  EXPECT_EQ(CountTriangles(test::StarGraph(10)), 0u);
+  EXPECT_EQ(CountTriangles(Graph()), 0u);
+}
+
+TEST(TrianglesTest, MatchesNaiveOnRandomGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(45, 0.05 + 0.06 * trial, &rng);
+    EXPECT_EQ(CountTriangles(g), NaiveTriangles(g)) << "trial " << trial;
+  }
+}
+
+TEST(ClusteringTest, ExtremeValues) {
+  // Complete graph: every wedge closes.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(gen::Complete(6)), 1.0);
+  // Star: wedges everywhere, no triangle.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(test::StarGraph(10)), 0.0);
+  // No wedges at all.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(test::PathGraph(2)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Graph()), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle {0,1,2} + pendant 2-3: 1 triangle; wedges: deg 2,2,3,1 ->
+  // 1+1+3+0 = 5 wedges -> transitivity 3/5.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(b.Build()), 0.6);
+}
+
+TEST(ClusteringTest, SocialStandInIsClustered) {
+  // Planted communities push transitivity well above the ER baseline at
+  // equal density.
+  Graph social = gen::GenerateSocialNetwork(gen::Twitter1Config(0.05));
+  Rng rng(11);
+  Graph er = gen::ErdosRenyiGnm(social.num_nodes(), social.num_edges(),
+                                &rng);
+  EXPECT_GT(GlobalClusteringCoefficient(social),
+            3 * GlobalClusteringCoefficient(er));
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,222 @@
+#include "incremental/incremental_mce.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/find_max_cliques.h"
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::incremental {
+namespace {
+
+/// Asserts the engine's clique set equals a fresh enumeration of its
+/// current graph.
+void ExpectConsistent(const IncrementalMce& engine) {
+  CliqueSet current = engine.CurrentCliques();
+  Graph snapshot = engine.graph().ToGraph();
+  mce::test::ExpectMatchesNaive(snapshot, current);
+}
+
+TEST(IncrementalMceTest, InitializesFromGraph) {
+  Graph g = mce::test::Figure1Graph();
+  IncrementalMce engine(g);
+  EXPECT_EQ(engine.num_cliques(), 12u);
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, InsertCreatesEdgeClique) {
+  IncrementalMce engine(mce::test::PathGraph(4));  // 0-1-2-3
+  // Initially three edge-cliques.
+  EXPECT_EQ(engine.num_cliques(), 3u);
+  Result<UpdateStats> stats = engine.AddEdge(0, 3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cliques_added, 1u);
+  EXPECT_EQ(stats->cliques_removed, 0u);
+  EXPECT_EQ(engine.num_cliques(), 4u);
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, InsertMergesTriangle) {
+  IncrementalMce engine(mce::test::PathGraph(3));  // 0-1-2
+  Result<UpdateStats> stats = engine.AddEdge(0, 2);
+  ASSERT_TRUE(stats.ok());
+  // {0,1} and {1,2} die; {0,1,2} is born.
+  EXPECT_EQ(stats->cliques_added, 1u);
+  EXPECT_EQ(stats->cliques_removed, 2u);
+  EXPECT_EQ(engine.num_cliques(), 1u);
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, RemoveSplitsClique) {
+  IncrementalMce engine(gen::Complete(4));
+  EXPECT_EQ(engine.num_cliques(), 1u);
+  Result<UpdateStats> stats = engine.RemoveEdge(0, 1);
+  ASSERT_TRUE(stats.ok());
+  // {0,1,2,3} dies; {0,2,3} and {1,2,3} are born.
+  EXPECT_EQ(stats->cliques_removed, 1u);
+  EXPECT_EQ(stats->cliques_added, 2u);
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, RemoveKeepsHalvesUniqueAndMaximal) {
+  // Two overlapping triangles {0,1,2} and {0,1,3}: deleting (0,1) must
+  // not duplicate the shared pair {0,1}'s remnants.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  IncrementalMce engine(b.Build());
+  EXPECT_EQ(engine.num_cliques(), 2u);
+  ASSERT_TRUE(engine.RemoveEdge(0, 1).ok());
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, ErrorsOnBadUpdates) {
+  IncrementalMce engine(mce::test::PathGraph(3));
+  EXPECT_EQ(engine.AddEdge(0, 1).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(engine.RemoveEdge(0, 2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.AddEdge(0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.AddEdge(0, 99).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.RemoveEdge(0, 99).status().code(),
+            StatusCode::kOutOfRange);
+  // Failed updates must not corrupt state.
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, AddNodeIsSingletonClique) {
+  IncrementalMce engine(mce::test::PathGraph(2));
+  NodeId v = engine.AddNode();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(engine.num_cliques(), 2u);  // {0,1} and {2}
+  ExpectConsistent(engine);
+  // Wire it in: singleton dies, edge clique born.
+  ASSERT_TRUE(engine.AddEdge(2, 0).ok());
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, CliquesContainingTracksMembership) {
+  IncrementalMce engine(gen::Complete(3));
+  EXPECT_EQ(engine.CliquesContaining(0), 1u);
+  ASSERT_TRUE(engine.RemoveEdge(0, 1).ok());
+  // Cliques now {0,2} and {1,2}.
+  EXPECT_EQ(engine.CliquesContaining(2), 2u);
+  EXPECT_EQ(engine.CliquesContaining(0), 1u);
+}
+
+// The load-bearing property test: a long random edit script, checked
+// against a fresh enumeration after every single update.
+TEST(IncrementalMceTest, RandomEditScriptStaysExact) {
+  Rng rng(2016);
+  const NodeId n = 14;
+  Graph start = gen::ErdosRenyiGnp(n, 0.2, &rng);
+  IncrementalMce engine(start);
+  ExpectConsistent(engine);
+  int applied = 0;
+  for (int step = 0; step < 250; ++step) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (engine.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(engine.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(engine.AddEdge(u, v).ok());
+    }
+    ++applied;
+    ExpectConsistent(engine);
+  }
+  EXPECT_GT(applied, 100);
+}
+
+TEST(IncrementalMceTest, DensifyThenSparsify) {
+  // Drive an empty graph to complete and back; the engine must match a
+  // fresh enumeration at the extremes and at spot checks.
+  const NodeId n = 8;
+  GraphBuilder b;
+  b.ReserveNodes(n);
+  IncrementalMce engine(b.Build());
+  EXPECT_EQ(engine.num_cliques(), n);  // n singletons
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      ASSERT_TRUE(engine.AddEdge(u, v).ok());
+    }
+  }
+  EXPECT_EQ(engine.num_cliques(), 1u);  // K_n
+  ExpectConsistent(engine);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      ASSERT_TRUE(engine.RemoveEdge(u, v).ok());
+    }
+  }
+  EXPECT_EQ(engine.num_cliques(), n);  // back to singletons
+  ExpectConsistent(engine);
+}
+
+TEST(IncrementalMceTest, GrowingNetworkWithNodeArrivals) {
+  // The evolving-social-network scenario: nodes join over time and attach
+  // to existing members (preferential-attachment flavored).
+  GraphBuilder b;
+  b.ReserveNodes(3);
+  b.AddEdge(0, 1);
+  IncrementalMce engine(b.Build());
+  Rng rng(7);
+  for (int arrival = 0; arrival < 15; ++arrival) {
+    NodeId v = engine.AddNode();
+    // Attach to 1-3 random existing nodes.
+    const int links = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int l = 0; l < links; ++l) {
+      NodeId target = static_cast<NodeId>(rng.NextBounded(v));
+      if (target != v && !engine.graph().HasEdge(v, target)) {
+        ASSERT_TRUE(engine.AddEdge(v, target).ok());
+      }
+    }
+    ExpectConsistent(engine);
+  }
+  EXPECT_EQ(engine.graph().num_nodes(), 18u);
+}
+
+TEST(IncrementalMceTest, UpdateStatsAreAccurate) {
+  IncrementalMce engine(mce::test::PathGraph(3));  // cliques {0,1},{1,2}
+  size_t before = engine.num_cliques();
+  Result<UpdateStats> s = engine.AddEdge(0, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(before + s->cliques_added - s->cliques_removed,
+            engine.num_cliques());
+  Result<UpdateStats> r = engine.RemoveEdge(0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.num_cliques(), 2u);  // {0,2} and {1,2}
+}
+
+TEST(IncrementalMceTest, MatchesBatchPipelineAfterUpdates) {
+  // Cross-check against the decomposition pipeline, not just the naive
+  // enumerator.
+  Rng rng(99);
+  Graph start = gen::BarabasiAlbert(40, 2, &rng);
+  IncrementalMce engine(start);
+  for (int step = 0; step < 30; ++step) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(40));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(40));
+    if (u == v) continue;
+    if (engine.graph().HasEdge(u, v)) {
+      ASSERT_TRUE(engine.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(engine.AddEdge(u, v).ok());
+    }
+  }
+  Graph snapshot = engine.graph().ToGraph();
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+  decomp::FindMaxCliquesResult batch =
+      decomp::FindMaxCliques(snapshot, options);
+  CliqueSet current = engine.CurrentCliques();
+  mce::test::ExpectSameCliques(current, batch.cliques);
+}
+
+}  // namespace
+}  // namespace mce::incremental

@@ -1,0 +1,174 @@
+// Property suite: every (algorithm x storage) combination must produce the
+// exact maximal-clique set of the pivotless reference on randomized inputs
+// spanning the graph families of Section 4's training collection.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "graph/subgraph.h"
+#include "mce/enumerator.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<GraphCase> CrossCheckGraphs() {
+  std::vector<GraphCase> cases;
+  Rng rng(2024);
+  // Erdos-Renyi across the density spectrum.
+  for (double p : {0.05, 0.15, 0.3, 0.5, 0.8}) {
+    cases.push_back({"er_p" + std::to_string(p),
+                     gen::ErdosRenyiGnp(28, p, &rng)});
+  }
+  // Barabasi-Albert (scale-free).
+  for (uint32_t attach : {1u, 2u, 4u}) {
+    cases.push_back({"ba_a" + std::to_string(attach),
+                     gen::BarabasiAlbert(40, attach, &rng)});
+  }
+  // Watts-Strogatz (small world).
+  for (double beta : {0.0, 0.2, 0.9}) {
+    cases.push_back({"ws_b" + std::to_string(beta),
+                     gen::WattsStrogatz(30, 4, beta, &rng)});
+  }
+  // Dense sparse ER with planted cliques (hub-like dense pockets).
+  Graph planted = gen::ErdosRenyiGnp(35, 0.08, &rng);
+  planted = gen::OverlayRandomCliques(planted, 4, 5, 9, false, &rng);
+  cases.push_back({"planted", std::move(planted)});
+  // Structured families.
+  cases.push_back({"moon_moser", gen::MoonMoser(3)});
+  cases.push_back({"complete", gen::Complete(9)});
+  cases.push_back(
+      {"powerlaw", gen::PowerLawConfigurationModel(45, 2.3, 1, 15, &rng)});
+  cases.push_back({"path", test::PathGraph(15)});
+  cases.push_back({"cycle", test::CycleGraph(12)});
+  cases.push_back({"star", test::StarGraph(12)});
+  cases.push_back({"hn", gen::HnWorstCase(25, 4)});
+  cases.push_back({"empty", Graph()});
+  return cases;
+}
+
+using ComboParam = std::tuple<Algorithm, StorageKind>;
+
+class CrossCheckTest : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(CrossCheckTest, MatchesNaiveOnAllFamilies) {
+  const auto [algorithm, storage] = GetParam();
+  const MceOptions options{algorithm, storage};
+  for (const GraphCase& c : CrossCheckGraphs()) {
+    CliqueSet actual = EnumerateToSet(c.graph, options);
+    CliqueSet expected = NaiveMceSet(c.graph);
+    EXPECT_TRUE(CliqueSet::Equal(actual, expected))
+        << c.name << " with " << ComboName(storage, algorithm) << ": got "
+        << actual.size() << " cliques, want " << expected.size();
+  }
+}
+
+TEST_P(CrossCheckTest, EveryOutputIsAMaximalClique) {
+  const auto [algorithm, storage] = GetParam();
+  const MceOptions options{algorithm, storage};
+  Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(24, 0.25 + 0.1 * trial, &rng);
+    CliqueSet cs = EnumerateToSet(g, options);
+    for (const Clique& c : cs.cliques()) {
+      EXPECT_TRUE(IsMaximalClique(g, c))
+          << ComboName(storage, algorithm) << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(CrossCheckTest, NoDuplicateCliques) {
+  const auto [algorithm, storage] = GetParam();
+  const MceOptions options{algorithm, storage};
+  Rng rng(123);
+  Graph g = gen::ErdosRenyiGnp(30, 0.3, &rng);
+  CliqueSet cs = EnumerateToSet(g, options);  // canonicalized (dedups)
+  CliqueSet raw;
+  EnumerateMaximalCliques(g, options, raw.Collector());
+  EXPECT_EQ(raw.size(), cs.size())
+      << ComboName(storage, algorithm) << " emitted duplicates";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CrossCheckTest,
+    ::testing::Combine(::testing::Values(Algorithm::kBKPivot,
+                                         Algorithm::kTomita,
+                                         Algorithm::kEppstein,
+                                         Algorithm::kXPivot),
+                       ::testing::Values(StorageKind::kAdjacencyList,
+                                         StorageKind::kMatrix,
+                                         StorageKind::kBitset)),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             ToString(std::get<1>(info.param));
+    });
+
+// Seeded enumeration must match a filtered full enumeration: the cliques
+// through `seed` avoiding X, on random instances.
+class SeededCrossCheckTest : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(SeededCrossCheckTest, SeededMatchesFilteredFullEnumeration) {
+  const auto [algorithm, storage] = GetParam();
+  const MceOptions options{algorithm, storage};
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(22, 0.35, &rng);
+    if (g.num_nodes() == 0) continue;
+    const NodeId seed = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    // Split N(seed) into P (kept) and X (excluded) at random.
+    std::vector<NodeId> p, x;
+    for (NodeId u : g.Neighbors(seed)) {
+      (rng.NextBool(0.3) ? x : p).push_back(u);
+    }
+    CliqueSet actual;
+    EnumerateSeeded(g, options, seed, p, x, actual.Collector());
+
+    // Reference: maximal cliques of the subgraph induced by {seed} u P u X
+    // that contain seed and no X node.
+    std::vector<NodeId> members = p;
+    members.insert(members.end(), x.begin(), x.end());
+    members.push_back(seed);
+    InducedSubgraph sub = Induce(g, members);
+    CliqueSet expected;
+    NaiveMce(sub.graph, [&](std::span<const NodeId> local) {
+      std::vector<NodeId> parent = ToParentIds(sub, local);
+      bool has_seed = false, has_x = false;
+      for (NodeId v : parent) {
+        if (v == seed) has_seed = true;
+        for (NodeId xv : x) {
+          if (v == xv) has_x = true;
+        }
+      }
+      if (has_seed && !has_x) expected.Add(parent);
+    });
+    EXPECT_TRUE(CliqueSet::Equal(actual, expected))
+        << ComboName(storage, algorithm) << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SeededCrossCheckTest,
+    ::testing::Combine(::testing::Values(Algorithm::kBKPivot,
+                                         Algorithm::kTomita,
+                                         Algorithm::kXPivot),
+                       ::testing::Values(StorageKind::kAdjacencyList,
+                                         StorageKind::kMatrix,
+                                         StorageKind::kBitset)),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             ToString(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,168 @@
+#include "mce/enumerator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+
+namespace mce {
+namespace {
+
+// The combos exercised on the small named graphs (all 4 algorithms x 3
+// storages).
+std::vector<MceOptions> AllCombos() {
+  std::vector<MceOptions> combos;
+  for (Algorithm a : {Algorithm::kBKPivot, Algorithm::kTomita,
+                      Algorithm::kEppstein, Algorithm::kXPivot}) {
+    for (StorageKind s : {StorageKind::kAdjacencyList, StorageKind::kMatrix,
+                          StorageKind::kBitset}) {
+      combos.push_back({a, s});
+    }
+  }
+  return combos;
+}
+
+TEST(EnumeratorTest, TriangleHasOneClique) {
+  Graph g = gen::Complete(3);
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs = EnumerateToSet(g, combo);
+    ASSERT_EQ(cs.size(), 1u) << ComboName(combo.storage, combo.algorithm);
+    EXPECT_EQ(cs.cliques()[0], (Clique{0, 1, 2}));
+  }
+}
+
+TEST(EnumeratorTest, PathCliquesAreEdges) {
+  Graph g = test::PathGraph(6);
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs = EnumerateToSet(g, combo);
+    EXPECT_EQ(cs.size(), 5u) << ComboName(combo.storage, combo.algorithm);
+    for (const Clique& c : cs.cliques()) EXPECT_EQ(c.size(), 2u);
+  }
+}
+
+TEST(EnumeratorTest, IsolatedNodesAreSingletonCliques) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.ReserveNodes(4);  // nodes 2, 3 isolated
+  Graph g = b.Build();
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs = EnumerateToSet(g, combo);
+    ASSERT_EQ(cs.size(), 3u) << ComboName(combo.storage, combo.algorithm);
+    EXPECT_EQ(cs.cliques()[0], (Clique{0, 1}));
+    EXPECT_EQ(cs.cliques()[1], (Clique{2}));
+    EXPECT_EQ(cs.cliques()[2], (Clique{3}));
+  }
+}
+
+TEST(EnumeratorTest, MoonMoserCount) {
+  // The Moon-Moser graph with k parts has exactly 3^k maximal cliques.
+  for (uint32_t parts : {2u, 3u, 4u}) {
+    Graph g = gen::MoonMoser(parts);
+    const size_t expected = static_cast<size_t>(std::pow(3, parts));
+    for (const MceOptions& combo : AllCombos()) {
+      CliqueSet cs = EnumerateToSet(g, combo);
+      EXPECT_EQ(cs.size(), expected)
+          << "parts=" << parts << " "
+          << ComboName(combo.storage, combo.algorithm);
+    }
+  }
+}
+
+TEST(EnumeratorTest, Figure1AllCombosMatchPaper) {
+  Graph g = test::Figure1Graph();
+  CliqueSet expected = test::Figure1Cliques();
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs = EnumerateToSet(g, combo);
+    EXPECT_TRUE(CliqueSet::Equal(cs, expected))
+        << ComboName(combo.storage, combo.algorithm);
+  }
+}
+
+TEST(EnumeratorTest, EmptyGraphEmitsNothing) {
+  Graph g;
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs = EnumerateToSet(g, combo);
+    EXPECT_EQ(cs.size(), 0u);
+  }
+}
+
+TEST(EnumeratorTest, NaiveAlgorithmDispatch) {
+  Graph g = test::Figure1Graph();
+  MceOptions options{Algorithm::kNaive, StorageKind::kAdjacencyList};
+  CliqueSet cs = EnumerateToSet(g, options);
+  CliqueSet expected = test::Figure1Cliques();
+  EXPECT_TRUE(CliqueSet::Equal(cs, expected));
+}
+
+TEST(SeededTest, EnumeratesCliquesThroughSeed) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  // Seed H with all its neighbors as candidates: cliques containing H.
+  std::vector<NodeId> p(g.Neighbors(H).begin(), g.Neighbors(H).end());
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs;
+    EnumerateSeeded(g, combo, H, p, {}, cs.Collector());
+    CliqueSet expected;
+    expected.Add(Clique{A, J, H});
+    expected.Add(Clique{H, F, D});
+    EXPECT_TRUE(CliqueSet::Equal(cs, expected))
+        << ComboName(combo.storage, combo.algorithm);
+  }
+}
+
+TEST(SeededTest, ExclusionSetSuppressesCliques) {
+  using namespace mce::test;
+  Graph g = Figure1Graph();
+  // Exclude A: cliques containing H but not A, maximal w.r.t. P u X.
+  // {J,H} is NOT emitted because A in X extends it; {H,F,D} survives.
+  std::vector<NodeId> nbrs(g.Neighbors(H).begin(), g.Neighbors(H).end());
+  std::vector<NodeId> p, x;
+  for (NodeId v : nbrs) {
+    if (v == A) {
+      x.push_back(v);
+    } else {
+      p.push_back(v);
+    }
+  }
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs;
+    EnumerateSeeded(g, combo, H, p, x, cs.Collector());
+    CliqueSet expected;
+    expected.Add(Clique{H, F, D});
+    EXPECT_TRUE(CliqueSet::Equal(cs, expected))
+        << ComboName(combo.storage, combo.algorithm);
+  }
+}
+
+TEST(SeededTest, EmptyCandidatesYieldSeedSingleton) {
+  Graph g = test::StarGraph(4);
+  for (const MceOptions& combo : AllCombos()) {
+    CliqueSet cs;
+    EnumerateSeeded(g, combo, 1, {}, {}, cs.Collector());
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs.cliques()[0], (Clique{1}));
+  }
+}
+
+TEST(ComboNameTest, Formatting) {
+  EXPECT_EQ(ComboName(StorageKind::kMatrix, Algorithm::kBKPivot),
+            "Matrix/BKPivot");
+  EXPECT_EQ(ComboName(StorageKind::kBitset, Algorithm::kTomita),
+            "BitSets/Tomita");
+  EXPECT_EQ(ComboName(StorageKind::kAdjacencyList, Algorithm::kXPivot),
+            "Lists/XPivot");
+}
+
+TEST(EstimateStorageBytesTest, MatrixIsQuadratic) {
+  EXPECT_EQ(EstimateStorageBytes(100, 0, StorageKind::kMatrix), 10000u);
+  EXPECT_EQ(EstimateStorageBytes(128, 0, StorageKind::kBitset),
+            128u * 2 * 8);
+  EXPECT_GT(EstimateStorageBytes(100, 1000, StorageKind::kAdjacencyList),
+            8000u);
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,179 @@
+#include "mce/kplex.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(IsKPlexTest, Definition) {
+  Graph g = test::PathGraph(4);  // 0-1-2-3
+  EXPECT_TRUE(IsKPlex(g, Clique{0, 1}, 1));
+  EXPECT_FALSE(IsKPlex(g, Clique{0, 2}, 1));   // not a clique
+  EXPECT_TRUE(IsKPlex(g, Clique{0, 1, 2}, 2)); // each misses <= 1
+  EXPECT_FALSE(IsKPlex(g, Clique{0, 1, 2, 3}, 2));  // 0 misses 2 (2 and 3)
+  EXPECT_TRUE(IsKPlex(g, Clique{0, 1, 2, 3}, 3));
+  EXPECT_TRUE(IsKPlex(g, Clique{}, 1));
+  EXPECT_TRUE(IsKPlex(g, Clique{2}, 1));
+}
+
+TEST(IsKPlexTest, OnePlexIsClique) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyiGnp(18, 0.4, &rng);
+  // Random subsets: 1-plex <=> clique.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<NodeId> s;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.NextBool(0.2)) s.push_back(v);
+    }
+    EXPECT_EQ(IsKPlex(g, s, 1), IsClique(g, s));
+  }
+}
+
+TEST(KPlexEnumerationTest, KOneEqualsMaximalCliques) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(16, 0.2 + 0.08 * trial, &rng);
+    KPlexOptions options;
+    options.k = 1;
+    CliqueSet kplexes = EnumerateMaximalKPlexesToSet(g, options);
+    CliqueSet cliques = NaiveMceSet(g);
+    mce::test::ExpectSameCliques(kplexes, cliques);
+  }
+}
+
+/// Brute-force reference: all maximal k-plexes by subset enumeration.
+CliqueSet NaiveMaximalKPlexes(const Graph& g, uint32_t k) {
+  const NodeId n = g.num_nodes();
+  MCE_CHECK_LE(n, 16u);
+  std::vector<Clique> kplexes;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Clique s;
+    for (NodeId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.push_back(v);
+    }
+    if (IsKPlex(g, s, k)) kplexes.push_back(std::move(s));
+  }
+  // Keep the maximal ones.
+  CliqueSet out;
+  for (const Clique& a : kplexes) {
+    bool maximal = true;
+    for (const Clique& b : kplexes) {
+      if (a.size() < b.size() &&
+          std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.Add(a);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+TEST(KPlexEnumerationTest, MatchesBruteForceForKTwo) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(9, 0.25 + 0.1 * trial, &rng);
+    KPlexOptions options;
+    options.k = 2;
+    CliqueSet actual = EnumerateMaximalKPlexesToSet(g, options);
+    CliqueSet expected = NaiveMaximalKPlexes(g, 2);
+    mce::test::ExpectSameCliques(actual, expected);
+  }
+}
+
+class KPlexSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KPlexSweepTest, MatchesBruteForceAcrossK) {
+  const uint32_t k = GetParam();
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(8, 0.2 + 0.1 * trial, &rng);
+    KPlexOptions options;
+    options.k = k;
+    CliqueSet actual = EnumerateMaximalKPlexesToSet(g, options);
+    CliqueSet expected = NaiveMaximalKPlexes(g, k);
+    mce::test::ExpectSameCliques(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KPlexSweepTest, ::testing::Values(1u, 2u, 3u, 4u),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(KPlexEnumerationTest, MatchesBruteForceForKThree) {
+  Rng rng(9);
+  Graph g = gen::ErdosRenyiGnp(8, 0.3, &rng);
+  KPlexOptions options;
+  options.k = 3;
+  CliqueSet actual = EnumerateMaximalKPlexesToSet(g, options);
+  CliqueSet expected = NaiveMaximalKPlexes(g, 3);
+  mce::test::ExpectSameCliques(actual, expected);
+}
+
+TEST(KPlexEnumerationTest, EveryOutputIsMaximal) {
+  Rng rng(11);
+  Graph g = gen::ErdosRenyiGnp(14, 0.3, &rng);
+  KPlexOptions options;
+  options.k = 2;
+  CliqueSet out = EnumerateMaximalKPlexesToSet(g, options);
+  for (const Clique& s : out.cliques()) {
+    EXPECT_TRUE(IsMaximalKPlex(g, s, 2));
+  }
+  // And no duplicates were emitted.
+  CliqueSet raw;
+  EnumerateMaximalKPlexes(g, options, raw.Collector());
+  EXPECT_EQ(raw.size(), out.size());
+}
+
+TEST(KPlexEnumerationTest, MinSizeFilters) {
+  Graph g = test::PathGraph(5);
+  KPlexOptions options;
+  options.k = 2;
+  options.min_size = 3;
+  CliqueSet filtered = EnumerateMaximalKPlexesToSet(g, options);
+  for (const Clique& s : filtered.cliques()) {
+    EXPECT_GE(s.size(), 3u);
+  }
+  options.min_size = 1;
+  CliqueSet all = EnumerateMaximalKPlexesToSet(g, options);
+  EXPECT_GE(all.size(), filtered.size());
+}
+
+TEST(KPlexEnumerationTest, CompleteGraphIsSingleKPlex) {
+  Graph g = gen::Complete(6);
+  KPlexOptions options;
+  options.k = 2;
+  CliqueSet out = EnumerateMaximalKPlexesToSet(g, options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.cliques()[0].size(), 6u);
+}
+
+TEST(KPlexEnumerationTest, EmptyGraph) {
+  KPlexOptions options;
+  CliqueSet out = EnumerateMaximalKPlexesToSet(Graph(), options);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(KPlexEnumerationTest, TwoPlexesRelaxCliques) {
+  // A 5-cycle: maximal cliques are its 5 edges, but {i-1, i, i+1} are
+  // 2-plexes; every maximal 2-plex has >= 3 members.
+  Graph g = test::CycleGraph(5);
+  KPlexOptions options;
+  options.k = 2;
+  CliqueSet out = EnumerateMaximalKPlexesToSet(g, options);
+  EXPECT_GT(out.size(), 0u);
+  for (const Clique& s : out.cliques()) {
+    EXPECT_GE(s.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace mce

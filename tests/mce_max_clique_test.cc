@@ -1,0 +1,86 @@
+#include "mce/max_clique.h"
+
+#include <gtest/gtest.h>
+
+#include "decomp/find_max_cliques.h"
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "gen/special.h"
+#include "mce/naive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+TEST(MaxCliqueTest, KnownGraphs) {
+  EXPECT_EQ(CliqueNumber(gen::Complete(7)), 7u);
+  EXPECT_EQ(CliqueNumber(test::PathGraph(10)), 2u);
+  EXPECT_EQ(CliqueNumber(test::CycleGraph(5)), 2u);
+  EXPECT_EQ(CliqueNumber(test::CycleGraph(3)), 3u);
+  EXPECT_EQ(CliqueNumber(test::StarGraph(9)), 2u);
+  EXPECT_EQ(CliqueNumber(gen::MoonMoser(4)), 4u);  // one per part
+  EXPECT_EQ(CliqueNumber(Graph()), 0u);
+}
+
+TEST(MaxCliqueTest, ResultIsACliqueOfClaimedSize) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(40, 0.2 + 0.07 * trial, &rng);
+    MaxCliqueResult r = FindMaximumClique(g);
+    EXPECT_TRUE(IsClique(g, r.clique));
+    EXPECT_GT(r.branches, 0u);
+  }
+}
+
+TEST(MaxCliqueTest, MatchesEnumerationMaximum) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = gen::ErdosRenyiGnp(35, 0.15 + 0.08 * trial, &rng);
+    CliqueSet all = NaiveMceSet(g);
+    EXPECT_EQ(CliqueNumber(g), all.MaxCliqueSize()) << "trial " << trial;
+  }
+}
+
+TEST(MaxCliqueTest, FindsPlantedClique) {
+  Rng rng(7);
+  Graph base = gen::ErdosRenyiGnp(200, 0.03, &rng);
+  Graph g = gen::OverlayCliques(
+      base, {{3, 17, 42, 77, 101, 130, 155, 180, 191}});
+  MaxCliqueResult r = FindMaximumClique(g);
+  EXPECT_EQ(r.clique.size(), 9u);
+  EXPECT_EQ(r.clique, (Clique{3, 17, 42, 77, 101, 130, 155, 180, 191}));
+}
+
+TEST(MaxCliqueTest, LowerBoundPrunes) {
+  Rng rng(9);
+  Graph g = gen::ErdosRenyiGnp(40, 0.3, &rng);
+  const size_t omega = CliqueNumber(g);
+  // Seeding with the true clique number: nothing bigger exists, so the
+  // search returns empty but must not crash or return a wrong clique.
+  MaxCliqueResult pruned = FindMaximumClique(g, omega);
+  EXPECT_TRUE(pruned.clique.empty());
+  // Seeding with omega - 1 must still find a maximum clique.
+  MaxCliqueResult seeded = FindMaximumClique(g, omega - 1);
+  EXPECT_EQ(seeded.clique.size(), omega);
+  // And pruning reduces the explored branches.
+  MaxCliqueResult unseeded = FindMaximumClique(g);
+  EXPECT_LE(seeded.branches, unseeded.branches);
+}
+
+TEST(MaxCliqueTest, WorksOnScaleFreeStandIn) {
+  Graph g = gen::GenerateSocialNetwork(gen::Twitter1Config(0.03));
+  const size_t omega = CliqueNumber(g);
+  // The planted community recipe bounds the max clique size; it must be
+  // at least the edge-clique floor and at most the planted maximum.
+  EXPECT_GE(omega, 3u);
+  EXPECT_LE(omega, 27u);
+  // Cross-check against the full pipeline's max clique size.
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = g.MaxDegree() / 2;
+  decomp::FindMaxCliquesResult all = decomp::FindMaxCliques(g, options);
+  EXPECT_EQ(omega, all.cliques.MaxCliqueSize());
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,108 @@
+// Shared test fixtures: small named graphs, including a reconstruction of
+// the paper's running example (Figure 1), and clique-set matchers.
+
+#ifndef MCE_TESTS_TEST_UTIL_H_
+#define MCE_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/naive.h"
+
+namespace mce::test {
+
+inline Graph PathGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+inline Graph CycleGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return b.Build();
+}
+
+/// Star: center 0 connected to 1..n-1.
+inline Graph StarGraph(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.AddEdge(0, i);
+  return b.Build();
+}
+
+/// Node names of the Figure 1 network.
+enum Fig1Node : NodeId {
+  A = 0, J, H, D, E, F, G, S, X, L, Z, R, P, Y, W, U, kFig1Nodes
+};
+
+/// The running example of the paper (Figure 1): with block size m = 5 the
+/// hub nodes are D (degree 7), S and E (degree 5); maximal cliques include
+/// {A,J,H}, {H,F,D} (feasible-side) and the hub-only triangle {D,S,E}.
+inline Graph Figure1Graph() {
+  GraphBuilder b(kFig1Nodes);
+  // Feasible-side cliques.
+  b.AddEdge(A, J);
+  b.AddEdge(A, H);
+  b.AddEdge(J, H);
+  b.AddEdge(H, F);
+  b.AddEdge(H, D);
+  b.AddEdge(F, D);
+  // The hub triangle.
+  b.AddEdge(D, S);
+  b.AddEdge(S, E);
+  b.AddEdge(E, D);
+  // Pendant neighborhoods raising the hub degrees to 7 / 5 / 5.
+  b.AddEdge(D, P);
+  b.AddEdge(D, R);
+  b.AddEdge(D, Z);
+  b.AddEdge(S, L);
+  b.AddEdge(S, U);
+  b.AddEdge(S, W);
+  b.AddEdge(E, G);
+  b.AddEdge(E, X);
+  b.AddEdge(E, Y);
+  return b.Build();
+}
+
+/// All 12 maximal cliques of Figure1Graph(), canonicalized.
+inline CliqueSet Figure1Cliques() {
+  CliqueSet cs;
+  cs.Add(Clique{A, J, H});
+  cs.Add(Clique{H, F, D});
+  cs.Add(Clique{D, S, E});
+  cs.Add(Clique{D, P});
+  cs.Add(Clique{D, R});
+  cs.Add(Clique{D, Z});
+  cs.Add(Clique{S, L});
+  cs.Add(Clique{S, U});
+  cs.Add(Clique{S, W});
+  cs.Add(Clique{E, G});
+  cs.Add(Clique{E, X});
+  cs.Add(Clique{E, Y});
+  cs.Canonicalize();
+  return cs;
+}
+
+/// Asserts two clique collections are equal as sets, with a readable diff.
+inline void ExpectSameCliques(CliqueSet& actual, CliqueSet& expected) {
+  actual.Canonicalize();
+  expected.Canonicalize();
+  EXPECT_EQ(actual.size(), expected.size());
+  ASSERT_TRUE(CliqueSet::Equal(actual, expected))
+      << "clique sets differ: actual has " << actual.size()
+      << ", expected has " << expected.size();
+}
+
+/// Asserts `actual` equals the reference (naive) enumeration of `g`.
+inline void ExpectMatchesNaive(const Graph& g, CliqueSet& actual) {
+  CliqueSet expected = NaiveMceSet(g);
+  ExpectSameCliques(actual, expected);
+}
+
+}  // namespace mce::test
+
+#endif  // MCE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,158 @@
+#include "util/bitset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mce {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitsetTest, SetClearTest) {
+  Bitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, SetAllMasksTailBits) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);  // exactly 70, not 128
+  Bitset b64(64);
+  b64.SetAll();
+  EXPECT_EQ(b64.Count(), 64u);
+  Bitset b0(0);
+  b0.SetAll();
+  EXPECT_EQ(b0.Count(), 0u);
+}
+
+TEST(BitsetTest, ResetClearsEverything) {
+  Bitset b(100);
+  b.SetAll();
+  b.Reset();
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(BitsetTest, AndOrAndNot) {
+  Bitset a(130), b(130);
+  a.Set(1);
+  a.Set(64);
+  a.Set(128);
+  b.Set(64);
+  b.Set(128);
+  b.Set(129);
+
+  Bitset a_and = a;
+  a_and.And(b);
+  EXPECT_EQ(a_and.ToVector(), (std::vector<uint32_t>{64, 128}));
+
+  Bitset a_or = a;
+  a_or.Or(b);
+  EXPECT_EQ(a_or.ToVector(), (std::vector<uint32_t>{1, 64, 128, 129}));
+
+  Bitset a_andnot = a;
+  a_andnot.AndNot(b);
+  EXPECT_EQ(a_andnot.ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(BitsetTest, AndCountMatchesMaterializedAnd) {
+  Bitset a(200), b(200);
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  Bitset both = a;
+  both.And(b);
+  EXPECT_EQ(a.AndCount(b), both.Count());
+  EXPECT_EQ(a.AndCount(b), 14u);  // multiples of 15 below 200: 0..195
+}
+
+TEST(BitsetTest, IntersectsAndSubset) {
+  Bitset a(80), b(80), c(80);
+  a.Set(10);
+  a.Set(70);
+  b.Set(70);
+  c.Set(5);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  Bitset empty(80);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_FALSE(empty.Intersects(a));
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  Bitset b(150);
+  EXPECT_EQ(b.FindFirst(), 150u);
+  b.Set(3);
+  b.Set(64);
+  b.Set(149);
+  EXPECT_EQ(b.FindFirst(), 3u);
+  EXPECT_EQ(b.FindNext(4), 64u);
+  EXPECT_EQ(b.FindNext(64), 64u);
+  EXPECT_EQ(b.FindNext(65), 149u);
+  EXPECT_EQ(b.FindNext(150), 150u);
+}
+
+TEST(BitsetTest, ForEachVisitsInOrder) {
+  Bitset b(100);
+  std::vector<size_t> expected{0, 31, 32, 63, 64, 99};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&seen](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, ToVectorEmpty) {
+  Bitset b(10);
+  EXPECT_TRUE(b.ToVector().empty());
+}
+
+TEST(BitsetTest, Equality) {
+  Bitset a(64), b(64), c(65);
+  a.Set(5);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+  b.Set(6);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // different size
+}
+
+TEST(BitsetTest, DefaultConstructedIsEmpty) {
+  Bitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.FindFirst(), 0u);
+}
+
+TEST(BitsetTest, CopyIsIndependent) {
+  Bitset a(64);
+  a.Set(1);
+  Bitset b = a;
+  b.Set(2);
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(b.Test(1));
+}
+
+}  // namespace
+}  // namespace mce

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mce {
+namespace {
+
+// Keeps busy-work loops from being optimized away.
+std::atomic<int> benchmark_sink_{0};
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] {
+      // Small busy work so Wait actually has something to wait for.
+      int x = 0;
+      for (int j = 0; j < 10000; ++j) x += j;
+      benchmark_sink_.store(x, std::memory_order_relaxed);
+      counter.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+  // Pool is reusable after Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);  // clamped to 1
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor must finish the work.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitResults) {
+  ThreadPool pool(4);
+  std::vector<int> results(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&results, i] { results[i] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+}  // namespace
+}  // namespace mce

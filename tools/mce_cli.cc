@@ -1,0 +1,335 @@
+// mce_cli — command-line front end for the library.
+//
+// Subcommands:
+//   stats        graph metrics (nodes, edges, density, degeneracy, d*, ...)
+//   enumerate    run the two-level pipeline and print/save maximal cliques
+//   communities  k-clique communities (clique percolation)
+//   generate     write a synthetic network (models or dataset stand-ins)
+//   convert      translate between edge-list / triples / binary formats
+//
+// Examples:
+//   mce_cli generate --model twitter1 --scale 0.1 --output t1.txt
+//   mce_cli stats --input t1.txt
+//   mce_cli enumerate --input t1.txt --ratio 0.5 --top 5 --output cliques.txt
+//   mce_cli communities --input t1.txt --k 4
+//   mce_cli convert --input t1.txt --output t1.bin --to binary
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "community/percolation.h"
+#include "mce/clique_io.h"
+#include "core/clique_analysis.h"
+#include "core/max_clique_finder.h"
+#include "core/report.h"
+#include "core/verify.h"
+#include "core/top_cliques.h"
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "graph/connectivity.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "util/random.h"
+
+namespace {
+
+using mce::Graph;
+using mce::NodeId;
+using mce::Result;
+using mce::Status;
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Loads a graph in the format implied by --format or the file suffix.
+Result<Graph> LoadGraph(const Flags& flags) {
+  const std::string input = flags.Get("input", "");
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  std::string format = flags.Get("format", "");
+  if (format.empty()) {
+    if (input.size() > 4 && input.substr(input.size() - 4) == ".bin") {
+      format = "binary";
+    } else if (input.size() > 8 &&
+               input.substr(input.size() - 8) == ".triples") {
+      format = "triples";
+    } else {
+      format = "edges";
+    }
+  }
+  if (format == "binary") return mce::ReadBinary(input);
+  if (format == "triples") {
+    MCE_ASSIGN_OR_RETURN(mce::LabeledGraph lg, mce::ReadTriples(input));
+    return std::move(lg.graph);
+  }
+  if (format == "edges") return mce::ReadEdgeList(input);
+  return Status::InvalidArgument("unknown --format " + format);
+}
+
+int CmdStats(const Flags& flags) {
+  Result<Graph> g = LoadGraph(flags);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  mce::GraphMetrics m = mce::ComputeMetrics(*g);
+  std::printf("nodes:        %llu\n",
+              static_cast<unsigned long long>(m.num_nodes));
+  std::printf("edges:        %llu\n",
+              static_cast<unsigned long long>(m.num_edges));
+  std::printf("density:      %.6f\n", m.density);
+  std::printf("max degree:   %u\n", m.max_degree);
+  std::printf("degeneracy:   %u\n", m.degeneracy);
+  std::printf("d*:           %u\n", m.d_star);
+  std::printf("components:   %u (largest %llu)\n",
+              mce::ConnectedComponents(*g).count,
+              static_cast<unsigned long long>(mce::LargestComponentSize(*g)));
+  std::printf("deg in [1,20]: %.1f%%\n",
+              100.0 * mce::DegreeRangeFraction(*g, 1, 20));
+  return 0;
+}
+
+int CmdEnumerate(const Flags& flags) {
+  Result<Graph> g = LoadGraph(flags);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  mce::MaxCliqueFinder::Options options;
+  if (flags.Has("m")) {
+    options.block_size = static_cast<uint32_t>(flags.GetInt("m", 0));
+  } else {
+    options.block_size_ratio = flags.GetDouble("ratio", 0.5);
+  }
+  if (flags.Has("workers")) {
+    options.simulate_cluster = true;
+    options.cluster.num_workers = flags.GetInt("workers", 10);
+  }
+  mce::MaxCliqueFinder finder(options);
+  Result<mce::FindResult> result = finder.Find(*g);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.Get("json", "") == "true") {
+    std::printf("%s\n", mce::RunReportJson(*result).c_str());
+    return 0;
+  }
+  std::printf("%s\n", result->stats.ToString().c_str());
+  if (result->cluster.has_value()) {
+    std::printf("cluster: %d workers, makespan %.4fs, compute speedup "
+                "%.2fx, skew %.2f\n",
+                result->cluster->workers, result->cluster->makespan_seconds,
+                result->cluster->compute_speedup,
+                result->cluster->max_level_skew);
+  }
+  const int top = flags.GetInt("top", 0);
+  if (top > 0) {
+    for (size_t idx : mce::LargestCliqueIndices(result->cliques, top)) {
+      const mce::Clique& c = result->cliques.cliques()[idx];
+      std::printf("clique[%zu members]%s:", c.size(),
+                  result->origin_level[idx] >= 1 ? " (hub-only)" : "");
+      for (NodeId v : c) std::printf(" %u", v);
+      std::printf("\n");
+    }
+  }
+  const std::string output = flags.Get("output", "");
+  if (!output.empty()) {
+    Status st = mce::WriteCliques(result->cliques, output);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu cliques to %s\n", result->cliques.size(),
+                output.c_str());
+  }
+  if (flags.Get("verify", "") == "true") {
+    mce::VerificationReport report =
+        mce::VerifyAgainstReference(*g, result->cliques);
+    std::printf("verification: %s\n", report.ToString().c_str());
+    if (!report.ok()) return 1;
+  }
+  return 0;
+}
+
+int CmdTop(const Flags& flags) {
+  Result<Graph> g = LoadGraph(flags);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  for (const mce::Clique& c : mce::TopKMaximalCliques(*g, k)) {
+    std::printf("clique[%zu members]:", c.size());
+    for (NodeId v : c) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdCommunities(const Flags& flags) {
+  Result<Graph> g = LoadGraph(flags);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  if (k < 2) {
+    std::fprintf(stderr, "error: --k must be >= 2\n");
+    return 1;
+  }
+  auto communities = mce::community::KCliqueCommunities(*g, k);
+  std::printf("%zu k-clique communities (k=%u)\n", communities.size(), k);
+  const int top = flags.GetInt("top", 10);
+  for (size_t i = 0; i < communities.size() && i < static_cast<size_t>(top);
+       ++i) {
+    std::printf("  #%zu: %zu members, %zu cliques\n", i + 1,
+                communities[i].members.size(),
+                communities[i].clique_indices.size());
+  }
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string model = flags.Get("model", "twitter1");
+  const std::string output = flags.Get("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "error: --output is required\n");
+    return 1;
+  }
+  const double scale = flags.GetDouble("scale", 0.1);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  Graph g;
+  if (model == "twitter1" || model == "twitter2" || model == "twitter3" ||
+      model == "facebook" || model == "google+") {
+    for (auto config : mce::gen::AllDatasetConfigs(scale)) {
+      if (config.name == model) {
+        if (flags.Has("seed")) config.seed = seed;
+        g = mce::gen::GenerateSocialNetwork(config);
+      }
+    }
+  } else {
+    mce::Rng rng(seed);
+    const NodeId n = static_cast<NodeId>(flags.GetInt("nodes", 1000));
+    if (model == "er") {
+      g = mce::gen::ErdosRenyiGnp(n, flags.GetDouble("p", 0.01), &rng);
+    } else if (model == "ba") {
+      g = mce::gen::BarabasiAlbert(
+          n, static_cast<uint32_t>(flags.GetInt("attach", 4)), &rng);
+    } else if (model == "ws") {
+      g = mce::gen::WattsStrogatz(
+          n, static_cast<uint32_t>(flags.GetInt("kring", 6)),
+          flags.GetDouble("beta", 0.2), &rng);
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown --model %s (try twitter1..3, facebook, "
+                   "google+, er, ba, ws)\n",
+                   model.c_str());
+      return 1;
+    }
+  }
+  Status st = mce::WriteEdgeList(g, output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %llu edges\n", output.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int CmdConvert(const Flags& flags) {
+  Result<Graph> g = LoadGraph(flags);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const std::string output = flags.Get("output", "");
+  const std::string to = flags.Get("to", "edges");
+  if (output.empty()) {
+    std::fprintf(stderr, "error: --output is required\n");
+    return 1;
+  }
+  Status st = Status::OK();
+  if (to == "edges") {
+    st = mce::WriteEdgeList(*g, output);
+  } else if (to == "binary") {
+    st = mce::WriteBinary(*g, output);
+  } else if (to == "dot") {
+    st = mce::WriteDot(*g, output);
+  } else {
+    std::fprintf(stderr, "error: unknown --to %s\n", to.c_str());
+    return 1;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mce_cli <stats|enumerate|top|communities|generate|convert> "
+      "[--flag value ...]\n"
+      "  stats       --input G [--format edges|triples|binary]\n"
+      "  enumerate   --input G [--ratio R | --m M] [--workers N]\n"
+      "              [--top K] [--output cliques.txt] [--json true]\n"
+      "              [--verify true]  (re-enumerate and certify)\n"
+      "  top         --input G [--k K]  (k largest maximal cliques)\n"
+      "  communities --input G [--k K] [--top K]\n"
+      "  generate    --model twitter1|...|er|ba|ws --output G\n"
+      "              [--scale S | --nodes N --p P --attach A]\n"
+      "  convert     --input G --output G2 --to edges|binary|dot\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "enumerate") return CmdEnumerate(flags);
+  if (command == "top") return CmdTop(flags);
+  if (command == "communities") return CmdCommunities(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  Usage();
+  return 2;
+}
