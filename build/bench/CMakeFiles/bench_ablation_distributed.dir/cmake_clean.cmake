@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distributed.dir/bench_ablation_distributed.cc.o"
+  "CMakeFiles/bench_ablation_distributed.dir/bench_ablation_distributed.cc.o.d"
+  "bench_ablation_distributed"
+  "bench_ablation_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

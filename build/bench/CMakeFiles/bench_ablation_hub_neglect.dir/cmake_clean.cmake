@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hub_neglect.dir/bench_ablation_hub_neglect.cc.o"
+  "CMakeFiles/bench_ablation_hub_neglect.dir/bench_ablation_hub_neglect.cc.o.d"
+  "bench_ablation_hub_neglect"
+  "bench_ablation_hub_neglect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hub_neglect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mce_micro.dir/bench_ablation_mce_micro.cc.o"
+  "CMakeFiles/bench_ablation_mce_micro.dir/bench_ablation_mce_micro.cc.o.d"
+  "bench_ablation_mce_micro"
+  "bench_ablation_mce_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mce_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fb_gplus_cliques.dir/bench_fig10_fb_gplus_cliques.cc.o"
+  "CMakeFiles/bench_fig10_fb_gplus_cliques.dir/bench_fig10_fb_gplus_cliques.cc.o.d"
+  "bench_fig10_fb_gplus_cliques"
+  "bench_fig10_fb_gplus_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fb_gplus_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_decision_tree.dir/bench_fig3_decision_tree.cc.o"
+  "CMakeFiles/bench_fig3_decision_tree.dir/bench_fig3_decision_tree.cc.o.d"
+  "bench_fig3_decision_tree"
+  "bench_fig3_decision_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tree_vs_fixed.dir/bench_fig4_tree_vs_fixed.cc.o"
+  "CMakeFiles/bench_fig4_tree_vs_fixed.dir/bench_fig4_tree_vs_fixed.cc.o.d"
+  "bench_fig4_tree_vs_fixed"
+  "bench_fig4_tree_vs_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tree_vs_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

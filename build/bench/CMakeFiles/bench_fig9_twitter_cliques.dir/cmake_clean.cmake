@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_twitter_cliques.dir/bench_fig9_twitter_cliques.cc.o"
+  "CMakeFiles/bench_fig9_twitter_cliques.dir/bench_fig9_twitter_cliques.cc.o.d"
+  "bench_fig9_twitter_cliques"
+  "bench_fig9_twitter_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_twitter_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

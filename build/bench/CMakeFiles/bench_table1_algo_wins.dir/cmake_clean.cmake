@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_algo_wins.dir/bench_table1_algo_wins.cc.o"
+  "CMakeFiles/bench_table1_algo_wins.dir/bench_table1_algo_wins.cc.o.d"
+  "bench_table1_algo_wins"
+  "bench_table1_algo_wins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_algo_wins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_graph_ranges.dir/bench_table2_graph_ranges.cc.o"
+  "CMakeFiles/bench_table2_graph_ranges.dir/bench_table2_graph_ranges.cc.o.d"
+  "bench_table2_graph_ranges"
+  "bench_table2_graph_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_graph_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

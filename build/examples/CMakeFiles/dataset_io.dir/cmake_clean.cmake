@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/dataset_io.dir/dataset_io.cpp.o.d"
+  "dataset_io"
+  "dataset_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

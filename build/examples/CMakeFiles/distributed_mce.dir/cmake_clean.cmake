@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_mce.dir/distributed_mce.cpp.o"
+  "CMakeFiles/distributed_mce.dir/distributed_mce.cpp.o.d"
+  "distributed_mce"
+  "distributed_mce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_network.dir/evolving_network.cpp.o"
+  "CMakeFiles/evolving_network.dir/evolving_network.cpp.o.d"
+  "evolving_network"
+  "evolving_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/truncated_mce.cc" "src/CMakeFiles/mce.dir/baseline/truncated_mce.cc.o" "gcc" "src/CMakeFiles/mce.dir/baseline/truncated_mce.cc.o.d"
+  "/root/repo/src/community/percolation.cc" "src/CMakeFiles/mce.dir/community/percolation.cc.o" "gcc" "src/CMakeFiles/mce.dir/community/percolation.cc.o.d"
+  "/root/repo/src/community/relaxations.cc" "src/CMakeFiles/mce.dir/community/relaxations.cc.o" "gcc" "src/CMakeFiles/mce.dir/community/relaxations.cc.o.d"
+  "/root/repo/src/core/clique_analysis.cc" "src/CMakeFiles/mce.dir/core/clique_analysis.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/clique_analysis.cc.o.d"
+  "/root/repo/src/core/max_clique_finder.cc" "src/CMakeFiles/mce.dir/core/max_clique_finder.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/max_clique_finder.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/mce.dir/core/report.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/report.cc.o.d"
+  "/root/repo/src/core/run_stats.cc" "src/CMakeFiles/mce.dir/core/run_stats.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/run_stats.cc.o.d"
+  "/root/repo/src/core/top_cliques.cc" "src/CMakeFiles/mce.dir/core/top_cliques.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/top_cliques.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/mce.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/mce.dir/core/verify.cc.o.d"
+  "/root/repo/src/decision/decision_tree.cc" "src/CMakeFiles/mce.dir/decision/decision_tree.cc.o" "gcc" "src/CMakeFiles/mce.dir/decision/decision_tree.cc.o.d"
+  "/root/repo/src/decision/features.cc" "src/CMakeFiles/mce.dir/decision/features.cc.o" "gcc" "src/CMakeFiles/mce.dir/decision/features.cc.o.d"
+  "/root/repo/src/decision/trainer.cc" "src/CMakeFiles/mce.dir/decision/trainer.cc.o" "gcc" "src/CMakeFiles/mce.dir/decision/trainer.cc.o.d"
+  "/root/repo/src/decomp/block.cc" "src/CMakeFiles/mce.dir/decomp/block.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/block.cc.o.d"
+  "/root/repo/src/decomp/block_analysis.cc" "src/CMakeFiles/mce.dir/decomp/block_analysis.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/block_analysis.cc.o.d"
+  "/root/repo/src/decomp/blocks.cc" "src/CMakeFiles/mce.dir/decomp/blocks.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/blocks.cc.o.d"
+  "/root/repo/src/decomp/cut.cc" "src/CMakeFiles/mce.dir/decomp/cut.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/cut.cc.o.d"
+  "/root/repo/src/decomp/filter.cc" "src/CMakeFiles/mce.dir/decomp/filter.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/filter.cc.o.d"
+  "/root/repo/src/decomp/find_max_cliques.cc" "src/CMakeFiles/mce.dir/decomp/find_max_cliques.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/find_max_cliques.cc.o.d"
+  "/root/repo/src/decomp/parallel_analysis.cc" "src/CMakeFiles/mce.dir/decomp/parallel_analysis.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/parallel_analysis.cc.o.d"
+  "/root/repo/src/decomp/plan.cc" "src/CMakeFiles/mce.dir/decomp/plan.cc.o" "gcc" "src/CMakeFiles/mce.dir/decomp/plan.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/mce.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/mce.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/cost_model.cc" "src/CMakeFiles/mce.dir/dist/cost_model.cc.o" "gcc" "src/CMakeFiles/mce.dir/dist/cost_model.cc.o.d"
+  "/root/repo/src/dist/distributed_mce.cc" "src/CMakeFiles/mce.dir/dist/distributed_mce.cc.o" "gcc" "src/CMakeFiles/mce.dir/dist/distributed_mce.cc.o.d"
+  "/root/repo/src/dist/scheduler.cc" "src/CMakeFiles/mce.dir/dist/scheduler.cc.o" "gcc" "src/CMakeFiles/mce.dir/dist/scheduler.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/mce.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/mce.dir/gen/generators.cc.o.d"
+  "/root/repo/src/gen/social.cc" "src/CMakeFiles/mce.dir/gen/social.cc.o" "gcc" "src/CMakeFiles/mce.dir/gen/social.cc.o.d"
+  "/root/repo/src/gen/special.cc" "src/CMakeFiles/mce.dir/gen/special.cc.o" "gcc" "src/CMakeFiles/mce.dir/gen/special.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/mce.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/connectivity.cc" "src/CMakeFiles/mce.dir/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/connectivity.cc.o.d"
+  "/root/repo/src/graph/core_decomposition.cc" "src/CMakeFiles/mce.dir/graph/core_decomposition.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/core_decomposition.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/mce.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/mce.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/mce.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/mce.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/ordered_adjacency.cc" "src/CMakeFiles/mce.dir/graph/ordered_adjacency.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/ordered_adjacency.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/mce.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/views.cc" "src/CMakeFiles/mce.dir/graph/views.cc.o" "gcc" "src/CMakeFiles/mce.dir/graph/views.cc.o.d"
+  "/root/repo/src/incremental/incremental_mce.cc" "src/CMakeFiles/mce.dir/incremental/incremental_mce.cc.o" "gcc" "src/CMakeFiles/mce.dir/incremental/incremental_mce.cc.o.d"
+  "/root/repo/src/mce/clique.cc" "src/CMakeFiles/mce.dir/mce/clique.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/clique.cc.o.d"
+  "/root/repo/src/mce/clique_io.cc" "src/CMakeFiles/mce.dir/mce/clique_io.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/clique_io.cc.o.d"
+  "/root/repo/src/mce/enumerator.cc" "src/CMakeFiles/mce.dir/mce/enumerator.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/enumerator.cc.o.d"
+  "/root/repo/src/mce/kplex.cc" "src/CMakeFiles/mce.dir/mce/kplex.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/kplex.cc.o.d"
+  "/root/repo/src/mce/max_clique.cc" "src/CMakeFiles/mce.dir/mce/max_clique.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/max_clique.cc.o.d"
+  "/root/repo/src/mce/naive.cc" "src/CMakeFiles/mce.dir/mce/naive.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/naive.cc.o.d"
+  "/root/repo/src/mce/pivoter.cc" "src/CMakeFiles/mce.dir/mce/pivoter.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/pivoter.cc.o.d"
+  "/root/repo/src/mce/storage.cc" "src/CMakeFiles/mce.dir/mce/storage.cc.o" "gcc" "src/CMakeFiles/mce.dir/mce/storage.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/mce.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/mce.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mce.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mce.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mce.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mce.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mce.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mce.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/mce.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/mce.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_clique_analysis_test.cc" "tests/CMakeFiles/core_test.dir/core_clique_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_clique_analysis_test.cc.o.d"
+  "/root/repo/tests/core_finder_test.cc" "tests/CMakeFiles/core_test.dir/core_finder_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_finder_test.cc.o.d"
+  "/root/repo/tests/core_report_test.cc" "tests/CMakeFiles/core_test.dir/core_report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_report_test.cc.o.d"
+  "/root/repo/tests/core_run_stats_test.cc" "tests/CMakeFiles/core_test.dir/core_run_stats_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_run_stats_test.cc.o.d"
+  "/root/repo/tests/core_top_cliques_test.cc" "tests/CMakeFiles/core_test.dir/core_top_cliques_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_top_cliques_test.cc.o.d"
+  "/root/repo/tests/core_verify_test.cc" "tests/CMakeFiles/core_test.dir/core_verify_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_verify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_clique_analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core_clique_analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_finder_test.cc.o"
+  "CMakeFiles/core_test.dir/core_finder_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_report_test.cc.o"
+  "CMakeFiles/core_test.dir/core_report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_run_stats_test.cc.o"
+  "CMakeFiles/core_test.dir/core_run_stats_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_top_cliques_test.cc.o"
+  "CMakeFiles/core_test.dir/core_top_cliques_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_verify_test.cc.o"
+  "CMakeFiles/core_test.dir/core_verify_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

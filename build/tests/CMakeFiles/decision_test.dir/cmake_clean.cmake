@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_test.dir/decision_trainer_test.cc.o"
+  "CMakeFiles/decision_test.dir/decision_trainer_test.cc.o.d"
+  "CMakeFiles/decision_test.dir/decision_tree_test.cc.o"
+  "CMakeFiles/decision_test.dir/decision_tree_test.cc.o.d"
+  "decision_test"
+  "decision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

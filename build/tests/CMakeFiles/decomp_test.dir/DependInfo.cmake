@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decomp_block_analysis_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_block_analysis_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_block_analysis_test.cc.o.d"
+  "/root/repo/tests/decomp_blocks_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_blocks_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_blocks_test.cc.o.d"
+  "/root/repo/tests/decomp_cut_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_cut_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_cut_test.cc.o.d"
+  "/root/repo/tests/decomp_filter_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_filter_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_filter_test.cc.o.d"
+  "/root/repo/tests/decomp_find_max_cliques_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_find_max_cliques_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_find_max_cliques_test.cc.o.d"
+  "/root/repo/tests/decomp_parallel_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_parallel_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_parallel_test.cc.o.d"
+  "/root/repo/tests/decomp_plan_test.cc" "tests/CMakeFiles/decomp_test.dir/decomp_plan_test.cc.o" "gcc" "tests/CMakeFiles/decomp_test.dir/decomp_plan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomp_test.dir/decomp_block_analysis_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_block_analysis_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_blocks_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_blocks_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_cut_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_cut_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_filter_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_filter_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_find_max_cliques_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_find_max_cliques_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_parallel_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_parallel_test.cc.o.d"
+  "CMakeFiles/decomp_test.dir/decomp_plan_test.cc.o"
+  "CMakeFiles/decomp_test.dir/decomp_plan_test.cc.o.d"
+  "decomp_test"
+  "decomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_test.dir/dist_cluster_test.cc.o"
+  "CMakeFiles/dist_test.dir/dist_cluster_test.cc.o.d"
+  "CMakeFiles/dist_test.dir/dist_distributed_mce_test.cc.o"
+  "CMakeFiles/dist_test.dir/dist_distributed_mce_test.cc.o.d"
+  "CMakeFiles/dist_test.dir/dist_scheduler_test.cc.o"
+  "CMakeFiles/dist_test.dir/dist_scheduler_test.cc.o.d"
+  "dist_test"
+  "dist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_test.dir/graph_dynamic_test.cc.o"
+  "CMakeFiles/dynamic_test.dir/graph_dynamic_test.cc.o.d"
+  "CMakeFiles/dynamic_test.dir/incremental_mce_test.cc.o"
+  "CMakeFiles/dynamic_test.dir/incremental_mce_test.cc.o.d"
+  "dynamic_test"
+  "dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/community_percolation_test.cc" "tests/CMakeFiles/extensions_test.dir/community_percolation_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/community_percolation_test.cc.o.d"
+  "/root/repo/tests/community_relaxations_test.cc" "tests/CMakeFiles/extensions_test.dir/community_relaxations_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/community_relaxations_test.cc.o.d"
+  "/root/repo/tests/mce_kplex_test.cc" "tests/CMakeFiles/extensions_test.dir/mce_kplex_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/mce_kplex_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph_connectivity_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_connectivity_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_core_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_core_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_io_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_io_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph_metrics_triangles_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph_metrics_triangles_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

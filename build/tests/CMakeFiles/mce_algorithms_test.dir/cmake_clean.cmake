@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mce_algorithms_test.dir/mce_clique_test.cc.o"
+  "CMakeFiles/mce_algorithms_test.dir/mce_clique_test.cc.o.d"
+  "CMakeFiles/mce_algorithms_test.dir/mce_cross_check_test.cc.o"
+  "CMakeFiles/mce_algorithms_test.dir/mce_cross_check_test.cc.o.d"
+  "CMakeFiles/mce_algorithms_test.dir/mce_enumerator_test.cc.o"
+  "CMakeFiles/mce_algorithms_test.dir/mce_enumerator_test.cc.o.d"
+  "CMakeFiles/mce_algorithms_test.dir/mce_max_clique_test.cc.o"
+  "CMakeFiles/mce_algorithms_test.dir/mce_max_clique_test.cc.o.d"
+  "mce_algorithms_test"
+  "mce_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mce_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util_bitset_test.cc.o"
+  "CMakeFiles/util_test.dir/util_bitset_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_logging_test.cc.o"
+  "CMakeFiles/util_test.dir/util_logging_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_random_test.cc.o"
+  "CMakeFiles/util_test.dir/util_random_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o"
+  "CMakeFiles/util_test.dir/util_status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_thread_pool_test.cc.o"
+  "CMakeFiles/util_test.dir/util_thread_pool_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

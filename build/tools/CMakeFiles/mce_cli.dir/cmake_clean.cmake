@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mce_cli.dir/mce_cli.cc.o"
+  "CMakeFiles/mce_cli.dir/mce_cli.cc.o.d"
+  "mce_cli"
+  "mce_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mce_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
