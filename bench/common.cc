@@ -158,11 +158,12 @@ ComboMeasurement MeasureAllCombos(const Graph& g) {
 }
 
 FindResult RunPipeline(const Graph& g, double ratio, bool simulate_cluster,
-                       int workers) {
+                       int workers, uint32_t num_threads) {
   MaxCliqueFinder::Options options;
   options.block_size_ratio = ratio;
   options.simulate_cluster = simulate_cluster;
   options.cluster.num_workers = workers;
+  options.num_threads = num_threads;
   MaxCliqueFinder finder(options);
   Result<FindResult> result = finder.Find(g);
   MCE_CHECK(result.ok());

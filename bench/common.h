@@ -71,9 +71,11 @@ ComboMeasurement MeasureAllCombos(const Graph& g);
 /// Runs the full pipeline on `g` at block-size ratio m/d (Section 6's
 /// sweep parameter) with the paper's decision tree; aborts on option
 /// errors (the harness controls all inputs). Repetitions are averaged into
-/// the timing stats by the caller re-running as needed.
+/// the timing stats by the caller re-running as needed. `num_threads`
+/// selects local analysis threads (1 = the paper's serial measurements).
 FindResult RunPipeline(const Graph& g, double ratio,
-                       bool simulate_cluster = false, int workers = 10);
+                       bool simulate_cluster = false, int workers = 10,
+                       uint32_t num_threads = 1);
 
 /// The Section 4 methodology end-to-end: measure all combos on the whole
 /// collection, split 80/20 into training and testing, and train a CART

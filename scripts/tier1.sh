@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer
+# pass over the concurrency-bearing subset (the thread pool and the
+# parallel decomposition pipeline).
+#
+# Usage: scripts/tier1.sh [build-dir]
+#   MCE_SKIP_TSAN=1   skip the sanitizer leg (e.g. when the toolchain
+#                     lacks TSan runtime support)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+echo "=== tier-1: build + ctest ($build) ==="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+if [[ "${MCE_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== tier-1: TSan leg skipped (MCE_SKIP_TSAN=1) ==="
+  exit 0
+fi
+
+# TSan leg: rebuild only the threaded test subset with -fsanitize=thread
+# and run it. Benchmarks/examples are excluded to keep the instrumented
+# build small.
+tsan_build="$build-tsan"
+echo "=== tier-1: TSan build ($tsan_build) ==="
+cmake -B "$tsan_build" -S "$repo" \
+  -DMCE_SANITIZE=thread \
+  -DMCE_BUILD_BENCH=OFF \
+  -DMCE_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_build" -j "$(nproc)" --target util_test decomp_test
+
+echo "=== tier-1: TSan run (util_test, decomp_test) ==="
+ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
+  -R '^(util_test|decomp_test)$'
+
+echo "=== tier-1: OK ==="

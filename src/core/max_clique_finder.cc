@@ -34,6 +34,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.max_block_size = m;
   pipeline.min_adjacency = options_.min_adjacency;
   pipeline.seed_policy = options_.seed_policy;
+  pipeline.num_threads = options_.num_threads;
   if (options_.use_decision_tree) {
     pipeline.tree =
         options_.custom_tree != nullptr ? options_.custom_tree : &paper_tree_;

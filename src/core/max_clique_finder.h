@@ -74,6 +74,10 @@ class MaxCliqueFinder {
     /// Second-level decomposition knobs (Algorithm 3).
     uint32_t min_adjacency = 1;
     decomp::SeedPolicy seed_policy = decomp::SeedPolicy::kLowestDegree;
+    /// Worker threads for the block-analysis and Lemma-1 filter phases.
+    /// 1 = serial, 0 = one per hardware thread. The clique set and origin
+    /// levels are identical for every thread count.
+    uint32_t num_threads = 1;
     /// Run the block-analysis phase on the simulated cluster and attach a
     /// ClusterSummary to the result.
     bool simulate_cluster = false;

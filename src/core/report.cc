@@ -74,7 +74,10 @@ std::string RunReportJson(const FindResult& result) {
        << ",\"feasible\":" << l.feasible << ",\"hubs\":" << l.hubs
        << ",\"blocks\":" << l.blocks << ",\"cliques\":" << l.cliques
        << ",\"decompose_seconds\":" << Double(l.decompose_seconds)
-       << ",\"analyze_seconds\":" << Double(l.analyze_seconds) << "}";
+       << ",\"analyze_seconds\":" << Double(l.analyze_seconds)
+       << ",\"block_seconds\":" << Double(l.block_seconds)
+       << ",\"busiest_worker_seconds\":" << Double(l.busiest_worker_seconds)
+       << ",\"analyze_threads\":" << l.analyze_threads << "}";
   }
   os << "]";
   if (result.cluster.has_value()) {

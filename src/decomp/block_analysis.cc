@@ -114,12 +114,12 @@ BlockAnalysisResult AnalyzeBlock(const Block& block,
                            result.used.storage) > options.max_storage_bytes) {
     result.used.storage = StorageKind::kAdjacencyList;
   }
-  // Seeded enumeration has no Eppstein/Naive form (see enumerator.h).
-  Algorithm algorithm = result.used.algorithm;
-  if (algorithm == Algorithm::kEppstein || algorithm == Algorithm::kNaive) {
-    algorithm = Algorithm::kTomita;
-  }
-  const PivotRule rule = RuleFor(algorithm);
+  // Seeded enumeration has no Eppstein/Naive form (see enumerator.h);
+  // record the substitution in `used` so consumers (decision-tree
+  // training, the Table-1 benches, block observers) attribute the run to
+  // the algorithm that actually executed.
+  result.used.algorithm = SeededAlgorithmFor(result.used.algorithm);
+  const PivotRule rule = RuleFor(result.used.algorithm);
 
   switch (result.used.storage) {
     case StorageKind::kAdjacencyList: {

@@ -61,6 +61,11 @@ std::vector<Block> BuildBlocks(const Graph& g,
     // Adjacency-with-K counts for candidate border nodes (feasible and not
     // yet kernel anywhere).
     std::unordered_map<NodeId, uint32_t> candidate_adjacency;
+    // Candidates whose absorption overflowed m for this block. The block
+    // only grows, so |K u {n} u N(K u {n})| is non-decreasing: once a
+    // candidate is infeasible here it stays infeasible and never returns
+    // to the candidate pool (it will seed or join a later block instead).
+    std::unordered_set<NodeId> infeasible;
 
     auto promote = [&](NodeId n) {
       used_kernel[n] = 1;
@@ -69,7 +74,9 @@ std::vector<Block> BuildBlocks(const Graph& g,
       block_nodes.insert(n);
       for (NodeId w : g.Neighbors(n)) {
         block_nodes.insert(w);
-        if (is_feasible[w] && !used_kernel[w]) ++candidate_adjacency[w];
+        if (is_feasible[w] && !used_kernel[w] && !infeasible.count(w)) {
+          ++candidate_adjacency[w];
+        }
       }
     };
 
@@ -93,7 +100,14 @@ std::vector<Block> BuildBlocks(const Graph& g,
       for (NodeId w : g.Neighbors(best)) {
         if (!block_nodes.count(w)) ++added;
       }
-      if (block_nodes.size() + added > m) break;          // size stop
+      if (block_nodes.size() + added > m) {
+        // Algorithm 3 guards absorption per candidate: this one can never
+        // fit, but a candidate with a smaller un-absorbed neighborhood
+        // still may — skip it and keep scanning.
+        infeasible.insert(best);
+        candidate_adjacency.erase(best);
+        continue;
+      }
       promote(best);
     }
 

@@ -52,7 +52,15 @@ struct FindMaxCliquesOptions {
   MceOptions fixed = {Algorithm::kTomita, StorageKind::kAdjacencyList};
   /// Combination used by the degenerate fallback (whole-graph MCE).
   MceOptions fallback = {Algorithm::kEppstein, StorageKind::kAdjacencyList};
-  /// Optional per-block hook, called after each block is analyzed.
+  /// Worker threads for each level's block analysis and Lemma-1 filter.
+  /// 1 = serial (cliques stream out as blocks are analyzed); > 1 buffers
+  /// each block's cliques and merges them in block order, so the emitted
+  /// cliques (content and order) are identical to the serial run; 0 = one
+  /// thread per hardware thread.
+  uint32_t num_threads = 1;
+  /// Optional per-block hook, called after each block is analyzed. Always
+  /// invoked from the pipeline's calling thread, in block order, even when
+  /// num_threads > 1 — it need not be thread-safe.
   std::function<void(const BlockTaskRecord&)> block_observer;
 };
 
@@ -66,7 +74,15 @@ struct LevelStats {
   uint64_t cliques = 0;         // cliques emitted by this level's blocks
                                 // (before the maximality filter)
   double decompose_seconds = 0; // CUT + BLOCKS (+ induced subgraph)
-  double analyze_seconds = 0;   // BLOCK-ANALYSIS over all blocks
+  double analyze_seconds = 0;   // BLOCK-ANALYSIS wall time over all blocks
+  /// Worker utilization of the analyze phase: the serial-equivalent work
+  /// (sum of per-block analysis times) vs. the busiest worker's share of
+  /// it. block_seconds / busiest_worker_seconds is the achieved per-level
+  /// analysis speedup; dividing that by analyze_threads gives utilization
+  /// in (0, 1]. With one thread the two times coincide.
+  double block_seconds = 0;
+  double busiest_worker_seconds = 0;
+  uint32_t analyze_threads = 1; // workers that ran this level's analysis
 };
 
 struct FindMaxCliquesResult {

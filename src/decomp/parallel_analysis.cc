@@ -2,30 +2,63 @@
 
 #include <utility>
 
-#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace mce::decomp {
 
-ParallelAnalysisResult ParallelAnalyzeBlocks(
-    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
-    size_t num_threads) {
-  ParallelAnalysisResult result;
-  result.per_block.resize(blocks.size());
+std::vector<BlockRun> AnalyzeBlocksToBuffers(const std::vector<Block>& blocks,
+                                             const BlockAnalysisOptions& options,
+                                             ThreadPool* pool) {
+  std::vector<BlockRun> runs(blocks.size());
   // Each block writes into its own slot; no synchronization needed beyond
   // the pool's completion barrier.
-  std::vector<CliqueSet> per_block_cliques(blocks.size());
+  auto run_block = [&blocks, &options, &runs](size_t i) {
+    BlockRun& run = runs[i];
+    Timer timer;
+    run.result =
+        AnalyzeBlock(blocks[i], options, run.cliques.Collector());
+    run.seconds = timer.ElapsedSeconds();
+    const size_t worker = ThreadPool::CurrentWorkerIndex();
+    run.worker = worker == ThreadPool::kNotAWorker ? 0 : worker;
+  };
+  if (pool != nullptr) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      pool->Submit([&run_block, i] { run_block(i); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t i = 0; i < blocks.size(); ++i) run_block(i);
+  }
+  return runs;
+}
+
+ParallelAnalysisResult ParallelAnalyzeBlocks(
+    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
+    size_t num_threads,
+    const std::function<void(const BlockTaskRecord&)>& block_observer,
+    uint32_t level) {
+  std::vector<BlockRun> runs;
   {
     ThreadPool pool(num_threads);
-    for (size_t i = 0; i < blocks.size(); ++i) {
-      pool.Submit([&, i] {
-        result.per_block[i] = AnalyzeBlock(blocks[i], options,
-                                           per_block_cliques[i].Collector());
-      });
-    }
-    pool.Wait();
+    runs = AnalyzeBlocksToBuffers(blocks, options, &pool);
   }
-  for (CliqueSet& cs : per_block_cliques) {
-    result.cliques.Merge(std::move(cs));
+  ParallelAnalysisResult result;
+  result.per_block.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    BlockRun& run = runs[i];
+    if (block_observer) {
+      BlockTaskRecord task;
+      task.level = level;
+      task.nodes = blocks[i].num_nodes();
+      task.edges = blocks[i].num_edges();
+      task.bytes = blocks[i].EstimatedBytes();
+      task.cliques = run.result.num_cliques;
+      task.seconds = run.seconds;
+      task.used = run.result.used;
+      block_observer(task);
+    }
+    result.per_block.push_back(run.result);
+    result.cliques.Merge(std::move(run.cliques));
   }
   return result;
 }

@@ -4,18 +4,46 @@
 // is a straightforward parallel map; cliques from all blocks are merged
 // deterministically (sorted by block index) so the output is identical to
 // the serial loop.
+//
+// AnalyzeBlocksToBuffers is the shared engine: the FindMaxCliques pipeline
+// runs its per-level block fan-out through it, and ParallelAnalyzeBlocks is
+// the standalone convenience wrapper over the same code path.
 
 #ifndef MCE_DECOMP_PARALLEL_ANALYSIS_H_
 #define MCE_DECOMP_PARALLEL_ANALYSIS_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "decomp/block.h"
 #include "decomp/block_analysis.h"
+#include "decomp/find_max_cliques.h"
 #include "mce/clique.h"
+#include "util/thread_pool.h"
 
 namespace mce::decomp {
+
+/// Everything one block's analysis produced, buffered so the caller can
+/// merge blocks deterministically in block order.
+struct BlockRun {
+  BlockAnalysisResult result;
+  /// The block's cliques (parent-graph ids, each sorted), in emission
+  /// order.
+  CliqueSet cliques;
+  /// Wall time of this block's AnalyzeBlock call.
+  double seconds = 0;
+  /// Pool worker that ran the block (0 when run inline without a pool).
+  size_t worker = 0;
+};
+
+/// Analyzes every block, each into its own BlockRun slot (parallel to
+/// `blocks`). With a non-null `pool` the blocks run as pool tasks and the
+/// call blocks until all finish; with a null pool they run inline on the
+/// calling thread. Either way the returned buffers are identical.
+std::vector<BlockRun> AnalyzeBlocksToBuffers(const std::vector<Block>& blocks,
+                                             const BlockAnalysisOptions& options,
+                                             ThreadPool* pool);
 
 struct ParallelAnalysisResult {
   /// Union of all blocks' cliques, in block order (deterministic).
@@ -25,10 +53,16 @@ struct ParallelAnalysisResult {
 };
 
 /// Analyzes every block on `num_threads` workers. Equivalent to calling
-/// AnalyzeBlock sequentially and concatenating, in block order.
+/// AnalyzeBlock sequentially and concatenating, in block order. When
+/// `block_observer` is set it receives one BlockTaskRecord per block — with
+/// the block's measured analysis time — in block order, from the calling
+/// thread (the observer need not be thread-safe); `level` is stamped into
+/// the records.
 ParallelAnalysisResult ParallelAnalyzeBlocks(
     const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
-    size_t num_threads);
+    size_t num_threads,
+    const std::function<void(const BlockTaskRecord&)>& block_observer = {},
+    uint32_t level = 0);
 
 }  // namespace mce::decomp
 

@@ -33,6 +33,7 @@ double SimulationResult::ComputeSpeedup() const {
 SimulationResult SimulateCluster(const std::vector<Task>& tasks,
                                  const ClusterConfig& config) {
   MCE_CHECK_GE(config.num_workers, 1);
+  MCE_CHECK_GE(config.threads_per_worker, 1);
   if (!config.worker_slowdown.empty()) {
     MCE_CHECK_EQ(config.worker_slowdown.size(),
                  static_cast<size_t>(config.num_workers));
@@ -47,6 +48,13 @@ SimulationResult SimulateCluster(const std::vector<Task>& tasks,
       AssignTasks(estimates, config.num_workers, config.strategy, config.seed);
   result.workers.assign(config.num_workers, WorkerTimeline{});
 
+  // Intra-worker thread loads: each worker's tasks go to its least-loaded
+  // thread in arrival order; the worker's compute time is its busiest
+  // thread's load (== the plain task sum when threads_per_worker is 1).
+  std::vector<std::vector<double>> threads(
+      config.num_workers,
+      std::vector<double>(config.threads_per_worker, 0.0));
+
   // Blocks stream to each worker over one connection: the per-message
   // latency is paid once per busy worker, bytes are paid per task.
   for (size_t i = 0; i < tasks.size(); ++i) {
@@ -60,12 +68,17 @@ SimulationResult SimulateCluster(const std::vector<Task>& tasks,
         config.cost.ComputeSeconds(t.compute_seconds) * slowdown;
     const double comm = static_cast<double>(t.bytes) /
                         config.cost.network_bandwidth_bytes_per_s;
-    w.compute_seconds += compute;
+    std::vector<double>& lanes = threads[worker];
+    *std::min_element(lanes.begin(), lanes.end()) += compute;
     w.comm_seconds += comm;
     w.bytes_received += t.bytes;
     ++w.tasks;
     result.total_compute_seconds += compute;
     result.total_comm_seconds += comm;
+  }
+  for (int worker = 0; worker < config.num_workers; ++worker) {
+    result.workers[worker].compute_seconds =
+        *std::max_element(threads[worker].begin(), threads[worker].end());
   }
   for (WorkerTimeline& w : result.workers) {
     if (w.tasks > 0) {

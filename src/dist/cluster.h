@@ -15,6 +15,13 @@ namespace mce::dist {
 struct ClusterConfig {
   /// The paper's testbed has 10 machines.
   int num_workers = 10;
+  /// Intra-worker parallelism: each simulated machine runs its assigned
+  /// block tasks on this many threads (the paper's nodes have 4 CPUs x 8
+  /// threads). Tasks are placed on a worker's least-loaded thread in
+  /// arrival order; a worker's compute time is then its busiest thread
+  /// rather than the sum over its tasks. 1 reproduces the serial-worker
+  /// model.
+  int threads_per_worker = 1;
   CostModel cost;
   PartitionStrategy strategy = PartitionStrategy::kGreedyLpt;
   /// Seed for hash partitioning.

@@ -50,6 +50,9 @@ DistributedResult RunDistributedMce(const Graph& g,
                                     const ClusterConfig& cluster) {
   // Collect the block tasks of each recursion level while the pipeline
   // runs; the scheduler sees only pre-execution estimates (block edges).
+  // The pipeline invokes the observer from its calling thread in block
+  // order even when options.num_threads > 1 (worker-local parallelism of
+  // the measurement run), so no synchronization is needed here.
   std::vector<std::vector<Task>> tasks_per_level;
   options.block_observer = [&](const decomp::BlockTaskRecord& record) {
     if (tasks_per_level.size() <= record.level) {

@@ -110,15 +110,18 @@ CliqueSet EnumerateToSet(const Graph& g, const MceOptions& options) {
   return out;
 }
 
+Algorithm SeededAlgorithmFor(Algorithm requested) {
+  if (requested == Algorithm::kEppstein || requested == Algorithm::kNaive) {
+    return Algorithm::kTomita;
+  }
+  return requested;
+}
+
 void EnumerateSeeded(const Graph& g, const MceOptions& options, NodeId seed,
                      std::vector<NodeId> p, std::vector<NodeId> x,
                      const CliqueCallback& emit) {
   MCE_CHECK_LT(seed, g.num_nodes());
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kEppstein || algorithm == Algorithm::kNaive) {
-    algorithm = Algorithm::kTomita;
-  }
-  const PivotRule rule = RuleFor(algorithm);
+  const PivotRule rule = RuleFor(SeededAlgorithmFor(options.algorithm));
   switch (options.storage) {
     case StorageKind::kAdjacencyList: {
       ListStorage s(g);

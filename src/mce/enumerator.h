@@ -33,13 +33,20 @@ void EnumerateMaximalCliques(const Graph& g, const MceOptions& options,
 /// Convenience wrapper collecting into a canonicalized CliqueSet.
 CliqueSet EnumerateToSet(const Graph& g, const MceOptions& options);
 
+/// The algorithm EnumerateSeeded actually runs for `requested`: kEppstein
+/// has no seeded form (its contribution is the outer vertex ordering,
+/// which the seed fixes) and kNaive has no (P, X) recursion, so both run
+/// the Tomita recursion, matching the paper's use of a generic MCE(k, P, V)
+/// procedure inside blocks. All other algorithms run as requested. Callers
+/// that report which combination ran (BlockAnalysisResult::used, the
+/// Table-1 benches, decision-tree training) must attribute the result to
+/// this algorithm, not to the requested one.
+Algorithm SeededAlgorithmFor(Algorithm requested);
+
 /// Seeded enumeration: emits every clique C with seed in C, C n X empty,
 /// and C maximal within {seed} u P u X — exactly procedure MCE(k, P, V) of
 /// Algorithm 4. `p` and `x` must be subsets of N(seed), sorted, disjoint.
-///
-/// kEppstein has no seeded form (its contribution is the outer vertex
-/// ordering, which the seed fixes); it runs the Tomita recursion, matching
-/// the paper's use of a generic MCE(k, P, V) procedure inside blocks.
+/// Runs SeededAlgorithmFor(options.algorithm).
 void EnumerateSeeded(const Graph& g, const MceOptions& options, NodeId seed,
                      std::vector<NodeId> p, std::vector<NodeId> x,
                      const CliqueCallback& emit);

@@ -7,11 +7,19 @@
 
 namespace mce {
 
+namespace {
+
+thread_local size_t current_worker_index = ThreadPool::kNotAWorker;
+
+}  // namespace
+
+size_t ThreadPool::CurrentWorkerIndex() { return current_worker_index; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -40,7 +48,8 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  current_worker_index = worker_index;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });

@@ -1,9 +1,10 @@
 // Fixed-size worker pool for intra-machine parallelism.
 //
 // The paper's cluster machines each run 4 CPUs x 8 threads and process
-// their assigned blocks in parallel; ParallelAnalyzeBlocks (decomp) uses
-// this pool for the same purpose on the local machine. Tasks are opaque
-// std::function<void()>; Wait() drains the queue.
+// their assigned blocks in parallel; the FindMaxCliques pipeline (decomp)
+// uses this pool for the same purpose on the local machine. Tasks are
+// opaque std::function<void()>; Wait() drains the queue. Submit is safe
+// from any thread, including from inside a running task.
 
 #ifndef MCE_UTIL_THREAD_POOL_H_
 #define MCE_UTIL_THREAD_POOL_H_
@@ -30,14 +31,20 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues a task. Never blocks (unbounded queue).
+  /// Index of the calling pool worker in [0, num_threads()), or
+  /// kNotAWorker when the caller is not one of this process's pool worker
+  /// threads. Used to attribute per-task time to workers (LevelStats).
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+  static size_t CurrentWorkerIndex();
+
+  /// Enqueues a task. Never blocks (unbounded queue). Thread-safe.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable task_ready_;

@@ -150,7 +150,14 @@ TEST(BlockAnalysisTest, EppsteinFixedComboFallsBackToSeededTomita) {
   std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
   BlockAnalysisOptions aoptions;
   aoptions.fixed = {Algorithm::kEppstein, StorageKind::kAdjacencyList};
-  CliqueSet got = AnalyzeAll(g, blocks, aoptions);
+  CliqueSet got;
+  for (const Block& block : blocks) {
+    BlockAnalysisResult r = AnalyzeBlock(block, aoptions, got.Collector());
+    // Regression: `used` must report the substituted algorithm, not echo
+    // the degeneracy-ordering request the seeded loop cannot honor.
+    EXPECT_EQ(r.used.algorithm, Algorithm::kTomita);
+    EXPECT_EQ(r.used.storage, StorageKind::kAdjacencyList);
+  }
   mce::test::ExpectMatchesNaive(g, got);
 }
 

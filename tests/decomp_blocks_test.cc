@@ -192,6 +192,46 @@ TEST(BlocksTest, HighThresholdProducesMoreBlocks) {
   CheckBlockInvariants(g, cut.feasible, strict_blocks, m);
 }
 
+TEST(BlocksTest, InfeasibleCandidateDoesNotStopAbsorption) {
+  // Regression: growth used to `break` at the first candidate whose
+  // un-absorbed neighborhood overflows m, even though a later candidate
+  // with a smaller neighborhood still fits (Algorithm 3 guards
+  // feasibility per absorption, not per block).
+  //
+  //   s(0) - A(1), s - B(2); A - {3,4,5}; B - 6.
+  //
+  // From seed s with m = 5: A wins the adjacency tie (smaller id) but
+  // absorbing it needs |{0,1,2,3,4,5}| = 6 > 5. B (and then b1 = 6) still
+  // fit, so the first block must keep absorbing past A.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 4);
+  b.AddEdge(1, 5);
+  b.AddEdge(2, 6);
+  Graph g = b.Build();
+  const uint32_t m = 5;
+  CutResult cut = Cut(g, m);
+  // Everyone is feasible (max degree 4 < m).
+  ASSERT_EQ(cut.feasible.size(), g.num_nodes());
+  BlocksOptions options;
+  options.max_block_size = m;
+  options.seed_policy = SeedPolicy::kFirstId;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, options);
+  CheckBlockInvariants(g, cut.feasible, blocks, m);
+  CheckCliqueCoverage(g, cut.feasible, blocks);
+  ASSERT_FALSE(blocks.empty());
+  // The seed block absorbs B and b1 as kernels despite A's infeasibility
+  // (the old break produced a single-kernel block {s}).
+  EXPECT_EQ(blocks[0].kernel_local.size(), 3u);
+  std::set<NodeId> kernels;
+  for (NodeId local : blocks[0].kernel_local) {
+    kernels.insert(blocks[0].subgraph.to_parent[local]);
+  }
+  EXPECT_EQ(kernels, (std::set<NodeId>{0, 2, 6}));
+}
+
 TEST(BlocksTest, IsolatedNodesGetSingletonBlocks) {
   GraphBuilder b;
   b.ReserveNodes(3);

@@ -1,6 +1,8 @@
 #include "decomp/find_max_cliques.h"
 
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
 #include "decomp/block_analysis.h"
 #include "decomp/cut.h"
@@ -203,6 +205,111 @@ TEST(FindMaxCliquesTest, BlockObserverSeesEveryBlock) {
   }
   EXPECT_EQ(observed_blocks, stat_blocks);
   EXPECT_EQ(observed_cliques, stat_cliques);
+}
+
+// The tentpole guarantee: thread count never changes the result. Same
+// graphs as the sweep family plus the fallback shapes, byte-identical
+// CliqueSet and origin_level for num_threads in {1, 2, 8}.
+TEST(ParallelPipelineTest, ThreadCountsProduceIdenticalResults) {
+  Rng rng(91);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::ErdosRenyiGnp(30, 0.15, &rng));
+  graphs.push_back(gen::ErdosRenyiGnp(30, 0.4, &rng));
+  graphs.push_back(gen::BarabasiAlbert(50, 3, &rng));
+  graphs.push_back(gen::WattsStrogatz(40, 4, 0.2, &rng));
+  graphs.push_back(gen::OverlayRandomCliques(
+      gen::BarabasiAlbert(45, 2, &rng), 4, 4, 8, true, &rng));
+  graphs.push_back(mce::test::StarGraph(20));
+  graphs.push_back(gen::MoonMoser(3));
+  graphs.push_back(gen::Complete(10));  // fallback path
+  for (uint32_t m : {3u, 8u, 20u}) {
+    for (size_t gi = 0; gi < graphs.size(); ++gi) {
+      FindMaxCliquesOptions serial_options = OptionsWithM(m);
+      FindMaxCliquesResult serial = FindMaxCliques(graphs[gi], serial_options);
+      for (uint32_t threads : {2u, 8u}) {
+        FindMaxCliquesOptions options = OptionsWithM(m);
+        options.num_threads = threads;
+        FindMaxCliquesResult parallel = FindMaxCliques(graphs[gi], options);
+        EXPECT_EQ(parallel.cliques.cliques(), serial.cliques.cliques())
+            << "graph " << gi << " m=" << m << " threads=" << threads;
+        EXPECT_EQ(parallel.origin_level, serial.origin_level)
+            << "graph " << gi << " m=" << m << " threads=" << threads;
+        EXPECT_EQ(parallel.used_fallback, serial.used_fallback);
+      }
+    }
+  }
+}
+
+TEST(ParallelPipelineTest, StreamingEmissionOrderMatchesSerial) {
+  Rng rng(93);
+  Graph g = gen::OverlayRandomCliques(gen::BarabasiAlbert(80, 3, &rng), 6, 4,
+                                      9, true, &rng);
+  auto run = [&g](uint32_t threads) {
+    std::vector<std::pair<Clique, uint32_t>> emitted;
+    FindMaxCliquesOptions options = OptionsWithM(10);
+    options.num_threads = threads;
+    FindMaxCliquesStreaming(g, options,
+                            [&](std::span<const NodeId> c, uint32_t level) {
+                              emitted.emplace_back(Clique(c.begin(), c.end()),
+                                                   level);
+                            });
+    return emitted;
+  };
+  const auto serial = run(1);
+  // Buffer-and-merge preserves the serial emission order exactly, not just
+  // the multiset of cliques.
+  EXPECT_EQ(run(4), serial);
+}
+
+TEST(ParallelPipelineTest, ObserverRunsOnCallingThreadInBlockOrder) {
+  Rng rng(95);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  auto collect = [&g](uint32_t threads) {
+    std::vector<BlockTaskRecord> records;
+    FindMaxCliquesOptions options = OptionsWithM(12);
+    options.num_threads = threads;
+    const std::thread::id caller = std::this_thread::get_id();
+    options.block_observer = [&](const BlockTaskRecord& r) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      records.push_back(r);
+    };
+    FindMaxCliques(g, options);
+    return records;
+  };
+  const auto serial = collect(1);
+  const auto parallel = collect(4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].level, serial[i].level);
+    EXPECT_EQ(parallel[i].nodes, serial[i].nodes);
+    EXPECT_EQ(parallel[i].edges, serial[i].edges);
+    EXPECT_EQ(parallel[i].bytes, serial[i].bytes);
+    EXPECT_EQ(parallel[i].cliques, serial[i].cliques);
+    EXPECT_GE(parallel[i].seconds, 0.0);
+  }
+}
+
+TEST(ParallelPipelineTest, LevelStatsReportWorkerUtilization) {
+  Rng rng(97);
+  Graph g = gen::BarabasiAlbert(120, 4, &rng);
+  FindMaxCliquesOptions options = OptionsWithM(15);
+  options.num_threads = 4;
+  FindMaxCliquesResult result = FindMaxCliques(g, options);
+  for (const LevelStats& l : result.levels) {
+    EXPECT_EQ(l.analyze_threads, result.used_fallback ? 1u : 4u);
+    // The busiest worker carries between 1/threads and all of the work.
+    EXPECT_GE(l.block_seconds, l.busiest_worker_seconds);
+    if (l.blocks > 0) {
+      EXPECT_LE(l.block_seconds,
+                l.busiest_worker_seconds * l.analyze_threads + 1e-12);
+    }
+  }
+  // Serial runs report busiest == total.
+  FindMaxCliquesResult serial = FindMaxCliques(g, OptionsWithM(15));
+  for (const LevelStats& l : serial.levels) {
+    EXPECT_EQ(l.analyze_threads, 1u);
+    EXPECT_DOUBLE_EQ(l.block_seconds, l.busiest_worker_seconds);
+  }
 }
 
 TEST(StreamingTest, MatchesMaterializedResult) {

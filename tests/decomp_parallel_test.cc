@@ -1,5 +1,7 @@
 #include "decomp/parallel_analysis.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "decomp/blocks.h"
@@ -38,6 +40,42 @@ TEST(ParallelAnalysisTest, MatchesSerialLoop) {
       EXPECT_EQ(parallel.per_block[i].num_cliques,
                 serial_results[i].num_cliques);
     }
+  }
+}
+
+TEST(ParallelAnalysisTest, ObserverReceivesEveryBlockInOrder) {
+  // Regression: the parallel path used to drop block_observer records
+  // entirely. Records must arrive once per block, in block order, on the
+  // calling thread, with per-block timing filled in.
+  Rng rng(35);
+  Graph g = gen::BarabasiAlbert(100, 3, &rng);
+  const uint32_t m = 18;
+  CutResult cut = Cut(g, m);
+  BlocksOptions boptions;
+  boptions.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+  ASSERT_GT(blocks.size(), 1u);
+  for (size_t threads : {1u, 4u}) {
+    std::vector<BlockTaskRecord> records;
+    const std::thread::id caller = std::this_thread::get_id();
+    ParallelAnalysisResult r = ParallelAnalyzeBlocks(
+        blocks, {}, threads,
+        [&](const BlockTaskRecord& record) {
+          EXPECT_EQ(std::this_thread::get_id(), caller);
+          records.push_back(record);
+        },
+        /*level=*/3);
+    ASSERT_EQ(records.size(), blocks.size());
+    uint64_t observed_cliques = 0;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      EXPECT_EQ(records[i].level, 3u);
+      EXPECT_EQ(records[i].nodes, blocks[i].num_nodes());
+      EXPECT_EQ(records[i].bytes, blocks[i].EstimatedBytes());
+      EXPECT_EQ(records[i].cliques, r.per_block[i].num_cliques);
+      EXPECT_GE(records[i].seconds, 0.0);
+      observed_cliques += records[i].cliques;
+    }
+    EXPECT_EQ(observed_cliques, r.cliques.size());
   }
 }
 

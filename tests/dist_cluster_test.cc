@@ -127,6 +127,48 @@ TEST(ClusterTest, SlowdownVectorMustMatchWorkerCount) {
                "Check failed");
 }
 
+TEST(ClusterTest, ThreadsPerWorkerOverlapTasksWithinWorker) {
+  // One worker, two equal tasks: serially 2s of compute, on two lanes 1s
+  // (worker compute = busiest lane).
+  ClusterConfig config;
+  config.num_workers = 1;
+  config.cost.network_latency_s = 0;
+  config.cost.network_bandwidth_bytes_per_s = 1e18;
+  std::vector<Task> tasks{MakeTask(1, 1.0, 0), MakeTask(1, 1.0, 0)};
+  config.threads_per_worker = 1;
+  SimulationResult serial = SimulateCluster(tasks, config);
+  EXPECT_NEAR(serial.makespan_seconds, 2.0, 1e-9);
+  config.threads_per_worker = 2;
+  SimulationResult threaded = SimulateCluster(tasks, config);
+  EXPECT_NEAR(threaded.makespan_seconds, 1.0, 1e-9);
+  // The serial-equivalent total is unchanged: lanes overlap work, they
+  // don't erase it.
+  EXPECT_NEAR(threaded.total_compute_seconds, 2.0, 1e-9);
+  // Uneven tasks: {3, 2, 2} on two lanes -> lanes get 3 and 2+2.
+  std::vector<Task> uneven{MakeTask(3, 3.0, 0), MakeTask(2, 2.0, 0),
+                           MakeTask(2, 2.0, 0)};
+  SimulationResult r = SimulateCluster(uneven, config);
+  EXPECT_NEAR(r.makespan_seconds, 4.0, 1e-9);
+}
+
+TEST(ClusterTest, MoreThreadsNeverIncreaseMakespan) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back(MakeTask(1.0 + i % 5, 1.0 + i % 5, 0));
+  }
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.cost.network_latency_s = 0;
+  config.cost.network_bandwidth_bytes_per_s = 1e18;
+  double prev = 1e300;
+  for (int threads : {1, 2, 4, 8}) {
+    config.threads_per_worker = threads;
+    SimulationResult r = SimulateCluster(tasks, config);
+    EXPECT_LE(r.makespan_seconds, prev + 1e-9);
+    prev = r.makespan_seconds;
+  }
+}
+
 TEST(ClusterTest, MoreWorkersNeverIncreaseMakespan) {
   std::vector<Task> tasks;
   for (int i = 0; i < 50; ++i) {

@@ -147,6 +147,17 @@ TEST(SeededTest, EmptyCandidatesYieldSeedSingleton) {
   }
 }
 
+TEST(SeededTest, SeededAlgorithmForSubstitutesOrderingAlgorithms) {
+  // The seeded loop cannot honor degeneracy ordering (kEppstein) or the
+  // pivotless naive expansion, so both map to the Tomita pivot; pivoting
+  // algorithms pass through unchanged.
+  EXPECT_EQ(SeededAlgorithmFor(Algorithm::kEppstein), Algorithm::kTomita);
+  EXPECT_EQ(SeededAlgorithmFor(Algorithm::kNaive), Algorithm::kTomita);
+  EXPECT_EQ(SeededAlgorithmFor(Algorithm::kTomita), Algorithm::kTomita);
+  EXPECT_EQ(SeededAlgorithmFor(Algorithm::kBKPivot), Algorithm::kBKPivot);
+  EXPECT_EQ(SeededAlgorithmFor(Algorithm::kXPivot), Algorithm::kXPivot);
+}
+
 TEST(ComboNameTest, Formatting) {
   EXPECT_EQ(ComboName(StorageKind::kMatrix, Algorithm::kBKPivot),
             "Matrix/BKPivot");

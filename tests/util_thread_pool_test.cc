@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +65,56 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     // No explicit Wait: the destructor must finish the work.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, StressSubmitFromManyThreads) {
+  // Satellite regression: Submit must be safe from any thread, including
+  // concurrent external submitters and tasks that submit follow-up work
+  // from inside the pool.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 200;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerSubmitter; ++i) {
+        pool.Submit([&pool, &counter] {
+          counter.fetch_add(1);
+          // Every 4th task fans out a nested task.
+          if (counter.load(std::memory_order_relaxed) % 4 == 0) {
+            pool.Submit([&counter] { counter.fetch_add(1); });
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_GE(counter.load(), kSubmitters * kTasksPerSubmitter);
+  // Wait drained everything, nested tasks included: the count is stable.
+  const int settled = counter.load();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), settled);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIdentifiesWorkers) {
+  // Off-pool threads are not workers.
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    pool.Submit([&mu, &seen] {
+      const size_t index = ThreadPool::CurrentWorkerIndex();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(index);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), ThreadPool::kNotAWorker);
+  ASSERT_FALSE(seen.empty());
+  for (size_t index : seen) EXPECT_LT(index, pool.num_threads());
 }
 
 TEST(ThreadPoolTest, TasksCanSubmitResults) {

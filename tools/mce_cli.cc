@@ -14,6 +14,7 @@
 //   mce_cli communities --input t1.txt --k 4
 //   mce_cli convert --input t1.txt --output t1.bin --to binary
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -131,9 +132,19 @@ int CmdEnumerate(const Flags& flags) {
   } else {
     options.block_size_ratio = flags.GetDouble("ratio", 0.5);
   }
+  // --threads N: analyze blocks on N local threads (0 = all hardware
+  // threads). The clique output is identical to the serial run.
+  const int threads = flags.GetInt("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 1;
+  }
+  options.num_threads = static_cast<uint32_t>(threads);
   if (flags.Has("workers")) {
     options.simulate_cluster = true;
     options.cluster.num_workers = flags.GetInt("workers", 10);
+    // The simulated machines get the same intra-worker parallelism.
+    options.cluster.threads_per_worker = std::max(1, threads);
   }
   mce::MaxCliqueFinder finder(options);
   Result<mce::FindResult> result = finder.Find(*g);
@@ -306,6 +317,7 @@ void Usage() {
       "[--flag value ...]\n"
       "  stats       --input G [--format edges|triples|binary]\n"
       "  enumerate   --input G [--ratio R | --m M] [--workers N]\n"
+      "              [--threads T]  (analysis threads; 0 = all cores)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
       "  top         --input G [--k K]  (k largest maximal cliques)\n"
