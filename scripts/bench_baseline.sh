@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the kernel allocation/throughput micro-benchmark and records the
+# result as BENCH_kernel.json at the repo root. The JSON carries, per
+# storage backend, ns/clique for the legacy (per-call allocating) and
+# pooled (workspace-reusing) kernels, their allocation counts, the
+# threaded block-stream comparison, and the process peak RSS.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)" --target bench_kernel_alloc
+
+"$build/bench/bench_kernel_alloc" --json "$repo/BENCH_kernel.json"
+echo "wrote $repo/BENCH_kernel.json"

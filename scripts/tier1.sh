@@ -4,8 +4,9 @@
 # parallel decomposition pipeline).
 #
 # Usage: scripts/tier1.sh [build-dir]
-#   MCE_SKIP_TSAN=1   skip the sanitizer leg (e.g. when the toolchain
-#                     lacks TSan runtime support)
+#   MCE_SKIP_TSAN=1   skip the TSan leg (e.g. when the toolchain lacks
+#                     TSan runtime support)
+#   MCE_SKIP_ASAN=1   skip the ASan leg
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,22 +19,43 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
 if [[ "${MCE_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== tier-1: TSan leg skipped (MCE_SKIP_TSAN=1) ==="
-  exit 0
+else
+  # TSan leg: rebuild only the threaded test subset with -fsanitize=thread
+  # and run it. Benchmarks/examples are excluded to keep the instrumented
+  # build small.
+  tsan_build="$build-tsan"
+  echo "=== tier-1: TSan build ($tsan_build) ==="
+  cmake -B "$tsan_build" -S "$repo" \
+    -DMCE_SANITIZE=thread \
+    -DMCE_BUILD_BENCH=OFF \
+    -DMCE_BUILD_EXAMPLES=OFF
+  cmake --build "$tsan_build" -j "$(nproc)" --target util_test decomp_test
+
+  echo "=== tier-1: TSan run (util_test, decomp_test) ==="
+  ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
+    -R '^(util_test|decomp_test)$'
 fi
 
-# TSan leg: rebuild only the threaded test subset with -fsanitize=thread
-# and run it. Benchmarks/examples are excluded to keep the instrumented
-# build small.
-tsan_build="$build-tsan"
-echo "=== tier-1: TSan build ($tsan_build) ==="
-cmake -B "$tsan_build" -S "$repo" \
-  -DMCE_SANITIZE=thread \
-  -DMCE_BUILD_BENCH=OFF \
-  -DMCE_BUILD_EXAMPLES=OFF
-cmake --build "$tsan_build" -j "$(nproc)" --target util_test decomp_test
+if [[ "${MCE_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "=== tier-1: ASan leg skipped (MCE_SKIP_ASAN=1) ==="
+else
+  # ASan leg: the kernel + decomposition subset under AddressSanitizer.
+  # The pooled kernels recycle grow-only buffers across blocks and
+  # recursion depths — exactly the reuse pattern where an out-of-bounds
+  # write or a stale-span read would otherwise go unnoticed.
+  asan_build="$build-asan"
+  echo "=== tier-1: ASan build ($asan_build) ==="
+  cmake -B "$asan_build" -S "$repo" \
+    -DMCE_SANITIZE=address \
+    -DMCE_BUILD_BENCH=OFF \
+    -DMCE_BUILD_EXAMPLES=OFF
+  cmake --build "$asan_build" -j "$(nproc)" \
+    --target mce_algorithms_test mce_alloc_test decomp_test
 
-echo "=== tier-1: TSan run (util_test, decomp_test) ==="
-ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
-  -R '^(util_test|decomp_test)$'
+  echo "=== tier-1: ASan run (mce_algorithms_test, mce_alloc_test," \
+       "decomp_test) ==="
+  ctest --test-dir "$asan_build" --output-on-failure -j "$(nproc)" \
+    -R '^(mce_algorithms_test|mce_alloc_test|decomp_test)$'
+fi
 
 echo "=== tier-1: OK ==="

@@ -1,6 +1,7 @@
 #include "decomp/block_analysis.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "decision/features.h"
@@ -13,91 +14,119 @@ namespace mce::decomp {
 
 namespace {
 
+/// State shared with the local-to-parent translate callback. The callback
+/// captures one pointer to this struct so it fits std::function's inline
+/// buffer — a capture of the individual references would heap-allocate on
+/// every block.
+struct TranslateCtx {
+  const Block* block;
+  const CliqueCallback* emit;
+  std::vector<NodeId>* parent_clique;
+  uint64_t count = 0;
+};
+
+CliqueCallback MakeTranslate(TranslateCtx* ctx) {
+  return [ctx](std::span<const NodeId> local) {
+    std::vector<NodeId>& parent = *ctx->parent_clique;
+    parent.clear();
+    for (NodeId v : local) {
+      parent.push_back(ctx->block->subgraph.to_parent[v]);
+    }
+    ++ctx->count;
+    (*ctx->emit)(parent);
+  };
+}
+
 /// Shared Algorithm 4 loop over vector sets; Storage is ListStorage or
-/// MatrixStorage, built once per block by the caller.
+/// MatrixStorage, built once per block by the caller. All buffers come
+/// from `ws`, so repeated calls with the same workspace allocate nothing
+/// once the buffers have grown to the largest block seen.
 template <typename Storage>
 uint64_t RunVectorLoop(const Block& block, const Storage& storage,
-                       PivotRule rule, const CliqueCallback& emit) {
+                       PivotRule rule, const CliqueCallback& emit,
+                       BlockWorkspace& ws) {
   const Graph& g = block.subgraph.graph;
   // P starts as K u H; V starts as the block's visited set.
-  std::vector<uint8_t> in_p(g.num_nodes(), 0);
-  std::vector<uint8_t> in_v(g.num_nodes(), 0);
+  ws.in_p.assign(g.num_nodes(), 0);
+  ws.in_v.assign(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (block.roles[v] == NodeRole::kVisited) {
-      in_v[v] = 1;
+      ws.in_v[v] = 1;
     } else {
-      in_p[v] = 1;
+      ws.in_p[v] = 1;
     }
   }
   // Translate local cliques to parent ids on the way out.
-  std::vector<NodeId> parent_clique;
-  uint64_t count = 0;
-  CliqueCallback translate = [&](std::span<const NodeId> local) {
-    parent_clique.clear();
-    for (NodeId v : local) parent_clique.push_back(block.subgraph.to_parent[v]);
-    ++count;
-    emit(parent_clique);
-  };
+  TranslateCtx ctx{&block, &emit, &ws.translate};
+  const CliqueCallback translate = MakeTranslate(&ctx);
 
-  std::vector<NodeId> p, x;
+  VectorMceRunner<Storage> runner(storage, rule, &ws.vector_scratch);
+  std::vector<NodeId>& p = ws.p;
+  std::vector<NodeId>& x = ws.x;
   for (NodeId k : block.kernel_local) {
     p.clear();
     x.clear();
     for (NodeId u : g.Neighbors(k)) {
-      if (in_v[u]) {
+      if (ws.in_v[u]) {
         x.push_back(u);
-      } else if (in_p[u]) {
+      } else if (ws.in_p[u]) {
         p.push_back(u);
       }
     }
     // Neighbor lists are sorted, so p and x are sorted.
-    RunVectorMce(storage, rule, {k}, p, x, translate);
-    in_p[k] = 0;
-    in_v[k] = 1;
+    const NodeId seed[] = {k};
+    runner.Run(seed, p, x, translate);
+    ws.in_p[k] = 0;
+    ws.in_v[k] = 1;
   }
-  return count;
+  return ctx.count;
 }
 
 uint64_t RunBitsetLoop(const Block& block, PivotRule rule,
-                       const CliqueCallback& emit) {
+                       const CliqueCallback& emit, BlockWorkspace& ws) {
   const Graph& g = block.subgraph.graph;
-  BitsetGraph bg(g);
-  Bitset p(g.num_nodes());
-  Bitset v(g.num_nodes());
+  const BitsetGraph& bg = ws.BitsetRows(g);
+  ws.block_p.Reinit(g.num_nodes());
+  ws.block_x.Reinit(g.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (block.roles[u] == NodeRole::kVisited) {
-      v.Set(u);
+      ws.block_x.Set(u);
     } else {
-      p.Set(u);
+      ws.block_p.Set(u);
     }
   }
-  std::vector<NodeId> parent_clique;
-  uint64_t count = 0;
-  CliqueCallback translate = [&](std::span<const NodeId> local) {
-    parent_clique.clear();
-    for (NodeId u : local) parent_clique.push_back(block.subgraph.to_parent[u]);
-    ++count;
-    emit(parent_clique);
-  };
+  TranslateCtx ctx{&block, &emit, &ws.translate};
+  const CliqueCallback translate = MakeTranslate(&ctx);
+
+  BitsetMceRunner runner(bg, rule, &ws.bitset_scratch);
   for (NodeId k : block.kernel_local) {
-    Bitset pk = p;
-    pk.And(bg.Row(k));
-    Bitset xk = v;
-    xk.And(bg.Row(k));
-    RunBitsetMce(bg, rule, {k}, std::move(pk), std::move(xk), translate);
-    p.Clear(k);
-    v.Set(k);
+    ws.seed_p = ws.block_p;
+    ws.seed_p.And(bg.Row(k));
+    ws.seed_x = ws.block_x;
+    ws.seed_x.And(bg.Row(k));
+    const NodeId seed[] = {k};
+    runner.Run(seed, ws.seed_p, ws.seed_x, translate);
+    ws.block_p.Clear(k);
+    ws.block_x.Set(k);
   }
-  return count;
+  return ctx.count;
 }
 
 }  // namespace
 
 BlockAnalysisResult AnalyzeBlock(const Block& block,
                                  const BlockAnalysisOptions& options,
-                                 const CliqueCallback& emit) {
+                                 const CliqueCallback& emit,
+                                 BlockWorkspace* workspace) {
   const Graph& g = block.subgraph.graph;
   MCE_CHECK_EQ(block.roles.size(), g.num_nodes());
+
+  // Only materialized for workspace-less callers: even an empty workspace
+  // costs a few allocations (deque bookkeeping), which would break the
+  // steady-state-allocation-free contract for callers that do pass one.
+  std::optional<BlockWorkspace> transient;
+  BlockWorkspace& ws =
+      workspace != nullptr ? *workspace : transient.emplace();
 
   BlockAnalysisResult result;
   // bestfit(B): classify the block, or use the fixed combination.
@@ -124,16 +153,16 @@ BlockAnalysisResult AnalyzeBlock(const Block& block,
   switch (result.used.storage) {
     case StorageKind::kAdjacencyList: {
       ListStorage storage(g);
-      result.num_cliques = RunVectorLoop(block, storage, rule, emit);
+      result.num_cliques = RunVectorLoop(block, storage, rule, emit, ws);
       break;
     }
     case StorageKind::kMatrix: {
-      MatrixStorage storage(g);
-      result.num_cliques = RunVectorLoop(block, storage, rule, emit);
+      result.num_cliques =
+          RunVectorLoop(block, ws.Matrix(g), rule, emit, ws);
       break;
     }
     case StorageKind::kBitset: {
-      result.num_cliques = RunBitsetLoop(block, rule, emit);
+      result.num_cliques = RunBitsetLoop(block, rule, emit, ws);
       break;
     }
   }

@@ -19,6 +19,7 @@
 #include "decomp/block.h"
 #include "mce/clique.h"
 #include "mce/enumerator.h"
+#include "mce/workspace.h"
 
 namespace mce::decomp {
 
@@ -40,10 +41,17 @@ struct BlockAnalysisResult {
 };
 
 /// Runs Algorithm 4 on `block`, emitting cliques translated to the parent
-/// graph's node ids.
+/// graph's node ids. With a non-null `workspace`, all scratch memory (the
+/// kernel recursion pools, the role/translate buffers, and the dense
+/// matrix/bitset views) is drawn from it, so a caller that reuses one
+/// workspace per worker thread analyzes a stream of blocks without
+/// steady-state allocation; with nullptr a transient workspace is used.
+/// `emit` receives each clique as a span into workspace memory that is
+/// overwritten by the next clique — it must copy what it keeps.
 BlockAnalysisResult AnalyzeBlock(const Block& block,
                                  const BlockAnalysisOptions& options,
-                                 const CliqueCallback& emit);
+                                 const CliqueCallback& emit,
+                                 BlockWorkspace* workspace = nullptr);
 
 }  // namespace mce::decomp
 

@@ -56,12 +56,14 @@ BlockTaskRecord MakeTaskRecord(const Block& block, const BlockRun& run,
 uint64_t AnalyzeLevelOnPool(const Graph& g, const std::vector<Block>& blocks,
                             const BlockAnalysisOptions& analysis_options,
                             const FindMaxCliquesOptions& options,
-                            ThreadPool& pool, uint32_t level,
+                            ThreadPool& pool,
+                            std::vector<BlockWorkspace>& workspaces,
+                            uint32_t level,
                             const std::vector<NodeId>& to_original,
                             LevelStats& stats, StreamingStats& out,
                             const LeveledCliqueCallback& emit) {
   std::vector<BlockRun> runs =
-      AnalyzeBlocksToBuffers(blocks, analysis_options, &pool);
+      AnalyzeBlocksToBuffers(blocks, analysis_options, &pool, &workspaces);
 
   std::vector<double> worker_seconds(pool.num_threads(), 0.0);
   uint64_t produced = 0;
@@ -139,10 +141,14 @@ StreamingStats RunPipelineLoop(const Graph& g,
   MCE_CHECK_GE(options.max_block_size, 1u);
   StreamingStats out;
 
-  // One pool shared by every level's analysis and filter phases.
+  // One pool shared by every level's analysis and filter phases, and one
+  // block workspace per worker (slot 0 serves the serial path) kept alive
+  // across levels so block analysis reuses its scratch for the whole run.
   const size_t num_threads = ResolveThreads(options.num_threads);
   std::optional<ThreadPool> pool;
   if (num_threads > 1) pool.emplace(num_threads);
+  std::vector<BlockWorkspace> workspaces;
+  if (!pool.has_value()) workspaces.resize(1);
 
   Graph current = g;
   std::vector<NodeId> to_original;  // empty means identity (level 0)
@@ -213,15 +219,16 @@ StreamingStats RunPipelineLoop(const Graph& g,
     if (pool.has_value()) {
       stats.analyze_threads = static_cast<uint32_t>(pool->num_threads());
       emitted = AnalyzeLevelOnPool(g, blocks, analysis_options, options,
-                                   *pool, level, to_original, stats, out,
-                                   emit);
+                                   *pool, workspaces, level, to_original,
+                                   stats, out, emit);
     } else {
       for (const Block& block : blocks) {
         Timer block_timer;
         BlockAnalysisResult r = AnalyzeBlock(block, analysis_options,
                                              [&](std::span<const NodeId> c) {
                                                deliver(c);
-                                             });
+                                             },
+                                             &workspaces[0]);
         emitted += r.num_cliques;
         const double block_seconds = block_timer.ElapsedSeconds();
         stats.block_seconds += block_seconds;

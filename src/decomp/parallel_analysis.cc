@@ -6,20 +6,30 @@
 
 namespace mce::decomp {
 
-std::vector<BlockRun> AnalyzeBlocksToBuffers(const std::vector<Block>& blocks,
-                                             const BlockAnalysisOptions& options,
-                                             ThreadPool* pool) {
+std::vector<BlockRun> AnalyzeBlocksToBuffers(
+    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
+    ThreadPool* pool, std::vector<BlockWorkspace>* workspaces) {
+  if (workspaces != nullptr) {
+    // One slot per pool worker; slot 0 doubles as the inline-path slot.
+    // Grow-only so a caller's workspaces persist across levels.
+    const size_t slots = pool != nullptr ? pool->num_threads() : 1;
+    if (workspaces->size() < slots) workspaces->resize(slots);
+  }
   std::vector<BlockRun> runs(blocks.size());
   // Each block writes into its own slot; no synchronization needed beyond
-  // the pool's completion barrier.
-  auto run_block = [&blocks, &options, &runs](size_t i) {
+  // the pool's completion barrier. Workers only ever touch the workspace
+  // of their own index, so those need no synchronization either.
+  auto run_block = [&blocks, &options, &runs, workspaces](size_t i) {
     BlockRun& run = runs[i];
+    const size_t index = ThreadPool::CurrentWorkerIndex();
+    const size_t worker = index == ThreadPool::kNotAWorker ? 0 : index;
+    BlockWorkspace* ws =
+        workspaces != nullptr ? &(*workspaces)[worker] : nullptr;
     Timer timer;
     run.result =
-        AnalyzeBlock(blocks[i], options, run.cliques.Collector());
+        AnalyzeBlock(blocks[i], options, run.cliques.Collector(), ws);
     run.seconds = timer.ElapsedSeconds();
-    const size_t worker = ThreadPool::CurrentWorkerIndex();
-    run.worker = worker == ThreadPool::kNotAWorker ? 0 : worker;
+    run.worker = worker;
   };
   if (pool != nullptr) {
     for (size_t i = 0; i < blocks.size(); ++i) {
@@ -40,7 +50,8 @@ ParallelAnalysisResult ParallelAnalyzeBlocks(
   std::vector<BlockRun> runs;
   {
     ThreadPool pool(num_threads);
-    runs = AnalyzeBlocksToBuffers(blocks, options, &pool);
+    std::vector<BlockWorkspace> workspaces;
+    runs = AnalyzeBlocksToBuffers(blocks, options, &pool, &workspaces);
   }
   ParallelAnalysisResult result;
   result.per_block.reserve(runs.size());

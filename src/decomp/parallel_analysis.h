@@ -20,6 +20,7 @@
 #include "decomp/block_analysis.h"
 #include "decomp/find_max_cliques.h"
 #include "mce/clique.h"
+#include "mce/workspace.h"
 #include "util/thread_pool.h"
 
 namespace mce::decomp {
@@ -41,9 +42,18 @@ struct BlockRun {
 /// `blocks`). With a non-null `pool` the blocks run as pool tasks and the
 /// call blocks until all finish; with a null pool they run inline on the
 /// calling thread. Either way the returned buffers are identical.
-std::vector<BlockRun> AnalyzeBlocksToBuffers(const std::vector<Block>& blocks,
-                                             const BlockAnalysisOptions& options,
-                                             ThreadPool* pool);
+///
+/// `workspaces`, when non-null, supplies one BlockWorkspace per pool
+/// worker (it is grown to the required size; slot 0 also serves the
+/// pool-less inline path). Each worker reuses its slot across all the
+/// blocks it runs — and, when the caller keeps the vector alive, across
+/// calls (the per-level loop of FindMaxCliques does) — so block analysis
+/// stops allocating once the buffers reach steady state. Workspaces are
+/// keyed by ThreadPool::CurrentWorkerIndex, so slots are never shared
+/// concurrently.
+std::vector<BlockRun> AnalyzeBlocksToBuffers(
+    const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
+    ThreadPool* pool, std::vector<BlockWorkspace>* workspaces = nullptr);
 
 struct ParallelAnalysisResult {
   /// Union of all blocks' cliques, in block order (deterministic).

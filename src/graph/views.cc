@@ -2,8 +2,9 @@
 
 namespace mce {
 
-AdjacencyMatrix::AdjacencyMatrix(const Graph& g)
-    : n_(g.num_nodes()), cells_(static_cast<size_t>(n_) * n_, 0) {
+void AdjacencyMatrix::Assign(const Graph& g) {
+  n_ = g.num_nodes();
+  cells_.assign(static_cast<size_t>(n_) * n_, 0);
   for (NodeId v = 0; v < n_; ++v) {
     for (NodeId u : g.Neighbors(v)) {
       cells_[static_cast<size_t>(v) * n_ + u] = 1;
@@ -11,12 +12,13 @@ AdjacencyMatrix::AdjacencyMatrix(const Graph& g)
   }
 }
 
-BitsetGraph::BitsetGraph(const Graph& g) : n_(g.num_nodes()) {
-  rows_.reserve(n_);
+void BitsetGraph::Assign(const Graph& g) {
+  n_ = g.num_nodes();
+  if (rows_.size() < n_) rows_.resize(n_);
   for (NodeId v = 0; v < n_; ++v) {
-    Bitset row(n_);
+    Bitset& row = rows_[v];
+    row.Reinit(n_);
     for (NodeId u : g.Neighbors(v)) row.Set(u);
-    rows_.push_back(std::move(row));
   }
 }
 

@@ -20,7 +20,15 @@ namespace mce {
 /// materialized for blocks (whose size the decomposition bounds by m).
 class AdjacencyMatrix {
  public:
-  explicit AdjacencyMatrix(const Graph& g);
+  /// Empty matrix; fill with Assign().
+  AdjacencyMatrix() : n_(0) {}
+  explicit AdjacencyMatrix(const Graph& g) { Assign(g); }
+
+  /// Rebuilds the matrix for `g`, reusing the existing cell storage.
+  /// Grow-only: a matrix that has already held an n-node graph rebuilds for
+  /// any graph with <= n nodes without allocating, so one instance can be
+  /// recycled across the blocks a worker thread processes.
+  void Assign(const Graph& g);
 
   NodeId num_nodes() const { return n_; }
 
@@ -39,7 +47,15 @@ class AdjacencyMatrix {
 /// Memory is n^2 / 8 bits; set intersections become word-parallel ANDs.
 class BitsetGraph {
  public:
-  explicit BitsetGraph(const Graph& g);
+  /// Empty graph; fill with Assign().
+  BitsetGraph() : n_(0) {}
+  explicit BitsetGraph(const Graph& g) { Assign(g); }
+
+  /// Rebuilds the rows for `g`. Grow-only like AdjacencyMatrix::Assign:
+  /// rows (and their word storage) are kept and Reinit-ed, so rebuilding
+  /// for a graph no larger than any previously assigned one is
+  /// allocation-free.
+  void Assign(const Graph& g);
 
   NodeId num_nodes() const { return n_; }
 
@@ -52,7 +68,7 @@ class BitsetGraph {
 
  private:
   NodeId n_;
-  std::vector<Bitset> rows_;
+  std::vector<Bitset> rows_;  // grow-only: may be longer than n_
 };
 
 }  // namespace mce

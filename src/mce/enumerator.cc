@@ -16,30 +16,33 @@ namespace {
 /// each v the candidates are its later neighbors and the exclusion set its
 /// earlier neighbors, bounding every subproblem by the degeneracy. The
 /// later/earlier split comes precomputed from the inverted-table structure
-/// (graph/ordered_adjacency.h).
+/// (graph/ordered_adjacency.h). One runner serves every seed, so the
+/// recursion scratch is allocated once, not n times.
 template <typename Storage>
 void EppsteinOuterVector(const Graph& g, const Storage& storage,
                          const CliqueCallback& emit) {
   const OrderedAdjacency ordered(g);
+  VectorMceRunner<Storage> runner(storage, PivotRule::kMaxIntersection);
   for (NodeId v : ordered.cores().order) {
-    auto later = ordered.LaterNeighbors(v);
-    auto earlier = ordered.EarlierNeighbors(v);
-    RunVectorMce(storage, PivotRule::kMaxIntersection, {v},
-                 {later.begin(), later.end()},
-                 {earlier.begin(), earlier.end()}, emit);
+    const NodeId seed[] = {v};
+    runner.Run(seed, ordered.LaterNeighbors(v), ordered.EarlierNeighbors(v),
+               emit);
   }
 }
 
 void EppsteinOuterBitset(const Graph& g, const BitsetGraph& bg,
                          const CliqueCallback& emit) {
   const OrderedAdjacency ordered(g);
+  BitsetMceRunner runner(bg, PivotRule::kMaxIntersection);
+  Bitset p(g.num_nodes());
+  Bitset x(g.num_nodes());
   for (NodeId v : ordered.cores().order) {
-    Bitset p(g.num_nodes());
-    Bitset x(g.num_nodes());
+    p.Reset();
+    x.Reset();
     for (NodeId u : ordered.LaterNeighbors(v)) p.Set(u);
     for (NodeId u : ordered.EarlierNeighbors(v)) x.Set(u);
-    RunBitsetMce(bg, PivotRule::kMaxIntersection, {v}, std::move(p),
-                 std::move(x), emit);
+    const NodeId seed[] = {v};
+    runner.Run(seed, p, x, emit);
   }
 }
 

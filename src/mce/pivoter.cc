@@ -1,6 +1,7 @@
 #include "mce/pivoter.h"
 
 #include <algorithm>
+#include <concepts>
 
 #include "util/check.h"
 
@@ -22,213 +23,283 @@ PivotRule RuleFor(Algorithm algorithm) {
   return PivotRule::kMaxDegree;
 }
 
-namespace {
+/// True when Storage exposes neighbor lists with flag-based counting;
+/// the recursion then maintains per-frame membership flags and replaces
+/// sorted-range merges with probes along N(v).
+template <typename Storage>
+concept HasNeighborLists = requires(const Storage& s, NodeId v,
+                                    const uint8_t* mark) {
+  { s.Neighbors(v) } -> std::convertible_to<std::span<const NodeId>>;
+  { s.CountNeighborsMarked(v, mark) } -> std::convertible_to<size_t>;
+};
 
 template <typename Storage>
-class VectorMceRunner {
- public:
-  VectorMceRunner(const Storage& storage, PivotRule rule,
-                  const CliqueCallback& emit)
-      : storage_(storage), rule_(rule), emit_(emit) {}
-
-  void Run(std::vector<NodeId> r, std::vector<NodeId> p,
-           std::vector<NodeId> x) {
-    r_ = std::move(r);
-    Recurse(std::move(p), std::move(x));
-  }
-
- private:
-  NodeId ChoosePivot(const std::vector<NodeId>& p,
-                     const std::vector<NodeId>& x) const {
-    switch (rule_) {
-      case PivotRule::kMaxDegree: {
-        NodeId best = p.front();
-        for (NodeId v : p) {
-          if (storage_.Degree(v) > storage_.Degree(best)) best = v;
-        }
-        return best;
+NodeId VectorMceRunner<Storage>::ChoosePivot(std::span<const NodeId> p,
+                                             std::span<const NodeId> x,
+                                             const uint8_t* mark) const {
+  switch (rule_) {
+    case PivotRule::kMaxDegree: {
+      NodeId best = p.front();
+      for (NodeId v : p) {
+        if (storage_.Degree(v) > storage_.Degree(best)) best = v;
       }
-      case PivotRule::kMaxIntersection:
-        return BestByIntersection(p, x, /*prefer_x_only=*/false);
-      case PivotRule::kVisitedFirst:
-        return BestByIntersection(p, x, /*prefer_x_only=*/true);
-    }
-    MCE_CHECK(false);
-    return p.front();
-  }
-
-  /// Node of P u X maximizing |N(u) n P|; with prefer_x_only, only X is
-  /// scanned unless it is empty (XPivot falls back to P at the root).
-  ///
-  /// The scan is capped at kPivotScanCap candidates per set: any node of
-  /// P u X is a correct pivot, and an unbounded scan makes the pivot
-  /// choice alone cubic in n on large sparse graphs (X grows linearly
-  /// while every evaluation costs |P|). The cap bounds the per-node cost
-  /// while keeping the choice deterministic (the first candidates in
-  /// sorted order are evaluated).
-  static constexpr size_t kPivotScanCap = 2048;
-
-  NodeId BestByIntersection(const std::vector<NodeId>& p,
-                            const std::vector<NodeId>& x,
-                            bool prefer_x_only) const {
-    NodeId best = kInvalidNode;
-    size_t best_count = 0;
-    auto consider = [&](const std::vector<NodeId>& set) {
-      const size_t limit = std::min(set.size(), kPivotScanCap);
-      for (size_t i = 0; i < limit; ++i) {
-        const NodeId u = set[i];
-        size_t c = storage_.CountNeighborsIn(u, p);
-        if (best == kInvalidNode || c > best_count) {
-          best = u;
-          best_count = c;
-        }
-      }
-    };
-    if (prefer_x_only && !x.empty()) {
-      consider(x);
       return best;
     }
-    consider(p);
-    if (!prefer_x_only) consider(x);
+    case PivotRule::kMaxIntersection:
+      return BestByIntersection(p, x, /*prefer_x_only=*/false, mark);
+    case PivotRule::kVisitedFirst:
+      return BestByIntersection(p, x, /*prefer_x_only=*/true, mark);
+  }
+  MCE_CHECK(false);
+  return p.front();
+}
+
+/// Node of P u X maximizing |N(u) n P|; with prefer_x_only, only X is
+/// scanned unless it is empty (XPivot falls back to P at the root).
+///
+/// The scan is capped at kPivotScanCap candidates per set: any node of
+/// P u X is a correct pivot, and an unbounded scan makes the pivot
+/// choice alone cubic in n on large sparse graphs (X grows linearly
+/// while every evaluation costs |P|). The cap bounds the per-node cost
+/// while keeping the choice deterministic (the first candidates in
+/// sorted order are evaluated).
+template <typename Storage>
+NodeId VectorMceRunner<Storage>::BestByIntersection(std::span<const NodeId> p,
+                                                    std::span<const NodeId> x,
+                                                    bool prefer_x_only,
+                                                    const uint8_t* mark) const {
+  NodeId best = kInvalidNode;
+  size_t best_count = 0;
+  auto consider = [&](std::span<const NodeId> set) {
+    const size_t limit = std::min(set.size(), kPivotScanCap);
+    for (size_t i = 0; i < limit; ++i) {
+      const NodeId u = set[i];
+      // |N(u) n P| <= min(Degree(u), |P|), and a tie keeps the earlier
+      // candidate, so skipping candidates that cannot strictly beat the
+      // incumbent leaves the chosen pivot unchanged while avoiding most
+      // of the counting work.
+      if (best != kInvalidNode) {
+        if (best_count >= p.size()) return;
+        if (storage_.Degree(u) <= best_count) continue;
+      }
+      size_t c;
+      if constexpr (HasNeighborLists<Storage>) {
+        c = mark != nullptr ? storage_.CountNeighborsMarked(u, mark)
+                            : storage_.CountNeighborsIn(u, p);
+      } else {
+        c = storage_.CountNeighborsIn(u, p);
+      }
+      if (best == kInvalidNode || c > best_count) {
+        best = u;
+        best_count = c;
+      }
+    }
+  };
+  if (prefer_x_only && !x.empty()) {
+    consider(x);
     return best;
   }
+  consider(p);
+  if (!prefer_x_only) consider(x);
+  return best;
+}
 
-  void Recurse(std::vector<NodeId> p, std::vector<NodeId> x) {
-    if (p.empty()) {
-      if (x.empty()) emit_(r_);
-      return;
-    }
-    const NodeId pivot = ChoosePivot(p, x);
-    // Candidates not adjacent to the pivot (the pivot itself, if in P,
-    // is one of them).
-    std::vector<NodeId> ext;
-    for (NodeId v : p) {
-      if (v == pivot || !storage_.Adjacent(pivot, v)) ext.push_back(v);
-    }
-    std::vector<NodeId> p2, x2;
-    for (NodeId v : ext) {
-      storage_.IntersectNeighbors(v, p, &p2);
-      storage_.IntersectNeighbors(v, x, &x2);
-      r_.push_back(v);
-      Recurse(p2, x2);
-      r_.pop_back();
-      // Move v from P to X, keeping both sorted.
-      p.erase(std::lower_bound(p.begin(), p.end(), v));
-      x.insert(std::upper_bound(x.begin(), x.end(), v), v);
-    }
+template <typename Storage>
+void VectorMceRunner<Storage>::Run(std::span<const NodeId> r,
+                                   std::span<const NodeId> p,
+                                   std::span<const NodeId> x,
+                                   const CliqueCallback& emit) {
+  scratch_->r.assign(r.begin(), r.end());
+  emit_ = &emit;
+  Recurse(0, p, x);
+  emit_ = nullptr;
+}
+
+template <typename Storage>
+void VectorMceRunner<Storage>::Recurse(size_t depth, std::span<const NodeId> p,
+                                       std::span<const NodeId> x) {
+  std::vector<NodeId>& r = scratch_->r;
+  if (p.empty()) {
+    if (x.empty()) (*emit_)(r);
+    return;
   }
-
-  const Storage& storage_;
-  const PivotRule rule_;
-  const CliqueCallback& emit_;
-  std::vector<NodeId> r_;
-};
-
-class BitsetMceRunner {
- public:
-  BitsetMceRunner(const BitsetGraph& bg, PivotRule rule,
-                  const CliqueCallback& emit)
-      : bg_(bg), rule_(rule), emit_(emit) {
-    // Degrees feed only the kMaxDegree pivot rule; computing them costs
-    // O(n^2 / 64), which would dominate callers that construct a runner
-    // per seed vertex (the Eppstein outer loop).
-    if (rule_ == PivotRule::kMaxDegree) {
-      degree_.reserve(bg.num_nodes());
-      for (NodeId v = 0; v < bg.num_nodes(); ++v) {
-        degree_.push_back(static_cast<uint32_t>(bg.Row(v).Count()));
-      }
+  VectorMceScratch::Frame& f = scratch_->FrameAt(depth);
+  // List-backed storage: maintain node-indexed membership flags of the
+  // live P and X sets for this node. Pivot counting and child-set
+  // construction then walk N(v) probing flags instead of merging sorted
+  // ranges — O(deg) with no branches mispredicted on set boundaries. The
+  // flags are frame-local, so deeper levels cannot disturb them.
+  const uint8_t* mark = nullptr;
+  if constexpr (HasNeighborLists<Storage>) {
+    const size_t n = storage_.num_nodes();
+    if (f.in_p.size() < n) {
+      f.in_p.assign(n, 0);
+      f.in_x.assign(n, 0);
     }
+    for (NodeId v : p) f.in_p[v] = 1;
+    for (NodeId v : x) f.in_x[v] = 1;
+    mark = f.in_p.data();
   }
-
-  void Run(std::vector<NodeId> r, Bitset p, Bitset x) {
-    r_ = std::move(r);
-    Recurse(std::move(p), std::move(x));
-  }
-
- private:
-  // Same bounded-scan rationale as the vector runner (see kPivotScanCap
-  // there): pivot evaluation must not dominate the recursion on large
-  // candidate sets.
-  static constexpr size_t kPivotScanCap = 2048;
-
-  NodeId ChoosePivot(const Bitset& p, const Bitset& x) const {
-    NodeId best = kInvalidNode;
-    size_t best_score = 0;
-    size_t scanned = 0;
-    auto consider_count = [&](size_t u) {
-      if (scanned++ >= kPivotScanCap) return;
-      size_t c = bg_.Row(static_cast<NodeId>(u)).AndCount(p);
-      if (best == kInvalidNode || c > best_score) {
-        best = static_cast<NodeId>(u);
-        best_score = c;
-      }
-    };
-    switch (rule_) {
-      case PivotRule::kMaxDegree: {
-        p.ForEach([&](size_t u) {
-          if (best == kInvalidNode || degree_[u] > best_score) {
-            best = static_cast<NodeId>(u);
-            best_score = degree_[u];
-          }
-        });
-        return best;
-      }
-      case PivotRule::kMaxIntersection: {
-        p.ForEach(consider_count);
-        x.ForEach(consider_count);
-        return best;
-      }
-      case PivotRule::kVisitedFirst: {
-        if (x.Any()) {
-          x.ForEach(consider_count);
-        } else {
-          p.ForEach(consider_count);
+  const NodeId pivot = ChoosePivot(p, x, mark);
+  // Stable partition of P by pivot adjacency: ext holds the branch
+  // candidates (P \ N(pivot), including the pivot itself if present),
+  // kept the rest. Both preserve P's sorted order.
+  storage_.PartitionByPivot(pivot, p, &f.kept, &f.ext);
+  const std::span<const NodeId> ext(f.ext);
+  for (size_t i = 0; i < ext.size(); ++i) {
+    const NodeId v = ext[i];
+    // Live sets at this iteration: P = kept u ext[i..), X = x u ext[0..i).
+    // v itself is never its own neighbor, so dropping it from the P side
+    // changes nothing — and its own stale flags are never probed.
+    if constexpr (HasNeighborLists<Storage>) {
+      f.p.clear();
+      f.x.clear();
+      for (NodeId u : storage_.Neighbors(v)) {
+        if (f.in_p[u]) {
+          f.p.push_back(u);
+        } else if (f.in_x[u]) {
+          f.x.push_back(u);
         }
-        return best;
       }
+    } else {
+      storage_.IntersectNeighborsUnion(v, f.kept, ext.subspan(i + 1), &f.p);
+      storage_.IntersectNeighborsUnion(v, x, ext.first(i), &f.x);
     }
-    MCE_CHECK(false);
-    return best;
-  }
-
-  void Recurse(Bitset p, Bitset x) {
-    if (p.None()) {
-      if (x.None()) emit_(r_);
-      return;
-    }
-    const NodeId pivot = ChoosePivot(p, x);
-    Bitset ext = p;
-    ext.AndNot(bg_.Row(pivot));
-    if (p.Test(pivot)) ext.Set(pivot);
-    const std::vector<NodeId> candidates = ext.ToVector();
-    for (NodeId v : candidates) {
-      Bitset p2 = p;
-      p2.And(bg_.Row(v));
-      Bitset x2 = x;
-      x2.And(bg_.Row(v));
-      r_.push_back(v);
-      Recurse(std::move(p2), std::move(x2));
-      r_.pop_back();
-      p.Clear(v);
-      x.Set(v);
+    r.push_back(v);
+    Recurse(depth + 1, f.p, f.x);
+    r.pop_back();
+    if constexpr (HasNeighborLists<Storage>) {
+      // The move of v from P to X *is* these two flag writes.
+      f.in_p[v] = 0;
+      f.in_x[v] = 1;
     }
   }
+  if constexpr (HasNeighborLists<Storage>) {
+    for (NodeId v : p) {
+      f.in_p[v] = 0;
+      f.in_x[v] = 0;  // branch candidates ended up flagged in X
+    }
+    for (NodeId v : x) f.in_x[v] = 0;
+  }
+}
 
-  const BitsetGraph& bg_;
-  const PivotRule rule_;
-  const CliqueCallback& emit_;
-  std::vector<NodeId> r_;
-  std::vector<uint32_t> degree_;
-};
+template class VectorMceRunner<ListStorage>;
+template class VectorMceRunner<MatrixStorage>;
 
-}  // namespace
+BitsetMceRunner::BitsetMceRunner(const BitsetGraph& bg, PivotRule rule,
+                                 BitsetMceScratch* scratch)
+    : bg_(bg),
+      rule_(rule),
+      owned_(scratch != nullptr ? nullptr : new BitsetMceScratch),
+      scratch_(scratch != nullptr ? scratch : owned_.get()) {
+  // Degrees feed the kMaxDegree pivot rule directly and bound the capped
+  // scans of the intersection rules (|N(u) n P| <= degree(u)). Computing
+  // them costs O(n^2 / 64) — the same order as building the BitsetGraph
+  // rows the caller already paid for — and is amortized over every seed
+  // run against this runner.
+  scratch_->degree.clear();
+  scratch_->degree.reserve(bg.num_nodes());
+  for (NodeId v = 0; v < bg.num_nodes(); ++v) {
+    scratch_->degree.push_back(static_cast<uint32_t>(bg.Row(v).Count()));
+  }
+}
+
+NodeId BitsetMceRunner::ChoosePivot(const Bitset& p, const Bitset& x) const {
+  NodeId best = kInvalidNode;
+  size_t best_score = 0;
+  const size_t p_count = p.Count();
+  const std::vector<uint32_t>& degree = scratch_->degree;
+  auto consider_capped = [&](const Bitset& set) {
+    size_t scanned = 0;
+    set.ForEachUntil([&](size_t u) {
+      // |N(u) n P| <= min(degree(u), |P|), and a tie keeps the earlier
+      // candidate: stop once the incumbent reaches |P|, and skip the
+      // row popcount for candidates that cannot strictly beat it. The
+      // chosen pivot is identical to an unpruned scan.
+      if (best != kInvalidNode && best_score >= p_count) return false;
+      if (best == kInvalidNode || degree[u] > best_score) {
+        size_t c = bg_.Row(static_cast<NodeId>(u)).AndCount(p);
+        if (best == kInvalidNode || c > best_score) {
+          best = static_cast<NodeId>(u);
+          best_score = c;
+        }
+      }
+      return ++scanned < kPivotScanCap;
+    });
+  };
+  switch (rule_) {
+    case PivotRule::kMaxDegree: {
+      p.ForEach([&](size_t u) {
+        if (best == kInvalidNode || degree[u] > best_score) {
+          best = static_cast<NodeId>(u);
+          best_score = degree[u];
+        }
+      });
+      return best;
+    }
+    case PivotRule::kMaxIntersection: {
+      consider_capped(p);
+      consider_capped(x);
+      return best;
+    }
+    case PivotRule::kVisitedFirst: {
+      if (x.Any()) {
+        consider_capped(x);
+      } else {
+        consider_capped(p);
+      }
+      return best;
+    }
+  }
+  MCE_CHECK(false);
+  return best;
+}
+
+void BitsetMceRunner::Run(std::span<const NodeId> r, const Bitset& p,
+                          const Bitset& x, const CliqueCallback& emit) {
+  scratch_->r.assign(r.begin(), r.end());
+  scratch_->root_p = p;
+  scratch_->root_x = x;
+  emit_ = &emit;
+  Recurse(0, scratch_->root_p, scratch_->root_x);
+  emit_ = nullptr;
+}
+
+void BitsetMceRunner::Recurse(size_t depth, Bitset& p, Bitset& x) {
+  std::vector<NodeId>& r = scratch_->r;
+  if (p.None()) {
+    if (x.None()) (*emit_)(r);
+    return;
+  }
+  const NodeId pivot = ChoosePivot(p, x);
+  // Branch candidates: P \ N(pivot). The pivot itself qualifies when in P
+  // (it is never its own neighbor). Snapshot into a vector, since P is
+  // mutated while iterating.
+  BitsetMceScratch::Frame& f = scratch_->FrameAt(depth);
+  f.candidates.clear();
+  p.ForEachDiff(bg_.Row(pivot), [&](size_t u) {
+    f.candidates.push_back(static_cast<NodeId>(u));
+  });
+  for (NodeId v : f.candidates) {
+    // Fused copy-and-intersect into the frame's sets reuses their word
+    // storage.
+    const Bitset& row = bg_.Row(v);
+    f.p.AssignAnd(p, row);
+    f.x.AssignAnd(x, row);
+    r.push_back(v);
+    Recurse(depth + 1, f.p, f.x);
+    r.pop_back();
+    p.Clear(v);
+    x.Set(v);
+  }
+}
 
 template <typename Storage>
 void RunVectorMce(const Storage& storage, PivotRule rule,
                   std::vector<NodeId> r, std::vector<NodeId> p,
                   std::vector<NodeId> x, const CliqueCallback& emit) {
-  VectorMceRunner<Storage> runner(storage, rule, emit);
-  runner.Run(std::move(r), std::move(p), std::move(x));
+  VectorMceRunner<Storage> runner(storage, rule);
+  runner.Run(r, p, x, emit);
 }
 
 template void RunVectorMce<ListStorage>(const ListStorage&, PivotRule,
@@ -244,8 +315,8 @@ template void RunVectorMce<MatrixStorage>(const MatrixStorage&, PivotRule,
 
 void RunBitsetMce(const BitsetGraph& bg, PivotRule rule, std::vector<NodeId> r,
                   Bitset p, Bitset x, const CliqueCallback& emit) {
-  BitsetMceRunner runner(bg, rule, emit);
-  runner.Run(std::move(r), std::move(p), std::move(x));
+  BitsetMceRunner runner(bg, rule);
+  runner.Run(r, p, x, emit);
 }
 
 }  // namespace mce

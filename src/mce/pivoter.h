@@ -18,16 +18,31 @@
 //
 // Two set representations are provided: sorted vectors (for the List and
 // Matrix storages) and Bitsets (for the BitSets storage).
+//
+// The recursion is allocation-free in steady state. Working sets live in a
+// depth-indexed scratch pool (mce/workspace.h) instead of per-call vectors,
+// and the "move v from P to X" step never mutates a set: the candidate set
+// is stably partitioned once per node into [kept | ext] (pivot neighbors
+// vs branch candidates), and during the branch loop the live sets are
+//   P = kept u ext[i..)      X = x u ext[0..i)
+// so advancing the partition point i *is* the move. Child sets are built
+// straight from those sorted pieces: list-backed storage walks N(v) probing
+// frame-local membership flags of the live sets (one pass builds both
+// children), and matrix storage merges the pieces with
+// IntersectNeighborsUnion.
 
 #ifndef MCE_MCE_PIVOTER_H_
 #define MCE_MCE_PIVOTER_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/views.h"
 #include "mce/clique.h"
 #include "mce/storage.h"
+#include "mce/workspace.h"
 #include "util/bitset.h"
 
 namespace mce {
@@ -44,10 +59,95 @@ enum class PivotRule : uint8_t {
 /// algorithm and must not be passed here.
 PivotRule RuleFor(Algorithm algorithm);
 
-/// Runs the BK recursion over sorted-vector sets. `r` is the clique under
-/// construction (reported cliques are r + recursion additions), `p` and `x`
-/// must be sorted and disjoint, and every node of `p`/`x` must be adjacent
-/// to every node of `r`. Storage is ListStorage or MatrixStorage.
+/// Reusable BK runner over sorted-vector sets; Storage is ListStorage or
+/// MatrixStorage. Construct once per storage (e.g. per block) and call Run
+/// once per seed: the scratch pool persists across calls, so every call
+/// after the first is allocation-free. Pass an external scratch to share
+/// one pool across runners (e.g. across the blocks a worker processes);
+/// with the default nullptr the runner owns a private pool. Not
+/// thread-safe and not reentrant (Run must not be called from the emit
+/// callback).
+template <typename Storage>
+class VectorMceRunner {
+ public:
+  /// `scratch`, when non-null, must outlive the runner. Constructing with
+  /// an external scratch performs no allocation (the private pool is only
+  /// materialized when none is supplied).
+  explicit VectorMceRunner(const Storage& storage, PivotRule rule,
+                           VectorMceScratch* scratch = nullptr)
+      : storage_(storage),
+        rule_(rule),
+        owned_(scratch != nullptr ? nullptr : new VectorMceScratch),
+        scratch_(scratch != nullptr ? scratch : owned_.get()) {}
+
+  /// Runs the recursion. `r` is the clique under construction (reported
+  /// cliques are r + recursion additions), `p` and `x` must be sorted and
+  /// disjoint, and every node of `p`/`x` must be adjacent to every node of
+  /// `r`. The spans are only read during the call; the span passed to
+  /// `emit` is owned by the scratch pool and is invalidated by the next
+  /// emission — callbacks must copy what they keep.
+  void Run(std::span<const NodeId> r, std::span<const NodeId> p,
+           std::span<const NodeId> x, const CliqueCallback& emit);
+
+ private:
+  static constexpr size_t kPivotScanCap = 2048;
+
+  /// `mark`, when non-null, is the membership-flag view of `p` (see
+  /// VectorMceScratch::Frame::in_p); intersection counting then walks
+  /// neighbor lists instead of merging sorted ranges.
+  NodeId ChoosePivot(std::span<const NodeId> p, std::span<const NodeId> x,
+                     const uint8_t* mark) const;
+  NodeId BestByIntersection(std::span<const NodeId> p,
+                            std::span<const NodeId> x, bool prefer_x_only,
+                            const uint8_t* mark) const;
+  void Recurse(size_t depth, std::span<const NodeId> p,
+               std::span<const NodeId> x);
+
+  const Storage& storage_;
+  const PivotRule rule_;
+  const std::unique_ptr<VectorMceScratch> owned_;
+  VectorMceScratch* const scratch_;
+  const CliqueCallback* emit_ = nullptr;
+};
+
+extern template class VectorMceRunner<ListStorage>;
+extern template class VectorMceRunner<MatrixStorage>;
+
+/// Bitset-set counterpart of VectorMceRunner, with the same reuse
+/// contract. Constructing a runner is cheap (the kMaxDegree degree cache
+/// is the only precompute), so hoist construction out of per-seed loops
+/// and reuse it for every seed of the same BitsetGraph.
+class BitsetMceRunner {
+ public:
+  /// `scratch`, when non-null, must outlive the runner.
+  explicit BitsetMceRunner(const BitsetGraph& bg, PivotRule rule,
+                           BitsetMceScratch* scratch = nullptr);
+
+  /// `p`/`x` are node-indexed bitsets of size bg.num_nodes(); they are
+  /// copied into the scratch pool, not retained. Same emit-span contract
+  /// as VectorMceRunner::Run.
+  void Run(std::span<const NodeId> r, const Bitset& p, const Bitset& x,
+           const CliqueCallback& emit);
+
+ private:
+  // Same bounded-scan rationale as the vector runner (see DESIGN.md §6):
+  // pivot evaluation must not dominate the recursion on large candidate
+  // sets. The cap applies per set (P and X each), matching the vector
+  // runner, and the scan short-circuits once the cap is reached.
+  static constexpr size_t kPivotScanCap = 2048;
+
+  NodeId ChoosePivot(const Bitset& p, const Bitset& x) const;
+  void Recurse(size_t depth, Bitset& p, Bitset& x);
+
+  const BitsetGraph& bg_;
+  const PivotRule rule_;
+  const std::unique_ptr<BitsetMceScratch> owned_;
+  BitsetMceScratch* const scratch_;
+  const CliqueCallback* emit_ = nullptr;
+};
+
+/// One-shot convenience wrappers over the runners (private scratch per
+/// call). Prefer constructing a runner directly when calling in a loop.
 template <typename Storage>
 void RunVectorMce(const Storage& storage, PivotRule rule,
                   std::vector<NodeId> r, std::vector<NodeId> p,

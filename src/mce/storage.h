@@ -10,6 +10,7 @@
 #define MCE_MCE_STORAGE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,11 @@ uint64_t EstimateStorageBytes(uint64_t n, uint64_t m, StorageKind storage);
 
 /// Adjacency-list backend: a thin view over the CSR Graph (no copy).
 /// Intersections run on sorted ranges; the candidate sets passed in must be
-/// sorted, which the generic recursion maintains.
+/// sorted, which the generic recursion maintains. When one side of an
+/// intersection is much shorter than the other, the implementation gallops
+/// (exponential + binary search) through the longer side instead of merging
+/// linearly — the common case inside blocks, where N(v) is far shorter than
+/// the candidate set.
 class ListStorage {
  public:
   explicit ListStorage(const Graph& g) : g_(&g) {}
@@ -54,13 +59,43 @@ class ListStorage {
   NodeId num_nodes() const { return g_->num_nodes(); }
   uint32_t Degree(NodeId v) const { return g_->Degree(v); }
   bool Adjacent(NodeId u, NodeId v) const { return g_->HasEdge(u, v); }
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return g_->Neighbors(v);
+  }
+
+  /// |{u in N(v) : mark[u] != 0}| — the membership-flag counterpart of
+  /// CountNeighborsIn, a branchless sum along the neighbor list. `mark`
+  /// must be indexable by every node id. Only list-backed storage offers
+  /// this; its presence is what opts the generic recursion into the
+  /// flag-based fast path (see pivoter.cc).
+  size_t CountNeighborsMarked(NodeId v, const uint8_t* mark) const {
+    size_t count = 0;
+    for (NodeId u : g_->Neighbors(v)) count += mark[u];
+    return count;
+  }
 
   /// out = sorted intersection of N(v) with the sorted `set`.
-  void IntersectNeighbors(NodeId v, const std::vector<NodeId>& set,
+  void IntersectNeighbors(NodeId v, std::span<const NodeId> set,
                           std::vector<NodeId>* out) const;
 
+  /// out = sorted N(v) n (a u b), where `a` and `b` are sorted and
+  /// disjoint. This is the recursion's child-set primitive: the parent's
+  /// candidate set lives as two sorted pieces (see pivoter.h), and the
+  /// union is intersected without ever materializing it.
+  void IntersectNeighborsUnion(NodeId v, std::span<const NodeId> a,
+                               std::span<const NodeId> b,
+                               std::vector<NodeId>* out) const;
+
   /// |N(v) n set| for sorted `set`.
-  size_t CountNeighborsIn(NodeId v, const std::vector<NodeId>& set) const;
+  size_t CountNeighborsIn(NodeId v, std::span<const NodeId> set) const;
+
+  /// Splits sorted `p` into pivot neighbors (`kept`) and non-neighbors
+  /// (`ext`, which includes the pivot itself when present), preserving
+  /// order. One merge-walk of p against N(pivot) instead of |p| binary
+  /// searches.
+  void PartitionByPivot(NodeId pivot, std::span<const NodeId> p,
+                        std::vector<NodeId>* kept,
+                        std::vector<NodeId>* ext) const;
 
  private:
   const Graph* g_;
@@ -69,16 +104,33 @@ class ListStorage {
 /// Dense-matrix backend: O(1) adjacency tests, O(|set|) intersections.
 class MatrixStorage {
  public:
-  explicit MatrixStorage(const Graph& g);
+  /// Empty storage; fill with Assign().
+  MatrixStorage() = default;
+  explicit MatrixStorage(const Graph& g) { Assign(g); }
+
+  /// Rebuilds for `g`, reusing matrix and degree storage (grow-only; see
+  /// AdjacencyMatrix::Assign).
+  void Assign(const Graph& g);
 
   NodeId num_nodes() const { return matrix_.num_nodes(); }
   uint32_t Degree(NodeId v) const { return degree_[v]; }
   bool Adjacent(NodeId u, NodeId v) const { return matrix_.Adjacent(u, v); }
 
-  void IntersectNeighbors(NodeId v, const std::vector<NodeId>& set,
+  void IntersectNeighbors(NodeId v, std::span<const NodeId> set,
                           std::vector<NodeId>* out) const;
 
-  size_t CountNeighborsIn(NodeId v, const std::vector<NodeId>& set) const;
+  /// See ListStorage::IntersectNeighborsUnion.
+  void IntersectNeighborsUnion(NodeId v, std::span<const NodeId> a,
+                               std::span<const NodeId> b,
+                               std::vector<NodeId>* out) const;
+
+  size_t CountNeighborsIn(NodeId v, std::span<const NodeId> set) const;
+
+  /// See ListStorage::PartitionByPivot; here each element is one O(1)
+  /// adjacency test.
+  void PartitionByPivot(NodeId pivot, std::span<const NodeId> p,
+                        std::vector<NodeId>* kept,
+                        std::vector<NodeId>* ext) const;
 
  private:
   AdjacencyMatrix matrix_;

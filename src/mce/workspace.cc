@@ -1,0 +1,15 @@
+#include "mce/workspace.h"
+
+namespace mce {
+
+const MatrixStorage& BlockWorkspace::Matrix(const Graph& g) {
+  matrix_.Assign(g);
+  return matrix_;
+}
+
+const BitsetGraph& BlockWorkspace::BitsetRows(const Graph& g) {
+  bitset_graph_.Assign(g);
+  return bitset_graph_;
+}
+
+}  // namespace mce

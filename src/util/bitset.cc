@@ -6,6 +6,11 @@ namespace mce {
 
 void Bitset::Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
+void Bitset::Reinit(size_t size) {
+  size_ = size;
+  words_.assign((size + 63) / 64, 0);  // assign never shrinks capacity
+}
+
 void Bitset::SetAll() {
   if (size_ == 0) return;
   std::fill(words_.begin(), words_.end(), ~uint64_t{0});
@@ -40,6 +45,15 @@ void Bitset::Or(const Bitset& other) {
 void Bitset::AndNot(const Bitset& other) {
   MCE_DCHECK_EQ(size_, other.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void Bitset::AssignAnd(const Bitset& a, const Bitset& b) {
+  MCE_DCHECK_EQ(a.size_, b.size_);
+  size_ = a.size_;
+  words_.resize(a.words_.size());  // grow-only: shrinking keeps capacity
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+  }
 }
 
 size_t Bitset::AndCount(const Bitset& other) const {

@@ -47,6 +47,12 @@ class Bitset {
   /// Sets all bits to zero without changing the capacity.
   void Reset();
 
+  /// Re-targets this bitset to `size` indices, all zero. Backing storage is
+  /// grow-only: shrinking or re-growing within a previously reached size
+  /// performs no heap allocation, which is what lets per-depth scratch
+  /// bitsets be recycled across blocks of different sizes.
+  void Reinit(size_t size);
+
   /// Sets bits [0, size) to one.
   void SetAll();
 
@@ -62,6 +68,11 @@ class Bitset {
   void Or(const Bitset& other);
   /// this &= ~other. Sizes must match.
   void AndNot(const Bitset& other);
+
+  /// this = a & b in one pass (sizes must match; this is re-targeted).
+  /// Fuses the copy-then-And idiom of child-set construction into a single
+  /// sweep over the words, reusing this bitset's storage (grow-only).
+  void AssignAnd(const Bitset& a, const Bitset& b);
 
   /// |this & other| without materializing the intersection.
   size_t AndCount(const Bitset& other) const;
@@ -83,6 +94,37 @@ class Bitset {
   void ForEach(Fn&& fn) const {
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn(w * 64 + tz);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for set bits in increasing order while fn returns true;
+  /// stops at the first false. Lets bounded scans (e.g. capped pivot
+  /// selection) short-circuit instead of walking every remaining word.
+  template <typename Fn>
+  void ForEachUntil(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        if (!fn(w * 64 + tz)) return;
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for each set bit of (this & ~other) in increasing order,
+  /// word-parallel, without materializing the difference. Sizes must
+  /// match.
+  template <typename Fn>
+  void ForEachDiff(const Bitset& other, Fn&& fn) const {
+    MCE_DCHECK_EQ(size_, other.size_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w] & ~other.words_[w];
       while (bits != 0) {
         unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
         fn(w * 64 + tz);

@@ -161,5 +161,35 @@ TEST(BlockAnalysisTest, EppsteinFixedComboFallsBackToSeededTomita) {
   mce::test::ExpectMatchesNaive(g, got);
 }
 
+TEST(BlockAnalysisTest, SharedWorkspaceIsByteIdentical) {
+  // One workspace carried across a whole block stream (as each pool worker
+  // does) must produce exactly the transient-workspace output: same clique
+  // bytes in the same order, same per-block counts.
+  Rng rng(51);
+  Graph g = gen::BarabasiAlbert(80, 3, &rng);
+  const uint32_t m = 16;
+  CutResult cut = Cut(g, m);
+  BlocksOptions boptions;
+  boptions.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+  ASSERT_GT(blocks.size(), 1u);
+  for (StorageKind storage :
+       {StorageKind::kAdjacencyList, StorageKind::kMatrix,
+        StorageKind::kBitset}) {
+    BlockAnalysisOptions aoptions;
+    aoptions.fixed = {Algorithm::kTomita, storage};
+    CliqueSet transient, shared;
+    BlockWorkspace workspace;
+    for (const Block& block : blocks) {
+      BlockAnalysisResult a =
+          AnalyzeBlock(block, aoptions, transient.Collector());
+      BlockAnalysisResult b =
+          AnalyzeBlock(block, aoptions, shared.Collector(), &workspace);
+      EXPECT_EQ(a.num_cliques, b.num_cliques) << ToString(storage);
+    }
+    EXPECT_EQ(transient.cliques(), shared.cliques()) << ToString(storage);
+  }
+}
+
 }  // namespace
 }  // namespace mce::decomp

@@ -2,6 +2,7 @@
 // exact maximal-clique set of the pivotless reference on randomized inputs
 // spanning the graph families of Section 4's training collection.
 
+#include <numeric>
 #include <string>
 #include <tuple>
 
@@ -12,6 +13,7 @@
 #include "graph/subgraph.h"
 #include "mce/enumerator.h"
 #include "mce/naive.h"
+#include "mce/pivoter.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -113,6 +115,69 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(ToString(std::get<0>(info.param))) + "_" +
              ToString(std::get<1>(info.param));
     });
+
+// A runner whose scratch pool is shared across many inputs must emit the
+// exact byte sequence of a fresh one-shot run: reuse may only change where
+// the buffers live, never what comes out. This is the contract that lets
+// per-worker workspaces persist across blocks.
+TEST(ScratchReuseTest, ReusedRunnersAreByteIdentical) {
+  const std::vector<GraphCase> cases = CrossCheckGraphs();
+  for (PivotRule rule :
+       {PivotRule::kMaxDegree, PivotRule::kMaxIntersection,
+        PivotRule::kVisitedFirst}) {
+    // One scratch of each kind, shared across every graph in the sweep.
+    VectorMceScratch list_scratch;
+    VectorMceScratch matrix_scratch;
+    BitsetMceScratch bitset_scratch;
+    for (const GraphCase& c : cases) {
+      const Graph& g = c.graph;
+      if (g.num_nodes() == 0) continue;
+      std::vector<NodeId> all(g.num_nodes());
+      std::iota(all.begin(), all.end(), NodeId{0});
+
+      std::vector<Clique> fresh, reused;
+      const CliqueCallback collect_fresh =
+          [&fresh](std::span<const NodeId> cl) {
+            fresh.emplace_back(cl.begin(), cl.end());
+          };
+      const CliqueCallback collect_reused =
+          [&reused](std::span<const NodeId> cl) {
+            reused.emplace_back(cl.begin(), cl.end());
+          };
+
+      {
+        const ListStorage s(g);
+        fresh.clear();
+        reused.clear();
+        RunVectorMce(s, rule, {}, all, {}, collect_fresh);
+        VectorMceRunner<ListStorage> runner(s, rule, &list_scratch);
+        runner.Run({}, all, {}, collect_reused);
+        EXPECT_EQ(fresh, reused) << c.name << " lists";
+      }
+      {
+        const MatrixStorage s(g);
+        fresh.clear();
+        reused.clear();
+        RunVectorMce(s, rule, {}, all, {}, collect_fresh);
+        VectorMceRunner<MatrixStorage> runner(s, rule, &matrix_scratch);
+        runner.Run({}, all, {}, collect_reused);
+        EXPECT_EQ(fresh, reused) << c.name << " matrix";
+      }
+      {
+        const BitsetGraph bg(g);
+        Bitset p(g.num_nodes());
+        p.SetAll();
+        const Bitset x(g.num_nodes());
+        fresh.clear();
+        reused.clear();
+        RunBitsetMce(bg, rule, {}, p, x, collect_fresh);
+        BitsetMceRunner runner(bg, rule, &bitset_scratch);
+        runner.Run({}, p, x, collect_reused);
+        EXPECT_EQ(fresh, reused) << c.name << " bitsets";
+      }
+    }
+  }
+}
 
 // Seeded enumeration must match a filtered full enumeration: the cliques
 // through `seed` avoiding X, on random instances.

@@ -105,4 +105,100 @@ inline void ExpectMatchesNaive(const Graph& g, CliqueSet& actual) {
 
 }  // namespace mce::test
 
+#ifdef MCE_TEST_COUNT_ALLOCATIONS
+// Process-wide operator-new counting, for zero-allocation regression tests
+// (mce_alloc_test). Define MCE_TEST_COUNT_ALLOCATIONS before including
+// this header in EXACTLY ONE translation unit of a test binary: the
+// replaceable global operator new/delete must have a single non-inline
+// definition per program, so this block intentionally does not use
+// `inline`.
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mce::test {
+
+std::atomic<uint64_t> g_new_calls{0};
+
+/// When true, any operator-new call aborts the process. Debugging aid:
+/// flip it around a supposedly allocation-free region and run under a
+/// debugger to get a backtrace of the offending allocation.
+std::atomic<bool> g_trap_on_alloc{false};
+
+/// Number of successful global operator-new calls so far. Take a snapshot
+/// before and after the code under test; the difference is its allocation
+/// count.
+uint64_t NewCalls() { return g_new_calls.load(std::memory_order_relaxed); }
+
+void* CountedAlloc(std::size_t size) {
+  if (g_trap_on_alloc.load(std::memory_order_relaxed)) {
+    g_trap_on_alloc.store(false);  // the reporting below allocates
+    void* frames[32];
+    const int depth = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, depth, 2);
+    std::abort();
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  if (p == nullptr) throw std::bad_alloc();
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace mce::test
+
+void* operator new(std::size_t size) { return mce::test::CountedAlloc(size); }
+void* operator new[](std::size_t size) {
+  return mce::test::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return mce::test::CountedAlloc(size);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mce::test::CountedAlignedAlloc(size,
+                                        static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mce::test::CountedAlignedAlloc(size,
+                                        static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // MCE_TEST_COUNT_ALLOCATIONS
+
 #endif  // MCE_TESTS_TEST_UTIL_H_

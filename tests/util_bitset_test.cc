@@ -154,5 +154,40 @@ TEST(BitsetTest, CopyIsIndependent) {
   EXPECT_TRUE(b.Test(1));
 }
 
+TEST(BitsetTest, ForEachUntilStopsAtFirstFalse) {
+  Bitset b(200);
+  const std::vector<size_t> set = {0, 3, 63, 64, 130, 199};
+  for (size_t i : set) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEachUntil([&seen](size_t i) {
+    seen.push_back(i);
+    return seen.size() < 3;
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 3, 63}));
+  // A tolerant visitor sees everything, like ForEach.
+  seen.clear();
+  b.ForEachUntil([&seen](size_t i) {
+    seen.push_back(i);
+    return true;
+  });
+  EXPECT_EQ(seen, set);
+}
+
+TEST(BitsetTest, ReinitRetargetsAndZeroes) {
+  Bitset b(130);
+  b.SetAll();
+  b.Reinit(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(69));
+  // Growing back within the previously reached size starts all-zero too.
+  b.Reinit(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(129);
+  EXPECT_EQ(b.ToVector(), std::vector<uint32_t>{129});
+}
+
 }  // namespace
 }  // namespace mce
