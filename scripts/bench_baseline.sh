@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Runs the kernel allocation/throughput micro-benchmark and records the
-# result as BENCH_kernel.json at the repo root. The JSON carries, per
-# storage backend, ns/clique for the legacy (per-call allocating) and
-# pooled (workspace-reusing) kernels, their allocation counts, the
-# threaded block-stream comparison, and the process peak RSS.
+# Runs the baseline benchmarks and records the results at the repo root:
+#   BENCH_kernel.json   — kernel allocation/throughput micro-benchmark:
+#                         per storage backend, ns/clique for the legacy
+#                         (per-call allocating) and pooled (workspace-
+#                         reusing) kernels, allocation counts, the threaded
+#                         block-stream comparison, and peak RSS.
+#   BENCH_pipeline.json — execution-engine benchmark: wall seconds, worker
+#                         utilization, and cross-level decompose/analyze
+#                         overlap for the serial engine and the pooled
+#                         engine at 2/4/8 threads.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]
 set -euo pipefail
@@ -12,7 +17,10 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
 cmake -B "$build" -S "$repo"
-cmake --build "$build" -j "$(nproc)" --target bench_kernel_alloc
+cmake --build "$build" -j "$(nproc)" --target bench_kernel_alloc bench_pipeline
 
 "$build/bench/bench_kernel_alloc" --json "$repo/BENCH_kernel.json"
 echo "wrote $repo/BENCH_kernel.json"
+
+"$build/bench/bench_pipeline" --json "$repo/BENCH_pipeline.json"
+echo "wrote $repo/BENCH_pipeline.json"

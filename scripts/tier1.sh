@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the concurrency-bearing subset (the thread pool and the
-# parallel decomposition pipeline).
+# pass over the concurrency-bearing subset (the thread pool, the parallel
+# decomposition pipeline, and the task-graph execution engines).
 #
 # Usage: scripts/tier1.sh [build-dir]
 #   MCE_SKIP_TSAN=1   skip the TSan leg (e.g. when the toolchain lacks
@@ -29,11 +29,12 @@ else
     -DMCE_SANITIZE=thread \
     -DMCE_BUILD_BENCH=OFF \
     -DMCE_BUILD_EXAMPLES=OFF
-  cmake --build "$tsan_build" -j "$(nproc)" --target util_test decomp_test
+  cmake --build "$tsan_build" -j "$(nproc)" \
+    --target util_test decomp_test exec_test
 
-  echo "=== tier-1: TSan run (util_test, decomp_test) ==="
+  echo "=== tier-1: TSan run (util_test, decomp_test, exec_test) ==="
   ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
-    -R '^(util_test|decomp_test)$'
+    -R '^(util_test|decomp_test|exec_test)$'
 fi
 
 if [[ "${MCE_SKIP_ASAN:-0}" == "1" ]]; then

@@ -35,6 +35,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.min_adjacency = options_.min_adjacency;
   pipeline.seed_policy = options_.seed_policy;
   pipeline.num_threads = options_.num_threads;
+  pipeline.executor = options_.executor;
   if (options_.use_decision_tree) {
     pipeline.tree =
         options_.custom_tree != nullptr ? options_.custom_tree : &paper_tree_;

@@ -78,6 +78,9 @@ class MaxCliqueFinder {
     /// 1 = serial, 0 = one per hardware thread. The clique set and origin
     /// levels are identical for every thread count.
     uint32_t num_threads = 1;
+    /// Which execution engine runs the pipeline (serial, pooled, or auto
+    /// by thread count); every engine yields identical cliques.
+    decomp::ExecutorKind executor = decomp::ExecutorKind::kAuto;
     /// Run the block-analysis phase on the simulated cluster and attach a
     /// ClusterSummary to the result.
     bool simulate_cluster = false;

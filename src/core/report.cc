@@ -65,6 +65,8 @@ std::string RunReportJson(const FindResult& result) {
   os << ",\"total_blocks\":" << s.total_blocks;
   os << ",\"decompose_seconds\":" << Double(s.decompose_seconds);
   os << ",\"analyze_seconds\":" << Double(s.analyze_seconds);
+  os << ",\"overlap_seconds\":" << Double(s.overlap_seconds);
+  os << ",\"idle_seconds\":" << Double(s.idle_seconds);
   os << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false");
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
@@ -77,7 +79,9 @@ std::string RunReportJson(const FindResult& result) {
        << ",\"analyze_seconds\":" << Double(l.analyze_seconds)
        << ",\"block_seconds\":" << Double(l.block_seconds)
        << ",\"busiest_worker_seconds\":" << Double(l.busiest_worker_seconds)
-       << ",\"analyze_threads\":" << l.analyze_threads << "}";
+       << ",\"analyze_threads\":" << l.analyze_threads
+       << ",\"overlap_seconds\":" << Double(l.overlap_seconds)
+       << ",\"idle_seconds\":" << Double(l.idle_seconds) << "}";
   }
   os << "]";
   if (result.cluster.has_value()) {

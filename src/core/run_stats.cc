@@ -54,6 +54,8 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
     s.total_blocks += level.blocks;
     s.decompose_seconds += level.decompose_seconds;
     s.analyze_seconds += level.analyze_seconds;
+    s.overlap_seconds += level.overlap_seconds;
+    s.idle_seconds += level.idle_seconds;
   }
   return s;
 }

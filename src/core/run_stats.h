@@ -35,6 +35,13 @@ struct RunStats {
   uint64_t total_blocks = 0;
   double decompose_seconds = 0;
   double analyze_seconds = 0;
+  /// Cross-level pipelining achieved by the executor: wall-clock seconds
+  /// during which a level's decomposition overlapped the previous level's
+  /// analysis, summed over levels (0 on the serial executor).
+  double overlap_seconds = 0;
+  /// Aggregate worker idle time inside the analyze phases, summed over
+  /// levels.
+  double idle_seconds = 0;
 
   std::string ToString() const;
 };

@@ -41,6 +41,15 @@ std::vector<NodeId> OrderSeeds(const Graph& g,
 std::vector<Block> BuildBlocks(const Graph& g,
                                const std::vector<NodeId>& feasible,
                                const BlocksOptions& options) {
+  std::vector<Block> blocks;
+  BuildBlocksStreaming(g, feasible, options,
+                       [&blocks](Block&& b) { blocks.push_back(std::move(b)); });
+  return blocks;
+}
+
+void BuildBlocksStreaming(const Graph& g, const std::vector<NodeId>& feasible,
+                          const BlocksOptions& options,
+                          const BlockCallback& emit) {
   const uint32_t m = options.max_block_size;
   MCE_CHECK_GE(m, 1u);
 
@@ -52,7 +61,6 @@ std::vector<Block> BuildBlocks(const Graph& g,
   // Nodes already used as a kernel (of this or an earlier block).
   std::vector<uint8_t> used_kernel(g.num_nodes(), 0);
 
-  std::vector<Block> blocks;
   for (NodeId seed : OrderSeeds(g, feasible, options.seed_policy)) {
     if (used_kernel[seed]) continue;
 
@@ -129,9 +137,8 @@ std::vector<Block> BuildBlocks(const Graph& g,
         block.roles[local] = NodeRole::kBorder;
       }
     }
-    blocks.push_back(std::move(block));
+    emit(std::move(block));
   }
-  return blocks;
 }
 
 }  // namespace mce::decomp

@@ -11,6 +11,7 @@
 #define MCE_DECOMP_BLOCKS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "decomp/block.h"
@@ -35,6 +36,10 @@ struct BlocksOptions {
   SeedPolicy seed_policy = SeedPolicy::kLowestDegree;
 };
 
+/// Receives each finished block as soon as it is materialized, in
+/// decomposition order.
+using BlockCallback = std::function<void(Block&&)>;
+
 /// Algorithm 3: decomposes `g` into blocks whose kernels partition
 /// `feasible`. Every node of `feasible` must satisfy IsFeasibleNode for
 /// options.max_block_size. Node ids in the result are block-local, with
@@ -42,6 +47,15 @@ struct BlocksOptions {
 std::vector<Block> BuildBlocks(const Graph& g,
                                const std::vector<NodeId>& feasible,
                                const BlocksOptions& options);
+
+/// Streaming variant of BuildBlocks: `emit` is invoked on the calling
+/// thread for each block the moment its growth finishes, before the next
+/// seed is considered. Emission order equals BuildBlocks' vector order.
+/// The executors use this to dispatch block analysis while decomposition
+/// of the remaining seeds is still running.
+void BuildBlocksStreaming(const Graph& g, const std::vector<NodeId>& feasible,
+                          const BlocksOptions& options,
+                          const BlockCallback& emit);
 
 }  // namespace mce::decomp
 

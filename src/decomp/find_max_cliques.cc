@@ -1,18 +1,6 @@
 #include "decomp/find_max_cliques.h"
 
-#include <algorithm>
-#include <optional>
-#include <thread>
-#include <utility>
-
-#include "decomp/block_analysis.h"
-#include "decomp/cut.h"
-#include "decomp/filter.h"
-#include "decomp/parallel_analysis.h"
-#include "graph/subgraph.h"
-#include "util/check.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
+#include "exec/executor.h"
 
 namespace mce::decomp {
 
@@ -24,275 +12,20 @@ uint64_t FindMaxCliquesResult::CliquesFromLevel(uint32_t min_level) const {
   return count;
 }
 
-namespace {
-
-/// 0 means one worker per hardware thread; otherwise the request stands.
-size_t ResolveThreads(uint32_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-BlockTaskRecord MakeTaskRecord(const Block& block, const BlockRun& run,
-                               uint32_t level) {
-  BlockTaskRecord task;
-  task.level = level;
-  task.nodes = block.num_nodes();
-  task.edges = block.num_edges();
-  task.bytes = block.EstimatedBytes();
-  task.cliques = run.result.num_cliques;
-  task.seconds = run.seconds;
-  task.used = run.result.used;
-  return task;
-}
-
-/// One level's block analysis on the shared pool: fans the blocks out as
-/// pool tasks (per-block clique buffers), then merges in block order —
-/// level-0 cliques are emitted directly; deeper levels translate ids and
-/// run the Lemma-1 maximality filter over all buffered cliques in parallel
-/// before emitting the survivors, still in block order. Both `emit` and
-/// the block observer run only on the calling thread. Returns the number
-/// of cliques the blocks produced (before the filter).
-uint64_t AnalyzeLevelOnPool(const Graph& g, const std::vector<Block>& blocks,
-                            const BlockAnalysisOptions& analysis_options,
-                            const FindMaxCliquesOptions& options,
-                            ThreadPool& pool,
-                            std::vector<BlockWorkspace>& workspaces,
-                            uint32_t level,
-                            const std::vector<NodeId>& to_original,
-                            LevelStats& stats, StreamingStats& out,
-                            const LeveledCliqueCallback& emit) {
-  std::vector<BlockRun> runs =
-      AnalyzeBlocksToBuffers(blocks, analysis_options, &pool, &workspaces);
-
-  std::vector<double> worker_seconds(pool.num_threads(), 0.0);
-  uint64_t produced = 0;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    produced += runs[i].result.num_cliques;
-    stats.block_seconds += runs[i].seconds;
-    worker_seconds[runs[i].worker] += runs[i].seconds;
-    if (options.block_observer) {
-      options.block_observer(MakeTaskRecord(blocks[i], runs[i], level));
-    }
-  }
-  stats.busiest_worker_seconds =
-      *std::max_element(worker_seconds.begin(), worker_seconds.end());
-
-  if (level == 0) {
-    // to_original is the identity here and per-clique sorting already
-    // happened in the per-block buffers, so the merge is a plain replay.
-    for (const BlockRun& run : runs) {
-      for (const Clique& clique : run.cliques.cliques()) {
-        ++out.cliques_emitted;
-        emit(clique, level);
-      }
-    }
-    return produced;
-  }
-
-  // Deeper levels: translate to original ids and keep only cliques that
-  // are maximal in G (the telescoped Lemma 1 filter) — independent
-  // per-clique work, chunked across the pool.
-  std::vector<const Clique*> pending;
-  pending.reserve(produced);
-  for (const BlockRun& run : runs) {
-    for (const Clique& clique : run.cliques.cliques()) {
-      pending.push_back(&clique);
-    }
-  }
-  std::vector<Clique> mapped(pending.size());
-  std::vector<uint8_t> keep(pending.size(), 0);
-  const size_t chunk_count =
-      std::min(pending.size(), pool.num_threads() * 4);
-  for (size_t c = 0; c < chunk_count; ++c) {
-    const size_t begin = pending.size() * c / chunk_count;
-    const size_t end = pending.size() * (c + 1) / chunk_count;
-    pool.Submit([&g, &to_original, &pending, &mapped, &keep, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        Clique clique;
-        clique.reserve(pending[i]->size());
-        for (NodeId v : *pending[i]) clique.push_back(to_original[v]);
-        std::sort(clique.begin(), clique.end());
-        if (IsMaximalInGraph(g, clique)) {
-          keep[i] = 1;
-          mapped[i] = std::move(clique);
-        }
-      }
-    });
-  }
-  pool.Wait();
-  for (size_t i = 0; i < mapped.size(); ++i) {
-    if (!keep[i]) continue;
-    ++out.cliques_emitted;
-    emit(mapped[i], level);
-  }
-  return produced;
-}
-
-/// The shared recursion driver. `emit` receives each maximal clique of G
-/// (sorted, original ids) exactly once, already past the Lemma 1 filter:
-/// level-0 cliques are maximal by construction; deeper cliques are emitted
-/// iff they are maximal in G (the telescoped per-level filter — see the
-/// header of this file's class comment). Serial and multi-threaded runs
-/// emit the same cliques in the same order.
-StreamingStats RunPipelineLoop(const Graph& g,
-                               const FindMaxCliquesOptions& options,
-                               const LeveledCliqueCallback& emit) {
-  MCE_CHECK_GE(options.max_block_size, 1u);
-  StreamingStats out;
-
-  // One pool shared by every level's analysis and filter phases, and one
-  // block workspace per worker (slot 0 serves the serial path) kept alive
-  // across levels so block analysis reuses its scratch for the whole run.
-  const size_t num_threads = ResolveThreads(options.num_threads);
-  std::optional<ThreadPool> pool;
-  if (num_threads > 1) pool.emplace(num_threads);
-  std::vector<BlockWorkspace> workspaces;
-  if (!pool.has_value()) workspaces.resize(1);
-
-  Graph current = g;
-  std::vector<NodeId> to_original;  // empty means identity (level 0)
-  uint32_t level = 0;
-  std::vector<NodeId> scratch;
-
-  auto deliver = [&](std::span<const NodeId> clique_current_ids) {
-    scratch.clear();
-    if (to_original.empty()) {
-      scratch.assign(clique_current_ids.begin(), clique_current_ids.end());
-    } else {
-      for (NodeId v : clique_current_ids) {
-        scratch.push_back(to_original[v]);
-      }
-    }
-    std::sort(scratch.begin(), scratch.end());
-    if (level > 0 && !IsMaximalInGraph(g, scratch)) return;
-    ++out.cliques_emitted;
-    emit(scratch, level);
-  };
-
-  for (;;) {
-    LevelStats stats;
-    stats.num_nodes = current.num_nodes();
-    stats.num_edges = current.num_edges();
-
-    Timer decompose_timer;
-    CutResult cut = Cut(current, options.max_block_size);
-    stats.feasible = cut.feasible.size();
-    stats.hubs = cut.hubs.size();
-
-    if (cut.feasible.empty() && current.num_nodes() > 0) {
-      // Sparsity precondition violated: the remaining graph is its own
-      // m-core. Enumerate it directly so the result is still complete.
-      // This residual enumeration is one indivisible task, so it runs
-      // serially regardless of num_threads.
-      out.used_fallback = true;
-      stats.decompose_seconds = decompose_timer.ElapsedSeconds();
-      Timer analyze_timer;
-      uint64_t emitted = 0;
-      EnumerateMaximalCliques(current, options.fallback,
-                              [&](std::span<const NodeId> c) {
-                                deliver(c);
-                                ++emitted;
-                              });
-      stats.cliques = emitted;
-      stats.analyze_seconds = analyze_timer.ElapsedSeconds();
-      stats.block_seconds = stats.analyze_seconds;
-      stats.busiest_worker_seconds = stats.analyze_seconds;
-      out.levels.push_back(stats);
-      break;
-    }
-
-    BlocksOptions blocks_options;
-    blocks_options.max_block_size = options.max_block_size;
-    blocks_options.min_adjacency = options.min_adjacency;
-    blocks_options.seed_policy = options.seed_policy;
-    std::vector<Block> blocks =
-        BuildBlocks(current, cut.feasible, blocks_options);
-    stats.blocks = blocks.size();
-    stats.decompose_seconds = decompose_timer.ElapsedSeconds();
-
-    Timer analyze_timer;
-    BlockAnalysisOptions analysis_options;
-    analysis_options.tree = options.tree;
-    analysis_options.fixed = options.fixed;
-    uint64_t emitted = 0;
-    if (pool.has_value()) {
-      stats.analyze_threads = static_cast<uint32_t>(pool->num_threads());
-      emitted = AnalyzeLevelOnPool(g, blocks, analysis_options, options,
-                                   *pool, workspaces, level, to_original,
-                                   stats, out, emit);
-    } else {
-      for (const Block& block : blocks) {
-        Timer block_timer;
-        BlockAnalysisResult r = AnalyzeBlock(block, analysis_options,
-                                             [&](std::span<const NodeId> c) {
-                                               deliver(c);
-                                             },
-                                             &workspaces[0]);
-        emitted += r.num_cliques;
-        const double block_seconds = block_timer.ElapsedSeconds();
-        stats.block_seconds += block_seconds;
-        if (options.block_observer) {
-          BlockTaskRecord task;
-          task.level = level;
-          task.nodes = block.num_nodes();
-          task.edges = block.num_edges();
-          task.bytes = block.EstimatedBytes();
-          task.cliques = r.num_cliques;
-          task.seconds = block_seconds;
-          task.used = r.used;
-          options.block_observer(task);
-        }
-      }
-      stats.busiest_worker_seconds = stats.block_seconds;
-    }
-    stats.cliques = emitted;
-    stats.analyze_seconds = analyze_timer.ElapsedSeconds();
-    out.levels.push_back(stats);
-
-    if (cut.hubs.empty()) break;
-
-    // Recursive step: continue on the hub-induced subgraph.
-    InducedSubgraph sub = Induce(current, cut.hubs);
-    if (to_original.empty()) {
-      to_original = sub.to_parent;
-    } else {
-      std::vector<NodeId> composed;
-      composed.reserve(sub.to_parent.size());
-      for (NodeId v : sub.to_parent) composed.push_back(to_original[v]);
-      to_original = std::move(composed);
-    }
-    current = std::move(sub.graph);
-    ++level;
-  }
-  return out;
-}
-
-}  // namespace
+// Both entry points are thin drivers over the execution engine
+// (src/exec): options.executor / options.num_threads pick the engine, and
+// every engine produces byte-identical emission (DESIGN.md §7).
 
 StreamingStats FindMaxCliquesStreaming(const Graph& g,
                                        const FindMaxCliquesOptions& options,
                                        const LeveledCliqueCallback& emit) {
-  return RunPipelineLoop(g, options, emit);
+  return exec::MakeExecutor(options)->Run(g, options, emit);
 }
 
 FindMaxCliquesResult FindMaxCliques(const Graph& g,
                                     const FindMaxCliquesOptions& options) {
-  std::vector<std::pair<Clique, uint32_t>> found;
-  StreamingStats stats = RunPipelineLoop(
-      g, options, [&found](std::span<const NodeId> clique, uint32_t level) {
-        found.emplace_back(Clique(clique.begin(), clique.end()), level);
-      });
-  std::sort(found.begin(), found.end());
-
-  FindMaxCliquesResult out;
-  out.levels = std::move(stats.levels);
-  out.used_fallback = stats.used_fallback;
-  for (auto& [clique, origin] : found) {
-    out.origin_level.push_back(origin);
-    out.cliques.Add(std::move(clique));  // already sorted
-  }
-  return out;
+  std::unique_ptr<exec::Executor> executor = exec::MakeExecutor(options);
+  return exec::CollectToResult(*executor, g, options);
 }
 
 }  // namespace mce::decomp

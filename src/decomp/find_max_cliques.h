@@ -40,6 +40,19 @@ struct BlockTaskRecord {
   MceOptions used;
 };
 
+/// Which execution engine (src/exec) runs the pipeline. kSerial walks the
+/// levels on the calling thread with the streaming O(graph + largest
+/// block) memory profile; kPooled runs block analysis and the Lemma-1
+/// filter on a thread pool and overlaps level h+1's decomposition with the
+/// tail of level h's analysis. kAuto picks kSerial when the resolved
+/// thread count is 1, kPooled otherwise. Every choice produces
+/// byte-identical emission.
+enum class ExecutorKind : uint8_t {
+  kAuto = 0,
+  kSerial = 1,
+  kPooled = 2,
+};
+
 struct FindMaxCliquesOptions {
   /// Block bound m. Completeness requires nothing; termination without the
   /// fallback requires m > degeneracy(G).
@@ -58,6 +71,8 @@ struct FindMaxCliquesOptions {
   /// cliques (content and order) are identical to the serial run; 0 = one
   /// thread per hardware thread.
   uint32_t num_threads = 1;
+  /// Execution engine selection; see ExecutorKind.
+  ExecutorKind executor = ExecutorKind::kAuto;
   /// Optional per-block hook, called after each block is analyzed. Always
   /// invoked from the pipeline's calling thread, in block order, even when
   /// num_threads > 1 — it need not be thread-safe.
@@ -83,6 +98,14 @@ struct LevelStats {
   double block_seconds = 0;
   double busiest_worker_seconds = 0;
   uint32_t analyze_threads = 1; // workers that ran this level's analysis
+  /// Wall-clock time this level's decomposition ran concurrently with the
+  /// analysis of earlier levels (the intersection of the decompose window
+  /// with the union of all earlier levels' analysis windows). Pooled
+  /// executor only; the serial executor never overlaps and reports 0.
+  double overlap_seconds = 0;
+  /// Aggregate worker idle time during this level's analyze phase:
+  /// max(0, analyze_threads * analyze_seconds - block_seconds).
+  double idle_seconds = 0;
 };
 
 struct FindMaxCliquesResult {

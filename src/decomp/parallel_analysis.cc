@@ -6,6 +6,20 @@
 
 namespace mce::decomp {
 
+BlockTaskRecord MakeBlockTaskRecord(const Block& block,
+                                    const BlockAnalysisResult& result,
+                                    double seconds, uint32_t level) {
+  BlockTaskRecord task;
+  task.level = level;
+  task.nodes = block.num_nodes();
+  task.edges = block.num_edges();
+  task.bytes = block.EstimatedBytes();
+  task.cliques = result.num_cliques;
+  task.seconds = seconds;
+  task.used = result.used;
+  return task;
+}
+
 std::vector<BlockRun> AnalyzeBlocksToBuffers(
     const std::vector<Block>& blocks, const BlockAnalysisOptions& options,
     ThreadPool* pool, std::vector<BlockWorkspace>* workspaces) {
@@ -58,15 +72,8 @@ ParallelAnalysisResult ParallelAnalyzeBlocks(
   for (size_t i = 0; i < runs.size(); ++i) {
     BlockRun& run = runs[i];
     if (block_observer) {
-      BlockTaskRecord task;
-      task.level = level;
-      task.nodes = blocks[i].num_nodes();
-      task.edges = blocks[i].num_edges();
-      task.bytes = blocks[i].EstimatedBytes();
-      task.cliques = run.result.num_cliques;
-      task.seconds = run.seconds;
-      task.used = run.result.used;
-      block_observer(task);
+      block_observer(
+          MakeBlockTaskRecord(blocks[i], run.result, run.seconds, level));
     }
     result.per_block.push_back(run.result);
     result.cliques.Merge(std::move(run.cliques));

@@ -25,6 +25,13 @@
 
 namespace mce::decomp {
 
+/// The one construction site for BlockTaskRecord telemetry — used by the
+/// execution engine (src/exec), ParallelAnalyzeBlocks, and anything else
+/// that reports an analyzed block to a block_observer.
+BlockTaskRecord MakeBlockTaskRecord(const Block& block,
+                                    const BlockAnalysisResult& result,
+                                    double seconds, uint32_t level);
+
 /// Everything one block's analysis produced, buffered so the caller can
 /// merge blocks deterministically in block order.
 struct BlockRun {

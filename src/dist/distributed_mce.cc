@@ -4,6 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cluster_executor.h"
+#include "exec/executor.h"
+
 namespace mce::dist {
 
 double DistributedResult::TotalSeconds() const {
@@ -48,41 +51,18 @@ double DistributedResult::AnalysisComputeSpeedup() const {
 DistributedResult RunDistributedMce(const Graph& g,
                                     decomp::FindMaxCliquesOptions options,
                                     const ClusterConfig& cluster) {
-  // Collect the block tasks of each recursion level while the pipeline
-  // runs; the scheduler sees only pre-execution estimates (block edges).
-  // The pipeline invokes the observer from its calling thread in block
-  // order even when options.num_threads > 1 (worker-local parallelism of
-  // the measurement run), so no synchronization is needed here.
-  std::vector<std::vector<Task>> tasks_per_level;
-  options.block_observer = [&](const decomp::BlockTaskRecord& record) {
-    if (tasks_per_level.size() <= record.level) {
-      tasks_per_level.resize(record.level + 1);
-    }
-    Task t;
-    t.estimated_cost = static_cast<double>(record.edges + record.nodes);
-    t.compute_seconds = record.seconds;
-    t.bytes = record.bytes;
-    tasks_per_level[record.level].push_back(t);
-  };
-
+  // Thin driver over the execution engine: the simulated-cluster executor
+  // wraps the engine picked by the options and schedules the real
+  // BlockTask descriptors the engine executes, one simulation per
+  // recursion level. The caller's block_observer (if any) still fires
+  // normally — the simulation no longer hijacks it.
+  exec::SimulatedClusterExecutor executor(cluster,
+                                          exec::MakeExecutor(options));
   DistributedResult out;
-  out.algorithm = decomp::FindMaxCliques(g, options);
-
-  tasks_per_level.resize(out.algorithm.levels.size());
-  for (size_t level = 0; level < out.algorithm.levels.size(); ++level) {
-    DistributedLevel dl;
-    dl.simulation = SimulateCluster(tasks_per_level[level], cluster);
-    // Decomposition: the level's edge file is read from the shared FS and
-    // the CUT+BLOCKS work parallelizes across workers (Section 6.2 splits
-    // the dataset per machine).
-    const decomp::LevelStats& stats = out.algorithm.levels[level];
-    const uint64_t level_bytes =
-        stats.num_edges * 2 * sizeof(NodeId) + stats.num_nodes * sizeof(NodeId);
-    dl.decompose_seconds =
-        cluster.cost.DiskSeconds(level_bytes) +
-        cluster.cost.ComputeSeconds(stats.decompose_seconds) /
-            cluster.num_workers;
-    out.levels.push_back(dl);
+  out.algorithm = exec::CollectToResult(executor, g, options);
+  out.levels.reserve(executor.levels().size());
+  for (const exec::LevelSimulation& ls : executor.levels()) {
+    out.levels.push_back(DistributedLevel{ls.simulation, ls.decompose_seconds});
   }
   return out;
 }

@@ -1,0 +1,59 @@
+#include "exec/cluster_executor.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace mce::exec {
+
+SimulatedClusterExecutor::SimulatedClusterExecutor(
+    dist::ClusterConfig config, std::unique_ptr<Executor> inner)
+    : config_(std::move(config)), inner_(std::move(inner)) {
+  MCE_CHECK(inner_ != nullptr);
+}
+
+decomp::StreamingStats SimulatedClusterExecutor::Run(
+    const Graph& g, const decomp::FindMaxCliquesOptions& options,
+    const decomp::LeveledCliqueCallback& emit) {
+  levels_.clear();
+  // The inner executor delivers descriptors on the calling thread in
+  // block order, so plain vectors suffice. The user's sink (if any) still
+  // sees every descriptor.
+  std::vector<std::vector<dist::Task>> tasks_per_level;
+  const BlockTaskSink user_sink = sink_;
+  inner_->set_block_task_sink(
+      [&tasks_per_level, &user_sink](const BlockTaskDescriptor& d) {
+        if (tasks_per_level.size() <= d.level) {
+          tasks_per_level.resize(d.level + 1);
+        }
+        dist::Task t;
+        t.estimated_cost = d.estimated_cost;
+        t.compute_seconds = d.compute_seconds;
+        t.bytes = d.bytes;
+        tasks_per_level[d.level].push_back(t);
+        if (user_sink) user_sink(d);
+      });
+
+  decomp::StreamingStats stats = inner_->Run(g, options, emit);
+  inner_->set_block_task_sink({});
+
+  tasks_per_level.resize(stats.levels.size());
+  for (size_t level = 0; level < stats.levels.size(); ++level) {
+    LevelSimulation ls;
+    ls.simulation = dist::SimulateCluster(tasks_per_level[level], config_);
+    // Decomposition: the level's edge file is read from the shared FS and
+    // the CUT+BLOCKS work parallelizes across workers.
+    const decomp::LevelStats& level_stats = stats.levels[level];
+    const uint64_t level_bytes =
+        level_stats.num_edges * 2 * sizeof(NodeId) +
+        level_stats.num_nodes * sizeof(NodeId);
+    ls.decompose_seconds =
+        config_.cost.DiskSeconds(level_bytes) +
+        config_.cost.ComputeSeconds(level_stats.decompose_seconds) /
+            config_.num_workers;
+    levels_.push_back(std::move(ls));
+  }
+  return stats;
+}
+
+}  // namespace mce::exec

@@ -1,0 +1,49 @@
+// SimulatedClusterExecutor: wraps an inner executor and feeds the real
+// BlockTask descriptors it executes into the dist:: cluster scheduler —
+// the simulated placement consumes the engine's own task stream instead
+// of an after-the-fact block_observer replay. The algorithmic output
+// (cliques, emission order, observer stream) is exactly the inner
+// executor's; what this adds is one cluster simulation per recursion
+// level plus the distributed decompose-cost model.
+
+#ifndef MCE_EXEC_CLUSTER_EXECUTOR_H_
+#define MCE_EXEC_CLUSTER_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "dist/cluster.h"
+#include "exec/executor.h"
+
+namespace mce::exec {
+
+struct LevelSimulation {
+  dist::SimulationResult simulation;
+  /// Simulated distributed decomposition time for the level: the measured
+  /// CUT+BLOCKS time divided across workers plus the shared-FS read of the
+  /// level's edge data (Section 6.2 splits the input across machines).
+  double decompose_seconds = 0;
+};
+
+class SimulatedClusterExecutor final : public Executor {
+ public:
+  SimulatedClusterExecutor(dist::ClusterConfig config,
+                           std::unique_ptr<Executor> inner);
+
+  decomp::StreamingStats Run(const Graph& g,
+                             const decomp::FindMaxCliquesOptions& options,
+                             const decomp::LeveledCliqueCallback& emit) override;
+
+  /// One simulation per recursion level of the last Run, in level order
+  /// (parallel to the returned stats.levels).
+  const std::vector<LevelSimulation>& levels() const { return levels_; }
+
+ private:
+  dist::ClusterConfig config_;
+  std::unique_ptr<Executor> inner_;
+  std::vector<LevelSimulation> levels_;
+};
+
+}  // namespace mce::exec
+
+#endif  // MCE_EXEC_CLUSTER_EXECUTOR_H_

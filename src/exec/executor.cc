@@ -1,0 +1,50 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mce::exec {
+
+size_t ResolveThreadCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::unique_ptr<Executor> MakeExecutor(
+    const decomp::FindMaxCliquesOptions& options) {
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  switch (options.executor) {
+    case decomp::ExecutorKind::kSerial:
+      return MakeSerialExecutor();
+    case decomp::ExecutorKind::kPooled:
+      return MakePooledExecutor(threads);
+    case decomp::ExecutorKind::kAuto:
+      break;
+  }
+  return threads > 1 ? MakePooledExecutor(threads) : MakeSerialExecutor();
+}
+
+decomp::FindMaxCliquesResult CollectToResult(
+    Executor& executor, const Graph& g,
+    const decomp::FindMaxCliquesOptions& options) {
+  std::vector<std::pair<Clique, uint32_t>> found;
+  decomp::StreamingStats stats = executor.Run(
+      g, options, [&found](std::span<const NodeId> clique, uint32_t level) {
+        found.emplace_back(Clique(clique.begin(), clique.end()), level);
+      });
+  std::sort(found.begin(), found.end());
+
+  decomp::FindMaxCliquesResult out;
+  out.levels = std::move(stats.levels);
+  out.used_fallback = stats.used_fallback;
+  for (auto& [clique, origin] : found) {
+    out.origin_level.push_back(origin);
+    out.cliques.Add(std::move(clique));  // already sorted
+  }
+  return out;
+}
+
+}  // namespace mce::exec

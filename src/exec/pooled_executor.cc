@@ -1,0 +1,498 @@
+// PooledExecutor: the task graph on a shared ThreadPool.
+//
+// Scheduling differences vs. the serial depth-first walk:
+//  * BlockTasks are submitted the moment BuildBlocksStreaming emits each
+//    block, so analysis starts while the level is still decomposing.
+//  * DecomposeTask(h+1) depends only on Cut(h)'s hub set, so it is
+//    submitted before level h's blocks are even built — the next level's
+//    induce/cut/build runs concurrently with the tail of level-h analysis
+//    (the measured window is LevelStats::overlap_seconds).
+//  * The level's FilterTasks are chained behind its last BlockTask with a
+//    ThreadPool::Completion token instead of a pool-wide Wait() barrier.
+//
+// Delivery (cliques, observer records, block-task descriptors, stats)
+// happens only on the calling thread, levels in order and blocks in
+// decomposition order, off buffered per-block results — which is what
+// makes the emission byte-identical to the serial executor.
+//
+// Synchronization: all cross-task state hangs off LevelRun records owned
+// by a deque guarded by one engine mutex. Tasks receive stable element
+// pointers taken under the lock (deques never relocate elements); a
+// task's unlocked reads are confined to data whose writers finished
+// before the mutex-protected state transition the reader observed.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "decomp/cut.h"
+#include "decomp/parallel_analysis.h"
+#include "exec/executor.h"
+#include "graph/subgraph.h"
+#include "mce/workspace.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace mce::exec {
+
+namespace {
+
+/// All state of one recursion level as it moves through the task graph.
+struct LevelRun {
+  uint32_t level = 0;
+  Graph owned_graph;             // levels >= 1 own their induced subgraph
+  const Graph* graph = nullptr;  // level 0 aliases the caller's graph
+  std::vector<NodeId> to_original;  // empty means identity (level 0)
+  decomp::CutResult cut;
+  bool has_child = false;
+  bool child_induced = false;
+  bool delivered = false;
+
+  // BlockTask state. Deques so emitted tasks hold stable pointers while
+  // the decompose task keeps appending.
+  std::deque<decomp::Block> blocks;
+  std::deque<decomp::BlockRun> runs;
+  bool blocks_final = false;
+  size_t blocks_done = 0;
+  bool analysis_signaled = false;
+  ThreadPool::Completion analysis_token;
+
+  // FilterTask state (levels >= 1). Chunks write disjoint slices.
+  std::vector<const Clique*> pending;
+  std::vector<Clique> mapped;
+  std::vector<uint8_t> keep;
+  size_t filter_chunks_left = 0;
+
+  // m-core fallback: survivors buffered for calling-thread emission.
+  bool fallback = false;
+  std::vector<Clique> fallback_cliques;
+
+  decomp::LevelStats stats;
+
+  // Wall-clock windows on the engine's run timer, for the overlap stat.
+  double decompose_begin = 0;
+  double decompose_end = 0;
+  double analyze_begin = -1;
+  double analyze_end = -1;
+
+  bool ready = false;
+};
+
+class PooledEngine {
+ public:
+  PooledEngine(const Graph& g, const decomp::FindMaxCliquesOptions& options,
+               size_t num_threads, const BlockTaskSink& sink,
+               const decomp::LeveledCliqueCallback& emit)
+      : original_(g),
+        options_(options),
+        sink_(sink),
+        emit_(emit),
+        blocks_options_(BlocksOptionsFor(options)),
+        analysis_options_(AnalysisOptionsFor(options)),
+        workspaces_(std::max<size_t>(1, num_threads)),
+        pool_(std::max<size_t>(1, num_threads)) {}
+
+  decomp::StreamingStats Run() {
+    auto root = std::make_unique<LevelRun>();
+    root->level = 0;
+    root->graph = &original_;
+    LevelRun* root_ptr = root.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      levels_.push_back(std::move(root));
+    }
+    pool_.Submit([this, root_ptr] { DecomposeTask(root_ptr, nullptr); });
+
+    decomp::StreamingStats out;
+    size_t next = 0;
+    for (;;) {
+      LevelRun* lr = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return (next < levels_.size() && levels_[next]->ready) ||
+                 (chain_done_ && next >= levels_.size());
+        });
+        if (next >= levels_.size()) break;
+        lr = levels_[next].get();
+      }
+      DeliverLevel(lr, out);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        lr->delivered = true;
+        MaybeReleaseInputs(lr);
+      }
+      ++next;
+    }
+    pool_.Wait();
+    return out;
+  }
+
+ private:
+  /// DecomposeTask(level): induce (levels >= 1), Cut, dispatch the child
+  /// level's decompose, then stream blocks into BlockTasks.
+  void DecomposeTask(LevelRun* lr, LevelRun* parent) {
+    lr->decompose_begin = run_timer_.ElapsedSeconds();
+    if (parent != nullptr) {
+      InducedSubgraph sub = Induce(*parent->graph, parent->cut.hubs);
+      lr->to_original = ComposeToOriginal(parent->to_original, sub.to_parent);
+      lr->owned_graph = std::move(sub.graph);
+      lr->graph = &lr->owned_graph;
+      std::lock_guard<std::mutex> lock(mu_);
+      parent->child_induced = true;
+      MaybeReleaseInputs(parent);
+    }
+    const Graph& graph = *lr->graph;
+    lr->stats.num_nodes = graph.num_nodes();
+    lr->stats.num_edges = graph.num_edges();
+    lr->cut = decomp::Cut(graph, options_.max_block_size);
+    lr->stats.feasible = lr->cut.feasible.size();
+    lr->stats.hubs = lr->cut.hubs.size();
+
+    if (lr->cut.feasible.empty() && graph.num_nodes() > 0) {
+      // Sparsity precondition violated: enumerate the m-core directly as
+      // one indivisible task on this worker, buffering the survivors.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        chain_done_ = true;
+      }
+      lr->fallback = true;
+      lr->decompose_end = run_timer_.ElapsedSeconds();
+      RunFallback(lr);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        lr->ready = true;
+      }
+      cv_.notify_all();
+      return;
+    }
+
+    if (!lr->cut.hubs.empty()) {
+      // Cross-level pipelining: the child depends only on this cut's hub
+      // set, so its decomposition is dispatched before this level's
+      // blocks are built, overlapping the tail of this level's analysis.
+      auto child = std::make_unique<LevelRun>();
+      child->level = lr->level + 1;
+      LevelRun* child_ptr = child.get();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        lr->has_child = true;
+        levels_.push_back(std::move(child));
+      }
+      pool_.Submit([this, child_ptr, lr] { DecomposeTask(child_ptr, lr); });
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      chain_done_ = true;
+    }
+
+    // The filter stage chains behind the level's last BlockTask.
+    lr->analysis_token = pool_.CreateCompletion(1);
+    pool_.SubmitAfter(lr->analysis_token, [this, lr] { PlanFilter(lr); });
+
+    decomp::BuildBlocksStreaming(
+        graph, lr->cut.feasible, blocks_options_,
+        [this, lr](decomp::Block&& b) {
+          decomp::Block* block = nullptr;
+          decomp::BlockRun* run = nullptr;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            lr->blocks.push_back(std::move(b));
+            lr->runs.emplace_back();
+            block = &lr->blocks.back();
+            run = &lr->runs.back();
+          }
+          pool_.Submit([this, lr, block, run] { BlockTask(lr, block, run); });
+        });
+
+    bool signal = false;
+    ThreadPool::Completion token;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lr->blocks_final = true;
+      lr->stats.blocks = lr->blocks.size();
+      lr->decompose_end = run_timer_.ElapsedSeconds();
+      signal = !lr->analysis_signaled && lr->blocks_done == lr->blocks.size();
+      if (signal) {
+        lr->analysis_signaled = true;
+        token = lr->analysis_token;
+      }
+    }
+    if (signal) token.Signal();
+  }
+
+  /// BlockTask(level, i): Algorithm 4 into the block's buffer slot.
+  void BlockTask(LevelRun* lr, decomp::Block* block, decomp::BlockRun* run) {
+    const double start = run_timer_.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lr->analyze_begin < 0) lr->analyze_begin = start;
+    }
+    const size_t index = ThreadPool::CurrentWorkerIndex();
+    const size_t worker = index == ThreadPool::kNotAWorker ? 0 : index;
+    Timer timer;
+    run->result = decomp::AnalyzeBlock(*block, analysis_options_,
+                                       run->cliques.Collector(),
+                                       &workspaces_[worker]);
+    run->seconds = timer.ElapsedSeconds();
+    run->worker = worker;
+
+    bool signal = false;
+    ThreadPool::Completion token;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++lr->blocks_done;
+      signal = lr->blocks_final && !lr->analysis_signaled &&
+               lr->blocks_done == lr->blocks.size();
+      if (signal) {
+        lr->analysis_signaled = true;
+        token = lr->analysis_token;
+      }
+    }
+    if (signal) token.Signal();
+  }
+
+  /// Runs after the level's last BlockTask: partitions the buffered
+  /// cliques into FilterTask chunks (levels >= 1), or marks the level
+  /// ready directly (level 0 needs no filter).
+  void PlanFilter(LevelRun* lr) {
+    // The completion token ordered this task after every BlockTask of the
+    // level, so the runs are safe to read without the lock.
+    if (lr->level > 0) {
+      for (const decomp::BlockRun& run : lr->runs) {
+        for (const Clique& c : run.cliques.cliques()) {
+          lr->pending.push_back(&c);
+        }
+      }
+      const std::vector<std::pair<size_t, size_t>> chunks =
+          FilterChunks(lr->pending.size(), pool_.num_threads());
+      if (!chunks.empty()) {
+        lr->mapped.resize(lr->pending.size());
+        lr->keep.assign(lr->pending.size(), 0);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          lr->filter_chunks_left = chunks.size();
+        }
+        for (const auto& chunk : chunks) {
+          const size_t begin = chunk.first;
+          const size_t end = chunk.second;
+          pool_.Submit(
+              [this, lr, begin, end] { FilterChunkTask(lr, begin, end); });
+        }
+        return;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lr->analyze_end = run_timer_.ElapsedSeconds();
+      lr->ready = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// FilterTask(level, chunk): the telescoped Lemma-1 checks over one
+  /// contiguous slice of the level's buffered cliques.
+  void FilterChunkTask(LevelRun* lr, size_t begin, size_t end) {
+    Clique scratch;
+    for (size_t i = begin; i < end; ++i) {
+      if (MapAndFilterClique(original_, *lr->pending[i], lr->to_original,
+                             lr->level, &scratch)) {
+        lr->keep[i] = 1;
+        lr->mapped[i] = std::move(scratch);
+      }
+    }
+    bool done = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done = --lr->filter_chunks_left == 0;
+      if (done) {
+        lr->analyze_end = run_timer_.ElapsedSeconds();
+        lr->ready = true;
+      }
+    }
+    if (done) cv_.notify_all();
+  }
+
+  void RunFallback(LevelRun* lr) {
+    decomp::LevelStats& stats = lr->stats;
+    lr->analyze_begin = run_timer_.ElapsedSeconds();
+    Timer analyze_timer;
+    Clique scratch;
+    uint64_t produced = 0;
+    EnumerateMaximalCliques(*lr->graph, options_.fallback,
+                            [&](std::span<const NodeId> c) {
+                              ++produced;
+                              if (MapAndFilterClique(original_, c,
+                                                     lr->to_original,
+                                                     lr->level, &scratch)) {
+                                lr->fallback_cliques.push_back(scratch);
+                              }
+                            });
+    stats.cliques = produced;
+    stats.analyze_seconds = analyze_timer.ElapsedSeconds();
+    stats.block_seconds = stats.analyze_seconds;
+    stats.busiest_worker_seconds = stats.analyze_seconds;
+    stats.analyze_threads = 1;  // one worker ran the indivisible task
+    lr->analyze_end = run_timer_.ElapsedSeconds();
+  }
+
+  /// Wall-clock length of `decompose ∩ (∪ earlier analysis windows)`:
+  /// the time this level's decomposition actually ran concurrently with
+  /// analysis work of levels above it. The earlier windows may themselves
+  /// overlap, so the union is merged before summing.
+  double OverlapSeconds(double decompose_begin, double decompose_end) const {
+    std::vector<std::pair<double, double>> clipped;
+    for (const auto& [begin, end] : analyze_windows_) {
+      const double lo = std::max(begin, decompose_begin);
+      const double hi = std::min(end, decompose_end);
+      if (hi > lo) clipped.emplace_back(lo, hi);
+    }
+    std::sort(clipped.begin(), clipped.end());
+    double total = 0;
+    double cursor = decompose_begin;
+    for (const auto& [lo, hi] : clipped) {
+      const double from = std::max(lo, cursor);
+      if (hi > from) {
+        total += hi - from;
+        cursor = hi;
+      }
+    }
+    return total;
+  }
+
+  /// Calling thread only. Emits the level's cliques, replays observer and
+  /// sink in block order, and finalizes the level's stats.
+  void DeliverLevel(LevelRun* lr, decomp::StreamingStats& out) {
+    decomp::LevelStats& stats = lr->stats;
+    if (lr->fallback) {
+      out.used_fallback = true;
+      for (const Clique& c : lr->fallback_cliques) {
+        ++out.cliques_emitted;
+        emit_(c, lr->level);
+      }
+    } else {
+      std::vector<double> worker_seconds(pool_.num_threads(), 0.0);
+      uint64_t produced = 0;
+      for (size_t i = 0; i < lr->runs.size(); ++i) {
+        const decomp::BlockRun& run = lr->runs[i];
+        produced += run.result.num_cliques;
+        stats.block_seconds += run.seconds;
+        worker_seconds[run.worker] += run.seconds;
+        if (options_.block_observer) {
+          options_.block_observer(decomp::MakeBlockTaskRecord(
+              lr->blocks[i], run.result, run.seconds, lr->level));
+        }
+        if (sink_) {
+          sink_(MakeBlockTaskDescriptor(lr->blocks[i], run.result,
+                                        run.seconds, lr->level, i));
+        }
+      }
+      stats.cliques = produced;
+      stats.busiest_worker_seconds =
+          *std::max_element(worker_seconds.begin(), worker_seconds.end());
+      stats.analyze_threads = static_cast<uint32_t>(pool_.num_threads());
+      stats.analyze_seconds =
+          lr->analyze_begin < 0 ? 0.0 : lr->analyze_end - lr->analyze_begin;
+
+      if (lr->level == 0) {
+        // Identity mapping and per-clique sorting already happened in the
+        // per-block buffers, so the merge is a plain replay.
+        for (const decomp::BlockRun& run : lr->runs) {
+          for (const Clique& c : run.cliques.cliques()) {
+            ++out.cliques_emitted;
+            emit_(c, lr->level);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < lr->mapped.size(); ++i) {
+          if (!lr->keep[i]) continue;
+          ++out.cliques_emitted;
+          emit_(lr->mapped[i], lr->level);
+        }
+      }
+    }
+    stats.decompose_seconds = lr->decompose_end - lr->decompose_begin;
+    // The pipelining win: how long this level's decomposition ran while
+    // an earlier level was still analyzing.
+    stats.overlap_seconds =
+        OverlapSeconds(lr->decompose_begin, lr->decompose_end);
+    if (lr->analyze_begin >= 0) {
+      analyze_windows_.emplace_back(lr->analyze_begin, lr->analyze_end);
+    }
+    stats.idle_seconds = std::max(
+        0.0, static_cast<double>(stats.analyze_threads) *
+                     stats.analyze_seconds -
+                 stats.block_seconds);
+    out.levels.push_back(stats);
+
+    // Free the bulky per-level state now that it is delivered.
+    lr->blocks.clear();
+    lr->runs.clear();
+    lr->pending = {};
+    lr->mapped = {};
+    lr->keep = {};
+    lr->fallback_cliques = {};
+  }
+
+  /// mu_ held. The level's graph feeds its child's Induce, so it is freed
+  /// only once the level is delivered and the child (if any) has induced.
+  void MaybeReleaseInputs(LevelRun* lr) {
+    if (!lr->delivered) return;
+    if (lr->has_child && !lr->child_induced) return;
+    lr->owned_graph = Graph();
+    lr->graph = nullptr;
+    lr->cut = decomp::CutResult();
+    lr->to_original = {};
+  }
+
+  const Graph& original_;
+  const decomp::FindMaxCliquesOptions& options_;
+  const BlockTaskSink& sink_;
+  const decomp::LeveledCliqueCallback& emit_;
+  const decomp::BlocksOptions blocks_options_;
+  const decomp::BlockAnalysisOptions analysis_options_;
+
+  Timer run_timer_;
+  /// Analysis windows of delivered levels, in level order (calling thread
+  /// only); feeds OverlapSeconds for the levels below them.
+  std::vector<std::pair<double, double>> analyze_windows_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<LevelRun>> levels_;
+  bool chain_done_ = false;
+  std::vector<BlockWorkspace> workspaces_;
+  // Declared last: its destructor drains tasks that touch the state above.
+  ThreadPool pool_;
+};
+
+class PooledExecutor final : public Executor {
+ public:
+  explicit PooledExecutor(size_t num_threads)
+      : num_threads_(std::max<size_t>(1, num_threads)) {}
+
+  decomp::StreamingStats Run(const Graph& g,
+                             const decomp::FindMaxCliquesOptions& options,
+                             const decomp::LeveledCliqueCallback& emit) override {
+    MCE_CHECK_GE(options.max_block_size, 1u);
+    PooledEngine engine(g, options, num_threads_, sink_, emit);
+    return engine.Run();
+  }
+
+ private:
+  size_t num_threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> MakePooledExecutor(size_t num_threads) {
+  return std::make_unique<PooledExecutor>(num_threads);
+}
+
+}  // namespace mce::exec

@@ -1,0 +1,135 @@
+// SerialExecutor: depth-first execution of the task graph on the calling
+// thread. DecomposeTask(h) streams its blocks and each BlockTask runs the
+// moment its block finishes growing, with the FilterTask applied inline
+// per clique — so at most one block (plus the level graph) is alive at a
+// time and the memory profile is O(graph + largest block).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "decomp/cut.h"
+#include "decomp/parallel_analysis.h"
+#include "exec/executor.h"
+#include "graph/subgraph.h"
+#include "mce/workspace.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mce::exec {
+
+namespace {
+
+class SerialExecutor final : public Executor {
+ public:
+  decomp::StreamingStats Run(const Graph& g,
+                             const decomp::FindMaxCliquesOptions& options,
+                             const decomp::LeveledCliqueCallback& emit) override {
+    MCE_CHECK_GE(options.max_block_size, 1u);
+    decomp::StreamingStats out;
+    // One workspace reused across every block of the run.
+    BlockWorkspace workspace;
+    const Graph* current = &g;
+    Graph owned;  // deeper levels own the hub-induced subgraph
+    std::vector<NodeId> to_original;  // empty means identity (level 0)
+    uint32_t level = 0;
+    Clique scratch;
+
+    const decomp::BlocksOptions blocks_options = BlocksOptionsFor(options);
+    const decomp::BlockAnalysisOptions analysis_options =
+        AnalysisOptionsFor(options);
+
+    auto deliver = [&](std::span<const NodeId> c) {
+      if (MapAndFilterClique(g, c, to_original, level, &scratch)) {
+        ++out.cliques_emitted;
+        emit(scratch, level);
+      }
+    };
+
+    for (;;) {
+      decomp::LevelStats stats;
+      stats.num_nodes = current->num_nodes();
+      stats.num_edges = current->num_edges();
+      // One worker (this thread) runs everything; JSON consumers divide by
+      // this, so it must never read 0.
+      stats.analyze_threads = 1;
+
+      // The decompose clock accumulates Cut plus the block-growth
+      // segments between block emissions.
+      Timer segment;
+      decomp::CutResult cut = decomp::Cut(*current, options.max_block_size);
+      stats.feasible = cut.feasible.size();
+      stats.hubs = cut.hubs.size();
+
+      if (cut.feasible.empty() && current->num_nodes() > 0) {
+        // Sparsity precondition violated: the remaining graph is its own
+        // m-core. Enumerate it directly as one indivisible task.
+        out.used_fallback = true;
+        stats.decompose_seconds = segment.ElapsedSeconds();
+        Timer analyze_timer;
+        uint64_t produced = 0;
+        EnumerateMaximalCliques(*current, options.fallback,
+                                [&](std::span<const NodeId> c) {
+                                  ++produced;
+                                  deliver(c);
+                                });
+        stats.cliques = produced;
+        stats.analyze_seconds = analyze_timer.ElapsedSeconds();
+        stats.block_seconds = stats.analyze_seconds;
+        stats.busiest_worker_seconds = stats.analyze_seconds;
+        out.levels.push_back(stats);
+        break;
+      }
+
+      uint64_t produced = 0;
+      uint64_t block_index = 0;
+      decomp::BuildBlocksStreaming(
+          *current, cut.feasible, blocks_options,
+          [&](decomp::Block&& block) {
+            stats.decompose_seconds += segment.ElapsedSeconds();
+            Timer block_timer;
+            decomp::BlockAnalysisResult result = decomp::AnalyzeBlock(
+                block, analysis_options, deliver, &workspace);
+            const double block_seconds = block_timer.ElapsedSeconds();
+            produced += result.num_cliques;
+            stats.block_seconds += block_seconds;
+            stats.analyze_seconds += block_seconds;
+            if (options.block_observer) {
+              options.block_observer(decomp::MakeBlockTaskRecord(
+                  block, result, block_seconds, level));
+            }
+            if (sink_) {
+              sink_(MakeBlockTaskDescriptor(block, result, block_seconds,
+                                            level, block_index));
+            }
+            ++block_index;
+            segment.Reset();
+          });
+      stats.decompose_seconds += segment.ElapsedSeconds();
+      stats.blocks = block_index;
+      stats.cliques = produced;
+      stats.busiest_worker_seconds = stats.block_seconds;
+      out.levels.push_back(stats);
+
+      if (cut.hubs.empty()) break;
+
+      // Recursive step: continue on the hub-induced subgraph.
+      InducedSubgraph sub = Induce(*current, cut.hubs);
+      to_original = ComposeToOriginal(to_original, sub.to_parent);
+      owned = std::move(sub.graph);
+      current = &owned;
+      ++level;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> MakeSerialExecutor() {
+  return std::make_unique<SerialExecutor>();
+}
+
+}  // namespace mce::exec

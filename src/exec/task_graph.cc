@@ -1,0 +1,80 @@
+#include "exec/task_graph.h"
+
+#include <algorithm>
+
+#include "decomp/filter.h"
+
+namespace mce::exec {
+
+BlockTaskDescriptor MakeBlockTaskDescriptor(
+    const decomp::Block& block, const decomp::BlockAnalysisResult& result,
+    double seconds, uint32_t level, uint64_t index) {
+  BlockTaskDescriptor d;
+  d.level = level;
+  d.index = index;
+  d.nodes = block.num_nodes();
+  d.edges = block.num_edges();
+  d.bytes = block.EstimatedBytes();
+  d.estimated_cost = static_cast<double>(d.edges + d.nodes);
+  d.compute_seconds = seconds;
+  d.cliques = result.num_cliques;
+  d.used = result.used;
+  return d;
+}
+
+decomp::BlocksOptions BlocksOptionsFor(
+    const decomp::FindMaxCliquesOptions& options) {
+  decomp::BlocksOptions blocks_options;
+  blocks_options.max_block_size = options.max_block_size;
+  blocks_options.min_adjacency = options.min_adjacency;
+  blocks_options.seed_policy = options.seed_policy;
+  return blocks_options;
+}
+
+decomp::BlockAnalysisOptions AnalysisOptionsFor(
+    const decomp::FindMaxCliquesOptions& options) {
+  decomp::BlockAnalysisOptions analysis_options;
+  analysis_options.tree = options.tree;
+  analysis_options.fixed = options.fixed;
+  return analysis_options;
+}
+
+std::vector<NodeId> ComposeToOriginal(const std::vector<NodeId>& to_original,
+                                      const std::vector<NodeId>& to_parent) {
+  if (to_original.empty()) return to_parent;
+  std::vector<NodeId> composed;
+  composed.reserve(to_parent.size());
+  for (NodeId v : to_parent) composed.push_back(to_original[v]);
+  return composed;
+}
+
+bool MapAndFilterClique(const Graph& original,
+                        std::span<const NodeId> level_ids,
+                        const std::vector<NodeId>& to_original, uint32_t level,
+                        Clique* out) {
+  out->clear();
+  out->reserve(level_ids.size());
+  if (to_original.empty()) {
+    out->assign(level_ids.begin(), level_ids.end());
+  } else {
+    for (NodeId v : level_ids) out->push_back(to_original[v]);
+  }
+  std::sort(out->begin(), out->end());
+  return level == 0 || decomp::IsMaximalInGraph(original, *out);
+}
+
+std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,
+                                                    size_t workers) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (items == 0) return chunks;
+  const size_t count = std::min(items, std::max<size_t>(1, workers) * 4);
+  chunks.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    const size_t begin = items * c / count;
+    const size_t end = items * (c + 1) / count;
+    if (begin < end) chunks.emplace_back(begin, end);
+  }
+  return chunks;
+}
+
+}  // namespace mce::exec

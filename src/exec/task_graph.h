@@ -1,0 +1,103 @@
+// The task-graph vocabulary of the execution engine.
+//
+// One FIND-MAX-CLIQUES run is a graph of three typed stages per recursion
+// level h:
+//
+//   DecomposeTask(h)  = induce G_h from the parent's hubs (h >= 1), CUT
+//                       (Algorithm 2), and BLOCKS (Algorithm 3). Emits one
+//                       BlockTask per block as the block finishes growing.
+//   BlockTask(h, i)   = BLOCK-ANALYSIS (Algorithm 4) of block i, buffering
+//                       its cliques.
+//   FilterTask(h, c)  = one chunk of the telescoped Lemma-1 maximality
+//                       checks over the level's buffered cliques (h >= 1;
+//                       level-0 cliques are maximal by construction).
+//
+// Dependency edges:
+//   DecomposeTask(h+1) <- Cut(h)'s hub set only — NOT level h's clique
+//     output, which is what lets an executor overlap level-(h+1)
+//     decomposition with the tail of level-h analysis.
+//   BlockTask(h, i)    <- block i's emission by DecomposeTask(h).
+//   FilterTask(h, *)   <- all BlockTask(h, *) (the chunk partition needs
+//     the full clique count).
+//   Delivery(h)        <- FilterTask(h, *) and Delivery(h-1): cliques,
+//     observer records, and BlockTask descriptors surface on the calling
+//     thread, in block order, levels in order (DESIGN.md §7).
+//
+// This header holds the stage payloads and the pure helpers every executor
+// shares; the executors themselves live behind exec/executor.h.
+
+#ifndef MCE_EXEC_TASK_GRAPH_H_
+#define MCE_EXEC_TASK_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "decomp/block.h"
+#include "decomp/block_analysis.h"
+#include "decomp/blocks.h"
+#include "decomp/find_max_cliques.h"
+#include "graph/graph.h"
+#include "mce/clique.h"
+#include "mce/enumerator.h"
+
+namespace mce::exec {
+
+/// Shipping-ready description of one executed BlockTask. This is what the
+/// simulated-cluster executor schedules — real task descriptors, not an
+/// after-the-fact observer replay.
+struct BlockTaskDescriptor {
+  uint32_t level = 0;
+  /// Block index within its level (emission order).
+  uint64_t index = 0;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  /// Estimated shipping size of the block.
+  uint64_t bytes = 0;
+  /// Pre-execution cost estimate available to a scheduler (edges + nodes).
+  double estimated_cost = 0;
+  /// Measured analysis wall time.
+  double compute_seconds = 0;
+  uint64_t cliques = 0;
+  /// The data-structure/algorithm combination that actually ran.
+  MceOptions used;
+};
+
+BlockTaskDescriptor MakeBlockTaskDescriptor(
+    const decomp::Block& block, const decomp::BlockAnalysisResult& result,
+    double seconds, uint32_t level, uint64_t index);
+
+/// Derives the Algorithm-3 options of a DecomposeTask.
+decomp::BlocksOptions BlocksOptionsFor(
+    const decomp::FindMaxCliquesOptions& options);
+
+/// Derives the Algorithm-4 options of a BlockTask.
+decomp::BlockAnalysisOptions AnalysisOptionsFor(
+    const decomp::FindMaxCliquesOptions& options);
+
+/// Composes the parent level's original-id mapping with the induced
+/// subgraph's to_parent: an empty `to_original` is the identity (level 0).
+std::vector<NodeId> ComposeToOriginal(const std::vector<NodeId>& to_original,
+                                      const std::vector<NodeId>& to_parent);
+
+/// The FilterTask body for one clique: translates `level_ids` (ids of
+/// G_level) to original ids via `to_original` (empty = identity), sorts,
+/// and applies the telescoped Lemma-1 filter — a clique from level >= 1 is
+/// kept iff it is maximal in the original graph. Returns true and fills
+/// `out` when the clique survives.
+bool MapAndFilterClique(const Graph& original,
+                        std::span<const NodeId> level_ids,
+                        const std::vector<NodeId>& to_original, uint32_t level,
+                        Clique* out);
+
+/// Chunk partition of a level's FilterTasks: contiguous [begin, end)
+/// ranges covering `items`, at most 4 per worker and never more chunks
+/// than items — in particular no chunks at all when `items` is 0, so tiny
+/// or clique-free levels cannot produce empty or degenerate tasks.
+std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,
+                                                    size_t workers);
+
+}  // namespace mce::exec
+
+#endif  // MCE_EXEC_TASK_GRAPH_H_

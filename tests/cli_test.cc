@@ -94,6 +94,36 @@ TEST_F(CliTest, EnumerateWritesCliqueFile) {
   std::remove(out.c_str());
 }
 
+TEST_F(CliTest, EnumerateExecutorFlagSelectsEngine) {
+  // Every engine produces identical clique counts; "cluster" also reports
+  // the simulated cluster block.
+  CommandResult serial = RunCli("enumerate --input " + *graph_path_ +
+                                " --ratio 0.5 --executor serial --json true");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  CommandResult pooled =
+      RunCli("enumerate --input " + *graph_path_ +
+             " --ratio 0.5 --executor pooled --threads 4 --json true");
+  EXPECT_EQ(pooled.exit_code, 0) << pooled.output;
+  const auto count_of = [](const std::string& json) {
+    const size_t at = json.find("\"total_cliques\":");
+    return json.substr(at, json.find(',', at) - at);
+  };
+  ASSERT_NE(serial.output.find("\"total_cliques\":"), std::string::npos);
+  EXPECT_EQ(count_of(serial.output), count_of(pooled.output));
+  EXPECT_NE(serial.output.find("\"analyze_threads\":1"), std::string::npos);
+  CommandResult cluster = RunCli("enumerate --input " + *graph_path_ +
+                                 " --ratio 0.5 --executor cluster --json true");
+  EXPECT_EQ(cluster.exit_code, 0) << cluster.output;
+  EXPECT_NE(cluster.output.find("\"cluster\":{"), std::string::npos);
+}
+
+TEST_F(CliTest, EnumerateRejectsUnknownExecutor) {
+  CommandResult r = RunCli("enumerate --input " + *graph_path_ +
+                           " --ratio 0.5 --executor warp");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
 TEST_F(CliTest, TopPrintsLargest) {
   CommandResult r = RunCli("top --input " + *graph_path_ + " --k 3");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -48,6 +48,28 @@ TEST(RunReportJsonTest, SerializesSerialRun) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(RunReportJsonTest, SerialRunReportsOneAnalyzeThread) {
+  // Satellite regression: the serial path must report analyze_threads = 1,
+  // never 0 — consumers divide by it for utilization.
+  Rng rng(11);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  MaxCliqueFinder::Options options;
+  options.block_size = 15;
+  options.num_threads = 1;
+  options.executor = decomp::ExecutorKind::kSerial;
+  MaxCliqueFinder finder(options);
+  Result<FindResult> result = finder.Find(g);
+  ASSERT_TRUE(result.ok());
+  std::string json = RunReportJson(*result);
+  EXPECT_NE(json.find("\"analyze_threads\":1"), std::string::npos);
+  EXPECT_EQ(json.find("\"analyze_threads\":0"), std::string::npos);
+  // The pipelining telemetry is present at both the run and level scope,
+  // and a serial run never overlaps.
+  EXPECT_NE(json.find("\"overlap_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"idle_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"overlap_seconds\":0"), std::string::npos);
+}
+
 TEST(RunReportJsonTest, SerializesClusterRun) {
   Rng rng(7);
   Graph g = gen::BarabasiAlbert(60, 3, &rng);

@@ -4,6 +4,7 @@
 
 #include "gen/generators.h"
 #include "gen/social.h"
+#include "gen/special.h"
 #include "mce/naive.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -68,6 +69,28 @@ TEST(DistributedMceTest, TimingAggregatesArePlausible) {
   // The placement itself must always be within [1, workers].
   EXPECT_GE(dist.AnalysisComputeSpeedup(), 1.0 - 1e-9);
   EXPECT_LE(dist.AnalysisComputeSpeedup(), cluster.num_workers + 1e-9);
+}
+
+TEST(DistributedMceTest, FallbackPropagatesUnderMultipleThreads) {
+  // Satellite regression: when the sparsity precondition fails, the m-core
+  // fallback must stay byte-identical under num_threads > 1 and the
+  // used_fallback flag must survive the trip through DistributedResult.
+  const Graph g = gen::Complete(12);
+  decomp::FindMaxCliquesOptions options = OptionsWithM(6);
+  options.num_threads = 4;
+  ClusterConfig cluster;
+  cluster.num_workers = 4;
+  DistributedResult dist = RunDistributedMce(g, options, cluster);
+  EXPECT_TRUE(dist.algorithm.used_fallback);
+  decomp::FindMaxCliquesResult serial =
+      decomp::FindMaxCliques(g, OptionsWithM(6));
+  EXPECT_TRUE(serial.used_fallback);
+  mce::test::ExpectSameCliques(dist.algorithm.cliques, serial.cliques);
+  EXPECT_EQ(dist.algorithm.origin_level, serial.origin_level);
+  // The fallback is one indivisible serial task.
+  ASSERT_FALSE(dist.algorithm.levels.empty());
+  EXPECT_EQ(dist.algorithm.levels.back().analyze_threads, 1u);
+  EXPECT_EQ(dist.levels.size(), dist.algorithm.levels.size());
 }
 
 TEST(DistributedMceTest, HashPartitioningStillCorrect) {

@@ -1,0 +1,328 @@
+// Cross-executor contract tests: every engine must produce byte-identical
+// emission (cliques, order, observer stream, block-task descriptors) —
+// DESIGN.md §7.
+
+#include "exec/executor.h"
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/cluster_executor.h"
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "gen/special.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::exec {
+namespace {
+
+struct Captured {
+  std::vector<std::pair<Clique, uint32_t>> emissions;
+  std::vector<decomp::BlockTaskRecord> records;
+  decomp::StreamingStats stats;
+};
+
+Captured RunWith(const Graph& g, decomp::FindMaxCliquesOptions options,
+                 decomp::ExecutorKind kind, uint32_t threads) {
+  options.executor = kind;
+  options.num_threads = threads;
+  Captured out;
+  options.block_observer = [&out](const decomp::BlockTaskRecord& r) {
+    out.records.push_back(r);
+  };
+  out.stats = decomp::FindMaxCliquesStreaming(
+      g, options, [&out](std::span<const NodeId> c, uint32_t level) {
+        out.emissions.emplace_back(Clique(c.begin(), c.end()), level);
+      });
+  return out;
+}
+
+void ExpectIdenticalRuns(const Captured& actual, const Captured& expected) {
+  // Emission: same cliques, same order, same origin levels — byte-identical.
+  EXPECT_EQ(actual.emissions, expected.emissions);
+  // Observer stream: same records in the same order (timings aside).
+  ASSERT_EQ(actual.records.size(), expected.records.size());
+  for (size_t i = 0; i < actual.records.size(); ++i) {
+    EXPECT_EQ(actual.records[i].level, expected.records[i].level);
+    EXPECT_EQ(actual.records[i].nodes, expected.records[i].nodes);
+    EXPECT_EQ(actual.records[i].edges, expected.records[i].edges);
+    EXPECT_EQ(actual.records[i].bytes, expected.records[i].bytes);
+    EXPECT_EQ(actual.records[i].cliques, expected.records[i].cliques);
+    EXPECT_EQ(actual.records[i].used.algorithm,
+              expected.records[i].used.algorithm);
+    EXPECT_EQ(actual.records[i].used.storage, expected.records[i].used.storage);
+  }
+  EXPECT_EQ(actual.stats.used_fallback, expected.stats.used_fallback);
+  EXPECT_EQ(actual.stats.cliques_emitted, expected.stats.cliques_emitted);
+  ASSERT_EQ(actual.stats.levels.size(), expected.stats.levels.size());
+  for (size_t l = 0; l < actual.stats.levels.size(); ++l) {
+    EXPECT_EQ(actual.stats.levels[l].blocks, expected.stats.levels[l].blocks);
+    EXPECT_EQ(actual.stats.levels[l].cliques, expected.stats.levels[l].cliques);
+    EXPECT_EQ(actual.stats.levels[l].feasible,
+              expected.stats.levels[l].feasible);
+    EXPECT_EQ(actual.stats.levels[l].hubs, expected.stats.levels[l].hubs);
+  }
+}
+
+std::vector<Graph> Corpus() {
+  std::vector<Graph> corpus;
+  Rng rng(101);
+  corpus.push_back(gen::ErdosRenyiGnp(30, 0.15, &rng));
+  corpus.push_back(gen::ErdosRenyiGnp(30, 0.4, &rng));
+  corpus.push_back(gen::BarabasiAlbert(50, 3, &rng));
+  corpus.push_back(gen::WattsStrogatz(40, 4, 0.2, &rng));
+  corpus.push_back(gen::OverlayRandomCliques(gen::ErdosRenyiGnp(40, 0.05, &rng),
+                                             4, 4, 7, false, &rng));
+  corpus.push_back(mce::test::StarGraph(20));
+  corpus.push_back(gen::MoonMoser(3));
+  corpus.push_back(gen::Complete(10));
+  return corpus;
+}
+
+TEST(ExecutorIdentityTest, PooledMatchesSerialAcrossCorpusAndThreads) {
+  const std::vector<Graph> corpus = Corpus();
+  for (size_t gi = 0; gi < corpus.size(); ++gi) {
+    const Graph& g = corpus[gi];
+    for (uint32_t m : {3u, 8u, 20u}) {
+      decomp::FindMaxCliquesOptions options;
+      options.max_block_size = m;
+      const Captured serial =
+          RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "graph " << gi << " m " << m
+                                        << " threads " << threads);
+        ExpectIdenticalRuns(
+            RunWith(g, options, decomp::ExecutorKind::kPooled, threads),
+            serial);
+      }
+    }
+  }
+}
+
+TEST(ExecutorIdentityTest, SocialStandInMatchesAcrossExecutors) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 40;
+  const Captured serial = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_GT(serial.stats.cliques_emitted, 0u);
+  for (uint32_t threads : {2u, 8u}) {
+    ExpectIdenticalRuns(
+        RunWith(g, options, decomp::ExecutorKind::kPooled, threads), serial);
+  }
+}
+
+TEST(ExecutorIdentityTest, BatchResultsMatchAcrossExecutors) {
+  Rng rng(103);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  decomp::FindMaxCliquesOptions serial_options;
+  serial_options.max_block_size = 12;
+  serial_options.executor = decomp::ExecutorKind::kSerial;
+  decomp::FindMaxCliquesOptions pooled_options = serial_options;
+  pooled_options.executor = decomp::ExecutorKind::kPooled;
+  pooled_options.num_threads = 4;
+  decomp::FindMaxCliquesResult serial =
+      decomp::FindMaxCliques(g, serial_options);
+  decomp::FindMaxCliquesResult pooled =
+      decomp::FindMaxCliques(g, pooled_options);
+  mce::test::ExpectSameCliques(pooled.cliques, serial.cliques);
+  EXPECT_EQ(pooled.origin_level, serial.origin_level);
+  mce::test::ExpectMatchesNaive(g, serial.cliques);
+}
+
+TEST(ExecutorSinkTest, DescriptorStreamIsIdenticalAcrossExecutors) {
+  Rng rng(105);
+  Graph g = gen::BarabasiAlbert(70, 3, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+  auto run = [&](Executor& executor) {
+    std::vector<BlockTaskDescriptor> descriptors;
+    executor.set_block_task_sink(
+        [&](const BlockTaskDescriptor& d) { descriptors.push_back(d); });
+    executor.Run(g, options, [](std::span<const NodeId>, uint32_t) {});
+    return descriptors;
+  };
+  std::unique_ptr<Executor> serial = MakeSerialExecutor();
+  std::unique_ptr<Executor> pooled = MakePooledExecutor(4);
+  const std::vector<BlockTaskDescriptor> a = run(*serial);
+  const std::vector<BlockTaskDescriptor> b = run(*pooled);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  uint64_t expected_index = 0;
+  uint32_t level = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].level, b[i].level);
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_EQ(a[i].edges, b[i].edges);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].cliques, b[i].cliques);
+    EXPECT_GT(a[i].estimated_cost, 0.0);
+    // Descriptors arrive in block order within each level, levels in order.
+    if (a[i].level != level) {
+      EXPECT_EQ(a[i].level, level + 1);
+      level = a[i].level;
+      expected_index = 0;
+    }
+    EXPECT_EQ(a[i].index, expected_index);
+    ++expected_index;
+  }
+}
+
+TEST(ExecutorStatsTest, SerialReportsOneThreadAndNoOverlap) {
+  Rng rng(107);
+  Graph g = gen::BarabasiAlbert(60, 3, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+  const Captured run = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  ASSERT_FALSE(run.stats.levels.empty());
+  for (const decomp::LevelStats& level : run.stats.levels) {
+    EXPECT_EQ(level.analyze_threads, 1u);
+    EXPECT_DOUBLE_EQ(level.overlap_seconds, 0.0);
+    EXPECT_GE(level.idle_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(level.busiest_worker_seconds, level.block_seconds);
+  }
+}
+
+TEST(ExecutorStatsTest, PooledReportsThreadsAndNonNegativeOverlap) {
+  Rng rng(109);
+  Graph g = gen::BarabasiAlbert(80, 3, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+  const Captured run = RunWith(g, options, decomp::ExecutorKind::kPooled, 4);
+  ASSERT_FALSE(run.stats.levels.empty());
+  // The first level has no predecessor to overlap with; deeper levels may
+  // overlap, but the measurement is wall-clock dependent, so only sign and
+  // bounds are asserted.
+  EXPECT_DOUBLE_EQ(run.stats.levels[0].overlap_seconds, 0.0);
+  for (const decomp::LevelStats& level : run.stats.levels) {
+    if (level.blocks > 0 && !run.stats.used_fallback) {
+      EXPECT_EQ(level.analyze_threads, 4u);
+    }
+    EXPECT_GE(level.overlap_seconds, 0.0);
+    EXPECT_LE(level.overlap_seconds, level.decompose_seconds + 1e-9);
+    EXPECT_GE(level.idle_seconds, 0.0);
+  }
+}
+
+// Satellite: a level that produces cliques but emits none of them (all
+// filtered by Lemma 1) must still report correct stats and not derail the
+// chunked filter. StarGraph(20): the center is the only hub, level 1 finds
+// {center}, which is not maximal in G.
+TEST(ExecutorStatsTest, LevelWithZeroEmittedCliquesReportsCorrectStats) {
+  const Graph g = mce::test::StarGraph(20);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 10;
+  for (decomp::ExecutorKind kind :
+       {decomp::ExecutorKind::kSerial, decomp::ExecutorKind::kPooled}) {
+    const Captured run = RunWith(g, options, kind, 4);
+    EXPECT_FALSE(run.stats.used_fallback);
+    ASSERT_EQ(run.stats.levels.size(), 2u);
+    // 19 edges = 19 maximal cliques, all from level 0.
+    EXPECT_EQ(run.stats.cliques_emitted, 19u);
+    EXPECT_EQ(run.stats.levels[0].cliques, 19u);
+    // Level 1 produced one clique pre-filter ({center}) and emitted none.
+    EXPECT_EQ(run.stats.levels[1].blocks, 1u);
+    EXPECT_EQ(run.stats.levels[1].cliques, 1u);
+    for (const auto& [clique, level] : run.emissions) {
+      EXPECT_EQ(level, 0u);
+      EXPECT_EQ(clique.size(), 2u);
+    }
+  }
+}
+
+TEST(ExecutorStatsTest, EmptyGraphYieldsOneEmptyLevel) {
+  const Graph g = mce::test::PathGraph(0);
+  for (decomp::ExecutorKind kind :
+       {decomp::ExecutorKind::kSerial, decomp::ExecutorKind::kPooled}) {
+    const Captured run = RunWith(g, {}, kind, 4);
+    EXPECT_TRUE(run.emissions.empty());
+    EXPECT_FALSE(run.stats.used_fallback);
+    ASSERT_EQ(run.stats.levels.size(), 1u);
+    EXPECT_EQ(run.stats.levels[0].blocks, 0u);
+    EXPECT_EQ(run.stats.levels[0].cliques, 0u);
+  }
+}
+
+// Satellite: the m-core fallback under num_threads > 1 stays an indivisible
+// serial task with byte-identical emission.
+TEST(ExecutorFallbackTest, FallbackIsByteIdenticalAcrossThreadCounts) {
+  const Graph g = gen::Complete(12);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 6;
+  const Captured serial = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_TRUE(serial.stats.used_fallback);
+  ASSERT_EQ(serial.emissions.size(), 1u);
+  for (uint32_t threads : {2u, 8u}) {
+    const Captured pooled =
+        RunWith(g, options, decomp::ExecutorKind::kPooled, threads);
+    ExpectIdenticalRuns(pooled, serial);
+    // The fallback runs as one serial task regardless of the pool size.
+    EXPECT_EQ(pooled.stats.levels.back().analyze_threads, 1u);
+  }
+}
+
+TEST(SimulatedClusterExecutorTest, MatchesInnerAndSchedulesRealTaskStream) {
+  Rng rng(111);
+  Graph g = gen::BarabasiAlbert(80, 3, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+
+  Captured inner_run;
+  options.block_observer = [&inner_run](const decomp::BlockTaskRecord& r) {
+    inner_run.records.push_back(r);
+  };
+  std::unique_ptr<Executor> reference = MakeSerialExecutor();
+  inner_run.stats = reference->Run(
+      g, options, [&inner_run](std::span<const NodeId> c, uint32_t level) {
+        inner_run.emissions.emplace_back(Clique(c.begin(), c.end()), level);
+      });
+
+  dist::ClusterConfig config;
+  config.num_workers = 4;
+  SimulatedClusterExecutor cluster(config, MakeSerialExecutor());
+  std::vector<BlockTaskDescriptor> user_sink;
+  cluster.set_block_task_sink(
+      [&user_sink](const BlockTaskDescriptor& d) { user_sink.push_back(d); });
+  Captured cluster_run;
+  options.block_observer = [&cluster_run](const decomp::BlockTaskRecord& r) {
+    cluster_run.records.push_back(r);
+  };
+  cluster_run.stats = cluster.Run(
+      g, options, [&cluster_run](std::span<const NodeId> c, uint32_t level) {
+        cluster_run.emissions.emplace_back(Clique(c.begin(), c.end()), level);
+      });
+
+  // The wrapper must not perturb the algorithmic output at all.
+  ExpectIdenticalRuns(cluster_run, inner_run);
+  // The user's sink still sees every descriptor even though the wrapper
+  // installed its own collector on the inner executor.
+  EXPECT_EQ(user_sink.size(), cluster_run.records.size());
+
+  // One simulation per level, scheduling exactly the level's block tasks.
+  ASSERT_EQ(cluster.levels().size(), cluster_run.stats.levels.size());
+  for (size_t l = 0; l < cluster.levels().size(); ++l) {
+    const LevelSimulation& sim = cluster.levels()[l];
+    uint64_t tasks = 0;
+    for (const dist::WorkerTimeline& w : sim.simulation.workers) {
+      tasks += w.tasks;
+    }
+    EXPECT_EQ(tasks, cluster_run.stats.levels[l].blocks);
+    EXPECT_GE(sim.decompose_seconds, 0.0);
+    EXPECT_EQ(sim.simulation.assignment.size(),
+              cluster_run.stats.levels[l].blocks);
+  }
+}
+
+TEST(MakeExecutorTest, ResolveThreadCountHonorsExplicitRequests) {
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+}
+
+}  // namespace
+}  // namespace mce::exec

@@ -140,6 +140,22 @@ int CmdEnumerate(const Flags& flags) {
     return 1;
   }
   options.num_threads = static_cast<uint32_t>(threads);
+  // --executor serial|pooled|cluster: which execution engine runs the
+  // pipeline. "cluster" routes through the simulated-cluster executor
+  // (like --workers); the default picks serial or pooled by --threads.
+  const std::string executor = flags.Get("executor", "");
+  if (executor == "serial") {
+    options.executor = mce::decomp::ExecutorKind::kSerial;
+  } else if (executor == "pooled") {
+    options.executor = mce::decomp::ExecutorKind::kPooled;
+  } else if (executor == "cluster") {
+    options.simulate_cluster = true;
+  } else if (!executor.empty()) {
+    std::fprintf(stderr,
+                 "error: unknown --executor %s (serial|pooled|cluster)\n",
+                 executor.c_str());
+    return 1;
+  }
   if (flags.Has("workers")) {
     options.simulate_cluster = true;
     options.cluster.num_workers = flags.GetInt("workers", 10);
@@ -318,6 +334,7 @@ void Usage() {
       "  stats       --input G [--format edges|triples|binary]\n"
       "  enumerate   --input G [--ratio R | --m M] [--workers N]\n"
       "              [--threads T]  (analysis threads; 0 = all cores)\n"
+      "              [--executor serial|pooled|cluster]  (engine choice)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
       "  top         --input G [--k K]  (k largest maximal cliques)\n"
