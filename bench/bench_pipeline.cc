@@ -22,6 +22,8 @@
 #include "gen/generators.h"
 #include "gen/social.h"
 #include "gen/special.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace mce {
@@ -83,6 +85,44 @@ RunRow RunOnce(const Graph& g, uint32_t m, decomp::ExecutorKind kind,
   return row;
 }
 
+/// Tracing overhead guard: best-of-`reps` pooled wall time with the
+/// observability sinks uninstalled (the event sites pay one relaxed
+/// atomic load each) vs installed. The off/baseline ratio is the ≤1%
+/// acceptance bound; the on ratio documents the cost of recording.
+struct TracingOverhead {
+  double off_seconds = 0;
+  double on_seconds = 0;
+  double overhead_ratio = 0;  // on / off
+};
+
+TracingOverhead MeasureTracingOverhead(const Graph& g, uint32_t m,
+                                       uint32_t threads, int reps) {
+  TracingOverhead result;
+  auto best_wall = [&](bool traced) {
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::TraceRecorder recorder;
+      obs::MetricsRegistry registry;
+      if (traced) {
+        obs::TraceRecorder::Install(&recorder);
+        obs::MetricsRegistry::Install(&registry);
+      }
+      const double wall =
+          RunOnce(g, m, decomp::ExecutorKind::kPooled, threads, "pooled")
+              .wall_seconds;
+      obs::TraceRecorder::Install(nullptr);
+      obs::MetricsRegistry::Install(nullptr);
+      if (rep == 0 || wall < best) best = wall;
+    }
+    return best;
+  };
+  result.off_seconds = best_wall(false);
+  result.on_seconds = best_wall(true);
+  result.overhead_ratio =
+      result.off_seconds > 0 ? result.on_seconds / result.off_seconds : 0;
+  return result;
+}
+
 }  // namespace
 }  // namespace mce
 
@@ -114,6 +154,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.cliques), r.levels,
                 r.overlap_seconds, r.idle_seconds, 100.0 * r.utilization);
   }
+
+  const TracingOverhead tracing = MeasureTracingOverhead(g, m, 4, 3);
+  std::printf(
+      "tracing (pooled, 4 threads, best of 3): off %.3fs, on %.3fs, "
+      "overhead %.2f%%\n",
+      tracing.off_seconds, tracing.on_seconds,
+      100.0 * (tracing.overhead_ratio - 1.0));
 
   // All engines must agree on the clique count; a mismatch invalidates the
   // timing comparison.
@@ -151,7 +198,13 @@ int main(int argc, char** argv) {
                    r.overlap_seconds, r.idle_seconds, r.utilization,
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"tracing\": {\"off_seconds\": %.6f, \"on_seconds\": "
+                 "%.6f, \"overhead_ratio\": %.4f}\n",
+                 tracing.off_seconds, tracing.on_seconds,
+                 tracing.overhead_ratio);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

@@ -8,7 +8,8 @@
 #   BENCH_pipeline.json — execution-engine benchmark: wall seconds, worker
 #                         utilization, and cross-level decompose/analyze
 #                         overlap for the serial engine and the pooled
-#                         engine at 2/4/8 threads.
+#                         engine at 2/4/8 threads, plus the tracing
+#                         overhead guard (observability sinks off vs on).
 #
 # Usage: scripts/bench_baseline.sh [build-dir]
 set -euo pipefail

@@ -59,4 +59,19 @@ else
     -R '^(mce_algorithms_test|mce_alloc_test|decomp_test)$'
 fi
 
+# Trace leg: run the CLI on a small social graph with tracing on and
+# validate the exported Chrome trace (well-formed JSON, monotonic
+# per-lane timestamps, balanced B/E pairs, all task kinds present).
+echo "=== tier-1: trace validation ==="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+"$build/tools/mce_cli" generate --model facebook --scale 0.02 \
+  --output "$trace_dir/fb.txt" >/dev/null
+"$build/tools/mce_cli" enumerate --input "$trace_dir/fb.txt" \
+  --executor pooled --threads 4 \
+  --trace-out="$trace_dir/trace.json" \
+  --metrics-out="$trace_dir/metrics.json" >/dev/null
+"$build/tools/trace_check" "$trace_dir/trace.json" \
+  --require DecomposeTask,BlockTask,FilterTask,idle
+
 echo "=== tier-1: OK ==="

@@ -85,6 +85,10 @@ class MaxCliqueFinder {
     /// ClusterSummary to the result.
     bool simulate_cluster = false;
     dist::ClusterConfig cluster;
+    /// Observability sinks passed through to the pipeline (src/obs). Not
+    /// owned; nullptr falls back to the process-wide installed instances.
+    obs::TraceRecorder* trace = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   MaxCliqueFinder() : MaxCliqueFinder(Options()) {}

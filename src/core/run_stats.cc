@@ -15,7 +15,8 @@ std::string RunStats::ToString() const {
      << " max_size=" << max_clique_size << " avg_size=" << avg_clique_size
      << " levels=" << num_levels << " blocks=" << total_blocks
      << " decompose_s=" << decompose_seconds
-     << " analyze_s=" << analyze_seconds;
+     << " analyze_s=" << analyze_seconds
+     << " overlap_s=" << overlap_seconds << " idle_s=" << idle_seconds;
   if (used_fallback) os << " [fallback]";
   return os.str();
 }

@@ -26,6 +26,11 @@
 #include "mce/clique.h"
 #include "mce/enumerator.h"
 
+namespace mce::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace mce::obs
+
 namespace mce::decomp {
 
 /// Telemetry for one analyzed block; consumed by the distributed-execution
@@ -77,6 +82,13 @@ struct FindMaxCliquesOptions {
   /// invoked from the pipeline's calling thread, in block order, even when
   /// num_threads > 1 — it need not be thread-safe.
   std::function<void(const BlockTaskRecord&)> block_observer;
+  /// Observability sinks (src/obs) for this run. Not owned; must outlive
+  /// the run. nullptr means "use the process-wide installed instance, if
+  /// any" (obs::TraceRecorder::Install / obs::MetricsRegistry::Install) —
+  /// so with nothing installed and nothing set here, every event site
+  /// costs one relaxed atomic load and nothing else.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-recursion-level telemetry (drives Figures 7-11).

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace mce::decomp {
@@ -39,10 +40,12 @@ std::vector<BlockRun> AnalyzeBlocksToBuffers(
     const size_t worker = index == ThreadPool::kNotAWorker ? 0 : index;
     BlockWorkspace* ws =
         workspaces != nullptr ? &(*workspaces)[worker] : nullptr;
+    run.begin_us = obs::NowMicros();
     Timer timer;
     run.result =
         AnalyzeBlock(blocks[i], options, run.cliques.Collector(), ws);
     run.seconds = timer.ElapsedSeconds();
+    run.end_us = obs::NowMicros();
     run.worker = worker;
   };
   if (pool != nullptr) {

@@ -41,6 +41,12 @@ struct BlockRun {
   CliqueSet cliques;
   /// Wall time of this block's AnalyzeBlock call.
   double seconds = 0;
+  /// The analysis window on the obs::NowMicros() trace timebase (equal
+  /// when the caller did not record a span). The execution engine derives
+  /// its per-level analysis windows — and hence LevelStats overlap/idle —
+  /// from these instead of a second set of clocks.
+  int64_t begin_us = 0;
+  int64_t end_us = 0;
   /// Pool worker that ran the block (0 when run inline without a pool).
   size_t worker = 0;
 };

@@ -57,6 +57,9 @@ SimulationResult SimulateCluster(const std::vector<Task>& tasks,
 
   // Blocks stream to each worker over one connection: the per-message
   // latency is paid once per busy worker, bytes are paid per task.
+  result.task_lane.reserve(tasks.size());
+  result.task_start_seconds.reserve(tasks.size());
+  result.task_compute_seconds.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     const Task& t = tasks[i];
     const int worker = result.assignment[i];
@@ -69,7 +72,12 @@ SimulationResult SimulateCluster(const std::vector<Task>& tasks,
     const double comm = static_cast<double>(t.bytes) /
                         config.cost.network_bandwidth_bytes_per_s;
     std::vector<double>& lanes = threads[worker];
-    *std::min_element(lanes.begin(), lanes.end()) += compute;
+    const auto lane = std::min_element(lanes.begin(), lanes.end());
+    result.task_lane.push_back(worker * config.threads_per_worker +
+                               static_cast<int>(lane - lanes.begin()));
+    result.task_start_seconds.push_back(*lane);
+    result.task_compute_seconds.push_back(compute);
+    *lane += compute;
     w.comm_seconds += comm;
     w.bytes_received += t.bytes;
     ++w.tasks;

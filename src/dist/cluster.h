@@ -57,6 +57,15 @@ struct WorkerTimeline {
 struct SimulationResult {
   std::vector<WorkerTimeline> workers;
   std::vector<int> assignment;  // task -> worker
+  /// Per-task placement detail, parallel to `assignment`: the global lane
+  /// the task ran on (worker * threads_per_worker + thread), its start
+  /// offset on that lane's compute timeline, and its simulated compute
+  /// duration (slowdown applied). Lanes model compute only; communication
+  /// is accounted per worker. These are the simulated-cluster timeline
+  /// lanes of the trace export.
+  std::vector<int> task_lane;
+  std::vector<double> task_start_seconds;
+  std::vector<double> task_compute_seconds;
   /// Wall-clock of the parallel phase: the busiest worker's total.
   double makespan_seconds = 0;
   /// Sum of compute over all tasks (the serial-equivalent time).

@@ -1,7 +1,11 @@
 #include "exec/cluster_executor.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
+#include "exec/task_graph.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mce::exec {
@@ -20,17 +24,21 @@ decomp::StreamingStats SimulatedClusterExecutor::Run(
   // block order, so plain vectors suffice. The user's sink (if any) still
   // sees every descriptor.
   std::vector<std::vector<dist::Task>> tasks_per_level;
+  std::vector<std::vector<uint64_t>> cliques_per_level;
   const BlockTaskSink user_sink = sink_;
   inner_->set_block_task_sink(
-      [&tasks_per_level, &user_sink](const BlockTaskDescriptor& d) {
+      [&tasks_per_level, &cliques_per_level,
+       &user_sink](const BlockTaskDescriptor& d) {
         if (tasks_per_level.size() <= d.level) {
           tasks_per_level.resize(d.level + 1);
+          cliques_per_level.resize(d.level + 1);
         }
         dist::Task t;
         t.estimated_cost = d.estimated_cost;
         t.compute_seconds = d.compute_seconds;
         t.bytes = d.bytes;
         tasks_per_level[d.level].push_back(t);
+        cliques_per_level[d.level].push_back(d.cliques);
         if (user_sink) user_sink(d);
       });
 
@@ -52,6 +60,37 @@ decomp::StreamingStats SimulatedClusterExecutor::Run(
         config_.cost.ComputeSeconds(level_stats.decompose_seconds) /
             config_.num_workers;
     levels_.push_back(std::move(ls));
+  }
+
+  // Replay the simulated placement as synthetic trace lanes: one lane per
+  // (worker, thread) slot under the "mce cluster sim" process, levels laid
+  // out end to end (each level's lanes start after its simulated
+  // decompose phase). Zero-cost when no recorder is resolved.
+  if (obs::TraceRecorder* trace = ResolveTrace(options)) {
+    cliques_per_level.resize(levels_.size());
+    int64_t base_us = obs::NowMicros();
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      const LevelSimulation& ls = levels_[level];
+      base_us += static_cast<int64_t>(ls.decompose_seconds * 1e6);
+      const dist::SimulationResult& sim = ls.simulation;
+      for (size_t i = 0; i < sim.task_lane.size(); ++i) {
+        obs::TraceEvent e;
+        e.begin_us =
+            base_us + static_cast<int64_t>(sim.task_start_seconds[i] * 1e6);
+        e.end_us = e.begin_us +
+                   static_cast<int64_t>(sim.task_compute_seconds[i] * 1e6);
+        e.kind = obs::SpanKind::kSimBlock;
+        e.level = static_cast<uint32_t>(level);
+        e.index = i;
+        e.args[0] = static_cast<uint64_t>(sim.assignment[i]);
+        e.args[1] = static_cast<uint64_t>(sim.task_lane[i]);
+        e.args[2] = cliques_per_level[level][i];
+        e.lane_pid = 1;
+        e.lane_tid = sim.task_lane[i];
+        trace->Record(e);
+      }
+      base_us += static_cast<int64_t>(sim.makespan_seconds * 1e6);
+    }
   }
   return stats;
 }

@@ -15,6 +15,14 @@
 // decomposition order, off buffered per-block results — which is what
 // makes the emission byte-identical to the serial executor.
 //
+// Timing: every task records one begin/end window on the obs::NowMicros()
+// timebase. The same windows feed the trace recorder (when one is
+// resolved) and the LevelStats — analyze_seconds is the hull of the
+// level's block+filter spans, overlap_seconds the decompose window
+// clipped against earlier levels' analysis hulls, idle_seconds the
+// worker capacity of the hull minus the block work inside it
+// (obs/span_math.h).
+//
 // Synchronization: all cross-task state hangs off LevelRun records owned
 // by a deque guarded by one engine mutex. Tasks receive stable element
 // pointers taken under the lock (deques never relocate elements); a
@@ -37,9 +45,9 @@
 #include "exec/executor.h"
 #include "graph/subgraph.h"
 #include "mce/workspace.h"
+#include "obs/span_math.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace mce::exec {
 
@@ -77,11 +85,13 @@ struct LevelRun {
 
   decomp::LevelStats stats;
 
-  // Wall-clock windows on the engine's run timer, for the overlap stat.
-  double decompose_begin = 0;
-  double decompose_end = 0;
-  double analyze_begin = -1;
-  double analyze_end = -1;
+  // Task windows on the obs::NowMicros() timebase. The block windows live
+  // in `runs`; filter chunk windows are appended under the engine mutex.
+  int64_t decompose_begin_us = 0;
+  int64_t decompose_end_us = 0;
+  std::vector<std::pair<int64_t, int64_t>> filter_spans;
+  int64_t fallback_begin_us = 0;
+  int64_t fallback_end_us = 0;
 
   bool ready = false;
 };
@@ -97,6 +107,8 @@ class PooledEngine {
         emit_(emit),
         blocks_options_(BlocksOptionsFor(options)),
         analysis_options_(AnalysisOptionsFor(options)),
+        trace_(ResolveTrace(options)),
+        metrics_(ResolveMetrics(options)),
         workspaces_(std::max<size_t>(1, num_threads)),
         pool_(std::max<size_t>(1, num_threads)) {}
 
@@ -133,6 +145,7 @@ class PooledEngine {
       ++next;
     }
     pool_.Wait();
+    metrics_.RecordRun(out);
     return out;
   }
 
@@ -140,7 +153,7 @@ class PooledEngine {
   /// DecomposeTask(level): induce (levels >= 1), Cut, dispatch the child
   /// level's decompose, then stream blocks into BlockTasks.
   void DecomposeTask(LevelRun* lr, LevelRun* parent) {
-    lr->decompose_begin = run_timer_.ElapsedSeconds();
+    lr->decompose_begin_us = obs::NowMicros();
     if (parent != nullptr) {
       InducedSubgraph sub = Induce(*parent->graph, parent->cut.hubs);
       lr->to_original = ComposeToOriginal(parent->to_original, sub.to_parent);
@@ -165,7 +178,8 @@ class PooledEngine {
         chain_done_ = true;
       }
       lr->fallback = true;
-      lr->decompose_end = run_timer_.ElapsedSeconds();
+      lr->decompose_end_us = obs::NowMicros();
+      RecordDecomposeSpan(lr);
       RunFallback(lr);
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -202,14 +216,18 @@ class PooledEngine {
         [this, lr](decomp::Block&& b) {
           decomp::Block* block = nullptr;
           decomp::BlockRun* run = nullptr;
+          uint64_t index = 0;
           {
             std::lock_guard<std::mutex> lock(mu_);
+            index = lr->blocks.size();
             lr->blocks.push_back(std::move(b));
             lr->runs.emplace_back();
             block = &lr->blocks.back();
             run = &lr->runs.back();
           }
-          pool_.Submit([this, lr, block, run] { BlockTask(lr, block, run); });
+          pool_.Submit([this, lr, block, run, index] {
+            BlockTask(lr, block, run, index);
+          });
         });
 
     bool signal = false;
@@ -218,31 +236,52 @@ class PooledEngine {
       std::lock_guard<std::mutex> lock(mu_);
       lr->blocks_final = true;
       lr->stats.blocks = lr->blocks.size();
-      lr->decompose_end = run_timer_.ElapsedSeconds();
+      lr->decompose_end_us = obs::NowMicros();
       signal = !lr->analysis_signaled && lr->blocks_done == lr->blocks.size();
       if (signal) {
         lr->analysis_signaled = true;
         token = lr->analysis_token;
       }
     }
+    RecordDecomposeSpan(lr);
     if (signal) token.Signal();
   }
 
+  /// The level's kDecompose span; call after decompose_end_us and the cut
+  /// stats are final (this worker wrote both).
+  void RecordDecomposeSpan(LevelRun* lr) {
+    if (trace_ == nullptr) return;
+    obs::TraceEvent e;
+    e.begin_us = lr->decompose_begin_us;
+    e.end_us = lr->decompose_end_us;
+    e.kind = obs::SpanKind::kDecompose;
+    e.level = lr->level;
+    e.args[0] = lr->stats.num_nodes;
+    e.args[1] = lr->stats.num_edges;
+    e.args[2] = lr->stats.feasible;
+    e.args[3] = lr->stats.hubs;
+    trace_->Record(e);
+  }
+
   /// BlockTask(level, i): Algorithm 4 into the block's buffer slot.
-  void BlockTask(LevelRun* lr, decomp::Block* block, decomp::BlockRun* run) {
-    const double start = run_timer_.ElapsedSeconds();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (lr->analyze_begin < 0) lr->analyze_begin = start;
-    }
-    const size_t index = ThreadPool::CurrentWorkerIndex();
-    const size_t worker = index == ThreadPool::kNotAWorker ? 0 : index;
-    Timer timer;
+  void BlockTask(LevelRun* lr, decomp::Block* block, decomp::BlockRun* run,
+                 uint64_t index) {
+    const size_t worker_index = ThreadPool::CurrentWorkerIndex();
+    const size_t worker =
+        worker_index == ThreadPool::kNotAWorker ? 0 : worker_index;
+    run->begin_us = obs::NowMicros();
     run->result = decomp::AnalyzeBlock(*block, analysis_options_,
                                        run->cliques.Collector(),
                                        &workspaces_[worker]);
-    run->seconds = timer.ElapsedSeconds();
+    run->end_us = obs::NowMicros();
+    run->seconds =
+        static_cast<double>(run->end_us - run->begin_us) * 1e-6;
     run->worker = worker;
+    if (trace_ != nullptr) {
+      trace_->Record(MakeBlockSpan(run->begin_us, run->end_us, *block,
+                                   run->result, lr->level, index));
+    }
+    metrics_.RecordBlock(*block, run->result, run->seconds);
 
     bool signal = false;
     ThreadPool::Completion token;
@@ -280,18 +319,18 @@ class PooledEngine {
           std::lock_guard<std::mutex> lock(mu_);
           lr->filter_chunks_left = chunks.size();
         }
-        for (const auto& chunk : chunks) {
-          const size_t begin = chunk.first;
-          const size_t end = chunk.second;
-          pool_.Submit(
-              [this, lr, begin, end] { FilterChunkTask(lr, begin, end); });
+        for (size_t c = 0; c < chunks.size(); ++c) {
+          const size_t begin = chunks[c].first;
+          const size_t end = chunks[c].second;
+          pool_.Submit([this, lr, begin, end, c] {
+            FilterChunkTask(lr, begin, end, c);
+          });
         }
         return;
       }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      lr->analyze_end = run_timer_.ElapsedSeconds();
       lr->ready = true;
     }
     cv_.notify_all();
@@ -299,31 +338,44 @@ class PooledEngine {
 
   /// FilterTask(level, chunk): the telescoped Lemma-1 checks over one
   /// contiguous slice of the level's buffered cliques.
-  void FilterChunkTask(LevelRun* lr, size_t begin, size_t end) {
+  void FilterChunkTask(LevelRun* lr, size_t begin, size_t end, size_t chunk) {
+    const int64_t begin_us = obs::NowMicros();
     Clique scratch;
+    uint64_t kept = 0;
     for (size_t i = begin; i < end; ++i) {
       if (MapAndFilterClique(original_, *lr->pending[i], lr->to_original,
                              lr->level, &scratch)) {
         lr->keep[i] = 1;
         lr->mapped[i] = std::move(scratch);
+        ++kept;
       }
     }
+    const int64_t end_us = obs::NowMicros();
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.begin_us = begin_us;
+      e.end_us = end_us;
+      e.kind = obs::SpanKind::kFilter;
+      e.level = lr->level;
+      e.index = chunk;
+      e.args[0] = end - begin;
+      e.args[1] = kept;
+      trace_->Record(e);
+    }
+    metrics_.RecordFilter(end - begin, kept);
     bool done = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      lr->filter_spans.emplace_back(begin_us, end_us);
       done = --lr->filter_chunks_left == 0;
-      if (done) {
-        lr->analyze_end = run_timer_.ElapsedSeconds();
-        lr->ready = true;
-      }
+      if (done) lr->ready = true;
     }
     if (done) cv_.notify_all();
   }
 
   void RunFallback(LevelRun* lr) {
     decomp::LevelStats& stats = lr->stats;
-    lr->analyze_begin = run_timer_.ElapsedSeconds();
-    Timer analyze_timer;
+    lr->fallback_begin_us = obs::NowMicros();
     Clique scratch;
     uint64_t produced = 0;
     EnumerateMaximalCliques(*lr->graph, options_.fallback,
@@ -335,44 +387,42 @@ class PooledEngine {
                                 lr->fallback_cliques.push_back(scratch);
                               }
                             });
+    lr->fallback_end_us = obs::NowMicros();
     stats.cliques = produced;
-    stats.analyze_seconds = analyze_timer.ElapsedSeconds();
+    stats.analyze_seconds =
+        static_cast<double>(lr->fallback_end_us - lr->fallback_begin_us) *
+        1e-6;
     stats.block_seconds = stats.analyze_seconds;
     stats.busiest_worker_seconds = stats.analyze_seconds;
     stats.analyze_threads = 1;  // one worker ran the indivisible task
-    lr->analyze_end = run_timer_.ElapsedSeconds();
-  }
-
-  /// Wall-clock length of `decompose ∩ (∪ earlier analysis windows)`:
-  /// the time this level's decomposition actually ran concurrently with
-  /// analysis work of levels above it. The earlier windows may themselves
-  /// overlap, so the union is merged before summing.
-  double OverlapSeconds(double decompose_begin, double decompose_end) const {
-    std::vector<std::pair<double, double>> clipped;
-    for (const auto& [begin, end] : analyze_windows_) {
-      const double lo = std::max(begin, decompose_begin);
-      const double hi = std::min(end, decompose_end);
-      if (hi > lo) clipped.emplace_back(lo, hi);
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.begin_us = lr->fallback_begin_us;
+      e.end_us = lr->fallback_end_us;
+      e.kind = obs::SpanKind::kFallback;
+      e.level = lr->level;
+      e.args[0] = lr->graph->num_nodes();
+      e.args[1] = lr->graph->num_edges();
+      e.args[2] = produced;
+      trace_->Record(e);
     }
-    std::sort(clipped.begin(), clipped.end());
-    double total = 0;
-    double cursor = decompose_begin;
-    for (const auto& [lo, hi] : clipped) {
-      const double from = std::max(lo, cursor);
-      if (hi > from) {
-        total += hi - from;
-        cursor = hi;
-      }
+    if (lr->level > 0) {
+      metrics_.RecordFilter(produced, lr->fallback_cliques.size());
     }
-    return total;
   }
 
   /// Calling thread only. Emits the level's cliques, replays observer and
   /// sink in block order, and finalizes the level's stats.
   void DeliverLevel(LevelRun* lr, decomp::StreamingStats& out) {
     decomp::LevelStats& stats = lr->stats;
+    // The level's analysis spans (block + filter tasks, or the fallback),
+    // rebased to seconds since the engine epoch — the exact windows the
+    // trace recorder saw.
+    std::vector<obs::TimeRange> analyze_spans;
     if (lr->fallback) {
       out.used_fallback = true;
+      analyze_spans.push_back(
+          Range(lr->fallback_begin_us, lr->fallback_end_us));
       for (const Clique& c : lr->fallback_cliques) {
         ++out.cliques_emitted;
         emit_(c, lr->level);
@@ -385,6 +435,7 @@ class PooledEngine {
         produced += run.result.num_cliques;
         stats.block_seconds += run.seconds;
         worker_seconds[run.worker] += run.seconds;
+        analyze_spans.push_back(Range(run.begin_us, run.end_us));
         if (options_.block_observer) {
           options_.block_observer(decomp::MakeBlockTaskRecord(
               lr->blocks[i], run.result, run.seconds, lr->level));
@@ -398,8 +449,10 @@ class PooledEngine {
       stats.busiest_worker_seconds =
           *std::max_element(worker_seconds.begin(), worker_seconds.end());
       stats.analyze_threads = static_cast<uint32_t>(pool_.num_threads());
-      stats.analyze_seconds =
-          lr->analyze_begin < 0 ? 0.0 : lr->analyze_end - lr->analyze_begin;
+      for (const auto& [begin_us, end_us] : lr->filter_spans) {
+        analyze_spans.push_back(Range(begin_us, end_us));
+      }
+      stats.analyze_seconds = obs::Hull(analyze_spans).Length();
 
       if (lr->level == 0) {
         // Identity mapping and per-clique sorting already happened in the
@@ -418,18 +471,19 @@ class PooledEngine {
         }
       }
     }
-    stats.decompose_seconds = lr->decompose_end - lr->decompose_begin;
+    const obs::TimeRange decompose_window =
+        Range(lr->decompose_begin_us, lr->decompose_end_us);
+    stats.decompose_seconds = decompose_window.Length();
     // The pipelining win: how long this level's decomposition ran while
-    // an earlier level was still analyzing.
-    stats.overlap_seconds =
-        OverlapSeconds(lr->decompose_begin, lr->decompose_end);
-    if (lr->analyze_begin >= 0) {
-      analyze_windows_.emplace_back(lr->analyze_begin, lr->analyze_end);
-    }
-    stats.idle_seconds = std::max(
-        0.0, static_cast<double>(stats.analyze_threads) *
-                     stats.analyze_seconds -
-                 stats.block_seconds);
+    // an earlier level was still analyzing — the decompose span clipped
+    // against the union of earlier levels' analysis hulls.
+    stats.overlap_seconds = obs::OverlapLength(decompose_window,
+                                               analyze_windows_);
+    const obs::TimeRange analyze_hull = obs::Hull(analyze_spans);
+    if (!analyze_hull.Empty()) analyze_windows_.push_back(analyze_hull);
+    stats.idle_seconds =
+        obs::IdleLength(analyze_hull, stats.block_seconds,
+                        static_cast<int>(stats.analyze_threads));
     out.levels.push_back(stats);
 
     // Free the bulky per-level state now that it is delivered.
@@ -439,6 +493,13 @@ class PooledEngine {
     lr->mapped = {};
     lr->keep = {};
     lr->fallback_cliques = {};
+  }
+
+  /// A microsecond window rebased to seconds since the engine epoch.
+  obs::TimeRange Range(int64_t begin_us, int64_t end_us) const {
+    return obs::TimeRange{
+        static_cast<double>(begin_us - epoch_us_) * 1e-6,
+        static_cast<double>(end_us - epoch_us_) * 1e-6};
   }
 
   /// mu_ held. The level's graph feeds its child's Induce, so it is freed
@@ -458,11 +519,15 @@ class PooledEngine {
   const decomp::LeveledCliqueCallback& emit_;
   const decomp::BlocksOptions blocks_options_;
   const decomp::BlockAnalysisOptions analysis_options_;
+  obs::TraceRecorder* const trace_;
+  RunMetrics metrics_;
 
-  Timer run_timer_;
-  /// Analysis windows of delivered levels, in level order (calling thread
-  /// only); feeds OverlapSeconds for the levels below them.
-  std::vector<std::pair<double, double>> analyze_windows_;
+  /// Zero point of the run's stats timebase (spans stay absolute; only
+  /// the derived LevelStats windows are rebased).
+  const int64_t epoch_us_ = obs::NowMicros();
+  /// Analysis hulls of delivered levels, in level order (calling thread
+  /// only); feeds the overlap stat of the levels below them.
+  std::vector<obs::TimeRange> analyze_windows_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::unique_ptr<LevelRun>> levels_;

@@ -28,6 +28,8 @@ class SerialExecutor final : public Executor {
                              const decomp::FindMaxCliquesOptions& options,
                              const decomp::LeveledCliqueCallback& emit) override {
     MCE_CHECK_GE(options.max_block_size, 1u);
+    obs::TraceRecorder* const trace = ResolveTrace(options);
+    RunMetrics metrics(ResolveMetrics(options));
     decomp::StreamingStats out;
     // One workspace reused across every block of the run.
     BlockWorkspace workspace;
@@ -42,10 +44,30 @@ class SerialExecutor final : public Executor {
         AnalysisOptionsFor(options);
 
     auto deliver = [&](std::span<const NodeId> c) {
-      if (MapAndFilterClique(g, c, to_original, level, &scratch)) {
+      const bool kept = MapAndFilterClique(g, c, to_original, level, &scratch);
+      // Level 0 needs no maximality check, so only deeper levels count as
+      // filter work.
+      if (level > 0) metrics.RecordFilter(1, kept ? 1 : 0);
+      if (kept) {
         ++out.cliques_emitted;
         emit(scratch, level);
       }
+    };
+
+    // The decompose span of a level covers CUT plus the block growth; the
+    // inline BlockTask spans nest inside it on this single track.
+    auto record_decompose = [&](const decomp::LevelStats& stats,
+                                int64_t begin_us) {
+      obs::TraceEvent e;
+      e.begin_us = begin_us;
+      e.end_us = obs::NowMicros();
+      e.kind = obs::SpanKind::kDecompose;
+      e.level = level;
+      e.args[0] = stats.num_nodes;
+      e.args[1] = stats.num_edges;
+      e.args[2] = stats.feasible;
+      e.args[3] = stats.hubs;
+      trace->Record(e);
     };
 
     for (;;) {
@@ -56,6 +78,7 @@ class SerialExecutor final : public Executor {
       // this, so it must never read 0.
       stats.analyze_threads = 1;
 
+      const int64_t level_begin_us = trace != nullptr ? obs::NowMicros() : 0;
       // The decompose clock accumulates Cut plus the block-growth
       // segments between block emissions.
       Timer segment;
@@ -68,6 +91,9 @@ class SerialExecutor final : public Executor {
         // m-core. Enumerate it directly as one indivisible task.
         out.used_fallback = true;
         stats.decompose_seconds = segment.ElapsedSeconds();
+        if (trace != nullptr) record_decompose(stats, level_begin_us);
+        const int64_t fallback_begin_us =
+            trace != nullptr ? obs::NowMicros() : 0;
         Timer analyze_timer;
         uint64_t produced = 0;
         EnumerateMaximalCliques(*current, options.fallback,
@@ -79,6 +105,17 @@ class SerialExecutor final : public Executor {
         stats.analyze_seconds = analyze_timer.ElapsedSeconds();
         stats.block_seconds = stats.analyze_seconds;
         stats.busiest_worker_seconds = stats.analyze_seconds;
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.begin_us = fallback_begin_us;
+          e.end_us = obs::NowMicros();
+          e.kind = obs::SpanKind::kFallback;
+          e.level = level;
+          e.args[0] = stats.num_nodes;
+          e.args[1] = stats.num_edges;
+          e.args[2] = produced;
+          trace->Record(e);
+        }
         out.levels.push_back(stats);
         break;
       }
@@ -89,10 +126,17 @@ class SerialExecutor final : public Executor {
           *current, cut.feasible, blocks_options,
           [&](decomp::Block&& block) {
             stats.decompose_seconds += segment.ElapsedSeconds();
+            const int64_t block_begin_us =
+                trace != nullptr ? obs::NowMicros() : 0;
             Timer block_timer;
             decomp::BlockAnalysisResult result = decomp::AnalyzeBlock(
                 block, analysis_options, deliver, &workspace);
             const double block_seconds = block_timer.ElapsedSeconds();
+            if (trace != nullptr) {
+              trace->Record(MakeBlockSpan(block_begin_us, obs::NowMicros(),
+                                          block, result, level, block_index));
+            }
+            metrics.RecordBlock(block, result, block_seconds);
             produced += result.num_cliques;
             stats.block_seconds += block_seconds;
             stats.analyze_seconds += block_seconds;
@@ -111,6 +155,7 @@ class SerialExecutor final : public Executor {
       stats.blocks = block_index;
       stats.cliques = produced;
       stats.busiest_worker_seconds = stats.block_seconds;
+      if (trace != nullptr) record_decompose(stats, level_begin_us);
       out.levels.push_back(stats);
 
       if (cut.hubs.empty()) break;
@@ -122,6 +167,7 @@ class SerialExecutor final : public Executor {
       current = &owned;
       ++level;
     }
+    metrics.RecordRun(out);
     return out;
   }
 };

@@ -63,6 +63,86 @@ bool MapAndFilterClique(const Graph& original,
   return level == 0 || decomp::IsMaximalInGraph(original, *out);
 }
 
+obs::TraceRecorder* ResolveTrace(const decomp::FindMaxCliquesOptions& options) {
+  return options.trace != nullptr ? options.trace
+                                  : obs::TraceRecorder::installed();
+}
+
+obs::MetricsRegistry* ResolveMetrics(
+    const decomp::FindMaxCliquesOptions& options) {
+  return options.metrics != nullptr ? options.metrics
+                                    : obs::MetricsRegistry::installed();
+}
+
+obs::TraceEvent MakeBlockSpan(int64_t begin_us, int64_t end_us,
+                              const decomp::Block& block,
+                              const decomp::BlockAnalysisResult& result,
+                              uint32_t level, uint64_t index) {
+  obs::TraceEvent e;
+  e.begin_us = begin_us;
+  e.end_us = end_us;
+  e.kind = obs::SpanKind::kBlock;
+  e.level = level;
+  e.index = index;
+  e.args[0] = block.CountRole(decomp::NodeRole::kKernel);
+  e.args[1] = block.CountRole(decomp::NodeRole::kBorder);
+  e.args[2] = block.CountRole(decomp::NodeRole::kVisited);
+  e.args[3] = result.num_cliques;
+  e.algorithm = static_cast<uint8_t>(result.used.algorithm);
+  e.storage = static_cast<uint8_t>(result.used.storage);
+  return e;
+}
+
+RunMetrics::RunMetrics(obs::MetricsRegistry* registry) : registry_(registry) {
+  if (registry_ == nullptr) return;
+  blocks_ = &registry_->GetCounter("exec.blocks_analyzed");
+  block_cliques_ = &registry_->GetCounter("exec.block_cliques");
+  filter_checked_ = &registry_->GetCounter("exec.filter_cliques_checked");
+  filter_kept_ = &registry_->GetCounter("exec.filter_cliques_kept");
+  levels_ = &registry_->GetCounter("pipeline.levels");
+  cliques_emitted_ = &registry_->GetCounter("pipeline.cliques_emitted");
+  fallback_runs_ = &registry_->GetCounter("pipeline.fallback_runs");
+  const std::vector<double> node_bounds = obs::ExponentialBuckets(1, 2, 20);
+  block_nodes_ = &registry_->GetHistogram("exec.block_nodes", node_bounds);
+  const std::vector<double> density_bounds = obs::LinearBuckets(0.05, 0.05, 20);
+  block_density_ =
+      &registry_->GetHistogram("exec.block_density", density_bounds);
+  const std::vector<double> ns_bounds = obs::ExponentialBuckets(16, 4, 16);
+  block_ns_per_clique_ =
+      &registry_->GetHistogram("exec.block_ns_per_clique", ns_bounds);
+}
+
+void RunMetrics::RecordBlock(const decomp::Block& block,
+                             const decomp::BlockAnalysisResult& result,
+                             double seconds) {
+  if (registry_ == nullptr) return;
+  blocks_->Increment();
+  block_cliques_->Add(result.num_cliques);
+  const double n = static_cast<double>(block.num_nodes());
+  block_nodes_->Observe(n);
+  if (n >= 2) {
+    block_density_->Observe(2.0 * static_cast<double>(block.num_edges()) /
+                            (n * (n - 1.0)));
+  }
+  if (result.num_cliques > 0) {
+    block_ns_per_clique_->Observe(
+        seconds * 1e9 / static_cast<double>(result.num_cliques));
+  }
+}
+
+void RunMetrics::RecordFilter(uint64_t checked, uint64_t kept) {
+  if (registry_ == nullptr) return;
+  filter_checked_->Add(checked);
+  filter_kept_->Add(kept);
+}
+
+void RunMetrics::RecordRun(const decomp::StreamingStats& stats) {
+  if (registry_ == nullptr) return;
+  levels_->Add(stats.levels.size());
+  cliques_emitted_->Add(stats.cliques_emitted);
+  if (stats.used_fallback) fallback_runs_->Increment();
+}
+
 std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,
                                                     size_t workers) {
   std::vector<std::pair<size_t, size_t>> chunks;

@@ -41,6 +41,8 @@
 #include "graph/graph.h"
 #include "mce/clique.h"
 #include "mce/enumerator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mce::exec {
 
@@ -97,6 +99,53 @@ bool MapAndFilterClique(const Graph& original,
 /// or clique-free levels cannot produce empty or degenerate tasks.
 std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,
                                                     size_t workers);
+
+/// The run's effective span/metrics sinks: the option override when set,
+/// else the process-wide installed instance. Either may be nullptr (= that
+/// channel is off). Executors resolve once per Run.
+obs::TraceRecorder* ResolveTrace(const decomp::FindMaxCliquesOptions& options);
+obs::MetricsRegistry* ResolveMetrics(
+    const decomp::FindMaxCliquesOptions& options);
+
+/// A finished BlockTask's kBlock span: kernel/border/visited sizes, clique
+/// count, and the MCE combination that ran, tagged with level and block
+/// index.
+obs::TraceEvent MakeBlockSpan(int64_t begin_us, int64_t end_us,
+                              const decomp::Block& block,
+                              const decomp::BlockAnalysisResult& result,
+                              uint32_t level, uint64_t index);
+
+/// Per-run handle bundle for the execution engine's well-known workload
+/// metrics. Instrument lookups happen once, at construction; the Record*
+/// calls are lock-free and no-ops when the registry is null. Thread-safe.
+class RunMetrics {
+ public:
+  explicit RunMetrics(obs::MetricsRegistry* registry);
+
+  explicit operator bool() const { return registry_ != nullptr; }
+
+  /// One analyzed block: counts it, its cliques, and observes the block
+  /// size / edge-density / ns-per-clique histograms.
+  void RecordBlock(const decomp::Block& block,
+                   const decomp::BlockAnalysisResult& result, double seconds);
+  /// One Lemma-1 filter batch: `checked` cliques tested, `kept` survivors.
+  void RecordFilter(uint64_t checked, uint64_t kept);
+  /// End-of-run totals from the pipeline's stats.
+  void RecordRun(const decomp::StreamingStats& stats);
+
+ private:
+  obs::MetricsRegistry* registry_;
+  obs::Counter* blocks_ = nullptr;
+  obs::Counter* block_cliques_ = nullptr;
+  obs::Counter* filter_checked_ = nullptr;
+  obs::Counter* filter_kept_ = nullptr;
+  obs::Counter* levels_ = nullptr;
+  obs::Counter* cliques_emitted_ = nullptr;
+  obs::Counter* fallback_runs_ = nullptr;
+  obs::Histogram* block_nodes_ = nullptr;
+  obs::Histogram* block_density_ = nullptr;
+  obs::Histogram* block_ns_per_clique_ = nullptr;
+};
 
 }  // namespace mce::exec
 

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace mce::obs {
+
+std::atomic<MetricsRegistry*> MetricsRegistry::g_installed{nullptr};
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  MCE_CHECK(!bounds_.empty());
+  MCE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  MCE_CHECK_GT(start, 0.0);
+  MCE_CHECK_GT(factor, 1.0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  MCE_CHECK_GT(width, 0.0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry::~MetricsRegistry() {
+  MetricsRegistry* self = this;
+  g_installed.compare_exchange_strong(self, nullptr,
+                                      std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Install(MetricsRegistry* registry) {
+  g_installed.store(registry, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+/// Shortest float form that round-trips typical bucket bounds.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::vector<uint64_t> buckets = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      const std::string le =
+          i < bounds.size() ? FormatDouble(bounds[i]) : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(buckets[i]) + "\n";
+    }
+    out += name + "_count " + std::to_string(histogram->count()) + "\n";
+    out += name + "_sum " + FormatDouble(histogram->sum()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const std::vector<uint64_t> buckets = histogram->BucketCounts();
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    out += "\"" + name + "\":{\"buckets\":[";
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"le\":";
+      out += i < bounds.size() ? FormatDouble(bounds[i]) : "\"+Inf\"";
+      out += ",\"count\":" + std::to_string(buckets[i]) + "}";
+    }
+    out += "],\"count\":" + std::to_string(histogram->count()) +
+           ",\"sum\":" + FormatDouble(histogram->sum()) + "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IoError("short write to metrics output " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+Status MetricsRegistry::WriteText(const std::string& path) const {
+  return WriteFile(path, ToText());
+}
+
+}  // namespace mce::obs

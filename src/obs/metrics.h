@@ -1,0 +1,120 @@
+// MetricsRegistry — counters and fixed-bucket histograms for the pipeline.
+//
+// The registry complements the span tracer (obs/trace.h): spans answer
+// "where did the time go", the metrics answer "what did the workload look
+// like" — block density and size distributions, per-block ns/clique, queue
+// depth at dispatch, clique counts. The same ≈0-cost-when-off discipline
+// applies: every event site guards with one relaxed atomic load,
+//
+//   if (obs::MetricsRegistry* m = obs::MetricsRegistry::installed()) ...
+//
+// and instrument handles obtained once (GetCounter/GetHistogram take a
+// mutex) are updated lock-free with relaxed atomics afterwards. Handles
+// are stable for the registry's lifetime.
+//
+// Dumps are stable: instruments sorted by name, fixed formatting — so a
+// metrics file diff across runs shows workload changes, not map-order
+// noise.
+
+#ifndef MCE_OBS_METRICS_H_
+#define MCE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mce::obs {
+
+/// Monotonically increasing integer. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// implicit last bucket counts the rest. Thread-safe, lock-free; `sum` is
+/// accumulated with a relaxed atomic<double> fetch_add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts, bounds_.size() + 1 entries (the
+  /// last is the overflow bucket).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// `count` ascending upper bounds starting at `start`, each `factor` times
+/// the previous (start > 0, factor > 1).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+/// `count` ascending upper bounds start, start+width, ...
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Installs `registry` as the process-wide metrics sink (nullptr
+  /// uninstalls). Uninstall before destroying.
+  static void Install(MetricsRegistry* registry);
+
+  /// The installed registry, or nullptr. One relaxed atomic load.
+  static MetricsRegistry* installed() {
+    return g_installed.load(std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named instrument. The returned reference is
+  /// stable for the registry's lifetime. For an existing histogram the
+  /// original bounds win; `upper_bounds` must be non-empty and ascending
+  /// on first registration.
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> upper_bounds);
+
+  /// `name value` lines, sorted by name; histograms expand to
+  /// `name_bucket{le=...}`, `name_count`, and `name_sum` lines.
+  std::string ToText() const;
+  /// One stable JSON object: {"counters": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+  Status WriteText(const std::string& path) const;
+
+ private:
+  static std::atomic<MetricsRegistry*> g_installed;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mce::obs
+
+#endif  // MCE_OBS_METRICS_H_

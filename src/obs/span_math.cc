@@ -1,0 +1,71 @@
+#include "obs/span_math.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mce::obs {
+
+TimeRange Hull(std::span<const TimeRange> ranges) {
+  TimeRange hull;
+  bool any = false;
+  for (const TimeRange& r : ranges) {
+    if (r.Empty()) continue;
+    if (!any) {
+      hull = r;
+      any = true;
+    } else {
+      hull.begin = std::min(hull.begin, r.begin);
+      hull.end = std::max(hull.end, r.end);
+    }
+  }
+  return any ? hull : TimeRange{};
+}
+
+namespace {
+
+/// Sum of the union of `clipped` ranges, which must each be non-empty.
+double SortedUnionLength(std::vector<std::pair<double, double>>& clipped) {
+  std::sort(clipped.begin(), clipped.end());
+  double total = 0;
+  double cursor = clipped.empty() ? 0.0 : clipped.front().first;
+  for (const auto& [lo, hi] : clipped) {
+    const double from = std::max(lo, cursor);
+    if (hi > from) {
+      total += hi - from;
+      cursor = hi;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double UnionLength(std::span<const TimeRange> ranges) {
+  std::vector<std::pair<double, double>> clipped;
+  clipped.reserve(ranges.size());
+  for (const TimeRange& r : ranges) {
+    if (!r.Empty()) clipped.emplace_back(r.begin, r.end);
+  }
+  return SortedUnionLength(clipped);
+}
+
+double OverlapLength(const TimeRange& window,
+                     std::span<const TimeRange> ranges) {
+  if (window.Empty()) return 0;
+  std::vector<std::pair<double, double>> clipped;
+  clipped.reserve(ranges.size());
+  for (const TimeRange& r : ranges) {
+    const double lo = std::max(r.begin, window.begin);
+    const double hi = std::min(r.end, window.end);
+    if (hi > lo) clipped.emplace_back(lo, hi);
+  }
+  return SortedUnionLength(clipped);
+}
+
+double IdleLength(const TimeRange& window, double busy_seconds, int workers) {
+  const double capacity = static_cast<double>(workers) * window.Length();
+  return std::max(0.0, capacity - busy_seconds);
+}
+
+}  // namespace mce::obs

@@ -1,0 +1,47 @@
+// Interval arithmetic over measured time spans.
+//
+// The execution engine (src/exec) derives its pipeline statistics —
+// LevelStats::overlap_seconds and idle_seconds — from the same begin/end
+// spans it hands to the trace recorder, instead of keeping a second ad-hoc
+// set of clocks. These helpers are the shared span math: hulls, clipped
+// unions, and the decompose-vs-analysis overlap measure of DESIGN.md §7.
+
+#ifndef MCE_OBS_SPAN_MATH_H_
+#define MCE_OBS_SPAN_MATH_H_
+
+#include <span>
+
+namespace mce::obs {
+
+/// A half-open wall-clock window [begin, end), in seconds on some common
+/// monotonic timebase. Empty (or inverted) ranges have zero length.
+struct TimeRange {
+  double begin = 0;
+  double end = 0;
+
+  double Length() const { return end > begin ? end - begin : 0.0; }
+  bool Empty() const { return end <= begin; }
+};
+
+/// Smallest range covering every non-empty input range; empty input (or
+/// all-empty ranges) yields an empty range at 0.
+TimeRange Hull(std::span<const TimeRange> ranges);
+
+/// Total length of the union of the ranges (overlaps counted once).
+double UnionLength(std::span<const TimeRange> ranges);
+
+/// Length of `window ∩ (∪ ranges)`: how much of `window` is covered by at
+/// least one of the (possibly mutually overlapping) ranges. This is the
+/// overlap measure of LevelStats::overlap_seconds — a level's decompose
+/// window intersected with the union of earlier levels' analysis windows.
+double OverlapLength(const TimeRange& window,
+                     std::span<const TimeRange> ranges);
+
+/// Aggregate idle time of `workers` lanes across `window`: the capacity
+/// workers * window.Length() minus `busy_seconds` of work performed inside
+/// it, clamped at zero (LevelStats::idle_seconds).
+double IdleLength(const TimeRange& window, double busy_seconds, int workers);
+
+}  // namespace mce::obs
+
+#endif  // MCE_OBS_SPAN_MATH_H_

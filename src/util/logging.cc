@@ -53,7 +53,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << '\n';
-    std::fputs(stream_.str().c_str(), stderr);
+    // One fwrite for the whole line: stdio locks the stream per call, so
+    // concurrent loggers never interleave within a line.
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mce {
@@ -98,6 +100,17 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     MCE_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
+    if (obs::MetricsRegistry* m = obs::MetricsRegistry::installed()) {
+      if (m != metrics_registry_) {
+        static const double kDepthBounds[] = {1,  2,   4,   8,   16,  32,
+                                              64, 128, 256, 512, 1024};
+        metrics_registry_ = m;
+        queue_depth_ =
+            &m->GetHistogram("threadpool.queue_depth_at_dispatch",
+                             kDepthBounds);
+      }
+      queue_depth_->Observe(static_cast<double>(queue_.size()));
+    }
   }
   task_ready_.notify_one();
 }
@@ -111,7 +124,23 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   current_worker_index = worker_index;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    // Trace the wait as a worker-idle span, but only when the worker
+    // actually blocks and a recorder is installed for the whole wait.
+    obs::TraceRecorder* recorder = nullptr;
+    int64_t idle_begin_us = 0;
+    if (queue_.empty() && !shutdown_) {
+      recorder = obs::TraceRecorder::installed();
+      if (recorder != nullptr) idle_begin_us = obs::NowMicros();
+    }
     task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (recorder != nullptr && obs::TraceRecorder::installed() == recorder) {
+      obs::TraceEvent idle;
+      idle.begin_us = idle_begin_us;
+      idle.end_us = obs::NowMicros();
+      idle.kind = obs::SpanKind::kWorkerIdle;
+      idle.index = worker_index;
+      recorder->Record(idle);
+    }
     if (queue_.empty()) {
       if (shutdown_) return;
       continue;

@@ -24,6 +24,11 @@
 #include <thread>
 #include <vector>
 
+namespace mce::obs {
+class MetricsRegistry;
+class Histogram;
+}  // namespace mce::obs
+
 namespace mce {
 
 class ThreadPool {
@@ -100,6 +105,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  // Cached queue-depth histogram handle, revalidated against the installed
+  // obs::MetricsRegistry on every Submit (guarded by mutex_); instrument
+  // handles are stable for a registry's lifetime, so the lookup happens
+  // once per (pool, registry) pair.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
   std::vector<std::thread> threads_;
 };
 

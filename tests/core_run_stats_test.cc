@@ -57,6 +57,24 @@ TEST(RunStatsTest, ToStringMentionsKeyNumbers) {
   EXPECT_NE(str.find("[fallback]"), std::string::npos);
 }
 
+TEST(RunStatsTest, ToStringCarriesEveryTimingField) {
+  decomp::FindMaxCliquesResult r = MakeResult({{{0, 1}, 0}});
+  r.levels[0].decompose_seconds = 0.25;
+  r.levels[0].analyze_seconds = 1.5;
+  r.levels[0].overlap_seconds = 0.125;
+  r.levels[0].idle_seconds = 0.75;
+  r.levels[1].overlap_seconds = 0.375;
+  RunStats s = ComputeRunStats(r);
+  EXPECT_DOUBLE_EQ(s.overlap_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(s.idle_seconds, 0.75);
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("decompose_s=0.25"), std::string::npos) << str;
+  EXPECT_NE(str.find("analyze_s=1.5"), std::string::npos) << str;
+  EXPECT_NE(str.find("overlap_s=0.5"), std::string::npos) << str;
+  EXPECT_NE(str.find("idle_s=0.75"), std::string::npos) << str;
+  EXPECT_EQ(str.find("[fallback]"), std::string::npos) << str;
+}
+
 TEST(HubShareTest, AllFeasibleIsZero) {
   decomp::FindMaxCliquesResult r = MakeResult({
       {{0, 1}, 0},

@@ -74,7 +74,12 @@ TEST_P(FindMaxCliquesSweepTest, MatchesNaiveAcrossFamilies) {
 INSTANTIATE_TEST_SUITE_P(BlockSizes, FindMaxCliquesSweepTest,
                          ::testing::Values(3u, 5u, 8u, 12u, 20u, 64u),
                          [](const auto& info) {
-                           return "m" + std::to_string(info.param);
+                           // Built via append: `"m" + std::to_string(...)`
+                           // trips GCC 12's -Werror=restrict false positive
+                           // at -O3.
+                           std::string name = "m";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(FindMaxCliquesTest, DecisionTreeDrivenRunIsCorrect) {

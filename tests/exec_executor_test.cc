@@ -318,6 +318,41 @@ TEST(SimulatedClusterExecutorTest, MatchesInnerAndSchedulesRealTaskStream) {
   }
 }
 
+TEST(SimulatedClusterExecutorTest, BlockRecordsMatchSerialAndPooledInners) {
+  // The observer coverage contract: wrapping either engine in the cluster
+  // simulator must leave the BlockTaskRecord stream (and the emission)
+  // byte-identical to a plain serial run on the same input.
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.01));
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 25;
+  const Captured plain_serial =
+      RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_GT(plain_serial.records.size(), 0u);
+
+  dist::ClusterConfig config;
+  config.num_workers = 3;
+  auto run_wrapped = [&](std::unique_ptr<Executor> inner) {
+    SimulatedClusterExecutor cluster(config, std::move(inner));
+    Captured out;
+    decomp::FindMaxCliquesOptions wrapped = options;
+    wrapped.block_observer = [&out](const decomp::BlockTaskRecord& r) {
+      out.records.push_back(r);
+    };
+    out.stats = cluster.Run(
+        g, wrapped, [&out](std::span<const NodeId> c, uint32_t level) {
+          out.emissions.emplace_back(Clique(c.begin(), c.end()), level);
+        });
+    return out;
+  };
+
+  ExpectIdenticalRuns(run_wrapped(MakeSerialExecutor()), plain_serial);
+  for (size_t threads : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "pooled inner, threads " << threads);
+    ExpectIdenticalRuns(run_wrapped(MakePooledExecutor(threads)),
+                        plain_serial);
+  }
+}
+
 TEST(MakeExecutorTest, ResolveThreadCountHonorsExplicitRequests) {
   EXPECT_EQ(ResolveThreadCount(1), 1u);
   EXPECT_EQ(ResolveThreadCount(7), 7u);

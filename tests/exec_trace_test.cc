@@ -1,0 +1,200 @@
+// The executors and the trace recorder must agree: LevelStats'
+// span-derived timings (decompose/analyze/overlap/idle) are recomputable
+// from the exported spans, and the metrics registry reflects the workload.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "obs/metrics.h"
+#include "obs/span_math.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace mce::exec {
+namespace {
+
+struct TracedRun {
+  decomp::StreamingStats stats;
+  std::vector<obs::TraceEvent> events;
+  uint64_t counter(obs::MetricsRegistry& registry, const char* name) {
+    return registry.GetCounter(name).value();
+  }
+};
+
+TracedRun RunTraced(const Graph& g, decomp::ExecutorKind kind,
+                    uint32_t threads, obs::TraceRecorder* recorder,
+                    obs::MetricsRegistry* registry, uint32_t m = 10) {
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = m;
+  options.executor = kind;
+  options.num_threads = threads;
+  options.trace = recorder;
+  options.metrics = registry;
+  TracedRun out;
+  out.stats = decomp::FindMaxCliquesStreaming(
+      g, options, [](std::span<const NodeId>, uint32_t) {});
+  if (recorder != nullptr) out.events = recorder->Events();
+  return out;
+}
+
+/// The spans of one recursion level, split by kind.
+struct LevelSpans {
+  std::vector<obs::TimeRange> decompose;
+  std::vector<obs::TimeRange> analyze;  // block + filter (+ fallback)
+  double block_seconds = 0;
+};
+
+std::map<uint32_t, LevelSpans> SplitByLevel(
+    const std::vector<obs::TraceEvent>& events) {
+  std::map<uint32_t, LevelSpans> levels;
+  for (const obs::TraceEvent& e : events) {
+    const obs::TimeRange r{static_cast<double>(e.begin_us) * 1e-6,
+                           static_cast<double>(e.end_us) * 1e-6};
+    LevelSpans& ls = levels[e.level];
+    switch (e.kind) {
+      case obs::SpanKind::kDecompose:
+        ls.decompose.push_back(r);
+        break;
+      case obs::SpanKind::kBlock:
+      case obs::SpanKind::kFallback:
+        ls.analyze.push_back(r);
+        ls.block_seconds += r.Length();
+        break;
+      case obs::SpanKind::kFilter:
+        ls.analyze.push_back(r);
+        break;
+      default:
+        break;  // pool idle / sim lanes carry no level timing
+    }
+  }
+  return levels;
+}
+
+TEST(ExecTraceTest, SerialExecutorRecordsEveryTask) {
+  Rng rng(7);
+  const Graph g = gen::BarabasiAlbert(80, 5, &rng);
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  TracedRun run =
+      RunTraced(g, decomp::ExecutorKind::kSerial, 1, &recorder, &registry);
+
+  uint64_t decompose_spans = 0, block_spans = 0;
+  for (const obs::TraceEvent& e : run.events) {
+    EXPECT_GE(e.end_us, e.begin_us);
+    if (e.kind == obs::SpanKind::kDecompose) ++decompose_spans;
+    if (e.kind == obs::SpanKind::kBlock) ++block_spans;
+  }
+  uint64_t total_blocks = 0;
+  for (const decomp::LevelStats& level : run.stats.levels) {
+    total_blocks += level.blocks;
+  }
+  EXPECT_EQ(decompose_spans, run.stats.levels.size());
+  EXPECT_EQ(block_spans, total_blocks);
+  EXPECT_GT(block_spans, 0u);
+
+  // The metrics registry saw the same workload the stats report.
+  EXPECT_EQ(run.counter(registry, "exec.blocks_analyzed"), total_blocks);
+  EXPECT_EQ(run.counter(registry, "pipeline.cliques_emitted"),
+            run.stats.cliques_emitted);
+  EXPECT_EQ(run.counter(registry, "pipeline.levels"),
+            run.stats.levels.size());
+}
+
+TEST(ExecTraceTest, PooledStatsAreRecomputableFromSpans) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry registry;
+    TracedRun run = RunTraced(g, decomp::ExecutorKind::kPooled, threads,
+                              &recorder, &registry, /*m=*/40);
+    ASSERT_GE(run.stats.levels.size(), 2u);
+
+    std::map<uint32_t, LevelSpans> levels = SplitByLevel(run.events);
+    // Overlap is defined against the union of earlier levels' analysis
+    // hulls — rebuild it in delivery (= level) order, exactly as the
+    // engine does.
+    std::vector<obs::TimeRange> earlier_hulls;
+    for (uint32_t l = 0; l < run.stats.levels.size(); ++l) {
+      SCOPED_TRACE(testing::Message() << "level " << l);
+      const decomp::LevelStats& stats = run.stats.levels[l];
+      const LevelSpans& spans = levels[l];
+
+      ASSERT_EQ(spans.decompose.size(), 1u);
+      const obs::TimeRange decompose_window = spans.decompose.front();
+      EXPECT_NEAR(stats.decompose_seconds, decompose_window.Length(), 1e-6);
+
+      const obs::TimeRange analyze_hull = obs::Hull(spans.analyze);
+      EXPECT_NEAR(stats.analyze_seconds, analyze_hull.Length(), 1e-6);
+      EXPECT_NEAR(stats.block_seconds, spans.block_seconds, 1e-6);
+      EXPECT_NEAR(stats.overlap_seconds,
+                  obs::OverlapLength(decompose_window, earlier_hulls), 1e-6);
+      EXPECT_NEAR(stats.idle_seconds,
+                  obs::IdleLength(analyze_hull, spans.block_seconds,
+                                  static_cast<int>(stats.analyze_threads)),
+                  1e-6);
+      if (!analyze_hull.Empty()) earlier_hulls.push_back(analyze_hull);
+    }
+
+    uint64_t total_blocks = 0;
+    for (const decomp::LevelStats& level : run.stats.levels) {
+      total_blocks += level.blocks;
+    }
+    EXPECT_EQ(run.counter(registry, "exec.blocks_analyzed"), total_blocks);
+    EXPECT_EQ(run.counter(registry, "pipeline.cliques_emitted"),
+              run.stats.cliques_emitted);
+  }
+}
+
+TEST(ExecTraceTest, PooledRecordsFilterChunkSpans) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  obs::TraceRecorder recorder;
+  TracedRun run = RunTraced(g, decomp::ExecutorKind::kPooled, 4, &recorder,
+                            nullptr, /*m=*/40);
+  ASSERT_GE(run.stats.levels.size(), 2u);
+  uint64_t hub_cliques = 0;
+  for (size_t l = 1; l < run.stats.levels.size(); ++l) {
+    hub_cliques += run.stats.levels[l].cliques;
+  }
+  ASSERT_GT(hub_cliques, 0u) << "corpus must exercise the Lemma-1 filter";
+  uint64_t filter_spans = 0, filter_checked = 0;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.kind != obs::SpanKind::kFilter) continue;
+    ++filter_spans;
+    filter_checked += e.args[0];
+  }
+  EXPECT_GT(filter_spans, 0u);
+  EXPECT_EQ(filter_checked, hub_cliques);
+}
+
+TEST(ExecTraceTest, TracedRunsKeepEmissionIdentical) {
+  Rng rng(31);
+  const Graph g = gen::BarabasiAlbert(60, 4, &rng);
+  auto run_cliques = [&g](obs::TraceRecorder* recorder) {
+    decomp::FindMaxCliquesOptions options;
+    options.max_block_size = 8;
+    options.executor = decomp::ExecutorKind::kPooled;
+    options.num_threads = 4;
+    options.trace = recorder;
+    std::vector<std::pair<Clique, uint32_t>> out;
+    decomp::FindMaxCliquesStreaming(
+        g, options, [&out](std::span<const NodeId> c, uint32_t level) {
+          out.emplace_back(Clique(c.begin(), c.end()), level);
+        });
+    return out;
+  };
+  obs::TraceRecorder recorder;
+  EXPECT_EQ(run_cliques(&recorder), run_cliques(nullptr));
+  EXPECT_FALSE(recorder.Events().empty());
+}
+
+}  // namespace
+}  // namespace mce::exec

@@ -105,7 +105,12 @@ TEST_P(KPlexSweepTest, MatchesBruteForceAcrossK) {
 
 INSTANTIATE_TEST_SUITE_P(Ks, KPlexSweepTest, ::testing::Values(1u, 2u, 3u, 4u),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param);
+                           // Built via append: `"k" + std::to_string(...)`
+                           // trips GCC 12's -Werror=restrict false positive
+                           // at -O3.
+                           std::string name = "k";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(KPlexEnumerationTest, MatchesBruteForceForKThree) {

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mce::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0
+  h.Observe(1.0);    // bucket 0 (le semantics)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(100.0);  // bucket 2
+  h.Observe(1e6);    // overflow
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(HistogramTest, BucketHelpers) {
+  EXPECT_EQ(ExponentialBuckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(LinearBuckets(0.5, 0.25, 3),
+            (std::vector<double>{0.5, 0.75, 1.0}));
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("pipeline.cliques");
+  Counter& b = registry.GetCounter("pipeline.cliques");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h1 = registry.GetHistogram("exec.block_nodes", bounds);
+  // Re-registration with different bounds returns the original instrument.
+  const double other[] = {10.0, 20.0, 30.0};
+  Histogram& h2 = registry.GetHistogram("exec.block_nodes", other);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, InstallRoundTrip) {
+  ASSERT_EQ(MetricsRegistry::installed(), nullptr);
+  MetricsRegistry registry;
+  MetricsRegistry::Install(&registry);
+  EXPECT_EQ(MetricsRegistry::installed(), &registry);
+  MetricsRegistry::Install(nullptr);
+  EXPECT_EQ(MetricsRegistry::installed(), nullptr);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& c = registry.GetCounter("test.hits");
+      const double bounds[] = {0.5};
+      Histogram& h = registry.GetHistogram("test.values", bounds);
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(registry.GetCounter("test.hits").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const double bounds[] = {0.5};
+  Histogram& h = registry.GetHistogram("test.values", bounds);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.BucketCounts().back(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, TextDumpIsSortedAndStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last").Add(2);
+  registry.GetCounter("a.first").Add(1);
+  const double bounds[] = {1.0, 2.0};
+  registry.GetHistogram("m.hist", bounds).Observe(1.5);
+
+  std::string text = registry.ToText();
+  const size_t a = text.find("a.first 1");
+  const size_t m = text.find("m.hist_bucket{le=");
+  const size_t z = text.find("z.last 2");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(m, std::string::npos) << text;
+  ASSERT_NE(z, std::string::npos) << text;
+  EXPECT_LT(a, z);
+  EXPECT_NE(text.find("m.hist_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("m.hist_sum 1.5"), std::string::npos) << text;
+  // Two identical registries dump identical bytes.
+  EXPECT_EQ(text, registry.ToText());
+}
+
+TEST(MetricsRegistryTest, JsonDumpHasCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs").Increment();
+  const double bounds[] = {1.0};
+  registry.GetHistogram("sizes", bounds).Observe(3.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"runs\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sizes\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace mce::obs

@@ -1,0 +1,72 @@
+#include "obs/span_math.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mce::obs {
+namespace {
+
+TEST(TimeRangeTest, LengthAndEmptiness) {
+  EXPECT_DOUBLE_EQ((TimeRange{1.0, 3.5}.Length()), 2.5);
+  EXPECT_FALSE((TimeRange{1.0, 3.5}.Empty()));
+  // Degenerate and inverted ranges are empty with zero length.
+  EXPECT_DOUBLE_EQ((TimeRange{2.0, 2.0}.Length()), 0.0);
+  EXPECT_TRUE((TimeRange{2.0, 2.0}.Empty()));
+  EXPECT_DOUBLE_EQ((TimeRange{5.0, 2.0}.Length()), 0.0);
+  EXPECT_TRUE((TimeRange{5.0, 2.0}.Empty()));
+}
+
+TEST(HullTest, CoversAllNonEmptyRanges) {
+  std::vector<TimeRange> ranges = {{2.0, 3.0}, {0.5, 1.0}, {2.5, 6.0}};
+  TimeRange hull = Hull(ranges);
+  EXPECT_DOUBLE_EQ(hull.begin, 0.5);
+  EXPECT_DOUBLE_EQ(hull.end, 6.0);
+}
+
+TEST(HullTest, IgnoresEmptyRangesAndEmptyInput) {
+  EXPECT_TRUE(Hull({}).Empty());
+  std::vector<TimeRange> all_empty = {{3.0, 3.0}, {9.0, 1.0}};
+  EXPECT_TRUE(Hull(all_empty).Empty());
+  std::vector<TimeRange> mixed = {{9.0, 1.0}, {4.0, 5.0}, {2.0, 2.0}};
+  TimeRange hull = Hull(mixed);
+  EXPECT_DOUBLE_EQ(hull.begin, 4.0);
+  EXPECT_DOUBLE_EQ(hull.end, 5.0);
+}
+
+TEST(UnionLengthTest, CountsOverlapsOnce) {
+  std::vector<TimeRange> ranges = {{0.0, 2.0}, {1.0, 3.0}, {5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(UnionLength(ranges), 4.0);  // [0,3) + [5,6)
+}
+
+TEST(UnionLengthTest, DisjointAndNested) {
+  std::vector<TimeRange> ranges = {{0.0, 10.0}, {2.0, 4.0}, {12.0, 13.0}};
+  EXPECT_DOUBLE_EQ(UnionLength(ranges), 11.0);
+  EXPECT_DOUBLE_EQ(UnionLength({}), 0.0);
+}
+
+TEST(OverlapLengthTest, ClipsUnionAgainstWindow) {
+  const TimeRange window{1.0, 5.0};
+  std::vector<TimeRange> ranges = {{0.0, 2.0}, {1.5, 3.0}, {4.5, 9.0}};
+  // Union is [0,3) u [4.5,9); clipped to [1,5): [1,3) + [4.5,5) = 2.5.
+  EXPECT_DOUBLE_EQ(OverlapLength(window, ranges), 2.5);
+}
+
+TEST(OverlapLengthTest, EmptyWindowOrNoCoverageIsZero) {
+  std::vector<TimeRange> ranges = {{0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(OverlapLength({3.0, 3.0}, ranges), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapLength({4.0, 6.0}, ranges), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapLength({0.0, 10.0}, {}), 0.0);
+}
+
+TEST(IdleLengthTest, CapacityMinusBusyClampedAtZero) {
+  // 4 workers over a 2-second window = 8 seconds of capacity.
+  EXPECT_DOUBLE_EQ(IdleLength({1.0, 3.0}, 5.0, 4), 3.0);
+  // Busy work exceeding the capacity clamps to zero, never negative.
+  EXPECT_DOUBLE_EQ(IdleLength({1.0, 3.0}, 9.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(IdleLength({2.0, 2.0}, 0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(IdleLength({1.0, 3.0}, 0.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace mce::obs

@@ -49,10 +49,14 @@ TEST_P(PipelineRatioPolicyTest, CompleteOnScaleFreeGraph) {
 
 std::string RatioPolicyName(
     const ::testing::TestParamInfo<RatioPolicyParam>& info) {
+  // Built via append: `const char* + std::string&&` concatenation trips
+  // GCC 12's -Werror=restrict false positive at -O3.
   static const char* const kPolicies[] = {"low", "high", "first"};
-  return "r" +
-         std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
-         "_" + kPolicies[static_cast<int>(std::get<1>(info.param))];
+  std::string name = "r";
+  name += std::to_string(static_cast<int>(std::get<0>(info.param) * 100));
+  name += "_";
+  name += kPolicies[static_cast<int>(std::get<1>(info.param))];
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

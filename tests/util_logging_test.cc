@@ -1,6 +1,14 @@
 #include "util/logging.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/timer.h"
 
@@ -44,6 +52,74 @@ TEST(LoggingTest, EnabledMessagesDoNotCrash) {
   LogLevelGuard guard;
   SetLogLevel(LogLevel::kDebug);
   MCE_LOG(DEBUG) << "visible debug line from the logging test";
+}
+
+// Redirects stderr (fd 2) to a file for the lifetime of the object so the
+// test can inspect what the logger actually wrote.
+class StderrCapture {
+ public:
+  explicit StderrCapture(const std::string& path) {
+    std::fflush(stderr);
+    saved_fd_ = dup(2);
+    FILE* f = std::fopen(path.c_str(), "wb");
+    dup2(fileno(f), 2);
+    std::fclose(f);
+  }
+  ~StderrCapture() {
+    std::fflush(stderr);
+    dup2(saved_fd_, 2);
+    close(saved_fd_);
+  }
+
+ private:
+  int saved_fd_ = -1;
+};
+
+TEST(LoggingTest, ConcurrentWritersEmitWholeLines) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  const std::string path =
+      ::testing::TempDir() + "logging_interleave_test.log";
+  // A long payload makes torn writes likely if emission is not atomic.
+  const std::string filler(160, 'x');
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  {
+    StderrCapture capture(path);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &filler] {
+        for (int s = 0; s < kLinesPerThread; ++s) {
+          MCE_LOG(INFO) << "thread=" << t << " seq=" << s << " " << filler;
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  int matched = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    // Every line must be one complete log record: prefix, marker, and the
+    // full filler, with nothing from another record spliced in.
+    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << line;
+    const size_t marker = line.find("thread=");
+    ASSERT_NE(marker, std::string::npos) << line;
+    std::istringstream fields(line.substr(marker));
+    std::string thread_field, seq_field, payload;
+    fields >> thread_field >> seq_field >> payload;
+    EXPECT_EQ(thread_field.rfind("thread=", 0), 0u) << line;
+    EXPECT_EQ(seq_field.rfind("seq=", 0), 0u) << line;
+    EXPECT_EQ(payload, filler) << line;
+    std::string trailing;
+    fields >> trailing;
+    EXPECT_TRUE(trailing.empty()) << line;
+    ++matched;
+  }
+  EXPECT_EQ(matched, kThreads * kLinesPerThread);
+  std::remove(path.c_str());
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -33,6 +33,8 @@
 #include "graph/connectivity.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace {
@@ -42,13 +44,19 @@ using mce::NodeId;
 using mce::Result;
 using mce::Status;
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Minimal flag parser; accepts `--flag value` and `--flag=value`, in any
+/// order and mixed freely.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
+      const char* body = argv[i] + 2;
+      if (const char* eq = std::strchr(body, '=')) {
+        values_[std::string(body, eq)] = eq + 1;
+      } else if (i + 1 < argc) {
+        values_[body] = argv[++i];
+      }
     }
   }
 
@@ -162,11 +170,41 @@ int CmdEnumerate(const Flags& flags) {
     // The simulated machines get the same intra-worker parallelism.
     options.cluster.threads_per_worker = std::max(1, threads);
   }
+  // --trace-out FILE / --metrics-out FILE: install the obs sinks for the
+  // run (process-wide, so thread-pool idle spans and queue-depth samples
+  // are captured too) and export after the run completes.
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  mce::obs::TraceRecorder recorder;
+  mce::obs::MetricsRegistry registry;
+  if (!trace_out.empty()) mce::obs::TraceRecorder::Install(&recorder);
+  if (!metrics_out.empty()) mce::obs::MetricsRegistry::Install(&registry);
   mce::MaxCliqueFinder finder(options);
   Result<mce::FindResult> result = finder.Find(*g);
+  mce::obs::TraceRecorder::Install(nullptr);
+  mce::obs::MetricsRegistry::Install(nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    Status st = recorder.WriteChromeTrace(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const bool text = metrics_out.size() > 4 &&
+                      metrics_out.substr(metrics_out.size() - 4) == ".txt";
+    Status st = text ? registry.WriteText(metrics_out)
+                     : registry.WriteJson(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
   }
   if (flags.Get("json", "") == "true") {
     std::printf("%s\n", mce::RunReportJson(*result).c_str());
@@ -337,6 +375,9 @@ void Usage() {
       "              [--executor serial|pooled|cluster]  (engine choice)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
+      "              [--trace-out t.json]    (Chrome trace of the run)\n"
+      "              [--metrics-out m.json]  (counters/histograms; .txt\n"
+      "                                       for the text form)\n"
       "  top         --input G [--k K]  (k largest maximal cliques)\n"
       "  communities --input G [--k K] [--top K]\n"
       "  generate    --model twitter1|...|er|ba|ws --output G\n"

@@ -1,0 +1,352 @@
+// trace_check — validator for Chrome trace-event JSON files.
+//
+// Used by the tier-1 trace leg (scripts/tier1.sh) to assert that a file
+// produced by `mce_cli enumerate --trace-out=...` is a well-formed trace:
+//
+//   * the file parses as one JSON object with a "traceEvents" array;
+//   * every event has a name, a phase ("B", "E", or "M"), pid/tid/ts;
+//   * per (pid, tid) lane, timestamps are monotonically non-decreasing in
+//     array order;
+//   * "B"/"E" pairs are balanced per lane, with matching names (LIFO
+//     nesting), and no "E" without an open "B";
+//   * with --require A,B,C each named span kind appears at least once as a
+//     "B" event.
+//
+// usage: trace_check FILE [--require Name1,Name2,...]
+// Exit 0 when the trace passes, 1 with a diagnostic on stderr otherwise.
+//
+// The JSON parser below is deliberately minimal (objects, arrays, strings
+// with escapes, numbers, true/false/null) — enough for trace files, no
+// external dependency.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    bool ok = ParseValue(out) && (SkipSpace(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = "JSON parse error near byte " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u':
+            // Trace names are ASCII; keep the escape verbatim.
+            if (pos_ + 4 > text_.size()) return false;
+            out->append("\\u").append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          default:
+            return false;
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+int Fail(const char* what, size_t event_index) {
+  std::fprintf(stderr, "trace_check: %s (event %zu)\n", what, event_index);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string names;
+    if (arg.rfind("--require=", 0) == 0) {
+      names = arg.substr(std::strlen("--require="));
+    } else if (arg == "--require" && i + 1 < argc) {
+      names = argv[++i];
+    } else if (path.empty()) {
+      path = std::move(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_check FILE [--require Name1,Name2,...]\n");
+      return 2;
+    }
+    std::stringstream ss(names);
+    for (std::string name; std::getline(ss, name, ',');) {
+      if (!name.empty()) required.push_back(name);
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_check FILE [--require Name1,Name2,...]\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    std::fprintf(stderr, "trace_check: %s\n", error.c_str());
+    return 1;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "trace_check: top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "trace_check: missing traceEvents array\n");
+    return 1;
+  }
+
+  // Per-(pid, tid) lane state: last timestamp seen and the open B stack.
+  struct Lane {
+    bool has_ts = false;
+    double last_ts = 0;
+    std::vector<std::string> open;
+  };
+  std::map<std::pair<double, double>, Lane> lanes;
+  std::map<std::string, size_t> begin_counts;
+
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.kind != JsonValue::Kind::kObject) {
+      return Fail("event is not an object", i);
+    }
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* pid = e.Find("pid");
+    const JsonValue* tid = e.Find("tid");
+    const JsonValue* ts = e.Find("ts");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return Fail("event without a string name", i);
+    }
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return Fail("event without a phase", i);
+    }
+    if (pid == nullptr || pid->kind != JsonValue::Kind::kNumber ||
+        tid == nullptr || tid->kind != JsonValue::Kind::kNumber ||
+        ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+      return Fail("event without numeric pid/tid/ts", i);
+    }
+    if (ph->string == "M") continue;  // metadata carries no timeline
+    if (ph->string != "B" && ph->string != "E") {
+      return Fail("unexpected phase (want B, E, or M)", i);
+    }
+    Lane& lane = lanes[{pid->number, tid->number}];
+    if (lane.has_ts && ts->number < lane.last_ts) {
+      return Fail("timestamps not monotonic within a lane", i);
+    }
+    lane.has_ts = true;
+    lane.last_ts = ts->number;
+    if (ph->string == "B") {
+      lane.open.push_back(name->string);
+      ++begin_counts[name->string];
+    } else {
+      if (lane.open.empty()) return Fail("E without an open B", i);
+      if (lane.open.back() != name->string) {
+        return Fail("E name does not match the open B", i);
+      }
+      lane.open.pop_back();
+    }
+  }
+  for (const auto& [key, lane] : lanes) {
+    if (!lane.open.empty()) {
+      std::fprintf(stderr,
+                   "trace_check: lane pid=%g tid=%g has %zu unclosed B "
+                   "event(s), first '%s'\n",
+                   key.first, key.second, lane.open.size(),
+                   lane.open.front().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& name : required) {
+    if (begin_counts[name] == 0) {
+      std::fprintf(stderr, "trace_check: required span '%s' not found\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  size_t total = 0;
+  for (const auto& [key, count] : begin_counts) {
+    (void)key;
+    total += count;
+  }
+  std::printf("trace_check: ok (%zu spans, %zu lanes)\n", total,
+              lanes.size());
+  return 0;
+}
