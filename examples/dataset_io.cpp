@@ -26,7 +26,11 @@ int main(int argc, char** argv) {
     labeled.graph = std::move(g);
     labeled.edge_labels = {"follows"};
     for (mce::NodeId v = 0; v < labeled.graph.num_nodes(); ++v) {
-      labeled.labels.push_back("u" + std::to_string(v));
+      // Spelled as append rather than "u" + to_string(v): GCC 12's
+      // -Wrestrict misfires on the rvalue operator+ overload here.
+      std::string label = "u";
+      label += std::to_string(v);
+      labeled.labels.push_back(std::move(label));
     }
     mce::Status st = mce::WriteTriples(labeled, path);
     if (!st.ok()) {

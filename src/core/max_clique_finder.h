@@ -81,6 +81,13 @@ class MaxCliqueFinder {
     /// Which execution engine runs the pipeline (serial, pooled, or auto
     /// by thread count); every engine yields identical cliques.
     decomp::ExecutorKind executor = decomp::ExecutorKind::kAuto;
+    /// Cost-guided BlockTask splitting on the pooled executor: blocks
+    /// whose predicted analysis cost exceeds max_block_cost run as
+    /// kernel-range shards (see decomp::FindMaxCliquesOptions). The
+    /// emitted cliques are identical either way. CLI: --no-split /
+    /// --max-block-cost.
+    bool split_blocks = true;
+    double max_block_cost = decomp::kDefaultMaxBlockCost;
     /// Run the block-analysis phase on the simulated cluster and attach a
     /// ClusterSummary to the result.
     bool simulate_cluster = false;

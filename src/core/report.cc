@@ -67,6 +67,8 @@ std::string RunReportJson(const FindResult& result) {
   os << ",\"analyze_seconds\":" << Double(s.analyze_seconds);
   os << ",\"overlap_seconds\":" << Double(s.overlap_seconds);
   os << ",\"idle_seconds\":" << Double(s.idle_seconds);
+  os << ",\"barrier_idle_seconds\":" << Double(s.barrier_idle_seconds);
+  os << ",\"block_splits\":" << s.block_splits;
   os << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false");
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
@@ -81,7 +83,9 @@ std::string RunReportJson(const FindResult& result) {
        << ",\"busiest_worker_seconds\":" << Double(l.busiest_worker_seconds)
        << ",\"analyze_threads\":" << l.analyze_threads
        << ",\"overlap_seconds\":" << Double(l.overlap_seconds)
-       << ",\"idle_seconds\":" << Double(l.idle_seconds) << "}";
+       << ",\"idle_seconds\":" << Double(l.idle_seconds)
+       << ",\"barrier_idle_seconds\":" << Double(l.barrier_idle_seconds)
+       << ",\"block_splits\":" << l.block_splits << "}";
   }
   os << "]";
   if (result.cluster.has_value()) {

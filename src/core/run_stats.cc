@@ -16,7 +16,9 @@ std::string RunStats::ToString() const {
      << " levels=" << num_levels << " blocks=" << total_blocks
      << " decompose_s=" << decompose_seconds
      << " analyze_s=" << analyze_seconds
-     << " overlap_s=" << overlap_seconds << " idle_s=" << idle_seconds;
+     << " overlap_s=" << overlap_seconds << " idle_s=" << idle_seconds
+     << " barrier_idle_s=" << barrier_idle_seconds;
+  if (block_splits > 0) os << " block_splits=" << block_splits;
   if (used_fallback) os << " [fallback]";
   return os.str();
 }
@@ -57,6 +59,8 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
     s.analyze_seconds += level.analyze_seconds;
     s.overlap_seconds += level.overlap_seconds;
     s.idle_seconds += level.idle_seconds;
+    s.barrier_idle_seconds += level.barrier_idle_seconds;
+    s.block_splits += level.block_splits;
   }
   return s;
 }

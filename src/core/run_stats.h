@@ -39,9 +39,15 @@ struct RunStats {
   /// during which a level's decomposition overlapped the previous level's
   /// analysis, summed over levels (0 on the serial executor).
   double overlap_seconds = 0;
-  /// Aggregate worker idle time inside the analyze phases, summed over
-  /// levels.
+  /// Aggregate work-starved worker idle time inside the analyze phases,
+  /// summed over levels (waits at level boundaries are excluded).
   double idle_seconds = 0;
+  /// Aggregate worker capacity spent parked at inter-level task-graph
+  /// boundaries, summed over levels (LevelStats::barrier_idle_seconds).
+  double barrier_idle_seconds = 0;
+  /// BlockTasks the executor split into kernel-range shards, summed over
+  /// levels (0 with splitting disabled or on the serial executor).
+  uint64_t block_splits = 0;
 
   std::string ToString() const;
 };

@@ -40,13 +40,16 @@ CliqueCallback MakeTranslate(TranslateCtx* ctx) {
 /// Shared Algorithm 4 loop over vector sets; Storage is ListStorage or
 /// MatrixStorage, built once per block by the caller. All buffers come
 /// from `ws`, so repeated calls with the same workspace allocate nothing
-/// once the buffers have grown to the largest block seen.
+/// once the buffers have grown to the largest block seen. Only kernels in
+/// `range` run; kernels before the range start out visited, so the loop
+/// state matches the whole-block call at range.begin exactly.
 template <typename Storage>
 uint64_t RunVectorLoop(const Block& block, const Storage& storage,
                        PivotRule rule, const CliqueCallback& emit,
-                       BlockWorkspace& ws) {
+                       BlockWorkspace& ws, KernelRange range) {
   const Graph& g = block.subgraph.graph;
-  // P starts as K u H; V starts as the block's visited set.
+  // P starts as K u H; V starts as the block's visited set plus every
+  // kernel processed before the range.
   ws.in_p.assign(g.num_nodes(), 0);
   ws.in_v.assign(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -56,6 +59,11 @@ uint64_t RunVectorLoop(const Block& block, const Storage& storage,
       ws.in_p[v] = 1;
     }
   }
+  for (size_t i = 0; i < range.begin; ++i) {
+    const NodeId k = block.kernel_local[i];
+    ws.in_p[k] = 0;
+    ws.in_v[k] = 1;
+  }
   // Translate local cliques to parent ids on the way out.
   TranslateCtx ctx{&block, &emit, &ws.translate};
   const CliqueCallback translate = MakeTranslate(&ctx);
@@ -63,7 +71,8 @@ uint64_t RunVectorLoop(const Block& block, const Storage& storage,
   VectorMceRunner<Storage> runner(storage, rule, &ws.vector_scratch);
   std::vector<NodeId>& p = ws.p;
   std::vector<NodeId>& x = ws.x;
-  for (NodeId k : block.kernel_local) {
+  for (size_t i = range.begin; i < range.end; ++i) {
+    const NodeId k = block.kernel_local[i];
     p.clear();
     x.clear();
     for (NodeId u : g.Neighbors(k)) {
@@ -83,7 +92,8 @@ uint64_t RunVectorLoop(const Block& block, const Storage& storage,
 }
 
 uint64_t RunBitsetLoop(const Block& block, PivotRule rule,
-                       const CliqueCallback& emit, BlockWorkspace& ws) {
+                       const CliqueCallback& emit, BlockWorkspace& ws,
+                       KernelRange range) {
   const Graph& g = block.subgraph.graph;
   const BitsetGraph& bg = ws.BitsetRows(g);
   ws.block_p.Reinit(g.num_nodes());
@@ -95,11 +105,17 @@ uint64_t RunBitsetLoop(const Block& block, PivotRule rule,
       ws.block_p.Set(u);
     }
   }
+  for (size_t i = 0; i < range.begin; ++i) {
+    const NodeId k = block.kernel_local[i];
+    ws.block_p.Clear(k);
+    ws.block_x.Set(k);
+  }
   TranslateCtx ctx{&block, &emit, &ws.translate};
   const CliqueCallback translate = MakeTranslate(&ctx);
 
   BitsetMceRunner runner(bg, rule, &ws.bitset_scratch);
-  for (NodeId k : block.kernel_local) {
+  for (size_t i = range.begin; i < range.end; ++i) {
+    const NodeId k = block.kernel_local[i];
     ws.seed_p = ws.block_p;
     ws.seed_p.And(bg.Row(k));
     ws.seed_x = ws.block_x;
@@ -118,8 +134,19 @@ BlockAnalysisResult AnalyzeBlock(const Block& block,
                                  const BlockAnalysisOptions& options,
                                  const CliqueCallback& emit,
                                  BlockWorkspace* workspace) {
+  return AnalyzeBlock(block, options, emit, workspace,
+                      KernelRange{0, block.kernel_local.size()});
+}
+
+BlockAnalysisResult AnalyzeBlock(const Block& block,
+                                 const BlockAnalysisOptions& options,
+                                 const CliqueCallback& emit,
+                                 BlockWorkspace* workspace,
+                                 KernelRange range) {
   const Graph& g = block.subgraph.graph;
   MCE_CHECK_EQ(block.roles.size(), g.num_nodes());
+  MCE_CHECK_LE(range.begin, range.end);
+  MCE_CHECK_LE(range.end, block.kernel_local.size());
 
   // Only materialized for workspace-less callers: even an empty workspace
   // costs a few allocations (deque bookkeeping), which would break the
@@ -153,16 +180,17 @@ BlockAnalysisResult AnalyzeBlock(const Block& block,
   switch (result.used.storage) {
     case StorageKind::kAdjacencyList: {
       ListStorage storage(g);
-      result.num_cliques = RunVectorLoop(block, storage, rule, emit, ws);
+      result.num_cliques =
+          RunVectorLoop(block, storage, rule, emit, ws, range);
       break;
     }
     case StorageKind::kMatrix: {
       result.num_cliques =
-          RunVectorLoop(block, ws.Matrix(g), rule, emit, ws);
+          RunVectorLoop(block, ws.Matrix(g), rule, emit, ws, range);
       break;
     }
     case StorageKind::kBitset: {
-      result.num_cliques = RunBitsetLoop(block, rule, emit, ws);
+      result.num_cliques = RunBitsetLoop(block, rule, emit, ws, range);
       break;
     }
   }

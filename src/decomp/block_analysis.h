@@ -13,6 +13,7 @@
 #ifndef MCE_DECOMP_BLOCK_ANALYSIS_H_
 #define MCE_DECOMP_BLOCK_ANALYSIS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "decision/decision_tree.h"
@@ -52,6 +53,28 @@ BlockAnalysisResult AnalyzeBlock(const Block& block,
                                  const BlockAnalysisOptions& options,
                                  const CliqueCallback& emit,
                                  BlockWorkspace* workspace = nullptr);
+
+/// A contiguous range [begin, end) of indices into Block::kernel_local —
+/// the unit an executor splits an oversized BlockTask into.
+struct KernelRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Kernel-range overload of Algorithm 4: runs the per-kernel loop only for
+/// kernel_local[range.begin, range.end), with every kernel before the
+/// range already counted as visited — exactly the loop state the whole-
+/// block call reaches when it arrives at range.begin. Concatenating the
+/// emissions of consecutive ranges covering [0, kernel_local.size())
+/// reproduces the whole-block emission byte for byte, which is what lets
+/// an executor analyze one block's shards on different workers and merge
+/// the buffers back in kernel order. The bestfit classification still
+/// looks at the whole block, so every shard runs the same combination the
+/// undivided task would have.
+BlockAnalysisResult AnalyzeBlock(const Block& block,
+                                 const BlockAnalysisOptions& options,
+                                 const CliqueCallback& emit,
+                                 BlockWorkspace* workspace, KernelRange range);
 
 }  // namespace mce::decomp
 

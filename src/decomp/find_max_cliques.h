@@ -58,6 +58,15 @@ enum class ExecutorKind : uint8_t {
   kPooled = 2,
 };
 
+/// Default BlockTask split threshold, in decision::EstimateBlockCost work
+/// units. Calibrated on the bench_pipeline social stand-in, where per-level
+/// block costs run from a few hundred (the sparse mass) up to ~80k (dense
+/// planted-clique blocks) and the deepest hub levels collapse to a single
+/// ~13k block: 8000 shards every block that can dominate a level — or BE a
+/// level — while leaving the sparse mass whole, so shard bookkeeping stays
+/// off the common path.
+inline constexpr double kDefaultMaxBlockCost = 8000.0;
+
 struct FindMaxCliquesOptions {
   /// Block bound m. Completeness requires nothing; termination without the
   /// fallback requires m > degeneracy(G).
@@ -76,6 +85,16 @@ struct FindMaxCliquesOptions {
   /// cliques (content and order) are identical to the serial run; 0 = one
   /// thread per hardware thread.
   uint32_t num_threads = 1;
+  /// Cost-guided BlockTask splitting (pooled executor). A block whose
+  /// predicted analysis cost (decision::EstimateBlockCost over the block's
+  /// classification features) exceeds max_block_cost is split into
+  /// contiguous kernel-range shards of at most that predicted share, each
+  /// running as its own pool task; shard buffers are merged back in kernel
+  /// order, so emission stays byte-identical to the undivided task. Ready
+  /// tasks dispatch largest-predicted-first either way. split_blocks=false
+  /// (CLI --no-split) or max_block_cost <= 0 keeps blocks indivisible.
+  bool split_blocks = true;
+  double max_block_cost = kDefaultMaxBlockCost;
   /// Execution engine selection; see ExecutorKind.
   ExecutorKind executor = ExecutorKind::kAuto;
   /// Optional per-block hook, called after each block is analyzed. Always
@@ -115,9 +134,20 @@ struct LevelStats {
   /// with the union of all earlier levels' analysis windows). Pooled
   /// executor only; the serial executor never overlaps and reports 0.
   double overlap_seconds = 0;
-  /// Aggregate worker idle time during this level's analyze phase:
-  /// max(0, analyze_threads * analyze_seconds - block_seconds).
+  /// Aggregate work-starved worker idle time during this level's analyze
+  /// phase — capacity inside the union of the level's own task spans minus
+  /// the block work performed (obs::SplitIdle). Waits at level boundaries
+  /// are excluded; they land in barrier_idle_seconds.
   double idle_seconds = 0;
+  /// Aggregate worker capacity across the gaps of the level's analysis
+  /// hull: stretches where none of the level's tasks ran because the pool
+  /// was parked at a cross-level boundary (the next level's decompose, the
+  /// filter plan, the delivery barrier). Kept separate from idle_seconds
+  /// so inter-level waits are not charged to the level that just ended.
+  double barrier_idle_seconds = 0;
+  /// BlockTasks of this level the executor split into kernel-range shards
+  /// (0 when splitting is disabled or nothing crossed the cost threshold).
+  uint64_t block_splits = 0;
 };
 
 struct FindMaxCliquesResult {

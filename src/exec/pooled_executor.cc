@@ -3,6 +3,10 @@
 // Scheduling differences vs. the serial depth-first walk:
 //  * BlockTasks are submitted the moment BuildBlocksStreaming emits each
 //    block, so analysis starts while the level is still decomposing.
+//  * Task granularity follows the block cost model (DESIGN.md §7): blocks
+//    predicted above max_block_cost split into kernel-range shards, blocks
+//    below it coalesce into batches of about that much predicted work, and
+//    ready tasks dispatch largest-predicted-first.
 //  * DecomposeTask(h+1) depends only on Cut(h)'s hub set, so it is
 //    submitted before level h's blocks are even built — the next level's
 //    induce/cut/build runs concurrently with the tail of level-h analysis
@@ -40,6 +44,9 @@
 #include <utility>
 #include <vector>
 
+#include "decision/block_cost.h"
+#include "decision/features.h"
+#include "decomp/block_analysis.h"
 #include "decomp/cut.h"
 #include "decomp/parallel_analysis.h"
 #include "exec/executor.h"
@@ -52,6 +59,79 @@
 namespace mce::exec {
 
 namespace {
+
+/// Append-only clique arena: ids stored back to back with end offsets,
+/// preserving emission order. The pooled engine buffers every clique a
+/// level produces (that is what makes its emission byte-identical to the
+/// serial walk), so the buffers must not cost one heap allocation per
+/// clique the way vector<Clique> does — on clique-dense graphs that
+/// allocator traffic alone made the pooled engine slower than serial.
+class FlatCliques {
+ public:
+  /// Copies the clique and sorts it in place (the CliqueSet::Add
+  /// contract, which the serial emission order is defined in terms of).
+  void Append(std::span<const NodeId> c) {
+    AppendRaw(c);
+    std::sort(ids_.end() - static_cast<ptrdiff_t>(c.size()), ids_.end());
+  }
+
+  /// Copies verbatim, skipping the sort — for buffers whose reader
+  /// canonicalizes anyway (level >= 1 shard buffers feed MapAndFilter-
+  /// Clique, which sorts its output) or whose input already is canonical
+  /// (filter and fallback survivors are MapAndFilterClique output).
+  void AppendRaw(std::span<const NodeId> c) {
+    if (ids_.capacity() == 0) {
+      // First touch: skip the early doubling steps. Most arenas are
+      // per-block buffers on graphs with thousands of small blocks, so
+      // growing each one from nothing costs more allocator traffic than
+      // the analysis itself saves.
+      ids_.reserve(96);
+      ends_.reserve(16);
+    }
+    ids_.insert(ids_.end(), c.begin(), c.end());
+    ends_.push_back(ids_.size());
+  }
+  size_t size() const { return ends_.size(); }
+  std::span<const NodeId> operator[](size_t i) const {
+    const size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return {ids_.data() + begin, ends_[i] - begin};
+  }
+
+ private:
+  std::vector<NodeId> ids_;
+  std::vector<size_t> ends_;
+};
+
+/// One kernel-range shard of a BlockTask: its range, buffered cliques, and
+/// measured window. An unsplit block is the degenerate single-shard case.
+struct ShardRun {
+  decomp::KernelRange range;
+  decomp::BlockAnalysisResult result;
+  /// The shard's cliques (parent-graph ids, each sorted), in emission
+  /// order; concatenating the shards in kernel order reproduces the
+  /// undivided task's buffer byte for byte.
+  FlatCliques cliques;
+  int64_t begin_us = 0;
+  int64_t end_us = 0;
+  double seconds = 0;
+  size_t worker = 0;
+};
+
+/// Execution state of one BlockTask. The shard vector is sized at block
+/// emission and never resized, so shard tasks hold stable element
+/// pointers.
+struct BlockExec {
+  /// decision::EstimateBlockCost score, computed at emission; drives both
+  /// the largest-first dispatch order and the split decision.
+  double cost = 0;
+  std::vector<ShardRun> shards;
+  size_t shards_done = 0;  // engine mutex
+  /// Whole-block aggregate, written by the last-finishing shard: `used`
+  /// from any shard (the classification is deterministic per block) and
+  /// the summed clique count / serial-equivalent seconds.
+  decomp::BlockAnalysisResult result;
+  double seconds = 0;
+};
 
 /// All state of one recursion level as it moves through the task graph.
 struct LevelRun {
@@ -67,21 +147,35 @@ struct LevelRun {
   // BlockTask state. Deques so emitted tasks hold stable pointers while
   // the decompose task keeps appending.
   std::deque<decomp::Block> blocks;
-  std::deque<decomp::BlockRun> runs;
+  std::deque<BlockExec> execs;
+  /// Tiny-block batch under construction (touched only by the level's
+  /// decompose worker, before blocks_final). Blocks predicted under the
+  /// split threshold are coalesced into one pool task aimed at about
+  /// max_block_cost of work, the same granularity giant blocks are split
+  /// down to — dispatch overhead then scales with predicted work, not
+  /// block count.
+  struct BatchItem {
+    decomp::Block* block = nullptr;
+    BlockExec* exec = nullptr;
+    uint64_t index = 0;
+  };
+  std::vector<BatchItem> batch;
+  double batch_cost = 0;
   bool blocks_final = false;
   size_t blocks_done = 0;
   bool analysis_signaled = false;
   ThreadPool::Completion analysis_token;
 
-  // FilterTask state (levels >= 1). Chunks write disjoint slices.
-  std::vector<const Clique*> pending;
-  std::vector<Clique> mapped;
-  std::vector<uint8_t> keep;
+  // FilterTask state (levels >= 1). Chunks own disjoint pending slices
+  // and buffer their survivors in per-chunk arenas; delivery walks the
+  // arenas in chunk order, which is pending order.
+  std::vector<std::span<const NodeId>> pending;
+  std::vector<FlatCliques> filter_out;
   size_t filter_chunks_left = 0;
 
   // m-core fallback: survivors buffered for calling-thread emission.
   bool fallback = false;
-  std::vector<Clique> fallback_cliques;
+  FlatCliques fallback_cliques;
 
   decomp::LevelStats stats;
 
@@ -213,22 +307,10 @@ class PooledEngine {
 
     decomp::BuildBlocksStreaming(
         graph, lr->cut.feasible, blocks_options_,
-        [this, lr](decomp::Block&& b) {
-          decomp::Block* block = nullptr;
-          decomp::BlockRun* run = nullptr;
-          uint64_t index = 0;
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            index = lr->blocks.size();
-            lr->blocks.push_back(std::move(b));
-            lr->runs.emplace_back();
-            block = &lr->blocks.back();
-            run = &lr->runs.back();
-          }
-          pool_.Submit([this, lr, block, run, index] {
-            BlockTask(lr, block, run, index);
-          });
-        });
+        [this, lr](decomp::Block&& b) { EmitBlock(lr, std::move(b)); });
+    // The tail batch flushes before blocks_final so every emitted block
+    // has a task in flight when the completion check below runs.
+    FlushBatch(lr);
 
     bool signal = false;
     ThreadPool::Completion token;
@@ -263,25 +345,151 @@ class PooledEngine {
     trace_->Record(e);
   }
 
-  /// BlockTask(level, i): Algorithm 4 into the block's buffer slot.
-  void BlockTask(LevelRun* lr, decomp::Block* block, decomp::BlockRun* run,
-                 uint64_t index) {
+  /// Emission of one block by DecomposeTask(level): score it, plan its
+  /// shards, and dispatch them through the cost-ordered queue.
+  void EmitBlock(LevelRun* lr, decomp::Block&& b) {
+    // The predicted cost reuses the bestfit classification features —
+    // computed here, on the decompose worker, so dispatch order and the
+    // split decision are fixed before any worker picks the block up.
+    const double cost = decision::EstimateBlockCost(b.subgraph.graph);
+    const size_t kernels = b.kernel_local.size();
+    const bool splittable = options_.split_blocks &&
+                            options_.max_block_cost > 0 &&
+                            pool_.num_threads() > 1;
+    const size_t shards =
+        splittable
+            ? decision::PlanShardCount(cost, options_.max_block_cost, kernels)
+            : 1;
+
+    decomp::Block* block = nullptr;
+    BlockExec* exec = nullptr;
+    uint64_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      index = lr->blocks.size();
+      lr->blocks.push_back(std::move(b));
+      lr->execs.emplace_back();
+      block = &lr->blocks.back();
+      exec = &lr->execs.back();
+      exec->cost = cost;
+      exec->shards.resize(shards);
+    }
+    if (shards > 1) metrics_.RecordSplit(shards);
+    if (shards == 1 && splittable && cost < options_.max_block_cost) {
+      // Tiny block: coalesce instead of dispatching. The batch flushes
+      // once it accumulates a split threshold's worth of predicted work
+      // (and unconditionally at decompose end), so every pool task —
+      // shard, batch, or lone mid-sized block — carries comparable work.
+      exec->shards[0].range = {0, kernels};
+      lr->batch.push_back({block, exec, index});
+      lr->batch_cost += cost;
+      // Batches flush about a split-threshold's worth of work at a time:
+      // large enough that dispatch and context-switch overhead is
+      // amortized (tiny tasks on few cores otherwise spend more time in
+      // handoffs than analysis), small enough that a level still breaks
+      // into many independently schedulable tasks. Narrow pools coarsen
+      // the batches further — with few workers there is little balancing
+      // to gain, and handoff overhead dominates; wide pools keep them at
+      // the split granularity so every worker has work to pull.
+      const double mult = pool_.num_threads() <= 4 ? 4.0 : 1.0;
+      if (lr->batch_cost >= mult * options_.max_block_cost) FlushBatch(lr);
+      return;
+    }
+    // Contiguous, even kernel ranges; every shard carries an equal share
+    // of the predicted cost into the dispatch order.
+    const double shard_cost = cost / static_cast<double>(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      ShardRun& run = exec->shards[s];
+      run.range.begin = kernels * s / shards;
+      run.range.end = kernels * (s + 1) / shards;
+      queue_.Push(shard_cost, [this, lr, block, exec, s, index] {
+        ShardTask(lr, block, exec, s, index);
+      });
+      // One generic pull per queued task: the pool stays FIFO while the
+      // queue decides which analysis task each freed worker runs —
+      // highest predicted cost first (DESIGN.md §7).
+      pool_.Submit([this] { queue_.RunNext(); });
+    }
+  }
+
+  /// Dispatches the level's pending tiny-block batch as one pool task
+  /// whose scheduling cost is the batch's summed prediction. Runs on the
+  /// level's decompose worker (the only writer of the batch fields).
+  void FlushBatch(LevelRun* lr) {
+    if (lr->batch.empty()) return;
+    const double cost = lr->batch_cost;
+    queue_.Push(cost, [this, lr, items = std::move(lr->batch)] {
+      for (const LevelRun::BatchItem& it : items) {
+        ShardTask(lr, it.block, it.exec, 0, it.index);
+      }
+    });
+    lr->batch = {};
+    lr->batch_cost = 0;
+    pool_.Submit([this] { queue_.RunNext(); });
+  }
+
+  /// BlockShardTask(level, i, s): Algorithm 4 over the shard's kernel
+  /// range, into the shard's buffer slot. The last-finishing shard
+  /// aggregates the block and advances the level's completion state.
+  void ShardTask(LevelRun* lr, decomp::Block* block, BlockExec* exec,
+                 size_t shard, uint64_t index) {
     const size_t worker_index = ThreadPool::CurrentWorkerIndex();
     const size_t worker =
         worker_index == ThreadPool::kNotAWorker ? 0 : worker_index;
-    run->begin_us = obs::NowMicros();
-    run->result = decomp::AnalyzeBlock(*block, analysis_options_,
-                                       run->cliques.Collector(),
-                                       &workspaces_[worker]);
-    run->end_us = obs::NowMicros();
-    run->seconds =
-        static_cast<double>(run->end_us - run->begin_us) * 1e-6;
-    run->worker = worker;
+    ShardRun& run = exec->shards[shard];
+    run.begin_us = obs::NowMicros();
+    // Level-0 buffers are the emission source and must hold each clique
+    // sorted; deeper levels' buffers only feed the filter, which sorts.
+    const bool canonicalize = lr->level == 0;
+    run.result = decomp::AnalyzeBlock(
+        *block, analysis_options_,
+        [&run, canonicalize](std::span<const NodeId> c) {
+          if (canonicalize) {
+            run.cliques.Append(c);
+          } else {
+            run.cliques.AppendRaw(c);
+          }
+        },
+        &workspaces_[worker], run.range);
+    run.end_us = obs::NowMicros();
+    run.seconds = static_cast<double>(run.end_us - run.begin_us) * 1e-6;
+    run.worker = worker;
+    const size_t total = exec->shards.size();
     if (trace_ != nullptr) {
-      trace_->Record(MakeBlockSpan(run->begin_us, run->end_us, *block,
-                                   run->result, lr->level, index));
+      if (total > 1) {
+        trace_->Record(MakeBlockShardSpan(run.begin_us, run.end_us, lr->level,
+                                          index, run.range,
+                                          run.result.num_cliques, total,
+                                          run.result.used));
+      } else {
+        trace_->Record(MakeBlockSpan(run.begin_us, run.end_us, *block,
+                                     run.result, lr->level, index));
+      }
     }
-    metrics_.RecordBlock(*block, run->result, run->seconds);
+
+    bool block_done = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      block_done = ++exec->shards_done == total;
+    }
+    if (!block_done) return;
+
+    // All shard writers finished before the shards_done transition this
+    // thread observed, so their slots are safe to read unlocked.
+    exec->result.used = exec->shards.front().result.used;
+    for (const ShardRun& s : exec->shards) {
+      exec->result.num_cliques += s.result.num_cliques;
+      exec->seconds += s.seconds;
+    }
+    // Workload metrics count whole blocks, however many shards ran them.
+    metrics_.RecordBlock(*block, exec->result, exec->seconds);
+    if (!options_.block_observer && !sink_) {
+      // Without an observer or sink, delivery never reads the block again
+      // — only this task's aggregates. Freeing the subgraph here keeps the
+      // engine's live footprint near the serial one-block-at-a-time
+      // profile instead of holding every block until the level delivers.
+      *block = decomp::Block();
+    }
 
     bool signal = false;
     ThreadPool::Completion token;
@@ -303,18 +511,24 @@ class PooledEngine {
   /// ready directly (level 0 needs no filter).
   void PlanFilter(LevelRun* lr) {
     // The completion token ordered this task after every BlockTask of the
-    // level, so the runs are safe to read without the lock.
+    // level, so the buffers are safe to read without the lock. Shards are
+    // walked in kernel order within each block, so the pending list is the
+    // serial emission order.
     if (lr->level > 0) {
-      for (const decomp::BlockRun& run : lr->runs) {
-        for (const Clique& c : run.cliques.cliques()) {
-          lr->pending.push_back(&c);
+      size_t total = 0;
+      for (const BlockExec& exec : lr->execs) total += exec.result.num_cliques;
+      lr->pending.reserve(total);
+      for (const BlockExec& exec : lr->execs) {
+        for (const ShardRun& run : exec.shards) {
+          for (size_t c = 0; c < run.cliques.size(); ++c) {
+            lr->pending.push_back(run.cliques[c]);
+          }
         }
       }
       const std::vector<std::pair<size_t, size_t>> chunks =
           FilterChunks(lr->pending.size(), pool_.num_threads());
       if (!chunks.empty()) {
-        lr->mapped.resize(lr->pending.size());
-        lr->keep.assign(lr->pending.size(), 0);
+        lr->filter_out.resize(chunks.size());
         {
           std::lock_guard<std::mutex> lock(mu_);
           lr->filter_chunks_left = chunks.size();
@@ -337,16 +551,17 @@ class PooledEngine {
   }
 
   /// FilterTask(level, chunk): the telescoped Lemma-1 checks over one
-  /// contiguous slice of the level's buffered cliques.
+  /// contiguous slice of the level's buffered cliques, survivors appended
+  /// in slice order to the chunk's own arena.
   void FilterChunkTask(LevelRun* lr, size_t begin, size_t end, size_t chunk) {
     const int64_t begin_us = obs::NowMicros();
+    FlatCliques& out = lr->filter_out[chunk];
     Clique scratch;
     uint64_t kept = 0;
     for (size_t i = begin; i < end; ++i) {
-      if (MapAndFilterClique(original_, *lr->pending[i], lr->to_original,
+      if (MapAndFilterClique(original_, lr->pending[i], lr->to_original,
                              lr->level, &scratch)) {
-        lr->keep[i] = 1;
-        lr->mapped[i] = std::move(scratch);
+        out.AppendRaw(scratch);
         ++kept;
       }
     }
@@ -384,7 +599,7 @@ class PooledEngine {
                               if (MapAndFilterClique(original_, c,
                                                      lr->to_original,
                                                      lr->level, &scratch)) {
-                                lr->fallback_cliques.push_back(scratch);
+                                lr->fallback_cliques.AppendRaw(scratch);
                               }
                             });
     lr->fallback_end_us = obs::NowMicros();
@@ -423,26 +638,33 @@ class PooledEngine {
       out.used_fallback = true;
       analyze_spans.push_back(
           Range(lr->fallback_begin_us, lr->fallback_end_us));
-      for (const Clique& c : lr->fallback_cliques) {
+      for (size_t c = 0; c < lr->fallback_cliques.size(); ++c) {
         ++out.cliques_emitted;
-        emit_(c, lr->level);
+        emit_(lr->fallback_cliques[c], lr->level);
       }
     } else {
       std::vector<double> worker_seconds(pool_.num_threads(), 0.0);
       uint64_t produced = 0;
-      for (size_t i = 0; i < lr->runs.size(); ++i) {
-        const decomp::BlockRun& run = lr->runs[i];
-        produced += run.result.num_cliques;
-        stats.block_seconds += run.seconds;
-        worker_seconds[run.worker] += run.seconds;
-        analyze_spans.push_back(Range(run.begin_us, run.end_us));
+      for (size_t i = 0; i < lr->execs.size(); ++i) {
+        const BlockExec& exec = lr->execs[i];
+        produced += exec.result.num_cliques;
+        stats.block_seconds += exec.seconds;
+        if (exec.shards.size() > 1) ++stats.block_splits;
+        for (const ShardRun& run : exec.shards) {
+          worker_seconds[run.worker] += run.seconds;
+          analyze_spans.push_back(Range(run.begin_us, run.end_us));
+        }
+        // Observer and sink see one record per block — the aggregated
+        // whole-block result — whether or not it ran as shards, so their
+        // streams match the serial executor's.
         if (options_.block_observer) {
           options_.block_observer(decomp::MakeBlockTaskRecord(
-              lr->blocks[i], run.result, run.seconds, lr->level));
+              lr->blocks[i], exec.result, exec.seconds, lr->level));
         }
         if (sink_) {
-          sink_(MakeBlockTaskDescriptor(lr->blocks[i], run.result,
-                                        run.seconds, lr->level, i));
+          sink_(MakeBlockTaskDescriptor(lr->blocks[i], exec.result,
+                                        exec.seconds, lr->level, i,
+                                        exec.cost));
         }
       }
       stats.cliques = produced;
@@ -456,18 +678,23 @@ class PooledEngine {
 
       if (lr->level == 0) {
         // Identity mapping and per-clique sorting already happened in the
-        // per-block buffers, so the merge is a plain replay.
-        for (const decomp::BlockRun& run : lr->runs) {
-          for (const Clique& c : run.cliques.cliques()) {
-            ++out.cliques_emitted;
-            emit_(c, lr->level);
+        // per-shard buffers, so the merge is a plain replay: blocks in
+        // decomposition order, shards in kernel order.
+        for (const BlockExec& exec : lr->execs) {
+          for (const ShardRun& run : exec.shards) {
+            for (size_t c = 0; c < run.cliques.size(); ++c) {
+              ++out.cliques_emitted;
+              emit_(run.cliques[c], lr->level);
+            }
           }
         }
       } else {
-        for (size_t i = 0; i < lr->mapped.size(); ++i) {
-          if (!lr->keep[i]) continue;
-          ++out.cliques_emitted;
-          emit_(lr->mapped[i], lr->level);
+        // Chunk arenas in chunk order = pending order = serial order.
+        for (const FlatCliques& chunk : lr->filter_out) {
+          for (size_t c = 0; c < chunk.size(); ++c) {
+            ++out.cliques_emitted;
+            emit_(chunk[c], lr->level);
+          }
         }
       }
     }
@@ -481,17 +708,21 @@ class PooledEngine {
                                                analyze_windows_);
     const obs::TimeRange analyze_hull = obs::Hull(analyze_spans);
     if (!analyze_hull.Empty()) analyze_windows_.push_back(analyze_hull);
-    stats.idle_seconds =
-        obs::IdleLength(analyze_hull, stats.block_seconds,
-                        static_cast<int>(stats.analyze_threads));
+    // Idle capacity, attributed by cause: work starvation inside the
+    // level's own spans vs. hull gaps where the pool was parked at a
+    // task-graph boundary (obs/span_math.h).
+    const obs::IdleSplit idle =
+        obs::SplitIdle(analyze_spans, stats.block_seconds,
+                       static_cast<int>(stats.analyze_threads));
+    stats.idle_seconds = idle.idle_seconds;
+    stats.barrier_idle_seconds = idle.barrier_idle_seconds;
     out.levels.push_back(stats);
 
     // Free the bulky per-level state now that it is delivered.
     lr->blocks.clear();
-    lr->runs.clear();
+    lr->execs.clear();
     lr->pending = {};
-    lr->mapped = {};
-    lr->keep = {};
+    lr->filter_out = {};
     lr->fallback_cliques = {};
   }
 
@@ -533,6 +764,9 @@ class PooledEngine {
   std::deque<std::unique_ptr<LevelRun>> levels_;
   bool chain_done_ = false;
   std::vector<BlockWorkspace> workspaces_;
+  /// Ready analysis tasks (shards and unsplit blocks), dispatched largest
+  /// predicted cost first by generic pull thunks on the pool.
+  CostOrderedQueue queue_;
   // Declared last: its destructor drains tasks that touch the state above.
   ThreadPool pool_;
 };

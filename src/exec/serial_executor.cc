@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "decision/block_cost.h"
 #include "decomp/cut.h"
 #include "decomp/parallel_analysis.h"
 #include "exec/executor.h"
@@ -145,8 +146,12 @@ class SerialExecutor final : public Executor {
                   block, result, block_seconds, level));
             }
             if (sink_) {
-              sink_(MakeBlockTaskDescriptor(block, result, block_seconds,
-                                            level, block_index));
+              // Parity with the pooled executor's descriptors: the same
+              // cost model scores the block even though the serial walk
+              // never reorders or splits.
+              sink_(MakeBlockTaskDescriptor(
+                  block, result, block_seconds, level, block_index,
+                  decision::EstimateBlockCost(block.subgraph.graph)));
             }
             ++block_index;
             segment.Reset();

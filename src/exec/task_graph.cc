@@ -8,14 +8,14 @@ namespace mce::exec {
 
 BlockTaskDescriptor MakeBlockTaskDescriptor(
     const decomp::Block& block, const decomp::BlockAnalysisResult& result,
-    double seconds, uint32_t level, uint64_t index) {
+    double seconds, uint32_t level, uint64_t index, double estimated_cost) {
   BlockTaskDescriptor d;
   d.level = level;
   d.index = index;
   d.nodes = block.num_nodes();
   d.edges = block.num_edges();
   d.bytes = block.EstimatedBytes();
-  d.estimated_cost = static_cast<double>(d.edges + d.nodes);
+  d.estimated_cost = estimated_cost;
   d.compute_seconds = seconds;
   d.cliques = result.num_cliques;
   d.used = result.used;
@@ -93,9 +93,54 @@ obs::TraceEvent MakeBlockSpan(int64_t begin_us, int64_t end_us,
   return e;
 }
 
+obs::TraceEvent MakeBlockShardSpan(int64_t begin_us, int64_t end_us,
+                                   uint32_t level, uint64_t block_index,
+                                   const decomp::KernelRange& range,
+                                   uint64_t cliques, uint64_t shards,
+                                   const MceOptions& used) {
+  obs::TraceEvent e;
+  e.begin_us = begin_us;
+  e.end_us = end_us;
+  e.kind = obs::SpanKind::kBlockShard;
+  e.level = level;
+  e.index = block_index;
+  e.args[0] = range.begin;
+  e.args[1] = range.end;
+  e.args[2] = cliques;
+  e.args[3] = shards;
+  e.algorithm = static_cast<uint8_t>(used.algorithm);
+  e.storage = static_cast<uint8_t>(used.storage);
+  return e;
+}
+
+void CostOrderedQueue::Push(double cost, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_.push_back(Entry{cost, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+void CostOrderedQueue::RunNext() {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.empty()) return;
+    std::pop_heap(heap_.begin(), heap_.end());
+    fn = std::move(heap_.back().fn);
+    heap_.pop_back();
+  }
+  fn();
+}
+
+size_t CostOrderedQueue::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
 RunMetrics::RunMetrics(obs::MetricsRegistry* registry) : registry_(registry) {
   if (registry_ == nullptr) return;
   blocks_ = &registry_->GetCounter("exec.blocks_analyzed");
+  blocks_split_ = &registry_->GetCounter("exec.blocks_split");
+  block_shards_ = &registry_->GetCounter("exec.block_shards");
   block_cliques_ = &registry_->GetCounter("exec.block_cliques");
   filter_checked_ = &registry_->GetCounter("exec.filter_cliques_checked");
   filter_kept_ = &registry_->GetCounter("exec.filter_cliques_kept");
@@ -128,6 +173,12 @@ void RunMetrics::RecordBlock(const decomp::Block& block,
     block_ns_per_clique_->Observe(
         seconds * 1e9 / static_cast<double>(result.num_cliques));
   }
+}
+
+void RunMetrics::RecordSplit(uint64_t shards) {
+  if (registry_ == nullptr) return;
+  blocks_split_->Increment();
+  block_shards_->Add(shards);
 }
 
 void RunMetrics::RecordFilter(uint64_t checked, uint64_t kept) {

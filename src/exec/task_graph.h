@@ -31,6 +31,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -57,7 +59,10 @@ struct BlockTaskDescriptor {
   uint64_t edges = 0;
   /// Estimated shipping size of the block.
   uint64_t bytes = 0;
-  /// Pre-execution cost estimate available to a scheduler (edges + nodes).
+  /// Pre-execution cost estimate available to a scheduler — the
+  /// decision::EstimateBlockCost score every executor computes at block
+  /// emission (the same number that drives cost-guided dispatch and
+  /// splitting).
   double estimated_cost = 0;
   /// Measured analysis wall time.
   double compute_seconds = 0;
@@ -68,7 +73,7 @@ struct BlockTaskDescriptor {
 
 BlockTaskDescriptor MakeBlockTaskDescriptor(
     const decomp::Block& block, const decomp::BlockAnalysisResult& result,
-    double seconds, uint32_t level, uint64_t index);
+    double seconds, uint32_t level, uint64_t index, double estimated_cost);
 
 /// Derives the Algorithm-3 options of a DecomposeTask.
 decomp::BlocksOptions BlocksOptionsFor(
@@ -115,6 +120,52 @@ obs::TraceEvent MakeBlockSpan(int64_t begin_us, int64_t end_us,
                               const decomp::BlockAnalysisResult& result,
                               uint32_t level, uint64_t index);
 
+/// One kernel-range shard of a split BlockTask: a kBlockShard span tagged
+/// with the block it belongs to, the half-open kernel range it enumerated,
+/// its clique count, and the block's total shard count.
+obs::TraceEvent MakeBlockShardSpan(int64_t begin_us, int64_t end_us,
+                                   uint32_t level, uint64_t block_index,
+                                   const decomp::KernelRange& range,
+                                   uint64_t cliques, uint64_t shards,
+                                   const MceOptions& used);
+
+/// Priority dispatch queue for ready analysis tasks. The thread pool runs
+/// plain FIFO; cost-guided scheduling (DESIGN.md §7: largest predicted
+/// cost first, so a giant block emitted last cannot serialize the tail of
+/// a level) is layered on top by submitting generic "pull" thunks to the
+/// pool and letting each pull run the currently most expensive queued
+/// task. Ties dispatch in push (emission) order. Thread-safe.
+class CostOrderedQueue {
+ public:
+  /// Enqueues `fn` with predicted cost `cost`.
+  void Push(double cost, std::function<void()> fn);
+
+  /// Pops and runs the highest-cost queued task; no-op when empty. Callers
+  /// submit exactly one pool thunk per Push, so a non-empty pop is
+  /// guaranteed under that discipline, but RunNext tolerates spurious
+  /// calls.
+  void RunNext();
+
+  size_t Size() const;
+
+ private:
+  struct Entry {
+    double cost = 0;
+    uint64_t seq = 0;  // FIFO tiebreak: lower seq wins at equal cost
+    std::function<void()> fn;
+
+    /// std::push_heap max-heap order: "worse" entries compare less-than.
+    bool operator<(const Entry& other) const {
+      if (cost != other.cost) return cost < other.cost;
+      return seq > other.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  std::vector<Entry> heap_;
+};
+
 /// Per-run handle bundle for the execution engine's well-known workload
 /// metrics. Instrument lookups happen once, at construction; the Record*
 /// calls are lock-free and no-ops when the registry is null. Thread-safe.
@@ -128,6 +179,9 @@ class RunMetrics {
   /// size / edge-density / ns-per-clique histograms.
   void RecordBlock(const decomp::Block& block,
                    const decomp::BlockAnalysisResult& result, double seconds);
+  /// One BlockTask split into `shards` kernel-range shards (shards >= 2):
+  /// bumps exec.blocks_split by one and exec.block_shards by `shards`.
+  void RecordSplit(uint64_t shards);
   /// One Lemma-1 filter batch: `checked` cliques tested, `kept` survivors.
   void RecordFilter(uint64_t checked, uint64_t kept);
   /// End-of-run totals from the pipeline's stats.
@@ -136,6 +190,8 @@ class RunMetrics {
  private:
   obs::MetricsRegistry* registry_;
   obs::Counter* blocks_ = nullptr;
+  obs::Counter* blocks_split_ = nullptr;
+  obs::Counter* block_shards_ = nullptr;
   obs::Counter* block_cliques_ = nullptr;
   obs::Counter* filter_checked_ = nullptr;
   obs::Counter* filter_kept_ = nullptr;

@@ -68,4 +68,15 @@ double IdleLength(const TimeRange& window, double busy_seconds, int workers) {
   return std::max(0.0, capacity - busy_seconds);
 }
 
+IdleSplit SplitIdle(std::span<const TimeRange> spans, double busy_seconds,
+                    int workers) {
+  IdleSplit split;
+  const double covered = UnionLength(spans);
+  const double gaps = std::max(0.0, Hull(spans).Length() - covered);
+  const double lanes = static_cast<double>(workers);
+  split.idle_seconds = std::max(0.0, lanes * covered - busy_seconds);
+  split.barrier_idle_seconds = lanes * gaps;
+  return split;
+}
+
 }  // namespace mce::obs

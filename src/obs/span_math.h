@@ -42,6 +42,30 @@ double OverlapLength(const TimeRange& window,
 /// it, clamped at zero (LevelStats::idle_seconds).
 double IdleLength(const TimeRange& window, double busy_seconds, int workers);
 
+/// A level's idle capacity, attributed by cause (LevelStats idle_seconds /
+/// barrier_idle_seconds).
+struct IdleSplit {
+  /// Work-starved capacity while at least one of the level's own tasks was
+  /// running: workers * UnionLength(spans) - busy_seconds, clamped at 0 —
+  /// the parallelism shortfall the level itself is responsible for.
+  double idle_seconds = 0;
+  /// Capacity across the hull's uncovered gaps — stretches where *none* of
+  /// the level's tasks ran and its workers were parked at a task-graph
+  /// boundary (waiting on another level's decompose, the filter plan, or
+  /// the delivery barrier): workers * (hull - union). Charging these waits
+  /// to idle_seconds would blame the level that just ran out of work for
+  /// time its neighbors own, skewing per-level utilization.
+  double barrier_idle_seconds = 0;
+};
+
+/// Splits the capacity of `workers` lanes over the hull of `spans` into
+/// intra-level idle and cross-boundary barrier idle. `busy_seconds` is the
+/// work performed inside the spans (their summed lengths when they never
+/// overlap per worker). IdleLength(Hull(spans), busy, workers) ==
+/// idle_seconds + barrier_idle_seconds whenever busy <= workers * union.
+IdleSplit SplitIdle(std::span<const TimeRange> spans, double busy_seconds,
+                    int workers);
+
 }  // namespace mce::obs
 
 #endif  // MCE_OBS_SPAN_MATH_H_

@@ -42,6 +42,8 @@ const char* ToString(SpanKind kind) {
       return "idle";
     case SpanKind::kSimBlock:
       return "SimBlockTask";
+    case SpanKind::kBlockShard:
+      return "BlockShardTask";
   }
   return "?";
 }
@@ -182,6 +184,20 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
               "\"lane\":%llu,\"cliques\":%llu}",
               e.level, static_cast<ull>(e.index), static_cast<ull>(e.args[0]),
               static_cast<ull>(e.args[1]), static_cast<ull>(e.args[2]));
+      break;
+    case SpanKind::kBlockShard:
+      AppendF(out,
+              ",\"args\":{\"level\":%u,\"block\":%llu,\"kernel_begin\":%llu,"
+              "\"kernel_end\":%llu,\"cliques\":%llu,\"shards\":%llu",
+              e.level, static_cast<ull>(e.index), static_cast<ull>(e.args[0]),
+              static_cast<ull>(e.args[1]), static_cast<ull>(e.args[2]),
+              static_cast<ull>(e.args[3]));
+      if (e.algorithm != TraceEvent::kNoCombo) {
+        AppendF(out, ",\"algorithm\":%u,\"storage\":%u",
+                static_cast<unsigned>(e.algorithm),
+                static_cast<unsigned>(e.storage));
+      }
+      out += "}";
       break;
   }
 }

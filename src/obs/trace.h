@@ -47,6 +47,7 @@ enum class SpanKind : uint8_t {
   kFallback = 3,   // the indivisible m-core fallback enumeration
   kWorkerIdle = 4, // a pool worker waiting for work
   kSimBlock = 5,   // a block placement on a simulated cluster lane
+  kBlockShard = 6, // one kernel-range shard of a split BlockTask
 };
 
 /// The span's Chrome-trace event name ("DecomposeTask", "BlockTask", ...).
@@ -60,6 +61,8 @@ const char* ToString(SpanKind kind);
 ///   kFallback:   {nodes, edges, cliques, 0}
 ///   kWorkerIdle: {} (index = pool worker index)
 ///   kSimBlock:   {worker, lane, cliques, 0}
+///   kBlockShard: {kernel_begin, kernel_end, cliques, shards} (index =
+///                block index; one span per shard of a split BlockTask)
 struct TraceEvent {
   int64_t begin_us = 0;  // obs::NowMicros() timebase
   int64_t end_us = 0;

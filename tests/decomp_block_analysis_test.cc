@@ -191,5 +191,59 @@ TEST(BlockAnalysisTest, SharedWorkspaceIsByteIdentical) {
   }
 }
 
+TEST(BlockAnalysisTest, KernelRangeConcatenationIsByteIdentical) {
+  // The shard contract: consecutive kernel ranges covering [0, kernels)
+  // must reproduce the whole-block emission byte for byte — same cliques,
+  // same order, same total count, same `used` — for every storage and any
+  // cut points, including degenerate empty ranges.
+  Rng rng(53);
+  Graph g = gen::BarabasiAlbert(70, 4, &rng);
+  const uint32_t m = 14;
+  CutResult cut = Cut(g, m);
+  BlocksOptions boptions;
+  boptions.max_block_size = m;
+  std::vector<Block> blocks = BuildBlocks(g, cut.feasible, boptions);
+  ASSERT_GT(blocks.size(), 1u);
+  for (StorageKind storage :
+       {StorageKind::kAdjacencyList, StorageKind::kMatrix,
+        StorageKind::kBitset}) {
+    BlockAnalysisOptions aoptions;
+    aoptions.fixed = {Algorithm::kTomita, storage};
+    BlockWorkspace workspace;
+    for (const Block& block : blocks) {
+      CliqueSet whole;
+      const BlockAnalysisResult w =
+          AnalyzeBlock(block, aoptions, whole.Collector(), &workspace);
+      const size_t kernels = block.kernel_local.size();
+      // Several shard counts, including one shard per kernel and more
+      // pieces than kernels collapse to.
+      for (size_t pieces : {size_t{1}, size_t{2}, size_t{3}, kernels}) {
+        if (pieces == 0) continue;
+        CliqueSet merged;
+        uint64_t total = 0;
+        for (size_t s = 0; s < pieces; ++s) {
+          const KernelRange range{kernels * s / pieces,
+                                  kernels * (s + 1) / pieces};
+          const BlockAnalysisResult r = AnalyzeBlock(
+              block, aoptions, merged.Collector(), &workspace, range);
+          EXPECT_EQ(r.used.storage, w.used.storage);
+          EXPECT_EQ(r.used.algorithm, w.used.algorithm);
+          total += r.num_cliques;
+        }
+        EXPECT_EQ(total, w.num_cliques)
+            << ToString(storage) << " pieces=" << pieces;
+        EXPECT_EQ(merged.cliques(), whole.cliques())
+            << ToString(storage) << " pieces=" << pieces;
+      }
+      // An empty range emits nothing and leaves the workspace reusable.
+      CliqueSet none;
+      const BlockAnalysisResult r = AnalyzeBlock(
+          block, aoptions, none.Collector(), &workspace, KernelRange{0, 0});
+      EXPECT_EQ(r.num_cliques, 0u);
+      EXPECT_TRUE(none.cliques().empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mce::decomp

@@ -4,14 +4,18 @@
 
 #include "exec/executor.h"
 
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "exec/cluster_executor.h"
+#include "exec/task_graph.h"
+#include "util/thread_pool.h"
 #include "gen/generators.h"
 #include "gen/social.h"
 #include "gen/special.h"
@@ -357,6 +361,152 @@ TEST(MakeExecutorTest, ResolveThreadCountHonorsExplicitRequests) {
   EXPECT_EQ(ResolveThreadCount(1), 1u);
   EXPECT_EQ(ResolveThreadCount(7), 7u);
   EXPECT_GE(ResolveThreadCount(0), 1u);
+}
+
+// Tentpole: cost-guided BlockTask splitting. A max_block_cost of 1 forces
+// every multi-kernel block into per-kernel shards, the harshest shard
+// schedule possible — the emission, observer stream, and per-level stats
+// must still be byte-identical to the serial run.
+TEST(ShardIdentityTest, ForcedSplitMatchesSerialAcrossCorpusAndThreads) {
+  const std::vector<Graph> corpus = Corpus();
+  uint64_t total_splits = 0;
+  for (size_t gi = 0; gi < corpus.size(); ++gi) {
+    const Graph& g = corpus[gi];
+    for (uint32_t m : {3u, 8u, 20u}) {
+      decomp::FindMaxCliquesOptions options;
+      options.max_block_size = m;
+      options.max_block_cost = 1.0;  // shatter everything
+      const Captured serial =
+          RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "graph " << gi << " m " << m
+                                        << " threads " << threads);
+        const Captured pooled =
+            RunWith(g, options, decomp::ExecutorKind::kPooled, threads);
+        ExpectIdenticalRuns(pooled, serial);
+        for (const decomp::LevelStats& level : pooled.stats.levels) {
+          total_splits += level.block_splits;
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the shard path: every multi-kernel
+  // block crosses the forced threshold on the multi-threaded runs.
+  EXPECT_GT(total_splits, 0u);
+}
+
+TEST(ShardIdentityTest, SocialStandInForcedSplitMatchesSerial) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 40;
+  options.max_block_cost = 50.0;
+  const Captured serial = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_GT(serial.stats.cliques_emitted, 0u);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    ExpectIdenticalRuns(
+        RunWith(g, options, decomp::ExecutorKind::kPooled, threads), serial);
+  }
+}
+
+// The degenerate cases: a threshold nothing crosses (every block is a
+// single shard) and splitting disabled outright must both behave exactly
+// like the pre-shard executor.
+TEST(ShardIdentityTest, SingleShardAndNoSplitAreByteIdentical) {
+  Rng rng(113);
+  const Graph g = gen::BarabasiAlbert(70, 4, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 12;
+  const Captured serial = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+
+  decomp::FindMaxCliquesOptions huge = options;
+  huge.max_block_cost = 1e18;  // nothing splits
+  decomp::FindMaxCliquesOptions off = options;
+  off.split_blocks = false;  // --no-split
+  off.max_block_cost = 1.0;  // would shatter everything if honored
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    const Captured unsplit =
+        RunWith(g, huge, decomp::ExecutorKind::kPooled, threads);
+    ExpectIdenticalRuns(unsplit, serial);
+    const Captured disabled =
+        RunWith(g, off, decomp::ExecutorKind::kPooled, threads);
+    ExpectIdenticalRuns(disabled, serial);
+    for (const decomp::LevelStats& level : unsplit.stats.levels) {
+      EXPECT_EQ(level.block_splits, 0u);
+    }
+    for (const decomp::LevelStats& level : disabled.stats.levels) {
+      EXPECT_EQ(level.block_splits, 0u);
+    }
+  }
+}
+
+// The m-core fallback bypasses block decomposition entirely, so the split
+// threshold must not touch it.
+TEST(ShardIdentityTest, FallbackIgnoresSplitThreshold) {
+  const Graph g = gen::Complete(12);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 6;
+  options.max_block_cost = 1.0;
+  const Captured serial = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_TRUE(serial.stats.used_fallback);
+  for (uint32_t threads : {2u, 8u}) {
+    const Captured pooled =
+        RunWith(g, options, decomp::ExecutorKind::kPooled, threads);
+    ExpectIdenticalRuns(pooled, serial);
+    for (const decomp::LevelStats& level : pooled.stats.levels) {
+      EXPECT_EQ(level.block_splits, 0u);
+    }
+  }
+}
+
+TEST(CostOrderedQueueTest, DispatchesHighestCostFirstWithFifoTies) {
+  CostOrderedQueue queue;
+  std::vector<int> ran;
+  queue.Push(1.0, [&ran] { ran.push_back(1); });
+  queue.Push(5.0, [&ran] { ran.push_back(5); });
+  queue.Push(3.0, [&ran] { ran.push_back(3); });
+  queue.Push(5.0, [&ran] { ran.push_back(50); });  // tie: after the first 5
+  EXPECT_EQ(queue.Size(), 4u);
+  for (int i = 0; i < 4; ++i) queue.RunNext();
+  EXPECT_EQ(ran, (std::vector<int>{5, 50, 3, 1}));
+  EXPECT_EQ(queue.Size(), 0u);
+  queue.RunNext();  // empty pop is a tolerated no-op
+}
+
+// Satellite: largest-predicted-first scheduling. A level whose giant task
+// is emitted last must still finish within a small factor of its critical
+// path — with FIFO dispatch the giant starts only after the small tasks
+// drain, pushing the makespan toward (small + giant); with cost-ordered
+// dispatch the giant starts immediately and the smalls fill the other
+// workers.
+TEST(CostOrderedQueueTest, GiantTaskEmittedLastFinishesNearCriticalPath) {
+  constexpr int kWorkers = 4;
+  constexpr auto kGiant = std::chrono::milliseconds(240);
+  constexpr auto kSmall = std::chrono::milliseconds(20);
+  constexpr int kSmallCount = 12;
+  // Critical path = the giant task; the smalls pack into the remaining
+  // three workers well inside its window.
+  ThreadPool pool(kWorkers);
+  CostOrderedQueue queue;
+  // Emission order: all smalls first, the giant last — the adversarial
+  // order that defeats FIFO.
+  for (int i = 0; i < kSmallCount; ++i) {
+    queue.Push(1.0, [kSmall] { std::this_thread::sleep_for(kSmall); });
+    pool.Submit([&queue] { queue.RunNext(); });
+  }
+  queue.Push(1000.0, [kGiant] { std::this_thread::sleep_for(kGiant); });
+  pool.Submit([&queue] { queue.RunNext(); });
+  const auto begin = std::chrono::steady_clock::now();
+  pool.Wait();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  // FIFO would need ceil(12/4)*20ms before the giant even starts
+  // (makespan >= 300ms); cost-ordered dispatch keeps the level within
+  // 1.2x the 240ms critical path. The bound leaves slack for scheduler
+  // jitter but stays below the FIFO floor.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            kGiant * 12 / 10)
+      << "giant-last level exceeded 1.2x its critical path";
 }
 
 }  // namespace

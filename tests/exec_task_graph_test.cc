@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "decision/block_cost.h"
 #include "decomp/cut.h"
 #include "decomp/parallel_analysis.h"
 #include "gen/generators.h"
@@ -127,14 +128,15 @@ TEST(BlockTaskDescriptorTest, CarriesBlockShapeAndCostEstimate) {
   decomp::BlockAnalysisResult result;
   result.num_cliques = 7;
   result.used = {Algorithm::kTomita, StorageKind::kMatrix};
+  const double cost = decision::EstimateBlockCost(blocks[0].subgraph.graph);
   const BlockTaskDescriptor d =
-      MakeBlockTaskDescriptor(blocks[0], result, 0.5, 2, 3);
+      MakeBlockTaskDescriptor(blocks[0], result, 0.5, 2, 3, cost);
   EXPECT_EQ(d.level, 2u);
   EXPECT_EQ(d.index, 3u);
   EXPECT_EQ(d.nodes, blocks[0].num_nodes());
   EXPECT_EQ(d.edges, blocks[0].num_edges());
   EXPECT_EQ(d.bytes, blocks[0].EstimatedBytes());
-  EXPECT_DOUBLE_EQ(d.estimated_cost, static_cast<double>(d.edges + d.nodes));
+  EXPECT_DOUBLE_EQ(d.estimated_cost, cost);
   EXPECT_DOUBLE_EQ(d.compute_seconds, 0.5);
   EXPECT_EQ(d.cliques, 7u);
   EXPECT_EQ(d.used.storage, StorageKind::kMatrix);

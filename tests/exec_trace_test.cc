@@ -64,6 +64,7 @@ std::map<uint32_t, LevelSpans> SplitByLevel(
         ls.decompose.push_back(r);
         break;
       case obs::SpanKind::kBlock:
+      case obs::SpanKind::kBlockShard:
       case obs::SpanKind::kFallback:
         ls.analyze.push_back(r);
         ls.block_seconds += r.Length();
@@ -137,9 +138,11 @@ TEST(ExecTraceTest, PooledStatsAreRecomputableFromSpans) {
       EXPECT_NEAR(stats.block_seconds, spans.block_seconds, 1e-6);
       EXPECT_NEAR(stats.overlap_seconds,
                   obs::OverlapLength(decompose_window, earlier_hulls), 1e-6);
-      EXPECT_NEAR(stats.idle_seconds,
-                  obs::IdleLength(analyze_hull, spans.block_seconds,
-                                  static_cast<int>(stats.analyze_threads)),
+      const obs::IdleSplit idle =
+          obs::SplitIdle(spans.analyze, spans.block_seconds,
+                         static_cast<int>(stats.analyze_threads));
+      EXPECT_NEAR(stats.idle_seconds, idle.idle_seconds, 1e-6);
+      EXPECT_NEAR(stats.barrier_idle_seconds, idle.barrier_idle_seconds,
                   1e-6);
       if (!analyze_hull.Empty()) earlier_hulls.push_back(analyze_hull);
     }

@@ -68,5 +68,48 @@ TEST(IdleLengthTest, CapacityMinusBusyClampedAtZero) {
   EXPECT_DOUBLE_EQ(IdleLength({1.0, 3.0}, 0.0, 0), 0.0);
 }
 
+TEST(SplitIdleTest, GapFreeSpansHaveNoBarrierIdle) {
+  // Spans covering the hull without gaps: everything is intra-level idle,
+  // matching the plain IdleLength over the hull.
+  std::vector<TimeRange> spans = {{0.0, 2.0}, {1.0, 3.0}, {2.0, 4.0}};
+  IdleSplit split = SplitIdle(spans, 6.0, 2);
+  EXPECT_DOUBLE_EQ(split.barrier_idle_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(split.idle_seconds, IdleLength(Hull(spans), 6.0, 2));
+}
+
+TEST(SplitIdleTest, HullGapsBecomeBarrierIdle) {
+  // Union [0,1) u [3,4) inside hull [0,4): a 2-second gap where none of
+  // the level's tasks ran. With 3 workers that is 6 seconds of barrier
+  // idle; the covered 2 seconds leave 3*2 - 2 = 4 seconds of work-starved
+  // idle.
+  std::vector<TimeRange> spans = {{0.0, 1.0}, {3.0, 4.0}};
+  IdleSplit split = SplitIdle(spans, 2.0, 3);
+  EXPECT_DOUBLE_EQ(split.barrier_idle_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(split.idle_seconds, 4.0);
+}
+
+TEST(SplitIdleTest, SumsToHullIdleWhenBusyFitsTheUnion) {
+  // The documented identity: IdleLength over the hull equals the two
+  // attributed parts whenever busy <= workers * union.
+  std::vector<TimeRange> spans = {{0.0, 2.0}, {5.0, 6.0}, {5.5, 8.0}};
+  const double busy = 7.0;  // <= 4 workers * 4.5s union
+  IdleSplit split = SplitIdle(spans, busy, 4);
+  EXPECT_DOUBLE_EQ(split.idle_seconds + split.barrier_idle_seconds,
+                   IdleLength(Hull(spans), busy, 4));
+}
+
+TEST(SplitIdleTest, ClampsAndEmptyInput) {
+  // Busy exceeding the union capacity clamps intra-level idle to zero
+  // without touching the barrier share.
+  std::vector<TimeRange> spans = {{0.0, 1.0}, {2.0, 3.0}};
+  IdleSplit over = SplitIdle(spans, 99.0, 2);
+  EXPECT_DOUBLE_EQ(over.idle_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(over.barrier_idle_seconds, 2.0);
+  // No spans: nothing to attribute.
+  IdleSplit empty = SplitIdle({}, 0.0, 4);
+  EXPECT_DOUBLE_EQ(empty.idle_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.barrier_idle_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace mce::obs

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "community/percolation.h"
 #include "mce/clique_io.h"
@@ -44,8 +45,9 @@ using mce::NodeId;
 using mce::Result;
 using mce::Status;
 
-/// Minimal flag parser; accepts `--flag value` and `--flag=value`, in any
-/// order and mixed freely.
+/// Minimal flag parser; accepts `--flag value`, `--flag=value`, and bare
+/// boolean `--flag` (stored as "true" when the next token is another flag
+/// or the end of the line), in any order and mixed freely.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -54,8 +56,10 @@ class Flags {
       const char* body = argv[i] + 2;
       if (const char* eq = std::strchr(body, '=')) {
         values_[std::string(body, eq)] = eq + 1;
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[body] = argv[++i];
+      } else {
+        values_[body] = "true";
       }
     }
   }
@@ -142,12 +146,28 @@ int CmdEnumerate(const Flags& flags) {
   }
   // --threads N: analyze blocks on N local threads (0 = all hardware
   // threads). The clique output is identical to the serial run.
-  const int threads = flags.GetInt("threads", 1);
+  int threads = flags.GetInt("threads", 1);
   if (threads < 0) {
     std::fprintf(stderr, "error: --threads must be >= 0\n");
     return 1;
   }
+  // Oversubscription guard: far more workers than hardware threads only
+  // adds context-switch overhead to a CPU-bound pipeline. Clamp at 4x, a
+  // generous allowance for experimentation, and say so.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && threads > static_cast<int>(4 * hw)) {
+    std::fprintf(stderr,
+                 "warning: --threads %d exceeds 4x the %u hardware threads; "
+                 "clamping to %u\n",
+                 threads, hw, 4 * hw);
+    threads = static_cast<int>(4 * hw);
+  }
   options.num_threads = static_cast<uint32_t>(threads);
+  // --max-block-cost C / --no-split: cost-guided BlockTask splitting on
+  // the pooled executor (the clique output is identical either way).
+  options.max_block_cost =
+      flags.GetDouble("max-block-cost", options.max_block_cost);
+  if (flags.Get("no-split", "") == "true") options.split_blocks = false;
   // --executor serial|pooled|cluster: which execution engine runs the
   // pipeline. "cluster" routes through the simulated-cluster executor
   // (like --workers); the default picks serial or pooled by --threads.
@@ -373,6 +393,9 @@ void Usage() {
       "  enumerate   --input G [--ratio R | --m M] [--workers N]\n"
       "              [--threads T]  (analysis threads; 0 = all cores)\n"
       "              [--executor serial|pooled|cluster]  (engine choice)\n"
+      "              [--max-block-cost C]  (split blocks predicted above C\n"
+      "                                     into kernel-range shards)\n"
+      "              [--no-split]          (keep BlockTasks indivisible)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
       "              [--trace-out t.json]    (Chrome trace of the run)\n"
