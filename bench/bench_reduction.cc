@@ -1,0 +1,292 @@
+// Graph-reduction prepass bench (src/reduce): three measurements backing
+// the reduction layer's acceptance numbers.
+//
+//  1. Pipeline wall time, --reduce off vs on, on a power-law
+//     configuration-model social graph whose degree-1 tail is exactly the
+//     mass the prepass strips (the BA-based dataset stand-ins have a
+//     minimum degree of `attach` and no such tail, so nothing would
+//     fire). Reports per-engine wall seconds plus the reduction counters.
+//  2. The same comparison on a Watts-Strogatz beta=0 ring lattice:
+//     6-regular, no twins, no simplicial vertex — no rule fires, and the
+//     on/off ratio documents the cost of the no-op prepass (acceptance:
+//     no regression beyond 2%).
+//  3. Per-storage-backend AnalyzeBlock throughput (ns/clique) with and
+//     without the degeneracy relabeling of block-local ids.
+//
+// Plain harness (no google-benchmark): the unit is one full pipeline run
+// or one full block sweep. Usage: bench_reduction [--json <path>]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "decomp/block_analysis.h"
+#include "decomp/blocks.h"
+#include "decomp/cut.h"
+#include "decomp/find_max_cliques.h"
+#include "gen/generators.h"
+#include "mce/workspace.h"
+#include "reduce/reduction.h"
+#include "util/random.h"
+
+namespace mce {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PipelineRow {
+  const char* engine;
+  uint32_t threads;
+  double off_seconds = 0;
+  double on_seconds = 0;
+  uint64_t cliques = 0;
+  double Speedup() const {
+    return on_seconds > 0 ? off_seconds / on_seconds : 0;
+  }
+};
+
+double BestWall(const Graph& g, uint32_t m, decomp::ExecutorKind kind,
+                uint32_t threads, bool reduce, int reps, uint64_t* cliques) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    decomp::FindMaxCliquesOptions options;
+    options.max_block_size = m;
+    options.executor = kind;
+    options.num_threads = threads;
+    options.reduce = reduce;
+    uint64_t count = 0;
+    const auto start = Clock::now();
+    decomp::FindMaxCliquesStreaming(
+        g, options, [&count](std::span<const NodeId>, uint32_t) { ++count; });
+    const double wall = SecondsSince(start);
+    if (rep == 0 || wall < best) best = wall;
+    if (cliques != nullptr) *cliques = count;
+  }
+  return best;
+}
+
+struct RelabelRow {
+  const char* backend;
+  double plain_ns_per_clique = 0;
+  double relabel_ns_per_clique = 0;
+};
+
+/// Sweeps AnalyzeBlock over `blocks` with a fixed backend; returns
+/// ns/clique (best of `reps` sweeps).
+double SweepNsPerClique(const std::vector<decomp::Block>& blocks,
+                        StorageKind storage, int reps) {
+  decomp::BlockAnalysisOptions options;
+  options.fixed = {Algorithm::kTomita, storage};
+  BlockWorkspace workspace;
+  double best_seconds = 0;
+  uint64_t cliques = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    uint64_t count = 0;
+    const auto start = Clock::now();
+    for (const decomp::Block& block : blocks) {
+      decomp::BlockAnalysisResult result = decomp::AnalyzeBlock(
+          block, options, [](std::span<const NodeId>) {}, &workspace);
+      count += result.num_cliques;
+    }
+    const double wall = SecondsSince(start);
+    if (rep == 0 || wall < best_seconds) best_seconds = wall;
+    cliques = count;
+  }
+  return cliques > 0 ? best_seconds * 1e9 / static_cast<double>(cliques) : 0;
+}
+
+}  // namespace
+}  // namespace mce
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  using namespace mce;
+  constexpr int kReps = 5;
+
+  // --- 1. Social graph: the degree-1 tail regime. -------------------------
+  Rng rng(29);
+  const Graph social =
+      gen::PowerLawConfigurationModel(150000, 2.5, 1, 400, &rng);
+  const uint32_t social_m = std::max<uint32_t>(2, social.MaxDegree() / 2);
+  const reduce::ReductionResult red =
+      reduce::ReduceGraph(social, reduce::ReduceOptions{});
+  std::printf("social: %u nodes, %llu edges, m=%u\n", social.num_nodes(),
+              static_cast<unsigned long long>(social.num_edges()), social_m);
+  std::printf(
+      "reduction: -%llu vertices, -%llu edges, %llu trivial cliques, "
+      "%u rounds (%.4fs)\n",
+      static_cast<unsigned long long>(red.stats.vertices_removed),
+      static_cast<unsigned long long>(red.stats.edges_removed),
+      static_cast<unsigned long long>(red.stats.trivial_cliques),
+      red.stats.rounds, red.stats.seconds);
+
+  std::vector<PipelineRow> rows;
+  const struct {
+    const char* name;
+    decomp::ExecutorKind kind;
+    uint32_t threads;
+  } engines[] = {
+      {"serial", decomp::ExecutorKind::kSerial, 1},
+      {"pooled", decomp::ExecutorKind::kPooled, 4},
+  };
+  std::printf("%-8s %7s %12s %12s %9s\n", "engine", "threads", "off wall s",
+              "on wall s", "speedup");
+  for (const auto& e : engines) {
+    PipelineRow row;
+    row.engine = e.name;
+    row.threads = e.threads;
+    row.off_seconds =
+        BestWall(social, social_m, e.kind, e.threads, false, kReps, nullptr);
+    row.on_seconds =
+        BestWall(social, social_m, e.kind, e.threads, true, kReps,
+                 &row.cliques);
+    rows.push_back(row);
+    std::printf("%-8s %7u %12.4f %12.4f %8.2fx\n", row.engine, row.threads,
+                row.off_seconds, row.on_seconds, row.Speedup());
+  }
+
+  // --- 2. No-rule-fires guard: beta=0 ring lattice. -----------------------
+  // 12-regular: no degree <= 1, every neighborhood non-clique (and above
+  // the fold cap), all closed neighborhoods distinct. The prepass takes
+  // the unchanged fast path and the on/off ratio is its pure overhead.
+  Rng ring_rng(31);
+  const Graph ring = gen::WattsStrogatz(200000, 12, 0.0, &ring_rng);
+  const uint32_t ring_m = 24;
+  // The true no-op overhead (~1%: one read-only pre-scan over n + m) sits
+  // below the run-to-run scatter of a single 0.3s pipeline measurement, so
+  // both sides are measured best-of-N — the same estimator the social rows
+  // use. The minimum is the run with the least scheduler/turbo
+  // interference, which is exactly the quantity the overhead bound is
+  // about; reps alternate which side runs first so position effects
+  // (turbo decay, cache warmth) don't land on one side only.
+  double ring_off = 0;
+  double ring_on = 0;
+  constexpr int kRingReps = 24;
+  for (int rep = 0; rep < kRingReps; ++rep) {
+    const bool on_first = (rep % 2) != 0;
+    double off;
+    double on;
+    if (on_first) {
+      on = BestWall(ring, ring_m, decomp::ExecutorKind::kSerial, 1, true, 1,
+                    nullptr);
+      off = BestWall(ring, ring_m, decomp::ExecutorKind::kSerial, 1, false,
+                     1, nullptr);
+    } else {
+      off = BestWall(ring, ring_m, decomp::ExecutorKind::kSerial, 1, false,
+                     1, nullptr);
+      on = BestWall(ring, ring_m, decomp::ExecutorKind::kSerial, 1, true, 1,
+                    nullptr);
+    }
+    if (rep == 0 || off < ring_off) ring_off = off;
+    if (rep == 0 || on < ring_on) ring_on = on;
+  }
+  const double ring_ratio = ring_off > 0 ? ring_on / ring_off : 0;
+  std::printf(
+      "ring lattice (no rule fires): off %.4fs, on %.4fs, ratio %.3f\n",
+      ring_off, ring_on, ring_ratio);
+
+  // --- 3. ns/clique per backend, plain vs relabeled blocks. ---------------
+  // A dense community graph whose blocks clear the relabel cost gate
+  // (>= 32 nodes, average degree >= 16) — the regime the relabeling
+  // targets; the sparse tail the prepass strips never reaches it.
+  Rng dense_rng(37);
+  const Graph dense = gen::ErdosRenyiGnp(4000, 0.015, &dense_rng);
+  const uint32_t dense_m = std::max<uint32_t>(2, dense.MaxDegree() / 2);
+  decomp::CutResult cut = decomp::Cut(dense, dense_m);
+  decomp::BlocksOptions plain_opts;
+  plain_opts.max_block_size = dense_m;
+  std::vector<decomp::Block> plain =
+      decomp::BuildBlocks(dense, cut.feasible, plain_opts);
+  decomp::BlocksOptions relabel_opts = plain_opts;
+  relabel_opts.degeneracy_relabel = true;
+  std::vector<decomp::Block> relabeled =
+      decomp::BuildBlocks(dense, cut.feasible, relabel_opts);
+
+  std::vector<RelabelRow> relabel_rows;
+  const struct {
+    const char* name;
+    StorageKind kind;
+  } backends[] = {
+      {"AdjacencyList", StorageKind::kAdjacencyList},
+      {"Matrix", StorageKind::kMatrix},
+      {"Bitset", StorageKind::kBitset},
+  };
+  std::printf("%-14s %16s %16s\n", "backend", "plain ns/clique",
+              "relabel ns/clique");
+  for (const auto& b : backends) {
+    RelabelRow row;
+    row.backend = b.name;
+    row.plain_ns_per_clique = SweepNsPerClique(plain, b.kind, kReps);
+    row.relabel_ns_per_clique = SweepNsPerClique(relabeled, b.kind, kReps);
+    relabel_rows.push_back(row);
+    std::printf("%-14s %16.1f %16.1f\n", row.backend, row.plain_ns_per_clique,
+                row.relabel_ns_per_clique);
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"social\": {\n");
+    std::fprintf(f, "    \"nodes\": %u,\n    \"edges\": %llu,\n",
+                 social.num_nodes(),
+                 static_cast<unsigned long long>(social.num_edges()));
+    std::fprintf(f, "    \"m\": %u,\n", social_m);
+    std::fprintf(
+        f,
+        "    \"vertices_removed\": %llu,\n    \"edges_removed\": %llu,\n"
+        "    \"trivial_cliques\": %llu,\n    \"rounds\": %u,\n"
+        "    \"reduce_seconds\": %.6f,\n",
+        static_cast<unsigned long long>(red.stats.vertices_removed),
+        static_cast<unsigned long long>(red.stats.edges_removed),
+        static_cast<unsigned long long>(red.stats.trivial_cliques),
+        red.stats.rounds, red.stats.seconds);
+    std::fprintf(f, "    \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const PipelineRow& r = rows[i];
+      std::fprintf(f,
+                   "      {\"engine\": \"%s\", \"threads\": %u, "
+                   "\"off_wall_seconds\": %.6f, \"on_wall_seconds\": %.6f, "
+                   "\"speedup\": %.4f, \"cliques\": %llu}%s\n",
+                   r.engine, r.threads, r.off_seconds, r.on_seconds,
+                   r.Speedup(), static_cast<unsigned long long>(r.cliques),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+    std::fprintf(f,
+                 "  \"no_rule_graph\": {\"model\": \"ws-ring-beta0\", "
+                 "\"nodes\": %u, \"off_wall_seconds\": %.6f, "
+                 "\"on_wall_seconds\": %.6f, \"ratio\": %.4f},\n",
+                 ring.num_nodes(), ring_off, ring_on, ring_ratio);
+    std::fprintf(f, "  \"relabel_ns_per_clique\": [\n");
+    for (size_t i = 0; i < relabel_rows.size(); ++i) {
+      const RelabelRow& r = relabel_rows[i];
+      std::fprintf(f,
+                   "    {\"backend\": \"%s\", \"plain\": %.1f, "
+                   "\"relabeled\": %.1f}%s\n",
+                   r.backend, r.plain_ns_per_clique, r.relabel_ns_per_clique,
+                   i + 1 < relabel_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

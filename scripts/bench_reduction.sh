@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the graph-reduction benchmark and records the results at the repo
+# root:
+#   BENCH_reduction.json — end-to-end --reduce off vs on (serial and
+#                          pooled) on a power-law social graph, the
+#                          no-rule-fires overhead guard on a ring
+#                          lattice, and per-backend ns/clique for plain
+#                          vs degeneracy-relabeled blocks.
+#
+# Usage: scripts/bench_reduction.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)" --target bench_reduction
+
+"$build/bench/bench_reduction" --json "$repo/BENCH_reduction.json"
+echo "wrote $repo/BENCH_reduction.json"

@@ -30,11 +30,12 @@ else
     -DMCE_BUILD_BENCH=OFF \
     -DMCE_BUILD_EXAMPLES=OFF
   cmake --build "$tsan_build" -j "$(nproc)" \
-    --target util_test decomp_test exec_test
+    --target util_test decomp_test exec_test reduce_test
 
-  echo "=== tier-1: TSan run (util_test, decomp_test, exec_test) ==="
+  echo "=== tier-1: TSan run (util_test, decomp_test, exec_test," \
+       "reduce_test) ==="
   ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
-    -R '^(util_test|decomp_test|exec_test)$'
+    -R '^(util_test|decomp_test|exec_test|reduce_test)$'
 fi
 
 if [[ "${MCE_SKIP_ASAN:-0}" == "1" ]]; then
@@ -51,12 +52,12 @@ else
     -DMCE_BUILD_BENCH=OFF \
     -DMCE_BUILD_EXAMPLES=OFF
   cmake --build "$asan_build" -j "$(nproc)" \
-    --target mce_algorithms_test mce_alloc_test decomp_test
+    --target mce_algorithms_test mce_alloc_test decomp_test reduce_test
 
   echo "=== tier-1: ASan run (mce_algorithms_test, mce_alloc_test," \
-       "decomp_test) ==="
+       "decomp_test, reduce_test) ==="
   ctest --test-dir "$asan_build" --output-on-failure -j "$(nproc)" \
-    -R '^(mce_algorithms_test|mce_alloc_test|decomp_test)$'
+    -R '^(mce_algorithms_test|mce_alloc_test|decomp_test|reduce_test)$'
 fi
 
 # Trace leg: run the CLI on a small social graph with tracing on and

@@ -36,6 +36,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.seed_policy = options_.seed_policy;
   pipeline.num_threads = options_.num_threads;
   pipeline.executor = options_.executor;
+  pipeline.reduce = options_.reduce;
   pipeline.split_blocks = options_.split_blocks;
   pipeline.max_block_cost = options_.max_block_cost;
   pipeline.trace = options_.trace;

@@ -81,6 +81,11 @@ class MaxCliqueFinder {
     /// Which execution engine runs the pipeline (serial, pooled, or auto
     /// by thread count); every engine yields identical cliques.
     decomp::ExecutorKind executor = decomp::ExecutorKind::kAuto;
+    /// Graph-reduction prepass: strip simplicial/degree-0/degree-1
+    /// vertices and compress true twins before the pipeline runs, then
+    /// re-expand cliques on emission. The clique set is identical with or
+    /// without it. CLI: --reduce / --no-reduce.
+    bool reduce = false;
     /// Cost-guided BlockTask splitting on the pooled executor: blocks
     /// whose predicted analysis cost exceeds max_block_cost run as
     /// kernel-range shards (see decomp::FindMaxCliquesOptions). The

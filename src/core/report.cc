@@ -70,6 +70,18 @@ std::string RunReportJson(const FindResult& result) {
   os << ",\"barrier_idle_seconds\":" << Double(s.barrier_idle_seconds);
   os << ",\"block_splits\":" << s.block_splits;
   os << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false");
+  const reduce::ReductionStats& r = s.reduction;
+  os << ",\"reduction\":{\"enabled\":" << (r.enabled ? "true" : "false")
+     << ",\"isolated_removed\":" << r.isolated_removed
+     << ",\"degree1_removed\":" << r.degree1_removed
+     << ",\"dominated_removed\":" << r.dominated_removed
+     << ",\"twins_merged\":" << r.twins_merged
+     << ",\"vertices_removed\":" << r.vertices_removed
+     << ",\"edges_removed\":" << r.edges_removed
+     << ",\"trivial_cliques\":" << r.trivial_cliques
+     << ",\"suppressed_cliques\":" << r.suppressed_cliques
+     << ",\"rounds\":" << r.rounds
+     << ",\"seconds\":" << Double(r.seconds) << "}";
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
     const decomp::LevelStats& l = result.levels[i];

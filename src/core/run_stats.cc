@@ -19,6 +19,12 @@ std::string RunStats::ToString() const {
      << " overlap_s=" << overlap_seconds << " idle_s=" << idle_seconds
      << " barrier_idle_s=" << barrier_idle_seconds;
   if (block_splits > 0) os << " block_splits=" << block_splits;
+  if (reduction.enabled) {
+    os << " reduce[v=" << reduction.vertices_removed
+       << " e=" << reduction.edges_removed
+       << " trivial=" << reduction.trivial_cliques
+       << " rounds=" << reduction.rounds << "]";
+  }
   if (used_fallback) os << " [fallback]";
   return os.str();
 }
@@ -29,6 +35,7 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
   s.total_cliques = result.cliques.size();
   s.num_levels = result.levels.size();
   s.used_fallback = result.used_fallback;
+  s.reduction = result.reduction;
 
   uint64_t total_size = 0, feasible_size = 0, hub_size = 0;
   for (size_t i = 0; i < result.cliques.size(); ++i) {

@@ -48,6 +48,10 @@ struct RunStats {
   /// BlockTasks the executor split into kernel-range shards, summed over
   /// levels (0 with splitting disabled or on the serial executor).
   uint64_t block_splits = 0;
+  /// Graph-reduction prepass telemetry (reduction.enabled iff the run had
+  /// FindMaxCliquesOptions::reduce set); per-rule removal counts, trivial
+  /// cliques, and rounds to fixed point.
+  reduce::ReductionStats reduction;
 
   std::string ToString() const;
 };

@@ -28,7 +28,13 @@ namespace mce::decision {
 
 /// Predicted BLOCK-ANALYSIS cost of a block with the given features, in
 /// work units. Monotone in every feature; always >= 1 for non-empty
-/// blocks so thresholds and ratios are well defined.
+/// blocks so thresholds and ratios are well defined. When the
+/// graph-reduction prepass is on, blocks are grown from the reduced
+/// graph, so the features scored here are the post-reduction ones — the
+/// model never sees (and never over-budgets for) vertices the prepass
+/// already stripped. The features are invariant under the degeneracy
+/// relabeling of block-local ids (n, m, density, and degeneracy are all
+/// isomorphism-invariant), so scoring after the relabel changes nothing.
 double EstimateBlockCost(const BlockFeatures& features);
 
 /// Convenience: ComputeFeatures + EstimateBlockCost.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "reduce/relabel.h"
 #include "util/check.h"
 
 namespace mce::decomp {
@@ -137,6 +138,7 @@ void BuildBlocksStreaming(const Graph& g, const std::vector<NodeId>& feasible,
         block.roles[local] = NodeRole::kBorder;
       }
     }
+    if (options.degeneracy_relabel) reduce::DegeneracyRelabelBlock(&block);
     emit(std::move(block));
   }
 }

@@ -34,6 +34,12 @@ struct BlocksOptions {
   /// stop the growth of the current block.
   uint32_t min_adjacency = 1;
   SeedPolicy seed_policy = SeedPolicy::kLowestDegree;
+  /// Relabel each materialized block's local ids into reverse degeneracy
+  /// order (reduce::DegeneracyRelabelBlock) before emission, so the
+  /// hottest rows share cache lines. Permutes ids only — the analyzed
+  /// clique set is unchanged, but Block::subgraph.to_parent is no longer
+  /// increasing. Driven by FindMaxCliquesOptions::reduce.
+  bool degeneracy_relabel = false;
 };
 
 /// Receives each finished block as soon as it is materialized, in

@@ -25,6 +25,7 @@
 #include "decomp/blocks.h"
 #include "mce/clique.h"
 #include "mce/enumerator.h"
+#include "reduce/reduction.h"
 
 namespace mce::obs {
 class TraceRecorder;
@@ -97,6 +98,17 @@ struct FindMaxCliquesOptions {
   double max_block_cost = kDefaultMaxBlockCost;
   /// Execution engine selection; see ExecutorKind.
   ExecutorKind executor = ExecutorKind::kAuto;
+  /// Graph-reduction prepass (src/reduce): strip degree-0/1, simplicial
+  /// (dominated-fold), and true-twin vertices before CUT ever runs, emit
+  /// their maximal cliques directly (level 0, ahead of every block
+  /// clique), decompose the reduced graph, and re-expand each pipeline
+  /// clique through the ReductionMap *before* the Lemma-1 filter — the
+  /// filter still checks expanded cliques against the original graph, so
+  /// filtering semantics are unchanged. Also relabels every block into
+  /// reverse degeneracy order (BlocksOptions::degeneracy_relabel). The
+  /// emitted clique set is identical with and without. CLI: --reduce /
+  /// --no-reduce.
+  bool reduce = false;
   /// Optional per-block hook, called after each block is analyzed. Always
   /// invoked from the pipeline's calling thread, in block order, even when
   /// num_threads > 1 — it need not be thread-safe.
@@ -161,6 +173,10 @@ struct FindMaxCliquesResult {
   /// True when the sparsity precondition failed and the remaining hub core
   /// was enumerated directly.
   bool used_fallback = false;
+  /// Prepass telemetry (reduction.enabled iff options.reduce was set).
+  /// Trivial cliques emitted by the prepass are counted here and in the
+  /// clique set, not in any LevelStats entry.
+  reduce::ReductionStats reduction;
 
   /// Number of first-level decomposition iterations (Figure 7 reports 2-3).
   size_t NumLevels() const { return levels.size(); }
@@ -178,7 +194,9 @@ using LeveledCliqueCallback =
 struct StreamingStats {
   std::vector<LevelStats> levels;
   bool used_fallback = false;
+  /// Includes the reduction prepass's trivial cliques when reduce is on.
   uint64_t cliques_emitted = 0;
+  reduce::ReductionStats reduction;
 };
 
 /// Streaming form of FindMaxCliques: emits each maximal clique of G

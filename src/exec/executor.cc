@@ -50,6 +50,7 @@ decomp::FindMaxCliquesResult CollectToResult(
   decomp::FindMaxCliquesResult out;
   out.levels = std::move(stats.levels);
   out.used_fallback = stats.used_fallback;
+  out.reduction = stats.reduction;
   for (auto& [clique, origin] : found) {
     out.origin_level.push_back(origin);
     out.cliques.Add(std::move(clique));  // already sorted

@@ -207,9 +207,16 @@ class PooledEngine {
         pool_(std::max<size_t>(1, num_threads)) {}
 
   decomp::StreamingStats Run() {
+    decomp::StreamingStats out;
+    // ReduceTask: runs on the calling thread before the root decompose is
+    // even submitted, so the trivial cliques hold the same leading stream
+    // positions as on the serial engine. The level chain decomposes the
+    // reduced graph; original_ stays the Lemma-1 reference.
+    prep_.Run(original_, options_, trace_, metrics_, emit_, &out);
+    expansion_ = prep_.map();
     auto root = std::make_unique<LevelRun>();
     root->level = 0;
-    root->graph = &original_;
+    root->graph = &prep_.pipeline_graph();
     LevelRun* root_ptr = root.get();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -217,7 +224,6 @@ class PooledEngine {
     }
     pool_.Submit([this, root_ptr] { DecomposeTask(root_ptr, nullptr); });
 
-    decomp::StreamingStats out;
     size_t next = 0;
     for (;;) {
       LevelRun* lr = nullptr;
@@ -440,12 +446,24 @@ class PooledEngine {
     run.begin_us = obs::NowMicros();
     // Level-0 buffers are the emission source and must hold each clique
     // sorted; deeper levels' buffers only feed the filter, which sorts.
+    // With the reduction prepass active, level 0 additionally re-expands
+    // through the twin classes and drops covered cliques here, at
+    // buffering time — level 0 has no filter stage to do it later.
     const bool canonicalize = lr->level == 0;
+    const reduce::ReductionMap* const expansion = expansion_;
+    Clique expand_tmp;
     run.result = decomp::AnalyzeBlock(
         *block, analysis_options_,
-        [&run, canonicalize](std::span<const NodeId> c) {
+        [&run, canonicalize, expansion, &expand_tmp](
+            std::span<const NodeId> c) {
           if (canonicalize) {
-            run.cliques.Append(c);
+            if (expansion != nullptr) {
+              if (expansion->ExpandClique(c, &expand_tmp)) {
+                run.cliques.AppendRaw(expand_tmp);  // expansion is sorted
+              }
+            } else {
+              run.cliques.Append(c);
+            }
           } else {
             run.cliques.AppendRaw(c);
           }
@@ -557,10 +575,12 @@ class PooledEngine {
     const int64_t begin_us = obs::NowMicros();
     FlatCliques& out = lr->filter_out[chunk];
     Clique scratch;
+    Clique expand_scratch;
     uint64_t kept = 0;
     for (size_t i = begin; i < end; ++i) {
-      if (MapAndFilterClique(original_, lr->pending[i], lr->to_original,
-                             lr->level, &scratch)) {
+      if (MapExpandAndFilterClique(original_, lr->pending[i], lr->to_original,
+                                   lr->level, expansion_, &expand_scratch,
+                                   &scratch)) {
         out.AppendRaw(scratch);
         ++kept;
       }
@@ -592,13 +612,15 @@ class PooledEngine {
     decomp::LevelStats& stats = lr->stats;
     lr->fallback_begin_us = obs::NowMicros();
     Clique scratch;
+    Clique expand_scratch;
     uint64_t produced = 0;
     EnumerateMaximalCliques(*lr->graph, options_.fallback,
                             [&](std::span<const NodeId> c) {
                               ++produced;
-                              if (MapAndFilterClique(original_, c,
-                                                     lr->to_original,
-                                                     lr->level, &scratch)) {
+                              if (MapExpandAndFilterClique(
+                                      original_, c, lr->to_original,
+                                      lr->level, expansion_, &expand_scratch,
+                                      &scratch)) {
                                 lr->fallback_cliques.AppendRaw(scratch);
                               }
                             });
@@ -748,6 +770,10 @@ class PooledEngine {
   const decomp::FindMaxCliquesOptions& options_;
   const BlockTaskSink& sink_;
   const decomp::LeveledCliqueCallback& emit_;
+  /// The ReduceTask's state; set once in Run() before any pipeline task
+  /// is submitted, read-only afterwards (safe unlocked from workers).
+  ReducePrepass prep_;
+  const reduce::ReductionMap* expansion_ = nullptr;
   const decomp::BlocksOptions blocks_options_;
   const decomp::BlockAnalysisOptions analysis_options_;
   obs::TraceRecorder* const trace_;

@@ -34,18 +34,26 @@ class SerialExecutor final : public Executor {
     decomp::StreamingStats out;
     // One workspace reused across every block of the run.
     BlockWorkspace workspace;
-    const Graph* current = &g;
+    // ReduceTask: when options.reduce is set the prepass emits the trivial
+    // cliques right here and the level chain below starts from the
+    // reduced graph; `g` stays the filter's reference graph.
+    ReducePrepass prep;
+    prep.Run(g, options, trace, metrics, emit, &out);
+    const reduce::ReductionMap* const expansion = prep.map();
+    const Graph* current = &prep.pipeline_graph();
     Graph owned;  // deeper levels own the hub-induced subgraph
     std::vector<NodeId> to_original;  // empty means identity (level 0)
     uint32_t level = 0;
     Clique scratch;
+    Clique expand_scratch;
 
     const decomp::BlocksOptions blocks_options = BlocksOptionsFor(options);
     const decomp::BlockAnalysisOptions analysis_options =
         AnalysisOptionsFor(options);
 
     auto deliver = [&](std::span<const NodeId> c) {
-      const bool kept = MapAndFilterClique(g, c, to_original, level, &scratch);
+      const bool kept = MapExpandAndFilterClique(
+          g, c, to_original, level, expansion, &expand_scratch, &scratch);
       // Level 0 needs no maximality check, so only deeper levels count as
       // filter work.
       if (level > 0) metrics.RecordFilter(1, kept ? 1 : 0);

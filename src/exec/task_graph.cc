@@ -28,6 +28,7 @@ decomp::BlocksOptions BlocksOptionsFor(
   blocks_options.max_block_size = options.max_block_size;
   blocks_options.min_adjacency = options.min_adjacency;
   blocks_options.seed_policy = options.seed_policy;
+  blocks_options.degeneracy_relabel = options.reduce;
   return blocks_options;
 }
 
@@ -61,6 +62,67 @@ bool MapAndFilterClique(const Graph& original,
   }
   std::sort(out->begin(), out->end());
   return level == 0 || decomp::IsMaximalInGraph(original, *out);
+}
+
+bool MapExpandAndFilterClique(const Graph& original,
+                              std::span<const NodeId> level_ids,
+                              const std::vector<NodeId>& to_original,
+                              uint32_t level,
+                              const reduce::ReductionMap* expansion,
+                              Clique* scratch, Clique* out) {
+  if (expansion == nullptr || !expansion->active()) {
+    return MapAndFilterClique(original, level_ids, to_original, level, out);
+  }
+  // Translate level ids to reduced-graph ids, then expand the twin
+  // classes to original ids (sorted) — the Lemma-1 check below sees the
+  // same original-id cliques it would without the prepass.
+  scratch->clear();
+  if (to_original.empty()) {
+    scratch->assign(level_ids.begin(), level_ids.end());
+  } else {
+    scratch->reserve(level_ids.size());
+    for (NodeId v : level_ids) scratch->push_back(to_original[v]);
+  }
+  if (!expansion->ExpandClique(*scratch, out)) return false;
+  return level == 0 || decomp::IsMaximalInGraph(original, *out);
+}
+
+void ReducePrepass::Run(const Graph& g,
+                        const decomp::FindMaxCliquesOptions& options,
+                        obs::TraceRecorder* trace, RunMetrics& metrics,
+                        const decomp::LeveledCliqueCallback& emit,
+                        decomp::StreamingStats* out) {
+  if (!options.reduce) {
+    graph_ = &g;
+    return;
+  }
+  const int64_t begin_us = trace != nullptr ? obs::NowMicros() : 0;
+  result_ = reduce::ReduceGraph(g, reduce::ReduceOptions{});
+  // Pre-scan proved the graph irreducible: no copy was made, the map is
+  // inactive, and the pipeline runs on the input directly. Stats still
+  // flow (enabled=true, zero removals) so --json shows the prepass ran.
+  active_ = !result_.unchanged;
+  graph_ = result_.unchanged ? &g : &result_.graph;
+  out->reduction = result_.stats;
+  // Trivial cliques lead the stream: every engine emits them here, on the
+  // calling thread, before the root DecomposeTask produces anything — so
+  // serial/pooled emission stays byte-identical with reduction on.
+  for (size_t i = 0; i < result_.map.num_trivial_cliques(); ++i) {
+    ++out->cliques_emitted;
+    emit(result_.map.TrivialClique(i), 0);
+  }
+  metrics.RecordReduction(result_.stats);
+  if (trace != nullptr) {
+    obs::TraceEvent e;
+    e.begin_us = begin_us;
+    e.end_us = obs::NowMicros();
+    e.kind = obs::SpanKind::kReduce;
+    e.args[0] = result_.stats.vertices_removed;
+    e.args[1] = result_.stats.edges_removed;
+    e.args[2] = result_.stats.trivial_cliques;
+    e.args[3] = result_.stats.rounds;
+    trace->Record(e);
+  }
 }
 
 obs::TraceRecorder* ResolveTrace(const decomp::FindMaxCliquesOptions& options) {
@@ -185,6 +247,23 @@ void RunMetrics::RecordFilter(uint64_t checked, uint64_t kept) {
   if (registry_ == nullptr) return;
   filter_checked_->Add(checked);
   filter_kept_->Add(kept);
+}
+
+void RunMetrics::RecordReduction(const reduce::ReductionStats& stats) {
+  // Resolved lazily: the prepass records once per run, so there is no hot
+  // path to pre-bind these handles for.
+  if (registry_ == nullptr) return;
+  registry_->GetCounter("reduce.isolated_removed").Add(stats.isolated_removed);
+  registry_->GetCounter("reduce.degree1_removed").Add(stats.degree1_removed);
+  registry_->GetCounter("reduce.dominated_removed")
+      .Add(stats.dominated_removed);
+  registry_->GetCounter("reduce.twins_merged").Add(stats.twins_merged);
+  registry_->GetCounter("reduce.vertices_removed").Add(stats.vertices_removed);
+  registry_->GetCounter("reduce.edges_removed").Add(stats.edges_removed);
+  registry_->GetCounter("reduce.trivial_cliques").Add(stats.trivial_cliques);
+  registry_->GetCounter("reduce.suppressed_cliques")
+      .Add(stats.suppressed_cliques);
+  registry_->GetCounter("reduce.rounds").Add(stats.rounds);
 }
 
 void RunMetrics::RecordRun(const decomp::StreamingStats& stats) {

@@ -45,8 +45,11 @@
 #include "mce/enumerator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "reduce/reduction.h"
 
 namespace mce::exec {
+
+class RunMetrics;
 
 /// Shipping-ready description of one executed BlockTask. This is what the
 /// simulated-cluster executor schedules — real task descriptors, not an
@@ -97,6 +100,50 @@ bool MapAndFilterClique(const Graph& original,
                         std::span<const NodeId> level_ids,
                         const std::vector<NodeId>& to_original, uint32_t level,
                         Clique* out);
+
+/// MapAndFilterClique with the reduction prepass in the loop: `level_ids`
+/// are ids of the reduced graph's level chain, so after the to_original
+/// translation (into *scratch) the clique re-expands through `expansion`
+/// into original-graph ids — *before* the Lemma-1 check, which still runs
+/// against the true original graph. Returns false when the expansion is
+/// covered by a trivial clique of the prepass (a reduction leak) or fails
+/// the maximality check. With a null/inactive `expansion` this is exactly
+/// MapAndFilterClique.
+bool MapExpandAndFilterClique(const Graph& original,
+                              std::span<const NodeId> level_ids,
+                              const std::vector<NodeId>& to_original,
+                              uint32_t level,
+                              const reduce::ReductionMap* expansion,
+                              Clique* scratch, Clique* out);
+
+/// The ReduceTask: shared prepass driver for the executors. When
+/// options.reduce is set, Run() reduces `g` on the calling thread, emits
+/// the trivial cliques (level 0, ahead of every pipeline clique — the
+/// same stream position on every engine), records the kReduce span and
+/// the reduction metrics/stats, and the pipeline then decomposes
+/// pipeline_graph() with map() threaded through the filter call sites.
+/// When options.reduce is off, pipeline_graph() is `g` and map() is null.
+class ReducePrepass {
+ public:
+  /// Must be called once, before any pipeline task runs. `out` receives
+  /// the stats and the trivial-clique emission count.
+  void Run(const Graph& g, const decomp::FindMaxCliquesOptions& options,
+           obs::TraceRecorder* trace, RunMetrics& metrics,
+           const decomp::LeveledCliqueCallback& emit,
+           decomp::StreamingStats* out);
+
+  const Graph& pipeline_graph() const { return *graph_; }
+  /// Null when reduction is off — safe to pass straight to
+  /// MapExpandAndFilterClique.
+  const reduce::ReductionMap* map() const {
+    return active_ ? &result_.map : nullptr;
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  reduce::ReductionResult result_;
+  bool active_ = false;
+};
 
 /// Chunk partition of a level's FilterTasks: contiguous [begin, end)
 /// ranges covering `items`, at most 4 per worker and never more chunks
@@ -184,6 +231,8 @@ class RunMetrics {
   void RecordSplit(uint64_t shards);
   /// One Lemma-1 filter batch: `checked` cliques tested, `kept` survivors.
   void RecordFilter(uint64_t checked, uint64_t kept);
+  /// The reduction prepass's per-rule counters (reduce.* namespace).
+  void RecordReduction(const reduce::ReductionStats& stats);
   /// End-of-run totals from the pipeline's stats.
   void RecordRun(const decomp::StreamingStats& stats);
 

@@ -4,6 +4,23 @@
 
 namespace mce {
 
+Graph Graph::FromSortedCsr(std::vector<uint64_t> offsets,
+                           std::vector<NodeId> adjacency) {
+  MCE_DCHECK(!offsets.empty());
+  MCE_DCHECK_EQ(offsets.front(), 0u);
+  MCE_DCHECK_EQ(offsets.back(), adjacency.size());
+#ifndef NDEBUG
+  for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+    MCE_DCHECK_LE(offsets[v], offsets[v + 1]);
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      MCE_DCHECK_NE(adjacency[i], static_cast<NodeId>(v));
+      if (i > offsets[v]) MCE_DCHECK_LT(adjacency[i - 1], adjacency[i]);
+    }
+  }
+#endif
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   MCE_DCHECK_LT(u, num_nodes());
   MCE_DCHECK_LT(v, num_nodes());

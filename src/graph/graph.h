@@ -56,6 +56,15 @@ class Graph {
   /// Edge test by binary search over the smaller endpoint's list: O(log d).
   bool HasEdge(NodeId u, NodeId v) const;
 
+  /// Adopts an already-valid CSR directly, skipping GraphBuilder's
+  /// sort/dedup pass — for producers that hold the final layout anyway
+  /// (e.g. the reduction prepass compacting its surviving vertices).
+  /// `offsets` has n+1 entries starting at 0 and ending at
+  /// adjacency.size(); every row must be sorted, duplicate-free,
+  /// self-loop-free, and symmetric. Validated with MCE_DCHECK only.
+  static Graph FromSortedCsr(std::vector<uint64_t> offsets,
+                             std::vector<NodeId> adjacency);
+
   /// Maximum degree over all nodes (0 for the empty graph). O(n).
   uint32_t MaxDegree() const;
 

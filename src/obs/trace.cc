@@ -44,6 +44,8 @@ const char* ToString(SpanKind kind) {
       return "SimBlockTask";
     case SpanKind::kBlockShard:
       return "BlockShardTask";
+    case SpanKind::kReduce:
+      return "ReduceTask";
   }
   return "?";
 }
@@ -198,6 +200,13 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
                 static_cast<unsigned>(e.storage));
       }
       out += "}";
+      break;
+    case SpanKind::kReduce:
+      AppendF(out,
+              ",\"args\":{\"vertices_removed\":%llu,\"edges_removed\":%llu,"
+              "\"trivial_cliques\":%llu,\"rounds\":%llu}",
+              static_cast<ull>(e.args[0]), static_cast<ull>(e.args[1]),
+              static_cast<ull>(e.args[2]), static_cast<ull>(e.args[3]));
       break;
   }
 }

@@ -48,6 +48,7 @@ enum class SpanKind : uint8_t {
   kWorkerIdle = 4, // a pool worker waiting for work
   kSimBlock = 5,   // a block placement on a simulated cluster lane
   kBlockShard = 6, // one kernel-range shard of a split BlockTask
+  kReduce = 7,     // the graph-reduction prepass (src/reduce)
 };
 
 /// The span's Chrome-trace event name ("DecomposeTask", "BlockTask", ...).
@@ -63,6 +64,8 @@ const char* ToString(SpanKind kind);
 ///   kSimBlock:   {worker, lane, cliques, 0}
 ///   kBlockShard: {kernel_begin, kernel_end, cliques, shards} (index =
 ///                block index; one span per shard of a split BlockTask)
+///   kReduce:     {vertices_removed, edges_removed, trivial_cliques,
+///                rounds}
 struct TraceEvent {
   int64_t begin_us = 0;  // obs::NowMicros() timebase
   int64_t end_us = 0;

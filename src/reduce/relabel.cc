@@ -1,0 +1,61 @@
+#include "reduce/relabel.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/core_decomposition.h"
+
+namespace mce::reduce {
+
+void DegeneracyRelabelBlock(decomp::Block* block) {
+  const Graph& g = block->subgraph.graph;
+  const NodeId n = g.num_nodes();
+  // Only relabel blocks where layout can pay for the rebuild: below ~half
+  // a cache line of NodeIds the whole block is resident whatever the
+  // order, and in sparse blocks the intersection footprint is too small
+  // for packing the high-core vertices first to matter — the rebuild
+  // (core decomposition + permuted CSR) would only cost. Dense blocks are
+  // also where the matrix/bitset backends live, which benefit most.
+  constexpr NodeId kMinRelabelNodes = 32;
+  constexpr uint64_t kMinRelabelAvgDegree = 16;
+  if (n < kMinRelabelNodes) return;
+  if (g.num_edges() * 2 < kMinRelabelAvgDegree * static_cast<uint64_t>(n)) {
+    return;
+  }
+
+  const CoreDecomposition cd = ComputeCoreDecomposition(g);
+  // New id i takes the vertex the degeneracy order peels last — the
+  // highest-core vertices come first.
+  std::vector<NodeId> old_of_new(n), new_of_old(n);
+  for (NodeId i = 0; i < n; ++i) {
+    old_of_new[i] = cd.order[n - 1 - i];
+    new_of_old[old_of_new[i]] = i;
+  }
+
+  GraphBuilder builder(n);
+  builder.ReserveEdges(g.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u) builder.AddEdge(new_of_old[u], new_of_old[v]);
+    }
+  }
+  block->subgraph.graph = builder.Build();
+
+  std::vector<NodeId> to_parent(n);
+  std::vector<decomp::NodeRole> roles(n);
+  for (NodeId i = 0; i < n; ++i) {
+    to_parent[i] = block->subgraph.to_parent[old_of_new[i]];
+    roles[i] = block->roles[old_of_new[i]];
+  }
+  block->subgraph.to_parent = std::move(to_parent);
+  block->roles = std::move(roles);
+  block->kernel_local.clear();
+  for (NodeId i = 0; i < n; ++i) {
+    if (block->roles[i] == decomp::NodeRole::kKernel) {
+      block->kernel_local.push_back(i);
+    }
+  }
+}
+
+}  // namespace mce::reduce

@@ -1,0 +1,34 @@
+// Degeneracy-ordered block vertex layout.
+//
+// Block-local ids are assigned by Induce in ascending parent-id order,
+// which scatters the block's densest vertices across its bitset rows and
+// adjacency lists. Relabeling the block in reverse degeneracy order packs
+// the hottest (highest-core) vertices into the lowest local ids: their
+// bitset rows land in the same leading cache lines, and list-backend
+// galloping scans run over the dense low-id prefix where intersections
+// actually live (Eppstein–Löffler–Strash's ordering argument, applied to
+// the block layout instead of the iteration order).
+//
+// The relabeling is a pure permutation of local ids: the analyzed clique
+// set is unchanged, roles/kernel_local/to_parent are permuted consistently
+// (kernel_local stays ascending in the new ids; to_parent is no longer
+// increasing). Within-block emission order follows the new kernel order,
+// which every executor shares — serial/pooled byte-identity is preserved.
+
+#ifndef MCE_REDUCE_RELABEL_H_
+#define MCE_REDUCE_RELABEL_H_
+
+#include "decomp/block.h"
+
+namespace mce::reduce {
+
+/// Permutes `block`'s local ids into reverse degeneracy order (highest
+/// core number first; ties follow the degeneracy order). No-op for blocks
+/// where layout cannot pay for the rebuild: fewer than 32 nodes (the
+/// whole block is cache-resident in any order) or average degree under 16
+/// (too sparse for the packed prefix to shorten intersections).
+void DegeneracyRelabelBlock(decomp::Block* block);
+
+}  // namespace mce::reduce
+
+#endif  // MCE_REDUCE_RELABEL_H_

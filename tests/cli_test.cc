@@ -82,6 +82,39 @@ TEST_F(CliTest, EnumerateJson) {
   EXPECT_NE(r.output.find("\"levels\":["), std::string::npos);
 }
 
+TEST_F(CliTest, EnumerateReduceFlagMatchesBaselineAndReportsJson) {
+  // --reduce must not change the clique count, and --json must carry the
+  // reduction object with the prepass marked enabled.
+  CommandResult off =
+      RunCli("enumerate --input " + *graph_path_ + " --ratio 0.5 --json true");
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_NE(off.output.find("\"reduction\":{\"enabled\":false"),
+            std::string::npos)
+      << off.output;
+  CommandResult on = RunCli("enumerate --input " + *graph_path_ +
+                            " --ratio 0.5 --reduce --json true");
+  EXPECT_EQ(on.exit_code, 0) << on.output;
+  EXPECT_NE(on.output.find("\"reduction\":{\"enabled\":true"),
+            std::string::npos)
+      << on.output;
+  const auto count_of = [](const std::string& json) {
+    const size_t at = json.find("\"total_cliques\":");
+    return json.substr(at, json.find(',', at) - at);
+  };
+  EXPECT_EQ(count_of(off.output), count_of(on.output));
+  // --no-reduce wins over --reduce, and the human-readable line carries
+  // the reduce summary only when the prepass ran.
+  CommandResult human =
+      RunCli("enumerate --input " + *graph_path_ + " --ratio 0.5 --reduce");
+  EXPECT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("reduce[v="), std::string::npos) << human.output;
+  CommandResult negated = RunCli("enumerate --input " + *graph_path_ +
+                                 " --ratio 0.5 --reduce --no-reduce");
+  EXPECT_EQ(negated.exit_code, 0) << negated.output;
+  EXPECT_EQ(negated.output.find("reduce[v="), std::string::npos)
+      << negated.output;
+}
+
 TEST_F(CliTest, EnumerateWritesCliqueFile) {
   const std::string out = TempFile("cliques.txt");
   CommandResult r = RunCli("enumerate --input " + *graph_path_ +

@@ -48,6 +48,34 @@ TEST(RunReportJsonTest, SerializesSerialRun) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(RunReportJsonTest, ReductionObjectReflectsThePrepass) {
+  // Satellite regression: --json carries a `reduction` object whose
+  // counters match the run. A path graph reduces to empty, so every
+  // clique is a trivial one.
+  GraphBuilder b(20);
+  for (NodeId v = 0; v + 1 < 20; ++v) b.AddEdge(v, v + 1);
+  Graph g = b.Build();
+  MaxCliqueFinder::Options options;
+  options.block_size = 8;
+  options.reduce = true;
+  MaxCliqueFinder finder(options);
+  Result<FindResult> result = finder.Find(g);
+  ASSERT_TRUE(result.ok());
+  std::string json = RunReportJson(*result);
+  EXPECT_NE(json.find("\"reduction\":{\"enabled\":true"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"vertices_removed\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trivial_cliques\":19"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rounds\":"), std::string::npos) << json;
+  // And with the prepass off, the object is present but disabled — the
+  // schema is stable for consumers either way.
+  options.reduce = false;
+  Result<FindResult> off = MaxCliqueFinder(options).Find(g);
+  ASSERT_TRUE(off.ok());
+  EXPECT_NE(RunReportJson(*off).find("\"reduction\":{\"enabled\":false"),
+            std::string::npos);
+}
+
 TEST(RunReportJsonTest, SerialRunReportsOneAnalyzeThread) {
   // Satellite regression: the serial path must report analyze_threads = 1,
   // never 0 — consumers divide by it for utilization.

@@ -75,6 +75,22 @@ TEST(RunStatsTest, ToStringCarriesEveryTimingField) {
   EXPECT_EQ(str.find("[fallback]"), std::string::npos) << str;
 }
 
+TEST(RunStatsTest, ToStringSummarizesReductionWhenEnabled) {
+  decomp::FindMaxCliquesResult r = MakeResult({{{0, 1}, 0}});
+  // Off by default: no reduce segment in the line.
+  EXPECT_EQ(ComputeRunStats(r).ToString().find("reduce["), std::string::npos);
+  r.reduction.enabled = true;
+  r.reduction.vertices_removed = 12;
+  r.reduction.edges_removed = 34;
+  r.reduction.trivial_cliques = 5;
+  r.reduction.rounds = 2;
+  RunStats s = ComputeRunStats(r);
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("reduce[v=12 e=34 trivial=5 rounds=2]"),
+            std::string::npos)
+      << str;
+}
+
 TEST(HubShareTest, AllFeasibleIsZero) {
   decomp::FindMaxCliquesResult r = MakeResult({
       {{0, 1}, 0},

@@ -55,6 +55,19 @@ TEST(EstimateBlockCostTest, GraphOverloadMatchesExplicitFeatures) {
                    EstimateBlockCost(ComputeFeatures(g)));
 }
 
+TEST(EstimateBlockCostTest, ExponentClampBoundary) {
+  // Below the d = 120 clamp each +3 of degeneracy triples the tree term;
+  // at the boundary the exponent freezes and only the polynomial span and
+  // degeneracy factors keep moving, so the step ratio collapses while the
+  // ordering stays monotone.
+  const double below = EstimateBlockCost(Features(5000, 1e6, 1.0, 117));
+  const double at = EstimateBlockCost(Features(5000, 1e6, 1.0, 120));
+  const double above = EstimateBlockCost(Features(5000, 1e6, 1.0, 123));
+  EXPECT_GT(at / below, 2.0);  // unclamped +3 step: ~3x
+  EXPECT_LT(above / at, 1.1);  // clamped +3 step: polynomial factors only
+  EXPECT_GE(above, at);        // never loses monotonicity at the clamp
+}
+
 TEST(PlanShardCountTest, SplitsProportionallyToCostOverThreshold) {
   EXPECT_EQ(PlanShardCount(100.0, 1000.0, 16), 1u);   // under threshold
   EXPECT_EQ(PlanShardCount(2500.0, 1000.0, 16), 3u);  // ceil(2.5)
@@ -67,6 +80,16 @@ TEST(PlanShardCountTest, ClampsToKernelCount) {
   // One kernel cannot be subdivided; neither can zero.
   EXPECT_EQ(PlanShardCount(1e9, 1000.0, 1), 1u);
   EXPECT_EQ(PlanShardCount(1e9, 1000.0, 0), 1u);
+}
+
+TEST(PlanShardCountTest, ExactThresholdBoundaries) {
+  // cost == max_cost sits on the no-split side of the comparison; the
+  // first representable cost above it crosses to two shards.
+  EXPECT_EQ(PlanShardCount(1000.0, 1000.0, 16), 1u);
+  EXPECT_EQ(PlanShardCount(std::nextafter(1000.0, 2000.0), 1000.0, 16), 2u);
+  // want == kernels lands exactly on the kernel clamp.
+  EXPECT_EQ(PlanShardCount(16000.0, 1000.0, 16), 16u);
+  EXPECT_EQ(PlanShardCount(15999.0, 1000.0, 16), 16u);  // ceil -> clamp
 }
 
 TEST(PlanShardCountTest, NonPositiveThresholdDisablesSplitting) {

@@ -168,6 +168,11 @@ int CmdEnumerate(const Flags& flags) {
   options.max_block_cost =
       flags.GetDouble("max-block-cost", options.max_block_cost);
   if (flags.Get("no-split", "") == "true") options.split_blocks = false;
+  // --reduce / --no-reduce: graph-reduction prepass (strip simplicial /
+  // degree<=1 vertices, fold true twins) before the pipeline. The clique
+  // output is identical either way; --no-reduce wins if both are given.
+  if (flags.Get("reduce", "") == "true") options.reduce = true;
+  if (flags.Get("no-reduce", "") == "true") options.reduce = false;
   // --executor serial|pooled|cluster: which execution engine runs the
   // pipeline. "cluster" routes through the simulated-cluster executor
   // (like --workers); the default picks serial or pooled by --threads.
@@ -396,6 +401,9 @@ void Usage() {
       "              [--max-block-cost C]  (split blocks predicted above C\n"
       "                                     into kernel-range shards)\n"
       "              [--no-split]          (keep BlockTasks indivisible)\n"
+      "              [--reduce | --no-reduce]  (graph-reduction prepass:\n"
+      "                                     strip simplicial vertices and\n"
+      "                                     fold true twins; same cliques)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
       "              [--trace-out t.json]    (Chrome trace of the run)\n"
