@@ -52,12 +52,41 @@ else
     -DMCE_BUILD_BENCH=OFF \
     -DMCE_BUILD_EXAMPLES=OFF
   cmake --build "$asan_build" -j "$(nproc)" \
-    --target mce_algorithms_test mce_alloc_test decomp_test reduce_test
+    --target mce_algorithms_test mce_alloc_test decomp_test reduce_test \
+             mce_cli mce_convert
 
   echo "=== tier-1: ASan run (mce_algorithms_test, mce_alloc_test," \
        "decomp_test, reduce_test) ==="
   ctest --test-dir "$asan_build" --output-on-failure -j "$(nproc)" \
     -R '^(mce_algorithms_test|mce_alloc_test|decomp_test|reduce_test)$'
+
+  # Budgeted out-of-core leg: generate → convert to MCECSR02 → enumerate
+  # the mmapped graph under a deliberately tiny memory budget with sinks
+  # spilling, all under ASan (the mmap spans, spill chunk files, and
+  # admission bookkeeping are exactly where a lifetime bug would hide),
+  # and require the clique count to match the unbudgeted heap run.
+  echo "=== tier-1: ASan budgeted out-of-core leg ==="
+  oocore_dir="$(mktemp -d)"
+  "$asan_build/tools/mce_cli" generate --model facebook --scale 0.02 \
+    --output "$oocore_dir/fb.txt" >/dev/null
+  "$asan_build/tools/mce_convert" --input "$oocore_dir/fb.txt" \
+    --output "$oocore_dir/fb.mcsr" --verify >/dev/null
+  baseline_cliques="$("$asan_build/tools/mce_cli" enumerate \
+    --input "$oocore_dir/fb.txt" --executor pooled --threads 4 \
+    --json true | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["total_cliques"])')"
+  budgeted_cliques="$("$asan_build/tools/mce_cli" enumerate \
+    --input "$oocore_dir/fb.mcsr" --mmap-graph true \
+    --executor pooled --threads 4 --memory-budget 64K \
+    --spill-dir "$oocore_dir" --json true | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["total_cliques"])')"
+  rm -rf "$oocore_dir"
+  if [[ "$baseline_cliques" != "$budgeted_cliques" ]]; then
+    echo "budgeted out-of-core run diverged: $budgeted_cliques cliques" \
+         "vs $baseline_cliques unbudgeted" >&2
+    exit 1
+  fi
+  echo "budgeted run matched: $budgeted_cliques cliques"
 fi
 
 # Trace leg: run the CLI on a small social graph with tracing on and

@@ -39,6 +39,9 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.reduce = options_.reduce;
   pipeline.split_blocks = options_.split_blocks;
   pipeline.max_block_cost = options_.max_block_cost;
+  pipeline.memory_budget_bytes = options_.memory_budget_bytes;
+  pipeline.spill_threshold_bytes = options_.spill_threshold_bytes;
+  pipeline.spill_dir = options_.spill_dir;
   pipeline.trace = options_.trace;
   pipeline.metrics = options_.metrics;
   if (options_.use_decision_tree) {

@@ -16,6 +16,7 @@
 #define MCE_CORE_MAX_CLIQUE_FINDER_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/run_stats.h"
@@ -93,6 +94,20 @@ class MaxCliqueFinder {
     /// --max-block-cost.
     bool split_blocks = true;
     double max_block_cost = decomp::kDefaultMaxBlockCost;
+    /// Soft ceiling, in bytes, on the executor's tracked resident state
+    /// (graphs, materialized blocks, analysis workspaces, clique-sink
+    /// buffers). 0 = unlimited. Under a budget the pooled executor holds
+    /// back ready BlockTasks past the first and sink buffers spill to
+    /// disk. The clique output is identical either way. CLI:
+    /// --memory-budget.
+    uint64_t memory_budget_bytes = 0;
+    /// Per-level clique-buffer bytes above which sinks spill sorted chunks
+    /// to temp files; 0 derives budget/8 from memory_budget_bytes (so no
+    /// spilling at all without a budget). CLI: --spill-threshold.
+    uint64_t spill_threshold_bytes = 0;
+    /// Directory for spill files; empty = $TMPDIR, else /tmp. CLI:
+    /// --spill-dir.
+    std::string spill_dir;
     /// Run the block-analysis phase on the simulated cluster and attach a
     /// ClusterSummary to the result.
     bool simulate_cluster = false;

@@ -82,6 +82,14 @@ std::string RunReportJson(const FindResult& result) {
      << ",\"suppressed_cliques\":" << r.suppressed_cliques
      << ",\"rounds\":" << r.rounds
      << ",\"seconds\":" << Double(r.seconds) << "}";
+  const decomp::MemoryStats& m = s.memory;
+  os << ",\"memory\":{\"budget_bytes\":" << m.budget_bytes
+     << ",\"peak_tracked_bytes\":" << m.peak_tracked_bytes
+     << ",\"spill_chunks\":" << m.spill_chunks
+     << ",\"spill_bytes\":" << m.spill_bytes
+     << ",\"admission_stalls\":" << m.admission_stalls
+     << ",\"admission_stall_seconds\":" << Double(m.admission_stall_seconds)
+     << "}";
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
     const decomp::LevelStats& l = result.levels[i];

@@ -25,6 +25,13 @@ std::string RunStats::ToString() const {
        << " trivial=" << reduction.trivial_cliques
        << " rounds=" << reduction.rounds << "]";
   }
+  if (memory.budget_bytes > 0 || memory.spill_chunks > 0) {
+    os << " mem[peak=" << memory.peak_tracked_bytes
+       << " budget=" << memory.budget_bytes
+       << " spill_chunks=" << memory.spill_chunks
+       << " spill_bytes=" << memory.spill_bytes
+       << " stalls=" << memory.admission_stalls << "]";
+  }
   if (used_fallback) os << " [fallback]";
   return os.str();
 }
@@ -36,6 +43,7 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
   s.num_levels = result.levels.size();
   s.used_fallback = result.used_fallback;
   s.reduction = result.reduction;
+  s.memory = result.memory;
 
   uint64_t total_size = 0, feasible_size = 0, hub_size = 0;
   for (size_t i = 0; i < result.cliques.size(); ++i) {

@@ -52,6 +52,10 @@ struct RunStats {
   /// FindMaxCliquesOptions::reduce set); per-rule removal counts, trivial
   /// cliques, and rounds to fixed point.
   reduce::ReductionStats reduction;
+  /// Memory-budget telemetry: the configured budget, the executor's peak
+  /// tracked bytes (graphs + blocks + workspaces + sink buffers), and the
+  /// spill/admission activity it took to stay under the budget.
+  decomp::MemoryStats memory;
 
   std::string ToString() const;
 };

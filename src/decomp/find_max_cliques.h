@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "decision/decision_tree.h"
@@ -120,7 +121,31 @@ struct FindMaxCliquesOptions {
   /// costs one relaxed atomic load and nothing else.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Byte budget for the engine's tracked materializations (pipeline graph,
+  /// level subgraphs, blocks, analysis workspaces, clique-sink buffers).
+  /// 0 = unlimited (peak is still tracked). With a budget set, the pooled
+  /// executor holds ready BlockTasks back — beyond the first, so progress
+  /// is guaranteed — while admitting one would push the tracked bytes past
+  /// the budget, and clique sinks spill once past the spill threshold.
+  /// CLI: --memory-budget.
+  uint64_t memory_budget_bytes = 0;
+  /// Per-level resident-byte ceiling for buffered cliques before sinks
+  /// flush sorted FlatCliques chunks to temp files. 0 derives
+  /// max(1, memory_budget_bytes / 8) when a budget is set, else disables
+  /// spilling. CLI: --spill-threshold.
+  uint64_t spill_threshold_bytes = 0;
+  /// Directory for spill chunk files; "" = $TMPDIR, then /tmp. CLI:
+  /// --spill-dir.
+  std::string spill_dir;
 };
+
+/// The spill threshold a run actually uses (see spill_threshold_bytes).
+inline uint64_t EffectiveSpillThreshold(const FindMaxCliquesOptions& options) {
+  if (options.spill_threshold_bytes > 0) return options.spill_threshold_bytes;
+  if (options.memory_budget_bytes == 0) return 0;
+  return options.memory_budget_bytes / 8 > 0 ? options.memory_budget_bytes / 8
+                                             : 1;
+}
 
 /// Per-recursion-level telemetry (drives Figures 7-11).
 struct LevelStats {
@@ -162,6 +187,19 @@ struct LevelStats {
   uint64_t block_splits = 0;
 };
 
+/// Memory-budget telemetry for one run (see
+/// FindMaxCliquesOptions::memory_budget_bytes). peak_tracked_bytes is the
+/// high-water mark of the engine's deliberate materializations — graphs,
+/// blocks, workspaces, sink buffers — not an allocator measurement.
+struct MemoryStats {
+  uint64_t budget_bytes = 0;
+  uint64_t peak_tracked_bytes = 0;
+  uint64_t spill_chunks = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t admission_stalls = 0;
+  double admission_stall_seconds = 0;
+};
+
 struct FindMaxCliquesResult {
   /// All maximal cliques of G, canonicalized.
   CliqueSet cliques;
@@ -177,6 +215,9 @@ struct FindMaxCliquesResult {
   /// Trivial cliques emitted by the prepass are counted here and in the
   /// clique set, not in any LevelStats entry.
   reduce::ReductionStats reduction;
+  /// Memory-budget telemetry (zeros on unbudgeted, unspilled runs except
+  /// peak_tracked_bytes, which is always maintained).
+  MemoryStats memory;
 
   /// Number of first-level decomposition iterations (Figure 7 reports 2-3).
   size_t NumLevels() const { return levels.size(); }
@@ -197,6 +238,7 @@ struct StreamingStats {
   /// Includes the reduction prepass's trivial cliques when reduce is on.
   uint64_t cliques_emitted = 0;
   reduce::ReductionStats reduction;
+  MemoryStats memory;
 };
 
 /// Streaming form of FindMaxCliques: emits each maximal clique of G

@@ -51,6 +51,7 @@ decomp::FindMaxCliquesResult CollectToResult(
   out.levels = std::move(stats.levels);
   out.used_fallback = stats.used_fallback;
   out.reduction = stats.reduction;
+  out.memory = stats.memory;
   for (auto& [clique, origin] : found) {
     out.origin_level.push_back(origin);
     out.cliques.Add(std::move(clique));  // already sorted

@@ -34,6 +34,8 @@
 // before the mutex-protected state transition the reader observed.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -48,59 +50,20 @@
 #include "decision/features.h"
 #include "decomp/block_analysis.h"
 #include "decomp/cut.h"
+#include "decomp/filter.h"
 #include "decomp/parallel_analysis.h"
 #include "exec/executor.h"
 #include "graph/subgraph.h"
+#include "mce/clique_sink.h"
 #include "mce/workspace.h"
 #include "obs/span_math.h"
 #include "util/check.h"
+#include "util/memory_budget.h"
 #include "util/thread_pool.h"
 
 namespace mce::exec {
 
 namespace {
-
-/// Append-only clique arena: ids stored back to back with end offsets,
-/// preserving emission order. The pooled engine buffers every clique a
-/// level produces (that is what makes its emission byte-identical to the
-/// serial walk), so the buffers must not cost one heap allocation per
-/// clique the way vector<Clique> does — on clique-dense graphs that
-/// allocator traffic alone made the pooled engine slower than serial.
-class FlatCliques {
- public:
-  /// Copies the clique and sorts it in place (the CliqueSet::Add
-  /// contract, which the serial emission order is defined in terms of).
-  void Append(std::span<const NodeId> c) {
-    AppendRaw(c);
-    std::sort(ids_.end() - static_cast<ptrdiff_t>(c.size()), ids_.end());
-  }
-
-  /// Copies verbatim, skipping the sort — for buffers whose reader
-  /// canonicalizes anyway (level >= 1 shard buffers feed MapAndFilter-
-  /// Clique, which sorts its output) or whose input already is canonical
-  /// (filter and fallback survivors are MapAndFilterClique output).
-  void AppendRaw(std::span<const NodeId> c) {
-    if (ids_.capacity() == 0) {
-      // First touch: skip the early doubling steps. Most arenas are
-      // per-block buffers on graphs with thousands of small blocks, so
-      // growing each one from nothing costs more allocator traffic than
-      // the analysis itself saves.
-      ids_.reserve(96);
-      ends_.reserve(16);
-    }
-    ids_.insert(ids_.end(), c.begin(), c.end());
-    ends_.push_back(ids_.size());
-  }
-  size_t size() const { return ends_.size(); }
-  std::span<const NodeId> operator[](size_t i) const {
-    const size_t begin = i == 0 ? 0 : ends_[i - 1];
-    return {ids_.data() + begin, ends_[i] - begin};
-  }
-
- private:
-  std::vector<NodeId> ids_;
-  std::vector<size_t> ends_;
-};
 
 /// One kernel-range shard of a BlockTask: its range, buffered cliques, and
 /// measured window. An unsplit block is the degenerate single-shard case.
@@ -109,8 +72,9 @@ struct ShardRun {
   decomp::BlockAnalysisResult result;
   /// The shard's cliques (parent-graph ids, each sorted), in emission
   /// order; concatenating the shards in kernel order reproduces the
-  /// undivided task's buffer byte for byte.
-  FlatCliques cliques;
+  /// undivided task's buffer byte for byte. A CliqueSink so the buffer can
+  /// spill past the level's threshold without changing replay order.
+  std::unique_ptr<CliqueSink> cliques;
   int64_t begin_us = 0;
   int64_t end_us = 0;
   double seconds = 0;
@@ -124,6 +88,12 @@ struct BlockExec {
   /// decision::EstimateBlockCost score, computed at emission; drives both
   /// the largest-first dispatch order and the split decision.
   double cost = 0;
+  /// The block's EstimatedBytes(), charged to the MemoryBudget at
+  /// emission; zeroed wherever the charge is released.
+  uint64_t block_bytes = 0;
+  /// EstimateAnalysisBytes of the block — the per-shard workspace charge
+  /// admission is decided against.
+  uint64_t ws_bytes = 0;
   std::vector<ShardRun> shards;
   size_t shards_done = 0;  // engine mutex
   /// Whole-block aggregate, written by the last-finishing shard: `used`
@@ -138,6 +108,12 @@ struct LevelRun {
   uint32_t level = 0;
   Graph owned_graph;             // levels >= 1 own their induced subgraph
   const Graph* graph = nullptr;  // level 0 aliases the caller's graph
+  /// owned_graph's tracked ResidentBytes; released in MaybeReleaseInputs.
+  uint64_t graph_bytes = 0;
+  /// Shared spill state of every sink this level creates: the engine's
+  /// SpillConfig plus the level's running resident-byte total, which is
+  /// what the per-level spill threshold is compared against.
+  SpillContext spill;
   std::vector<NodeId> to_original;  // empty means identity (level 0)
   decomp::CutResult cut;
   bool has_child = false;
@@ -166,16 +142,18 @@ struct LevelRun {
   bool analysis_signaled = false;
   ThreadPool::Completion analysis_token;
 
-  // FilterTask state (levels >= 1). Chunks own disjoint pending slices
-  // and buffer their survivors in per-chunk arenas; delivery walks the
-  // arenas in chunk order, which is pending order.
-  std::vector<std::span<const NodeId>> pending;
-  std::vector<FlatCliques> filter_out;
+  // FilterTask state (levels >= 1). Chunks own disjoint clique ranges of
+  // the concatenated shard sinks (block order, shards in kernel order —
+  // the serial emission order) and buffer their survivors in per-chunk
+  // sinks; delivery walks the sinks in chunk order.
+  std::vector<const CliqueSink*> filter_sinks;
+  size_t filter_total = 0;
+  std::vector<std::unique_ptr<CliqueSink>> filter_out;
   size_t filter_chunks_left = 0;
 
   // m-core fallback: survivors buffered for calling-thread emission.
   bool fallback = false;
-  FlatCliques fallback_cliques;
+  std::unique_ptr<CliqueSink> fallback_cliques;
 
   decomp::LevelStats stats;
 
@@ -203,8 +181,15 @@ class PooledEngine {
         analysis_options_(AnalysisOptionsFor(options)),
         trace_(ResolveTrace(options)),
         metrics_(ResolveMetrics(options)),
+        budget_(options.memory_budget_bytes),
         workspaces_(std::max<size_t>(1, num_threads)),
-        pool_(std::max<size_t>(1, num_threads)) {}
+        pool_(std::max<size_t>(1, num_threads)) {
+    spill_config_.dir = options.spill_dir;
+    spill_config_.threshold_bytes = decomp::EffectiveSpillThreshold(options);
+    spill_config_.budget = &budget_;
+    spill_config_.trace = trace_;
+    spill_config_.metrics = metrics_.SpillInstruments();
+  }
 
   decomp::StreamingStats Run() {
     decomp::StreamingStats out;
@@ -214,9 +199,16 @@ class PooledEngine {
     // reduced graph; original_ stays the Lemma-1 reference.
     prep_.Run(original_, options_, trace_, metrics_, emit_, &out);
     expansion_ = prep_.map();
+    // The pipeline graph is resident for the whole run (an mmap-backed
+    // graph reports zero here — its pages are reclaimable).
+    const uint64_t pipeline_graph_bytes =
+        prep_.pipeline_graph().ResidentBytes();
+    ChargeTracked(pipeline_graph_bytes);
     auto root = std::make_unique<LevelRun>();
     root->level = 0;
     root->graph = &prep_.pipeline_graph();
+    root->spill.config = &spill_config_;
+    root->spill.level = 0;
     LevelRun* root_ptr = root.get();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -245,6 +237,15 @@ class PooledEngine {
       ++next;
     }
     pool_.Wait();
+    ReleaseTracked(pipeline_graph_bytes);
+    out.memory.budget_bytes = budget_.limit();
+    out.memory.peak_tracked_bytes = budget_.peak();
+    out.memory.admission_stalls =
+        admission_stalls_.load(std::memory_order_relaxed);
+    out.memory.admission_stall_seconds =
+        static_cast<double>(
+            admission_stall_micros_.load(std::memory_order_relaxed)) *
+        1e-6;
     metrics_.RecordRun(out);
     return out;
   }
@@ -259,6 +260,8 @@ class PooledEngine {
       lr->to_original = ComposeToOriginal(parent->to_original, sub.to_parent);
       lr->owned_graph = std::move(sub.graph);
       lr->graph = &lr->owned_graph;
+      lr->graph_bytes = lr->owned_graph.ResidentBytes();
+      ChargeTracked(lr->graph_bytes);
       std::lock_guard<std::mutex> lock(mu_);
       parent->child_induced = true;
       MaybeReleaseInputs(parent);
@@ -295,6 +298,8 @@ class PooledEngine {
       // blocks are built, overlapping the tail of this level's analysis.
       auto child = std::make_unique<LevelRun>();
       child->level = lr->level + 1;
+      child->spill.config = &spill_config_;
+      child->spill.level = child->level;
       LevelRun* child_ptr = child.get();
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -380,6 +385,26 @@ class PooledEngine {
       exec->cost = cost;
       exec->shards.resize(shards);
     }
+    // Materialized-block charge: the block exists from emission until its
+    // last shard frees it (or delivery, when an observer/sink holds it).
+    // Gated like an analysis admission — while analyses are in flight the
+    // decompose worker waits for their releases instead of piling blocks
+    // past the budget; the shard tasks already dispatched for earlier
+    // blocks keep the pool busy meanwhile.
+    exec->block_bytes = block->EstimatedBytes();
+    exec->ws_bytes = EstimateAnalysisBytes(*block);
+    if (budget_.limited() && budget_.WouldExceed(exec->block_bytes)) {
+      // About to wait: dispatch the coalesced batch first, so every
+      // charged block has a runnable analysis and the wait cannot starve
+      // on blocks only this worker could have dispatched.
+      FlushBatch(lr);
+    }
+    GateCharge(lr->level, exec->block_bytes, /*admit_analysis=*/false);
+    // Shard sinks are created here, on the decompose worker, before any
+    // shard task can observe its slot through the dispatch queue.
+    for (ShardRun& run : exec->shards) {
+      run.cliques = MakeCliqueSink(&lr->spill);
+    }
     if (shards > 1) metrics_.RecordSplit(shards);
     if (shards == 1 && splittable && cost < options_.max_block_cost) {
       // Tiny block: coalesce instead of dispatching. The batch flushes
@@ -443,6 +468,11 @@ class PooledEngine {
     const size_t worker =
         worker_index == ThreadPool::kNotAWorker ? 0 : worker_index;
     ShardRun& run = exec->shards[shard];
+    // Budget admission: under a limit, a shard whose workspace estimate
+    // would push the tracked total past the budget waits for in-flight
+    // analyses to finish (the stall happens before begin_us so it never
+    // inflates the block's measured window).
+    AdmitAnalysis(lr->level, exec->ws_bytes);
     run.begin_us = obs::NowMicros();
     // Level-0 buffers are the emission source and must hold each clique
     // sorted; deeper levels' buffers only feed the filter, which sorts.
@@ -459,13 +489,13 @@ class PooledEngine {
           if (canonicalize) {
             if (expansion != nullptr) {
               if (expansion->ExpandClique(c, &expand_tmp)) {
-                run.cliques.AppendRaw(expand_tmp);  // expansion is sorted
+                run.cliques->AppendRaw(expand_tmp);  // expansion is sorted
               }
             } else {
-              run.cliques.Append(c);
+              run.cliques->Append(c);
             }
           } else {
-            run.cliques.AppendRaw(c);
+            run.cliques->AppendRaw(c);
           }
         },
         &workspaces_[worker], run.range);
@@ -484,6 +514,7 @@ class PooledEngine {
                                      run.result, lr->level, index));
       }
     }
+    FinishAnalysis(exec->ws_bytes);
 
     bool block_done = false;
     {
@@ -507,6 +538,7 @@ class PooledEngine {
       // engine's live footprint near the serial one-block-at-a-time
       // profile instead of holding every block until the level delivers.
       *block = decomp::Block();
+      ReleaseBlockCharge(exec);
     }
 
     bool signal = false;
@@ -530,23 +562,25 @@ class PooledEngine {
   void PlanFilter(LevelRun* lr) {
     // The completion token ordered this task after every BlockTask of the
     // level, so the buffers are safe to read without the lock. Shards are
-    // walked in kernel order within each block, so the pending list is the
-    // serial emission order.
+    // listed in kernel order within each block, so the sink concatenation
+    // is the serial emission order — chunk tasks stream their ranges out
+    // of it with ForEachCliqueInRange, never materializing spans.
     if (lr->level > 0) {
       size_t total = 0;
-      for (const BlockExec& exec : lr->execs) total += exec.result.num_cliques;
-      lr->pending.reserve(total);
       for (const BlockExec& exec : lr->execs) {
         for (const ShardRun& run : exec.shards) {
-          for (size_t c = 0; c < run.cliques.size(); ++c) {
-            lr->pending.push_back(run.cliques[c]);
-          }
+          lr->filter_sinks.push_back(run.cliques.get());
+          total += run.cliques->size();
         }
       }
+      lr->filter_total = total;
       const std::vector<std::pair<size_t, size_t>> chunks =
-          FilterChunks(lr->pending.size(), pool_.num_threads());
+          FilterChunks(total, pool_.num_threads());
       if (!chunks.empty()) {
-        lr->filter_out.resize(chunks.size());
+        lr->filter_out.reserve(chunks.size());
+        for (size_t c = 0; c < chunks.size(); ++c) {
+          lr->filter_out.push_back(MakeCliqueSink(&lr->spill));
+        }
         {
           std::lock_guard<std::mutex> lock(mu_);
           lr->filter_chunks_left = chunks.size();
@@ -573,18 +607,19 @@ class PooledEngine {
   /// in slice order to the chunk's own arena.
   void FilterChunkTask(LevelRun* lr, size_t begin, size_t end, size_t chunk) {
     const int64_t begin_us = obs::NowMicros();
-    FlatCliques& out = lr->filter_out[chunk];
+    CliqueSink& out = *lr->filter_out[chunk];
     Clique scratch;
     Clique expand_scratch;
     uint64_t kept = 0;
-    for (size_t i = begin; i < end; ++i) {
-      if (MapExpandAndFilterClique(original_, lr->pending[i], lr->to_original,
-                                   lr->level, expansion_, &expand_scratch,
-                                   &scratch)) {
-        out.AppendRaw(scratch);
-        ++kept;
-      }
-    }
+    decomp::ForEachCliqueInRange(
+        lr->filter_sinks, begin, end, [&](std::span<const NodeId> c) {
+          if (MapExpandAndFilterClique(original_, c, lr->to_original,
+                                       lr->level, expansion_, &expand_scratch,
+                                       &scratch)) {
+            out.AppendRaw(scratch);
+            ++kept;
+          }
+        });
     const int64_t end_us = obs::NowMicros();
     if (trace_ != nullptr) {
       obs::TraceEvent e;
@@ -610,6 +645,7 @@ class PooledEngine {
 
   void RunFallback(LevelRun* lr) {
     decomp::LevelStats& stats = lr->stats;
+    lr->fallback_cliques = MakeCliqueSink(&lr->spill);
     lr->fallback_begin_us = obs::NowMicros();
     Clique scratch;
     Clique expand_scratch;
@@ -621,7 +657,7 @@ class PooledEngine {
                                       original_, c, lr->to_original,
                                       lr->level, expansion_, &expand_scratch,
                                       &scratch)) {
-                                lr->fallback_cliques.AppendRaw(scratch);
+                                lr->fallback_cliques->AppendRaw(scratch);
                               }
                             });
     lr->fallback_end_us = obs::NowMicros();
@@ -644,7 +680,7 @@ class PooledEngine {
       trace_->Record(e);
     }
     if (lr->level > 0) {
-      metrics_.RecordFilter(produced, lr->fallback_cliques.size());
+      metrics_.RecordFilter(produced, lr->fallback_cliques->size());
     }
   }
 
@@ -660,10 +696,10 @@ class PooledEngine {
       out.used_fallback = true;
       analyze_spans.push_back(
           Range(lr->fallback_begin_us, lr->fallback_end_us));
-      for (size_t c = 0; c < lr->fallback_cliques.size(); ++c) {
+      lr->fallback_cliques->ForEach([&](std::span<const NodeId> c) {
         ++out.cliques_emitted;
-        emit_(lr->fallback_cliques[c], lr->level);
-      }
+        emit_(c, lr->level);
+      });
     } else {
       std::vector<double> worker_seconds(pool_.num_threads(), 0.0);
       uint64_t produced = 0;
@@ -704,19 +740,20 @@ class PooledEngine {
         // decomposition order, shards in kernel order.
         for (const BlockExec& exec : lr->execs) {
           for (const ShardRun& run : exec.shards) {
-            for (size_t c = 0; c < run.cliques.size(); ++c) {
+            run.cliques->ForEach([&](std::span<const NodeId> c) {
               ++out.cliques_emitted;
-              emit_(run.cliques[c], lr->level);
-            }
+              emit_(c, lr->level);
+            });
           }
         }
       } else {
-        // Chunk arenas in chunk order = pending order = serial order.
-        for (const FlatCliques& chunk : lr->filter_out) {
-          for (size_t c = 0; c < chunk.size(); ++c) {
+        // Chunk sinks in chunk order = concatenated-sink order = serial
+        // order.
+        for (const std::unique_ptr<CliqueSink>& chunk : lr->filter_out) {
+          chunk->ForEach([&](std::span<const NodeId> c) {
             ++out.cliques_emitted;
-            emit_(chunk[c], lr->level);
-          }
+            emit_(c, lr->level);
+          });
         }
       }
     }
@@ -740,12 +777,31 @@ class PooledEngine {
     stats.barrier_idle_seconds = idle.barrier_idle_seconds;
     out.levels.push_back(stats);
 
-    // Free the bulky per-level state now that it is delivered.
+    // Spill totals of every sink this level created, absorbed before the
+    // sinks are destroyed.
+    const auto absorb = [&out](const CliqueSink* s) {
+      if (s == nullptr) return;
+      out.memory.spill_chunks += s->spilled_chunks();
+      out.memory.spill_bytes += s->spilled_bytes();
+    };
+    for (BlockExec& exec : lr->execs) {
+      // Blocks still materialized (observer/sink runs hold them until
+      // delivery) release their charge here.
+      ReleaseBlockCharge(&exec);
+      for (const ShardRun& run : exec.shards) absorb(run.cliques.get());
+    }
+    for (const std::unique_ptr<CliqueSink>& chunk : lr->filter_out) {
+      absorb(chunk.get());
+    }
+    absorb(lr->fallback_cliques.get());
+
+    // Free the bulky per-level state now that it is delivered. Destroying
+    // the sinks releases their residual byte accounting.
     lr->blocks.clear();
     lr->execs.clear();
-    lr->pending = {};
-    lr->filter_out = {};
-    lr->fallback_cliques = {};
+    lr->filter_sinks = {};
+    lr->filter_out.clear();
+    lr->fallback_cliques.reset();
   }
 
   /// A microsecond window rebased to seconds since the engine epoch.
@@ -764,6 +820,126 @@ class PooledEngine {
     lr->graph = nullptr;
     lr->cut = decomp::CutResult();
     lr->to_original = {};
+    ReleaseTracked(lr->graph_bytes);
+    lr->graph_bytes = 0;
+  }
+
+  /// Charges `bytes` against the budget and the mem.bytes_charged counter.
+  void ChargeTracked(uint64_t bytes) {
+    if (bytes == 0) return;
+    budget_.Charge(bytes);
+    metrics_.RecordCharge(bytes);
+  }
+
+  /// Releases `bytes` and wakes any admission waiter.
+  void ReleaseTracked(uint64_t bytes) {
+    if (bytes == 0) return;
+    budget_.Release(bytes);
+    if (budget_.limited()) admit_cv_.notify_all();
+  }
+
+  /// Admission gate for one analysis task's workspace charge. Under a
+  /// budget, a task that would push the tracked total past the limit waits
+  /// while other analyses are in flight — the first analysis always
+  /// admits, so an undersized budget degrades to serial admission instead
+  /// of deadlocking.
+  void AdmitAnalysis(uint32_t level, uint64_t bytes) {
+    GateCharge(level, bytes, /*admit_analysis=*/true);
+  }
+
+  /// The shared budget gate behind AdmitAnalysis and EmitBlock's
+  /// materialized-block charge. Waits while charging `bytes` would cross
+  /// the budget *and* something else holds gated bytes it will release.
+  /// The two callers escape differently:
+  ///  - an analysis waits only while other analyses run (in_flight > 0):
+  ///    the first analysis always admits, so an undersized budget
+  ///    degrades to serial admission instead of deadlocking;
+  ///  - the decompose worker additionally waits while *materialized
+  ///    blocks* are outstanding — every one of them has a dispatched
+  ///    analysis (EmitBlock flushes its coalesce batch before gating)
+  ///    whose completion releases the block, so block emission is strictly
+  ///    budget-bound on multi-worker pools. Single-worker pools skip the
+  ///    block wait: the decompose worker is the only one who could run
+  ///    those analyses.
+  /// The wait polls: sink flushes release budget without an engine
+  /// notification, so a pure wait could miss its wakeup.
+  void GateCharge(uint32_t level, uint64_t bytes, bool admit_analysis) {
+    if (!budget_.limited()) {
+      ChargeTracked(bytes);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(admit_mu_);
+      // Waiting on outstanding blocks is sound only when blocks free at
+      // shard completion: with an observer or task sink they are held
+      // until delivery, which needs this decompose task to finish first —
+      // waiting on them here would deadlock the level against itself.
+      const bool eager_block_release = !options_.block_observer && !sink_;
+      const auto must_wait = [&] {
+        if (!budget_.WouldExceed(bytes)) return false;
+        if (analyses_in_flight_ > 0) return true;
+        return !admit_analysis && eager_block_release &&
+               pool_.num_threads() > 1 && blocks_outstanding_ > 0;
+      };
+      if (must_wait()) {
+        const int64_t begin_us = obs::NowMicros();
+        while (must_wait()) {
+          admit_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        }
+        const int64_t end_us = obs::NowMicros();
+        admission_stalls_.fetch_add(1, std::memory_order_relaxed);
+        admission_stall_micros_.fetch_add(
+            static_cast<uint64_t>(end_us - begin_us),
+            std::memory_order_relaxed);
+        metrics_.RecordAdmissionStall(static_cast<uint64_t>(end_us - begin_us));
+        if (trace_ != nullptr) {
+          obs::TraceEvent e;
+          e.begin_us = begin_us;
+          e.end_us = end_us;
+          e.kind = obs::SpanKind::kAdmission;
+          e.level = level;
+          e.args[0] = bytes;
+          e.args[1] = budget_.charged();
+          e.args[2] = budget_.limit();
+          trace_->Record(e);
+        }
+      }
+      if (admit_analysis) {
+        ++analyses_in_flight_;
+      } else {
+        ++blocks_outstanding_;
+      }
+      // Charged under admit_mu_: were the charge outside, every waiter
+      // released by one budget check could charge concurrently and
+      // overshoot together — the check and the charge must be atomic.
+      ChargeTracked(bytes);
+    }
+  }
+
+  /// Releases a materialized block's charge and its outstanding slot.
+  /// No-op when the block's bytes were already released (or never gated).
+  void ReleaseBlockCharge(BlockExec* exec) {
+    if (exec->block_bytes == 0) return;
+    if (budget_.limited()) {
+      std::lock_guard<std::mutex> lock(admit_mu_);
+      MCE_DCHECK(blocks_outstanding_ > 0);
+      --blocks_outstanding_;
+    }
+    ReleaseTracked(exec->block_bytes);
+    exec->block_bytes = 0;
+  }
+
+  /// Releases an admitted analysis's workspace charge and its in-flight
+  /// slot.
+  void FinishAnalysis(uint64_t bytes) {
+    ReleaseTracked(bytes);
+    if (budget_.limited()) {
+      {
+        std::lock_guard<std::mutex> lock(admit_mu_);
+        --analyses_in_flight_;
+      }
+      admit_cv_.notify_all();
+    }
   }
 
   const Graph& original_;
@@ -778,6 +954,19 @@ class PooledEngine {
   const decomp::BlockAnalysisOptions analysis_options_;
   obs::TraceRecorder* const trace_;
   RunMetrics metrics_;
+
+  // Memory accounting. Declared before levels_: the sinks owned by
+  // LevelRun records release against budget_ in their destructors, so the
+  // budget must outlive the level deque (members destroy in reverse
+  // declaration order).
+  MemoryBudget budget_;
+  SpillConfig spill_config_;
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  size_t analyses_in_flight_ = 0;   // admit_mu_
+  size_t blocks_outstanding_ = 0;   // admit_mu_; blocks charged, not freed
+  std::atomic<uint64_t> admission_stalls_{0};
+  std::atomic<uint64_t> admission_stall_micros_{0};
 
   /// Zero point of the run's stats timebase (spans stay absolute; only
   /// the derived LevelStats windows are rebased).

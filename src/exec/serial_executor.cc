@@ -17,6 +17,7 @@
 #include "graph/subgraph.h"
 #include "mce/workspace.h"
 #include "util/check.h"
+#include "util/memory_budget.h"
 #include "util/timer.h"
 
 namespace mce::exec {
@@ -41,6 +42,19 @@ class SerialExecutor final : public Executor {
     prep.Run(g, options, trace, metrics, emit, &out);
     const reduce::ReductionMap* const expansion = prep.map();
     const Graph* current = &prep.pipeline_graph();
+    // The serial walk never stalls or spills (its live set is already
+    // O(graph + one block)), but it tracks the same charges the pooled
+    // engine does so peak_tracked_bytes is comparable across executors.
+    MemoryBudget budget(options.memory_budget_bytes);
+    auto charge = [&](uint64_t bytes) {
+      if (bytes == 0) return;
+      budget.Charge(bytes);
+      metrics.RecordCharge(bytes);
+    };
+    const uint64_t pipeline_graph_bytes =
+        prep.pipeline_graph().ResidentBytes();
+    charge(pipeline_graph_bytes);
+    uint64_t level_graph_bytes = 0;  // the current owned level graph
     Graph owned;  // deeper levels own the hub-induced subgraph
     std::vector<NodeId> to_original;  // empty means identity (level 0)
     uint32_t level = 0;
@@ -135,12 +149,18 @@ class SerialExecutor final : public Executor {
           *current, cut.feasible, blocks_options,
           [&](decomp::Block&& block) {
             stats.decompose_seconds += segment.ElapsedSeconds();
+            // The block plus its analysis workspace are live for exactly
+            // this callback.
+            const uint64_t block_charge =
+                block.EstimatedBytes() + EstimateAnalysisBytes(block);
+            charge(block_charge);
             const int64_t block_begin_us =
                 trace != nullptr ? obs::NowMicros() : 0;
             Timer block_timer;
             decomp::BlockAnalysisResult result = decomp::AnalyzeBlock(
                 block, analysis_options, deliver, &workspace);
             const double block_seconds = block_timer.ElapsedSeconds();
+            budget.Release(block_charge);
             if (trace != nullptr) {
               trace->Record(MakeBlockSpan(block_begin_us, obs::NowMicros(),
                                           block, result, level, block_index));
@@ -176,10 +196,18 @@ class SerialExecutor final : public Executor {
       // Recursive step: continue on the hub-induced subgraph.
       InducedSubgraph sub = Induce(*current, cut.hubs);
       to_original = ComposeToOriginal(to_original, sub.to_parent);
+      // Parent and child graphs overlap until the move below frees the
+      // parent, so the child is charged before the parent is released.
+      const uint64_t next_graph_bytes = sub.graph.ResidentBytes();
+      charge(next_graph_bytes);
       owned = std::move(sub.graph);
+      budget.Release(level_graph_bytes);
+      level_graph_bytes = next_graph_bytes;
       current = &owned;
       ++level;
     }
+    out.memory.budget_bytes = budget.limit();
+    out.memory.peak_tracked_bytes = budget.peak();
     metrics.RecordRun(out);
     return out;
   }

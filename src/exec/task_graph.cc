@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "decomp/filter.h"
+#include "mce/storage.h"
 
 namespace mce::exec {
+
+uint64_t EstimateAnalysisBytes(const decomp::Block& block) {
+  // The list backend's working set plus ~64 bytes of recursion scratch per
+  // node (membership flags, candidate arrays, translate tables across the
+  // recursion depth).
+  return SaturatingAdd(
+      EstimateStorageBytes(block.num_nodes(), block.num_edges(),
+                           StorageKind::kAdjacencyList),
+      SaturatingMul(block.num_nodes(), 64));
+}
 
 BlockTaskDescriptor MakeBlockTaskDescriptor(
     const decomp::Block& block, const decomp::BlockAnalysisResult& result,
@@ -217,6 +228,35 @@ RunMetrics::RunMetrics(obs::MetricsRegistry* registry) : registry_(registry) {
   const std::vector<double> ns_bounds = obs::ExponentialBuckets(16, 4, 16);
   block_ns_per_clique_ =
       &registry_->GetHistogram("exec.block_ns_per_clique", ns_bounds);
+  mem_bytes_charged_ = &registry_->GetCounter("mem.bytes_charged");
+  mem_admission_stalls_ = &registry_->GetCounter("mem.admission_stalls");
+  mem_admission_stall_micros_ =
+      &registry_->GetCounter("mem.admission_stall_micros");
+  mem_spill_chunks_ = &registry_->GetCounter("mem.spill_chunks");
+  mem_spill_bytes_ = &registry_->GetCounter("mem.spill_bytes");
+  const std::vector<double> chunk_bounds = obs::ExponentialBuckets(1024, 4, 16);
+  mem_spill_chunk_bytes_ =
+      &registry_->GetHistogram("mem.spill_chunk_bytes", chunk_bounds);
+}
+
+void RunMetrics::RecordCharge(uint64_t bytes) {
+  if (registry_ == nullptr || bytes == 0) return;
+  mem_bytes_charged_->Add(bytes);
+}
+
+void RunMetrics::RecordAdmissionStall(uint64_t micros) {
+  if (registry_ == nullptr) return;
+  mem_admission_stalls_->Increment();
+  mem_admission_stall_micros_->Add(micros);
+}
+
+SpillMetrics RunMetrics::SpillInstruments() const {
+  SpillMetrics metrics;
+  metrics.bytes_charged = mem_bytes_charged_;
+  metrics.spill_chunks = mem_spill_chunks_;
+  metrics.spill_bytes = mem_spill_bytes_;
+  metrics.spill_chunk_bytes = mem_spill_chunk_bytes_;
+  return metrics;
 }
 
 void RunMetrics::RecordBlock(const decomp::Block& block,

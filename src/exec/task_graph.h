@@ -42,6 +42,7 @@
 #include "decomp/find_max_cliques.h"
 #include "graph/graph.h"
 #include "mce/clique.h"
+#include "mce/clique_sink.h"
 #include "mce/enumerator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -152,6 +153,13 @@ class ReducePrepass {
 std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,
                                                     size_t workers);
 
+/// Rough bytes one AnalyzeBlock call pins while it runs: the block's
+/// adjacency-list working set plus per-node recursion scratch. This is the
+/// MemoryBudget workspace charge admission is decided against — a
+/// deliberate estimate, not an allocator measurement. Saturates on
+/// overflow.
+uint64_t EstimateAnalysisBytes(const decomp::Block& block);
+
 /// The run's effective span/metrics sinks: the option override when set,
 /// else the process-wide installed instance. Either may be nullptr (= that
 /// channel is off). Executors resolve once per Run.
@@ -236,6 +244,16 @@ class RunMetrics {
   /// End-of-run totals from the pipeline's stats.
   void RecordRun(const decomp::StreamingStats& stats);
 
+  /// Bytes charged to the MemoryBudget (mem.bytes_charged; sink deltas
+  /// flow through SpillInstruments instead).
+  void RecordCharge(uint64_t bytes);
+  /// One admission stall resolved after `micros` of waiting
+  /// (mem.admission_stalls / mem.admission_stall_micros).
+  void RecordAdmissionStall(uint64_t micros);
+  /// The mem.* handles clique sinks record flushes against (null handles
+  /// when no registry is bound).
+  SpillMetrics SpillInstruments() const;
+
  private:
   obs::MetricsRegistry* registry_;
   obs::Counter* blocks_ = nullptr;
@@ -247,9 +265,15 @@ class RunMetrics {
   obs::Counter* levels_ = nullptr;
   obs::Counter* cliques_emitted_ = nullptr;
   obs::Counter* fallback_runs_ = nullptr;
+  obs::Counter* mem_bytes_charged_ = nullptr;
+  obs::Counter* mem_admission_stalls_ = nullptr;
+  obs::Counter* mem_admission_stall_micros_ = nullptr;
+  obs::Counter* mem_spill_chunks_ = nullptr;
+  obs::Counter* mem_spill_bytes_ = nullptr;
   obs::Histogram* block_nodes_ = nullptr;
   obs::Histogram* block_density_ = nullptr;
   obs::Histogram* block_ns_per_clique_ = nullptr;
+  obs::Histogram* mem_spill_chunk_bytes_ = nullptr;
 };
 
 }  // namespace mce::exec

@@ -21,6 +21,21 @@ Graph Graph::FromSortedCsr(std::vector<uint64_t> offsets,
   return Graph(std::move(offsets), std::move(adjacency));
 }
 
+Graph Graph::FromStorage(std::shared_ptr<const GraphStorage> storage) {
+  MCE_CHECK(storage != nullptr);
+  MCE_CHECK(!storage->offsets().empty());
+  MCE_CHECK_EQ(storage->offsets().front(), 0u);
+  MCE_CHECK_EQ(storage->offsets().back(), storage->adjacency().size());
+  return Graph(std::move(storage));
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return std::equal(offsets_.begin(), offsets_.end(), other.offsets_.begin(),
+                    other.offsets_.end()) &&
+         std::equal(adjacency_.begin(), adjacency_.end(),
+                    other.adjacency_.begin(), other.adjacency_.end());
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   MCE_DCHECK_LT(u, num_nodes());
   MCE_DCHECK_LT(v, num_nodes());

@@ -5,34 +5,55 @@
 // bitset, adjacency list) are derived views of it. Neighbor lists are sorted
 // and duplicate-free, there are no self-loops, and each undirected edge is
 // stored in both endpoints' lists.
+//
+// The CSR arrays live behind a shared GraphStorage (graph/storage.h): heap
+// vectors for built graphs, or a read-only mmap of an MCECSR02 file for
+// out-of-core runs. Graph caches the two spans so the hot accessors never
+// pay a virtual call; copies share the storage, and a moved-from Graph is
+// reset to the shared empty storage so its spans stay valid.
 
 #ifndef MCE_GRAPH_GRAPH_H_
 #define MCE_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "graph/storage.h"
+#include "graph/types.h"
 #include "util/check.h"
 
 namespace mce {
 
-using NodeId = uint32_t;
-
-inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
-
 class GraphBuilder;
 
-/// Immutable CSR graph. Construct through GraphBuilder.
+/// Immutable CSR graph. Construct through GraphBuilder, FromSortedCsr, or
+/// FromStorage.
 class Graph {
  public:
-  /// An empty graph with zero nodes.
-  Graph() : offsets_(1, 0) {}
+  /// An empty graph with zero nodes (shares a static empty storage).
+  Graph() : Graph(EmptyGraphStorage()) {}
 
   Graph(const Graph&) = default;
   Graph& operator=(const Graph&) = default;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+
+  Graph(Graph&& other) noexcept
+      : storage_(std::move(other.storage_)),
+        offsets_(other.offsets_),
+        adjacency_(other.adjacency_) {
+    other.ResetToEmpty();
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      storage_ = std::move(other.storage_);
+      offsets_ = other.offsets_;
+      adjacency_ = other.adjacency_;
+      other.ResetToEmpty();
+    }
+    return *this;
+  }
 
   NodeId num_nodes() const {
     return static_cast<NodeId>(offsets_.size() - 1);
@@ -58,12 +79,25 @@ class Graph {
 
   /// Adopts an already-valid CSR directly, skipping GraphBuilder's
   /// sort/dedup pass — for producers that hold the final layout anyway
-  /// (e.g. the reduction prepass compacting its surviving vertices).
-  /// `offsets` has n+1 entries starting at 0 and ending at
-  /// adjacency.size(); every row must be sorted, duplicate-free,
-  /// self-loop-free, and symmetric. Validated with MCE_DCHECK only.
+  /// (e.g. the reduction prepass compacting its surviving vertices, or
+  /// Induce building rows in parent-list order). `offsets` has n+1 entries
+  /// starting at 0 and ending at adjacency.size(); every row must be
+  /// sorted, duplicate-free, self-loop-free, and symmetric. Validated with
+  /// MCE_DCHECK only.
   static Graph FromSortedCsr(std::vector<uint64_t> offsets,
                              std::vector<NodeId> adjacency);
+
+  /// Wraps an externally owned storage (e.g. an MmapCsrStorage from
+  /// OpenMmapGraph). Checks the O(1) invariants (non-null, offsets front 0
+  /// and back == adjacency size); per-row validity is the producer's
+  /// contract.
+  static Graph FromStorage(std::shared_ptr<const GraphStorage> storage);
+
+  /// The backing store (shared with copies of this Graph).
+  const GraphStorage& storage() const { return *storage_; }
+
+  /// Heap bytes pinned by the backing store — 0 for mmap-backed graphs.
+  uint64_t ResidentBytes() const { return storage_->ResidentBytes(); }
 
   /// Maximum degree over all nodes (0 for the empty graph). O(n).
   uint32_t MaxDegree() const;
@@ -71,18 +105,31 @@ class Graph {
   /// Graph density: 2m / (n (n - 1)); 0 when n < 2.
   double Density() const;
 
-  bool operator==(const Graph& other) const {
-    return offsets_ == other.offsets_ && adjacency_ == other.adjacency_;
-  }
+  /// Structural equality: same CSR contents regardless of backing kind (a
+  /// heap graph and its mmap image compare equal).
+  bool operator==(const Graph& other) const;
 
  private:
   friend class GraphBuilder;
 
-  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> adjacency)
-      : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
+  explicit Graph(std::shared_ptr<const GraphStorage> storage)
+      : storage_(std::move(storage)),
+        offsets_(storage_->offsets()),
+        adjacency_(storage_->adjacency()) {}
 
-  std::vector<uint64_t> offsets_;   // size n+1
-  std::vector<NodeId> adjacency_;   // size 2m, sorted within each row
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> adjacency)
+      : Graph(std::make_shared<const OwnedCsrStorage>(std::move(offsets),
+                                                      std::move(adjacency))) {}
+
+  void ResetToEmpty() {
+    storage_ = EmptyGraphStorage();
+    offsets_ = storage_->offsets();
+    adjacency_ = storage_->adjacency();
+  }
+
+  std::shared_ptr<const GraphStorage> storage_;
+  std::span<const uint64_t> offsets_;   // cached storage_->offsets()
+  std::span<const NodeId> adjacency_;   // cached storage_->adjacency()
 };
 
 }  // namespace mce

@@ -22,6 +22,14 @@ bool IsCommentOrBlank(const std::string& line) {
   return true;  // blank
 }
 
+/// True when `ss` still holds a non-whitespace token after the expected
+/// fields were extracted — a malformed line that must be rejected rather
+/// than silently truncated (e.g. "0 1.5" parses ids 0 and 1, leaving ".5").
+bool HasTrailingGarbage(std::istringstream& ss) {
+  std::string rest;
+  return static_cast<bool>(ss >> rest);
+}
+
 }  // namespace
 
 NodeId LabelInterner::Intern(const std::string& label) {
@@ -50,6 +58,10 @@ Result<Graph> ReadEdgeList(const std::string& path) {
     if (!(ss >> u >> v)) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": expected 'u v'");
+    }
+    if (HasTrailingGarbage(ss)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": trailing tokens after 'u v'");
     }
     if (u > kInvalidNode - 1 || v > kInvalidNode - 1) {
       return Status::OutOfRange(path + ":" + std::to_string(line_no) +
@@ -91,6 +103,10 @@ Result<LabeledGraph> ReadTriples(const std::string& path) {
     if (!(ss >> n1 >> e >> n2)) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": expected '<n1> <e> <n2>'");
+    }
+    if (HasTrailingGarbage(ss)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": trailing tokens after '<n1> <e> <n2>'");
     }
     // Intern in textual order (argument evaluation order is unspecified).
     const NodeId id1 = nodes.Intern(n1);
@@ -213,6 +229,71 @@ Result<Graph> ReadBinary(const std::string& path) {
     builder.AddEdge(u, v);
   }
   return builder.Build();
+}
+
+Status WriteCsrBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const uint64_t n = g.num_nodes();
+  const uint64_t m = g.num_edges();
+  const uint64_t reserved = 0;
+  out.write(reinterpret_cast<const char*>(&kCsrBinaryMagic), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(uint64_t));
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof(uint64_t));
+  const std::span<const uint64_t> offsets = g.storage().offsets();
+  const std::span<const NodeId> adjacency = g.storage().adjacency();
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(adjacency.data()),
+            static_cast<std::streamsize>(adjacency.size() * sizeof(NodeId)));
+  out.flush();
+  if (!out) return Status::IoError("write error on " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadCsrBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, n = 0, m = 0, reserved = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(uint64_t));
+  in.read(reinterpret_cast<char*>(&n), sizeof(uint64_t));
+  in.read(reinterpret_cast<char*>(&m), sizeof(uint64_t));
+  in.read(reinterpret_cast<char*>(&reserved), sizeof(uint64_t));
+  if (!in || magic != kCsrBinaryMagic) {
+    return Status::InvalidArgument(path + ": not an MCECSR02 graph file");
+  }
+  if (n > kInvalidNode) {
+    return Status::OutOfRange(path + ": node count exceeds 32-bit range");
+  }
+  std::vector<uint64_t> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+  if (!in) return Status::IoError(path + ": truncated offset section");
+  if (offsets.front() != 0 || offsets.back() != 2 * m) {
+    return Status::InvalidArgument(path + ": inconsistent CSR offsets");
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument(path + ": non-monotone CSR offsets");
+    }
+  }
+  std::vector<NodeId> adjacency(2 * m);
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(adjacency.size() * sizeof(NodeId)));
+  if (!in) return Status::IoError(path + ": truncated adjacency section");
+  for (NodeId v : adjacency) {
+    if (v >= n) {
+      return Status::InvalidArgument(path + ": neighbor id out of range");
+    }
+  }
+  return Graph::FromSortedCsr(std::move(offsets), std::move(adjacency));
+}
+
+Result<Graph> OpenMmapGraph(const std::string& path) {
+  MCE_ASSIGN_OR_RETURN(std::shared_ptr<const GraphStorage> storage,
+                       MmapCsrStorage::Open(path));
+  return Graph::FromStorage(std::move(storage));
 }
 
 }  // namespace mce

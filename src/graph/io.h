@@ -63,9 +63,24 @@ Result<LabeledGraph> ReadTriples(const std::string& path);
 Status WriteTriples(const LabeledGraph& g, const std::string& path);
 
 /// Compact binary format: header (magic, node count, edge count) followed
-/// by the CSR arrays. Fast path for benchmark reruns on large graphs.
+/// by the edge pairs. Fast path for benchmark reruns on large graphs.
 Status WriteBinary(const Graph& g, const std::string& path);
 Result<Graph> ReadBinary(const std::string& path);
+
+/// MCECSR02 binary CSR format (layout in graph/storage.h): the graph's two
+/// CSR arrays verbatim behind a 32-byte header, 64-bit offsets throughout.
+/// Written by tools/mce_convert; the mmap read path below serves graphs
+/// larger than RAM without heap-materializing the CSR.
+Status WriteCsrBinary(const Graph& g, const std::string& path);
+
+/// Reads an MCECSR02 file into an owned (heap) graph. Revalidates per-row
+/// invariants in debug builds via Graph::FromSortedCsr.
+Result<Graph> ReadCsrBinary(const std::string& path);
+
+/// Opens an MCECSR02 file as a zero-copy mmap-backed graph. The returned
+/// graph's ResidentBytes() is 0 — its pages are clean and reclaimable —
+/// and copies of it share the single mapping.
+Result<Graph> OpenMmapGraph(const std::string& path);
 
 /// Graphviz DOT export for small graphs / community inspection. Nodes
 /// whose ids appear in `highlight` are filled; `labels` (optional, may be

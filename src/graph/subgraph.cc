@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "graph/builder.h"
-
 namespace mce {
 
 InducedSubgraph Induce(const Graph& g, std::span<const NodeId> nodes) {
@@ -19,16 +17,22 @@ InducedSubgraph Induce(const Graph& g, std::span<const NodeId> nodes) {
     to_local.emplace(sorted[i], i);
   }
 
-  GraphBuilder builder(static_cast<NodeId>(sorted.size()));
+  // The parent's rows are sorted and to_local is monotone on the sorted
+  // member list, so filtering each parent row yields the local rows already
+  // sorted and symmetric — build the CSR directly and skip GraphBuilder's
+  // sort/dedup pass.
+  std::vector<uint64_t> offsets(sorted.size() + 1, 0);
+  std::vector<NodeId> adjacency;
   for (NodeId local_u = 0; local_u < sorted.size(); ++local_u) {
-    const NodeId u = sorted[local_u];
-    for (NodeId v : g.Neighbors(u)) {
-      if (v <= u) continue;  // each edge once
+    for (NodeId v : g.Neighbors(sorted[local_u])) {
       auto it = to_local.find(v);
-      if (it != to_local.end()) builder.AddEdge(local_u, it->second);
+      if (it != to_local.end()) adjacency.push_back(it->second);
     }
+    offsets[local_u + 1] = adjacency.size();
   }
-  return InducedSubgraph{builder.Build(), std::move(sorted)};
+  return InducedSubgraph{
+      Graph::FromSortedCsr(std::move(offsets), std::move(adjacency)),
+      std::move(sorted)};
 }
 
 std::vector<NodeId> ToParentIds(const InducedSubgraph& sub,

@@ -1,0 +1,16 @@
+// Fundamental graph scalar types, shared by graph.h and storage.h.
+
+#ifndef MCE_GRAPH_TYPES_H_
+#define MCE_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace mce {
+
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+}  // namespace mce
+
+#endif  // MCE_GRAPH_TYPES_H_

@@ -1,0 +1,230 @@
+// CliqueSink — ownership-agnostic buffering for per-level clique streams.
+//
+// The pooled executor buffers every clique a level produces (that is what
+// makes its delivery byte-identical to the serial walk). On clique-dense
+// graphs those buffers are the largest live allocation of the whole run,
+// so they are the natural spill point for out-of-core execution: a sink
+// either keeps its FlatCliques arena resident, or flushes it to an
+// unlinked temp file in sorted chunks once the level's resident bytes
+// cross a threshold, replaying the chunks in append order on read.
+//
+// The contract that keeps emission byte-identical with spilling on or off:
+// ForRange(i, j) replays exactly the cliques appended as numbers [i, j), in
+// order, regardless of where flush boundaries fell. Appends are
+// single-writer per sink; reads may run concurrently from many threads
+// once all appends have finished (the engine's analysis-completion token
+// orders the two phases).
+//
+// Layering: this header knows nothing about the executors. The engine
+// fills one SpillConfig per run (directory, threshold, budget, trace,
+// metrics handles) and one SpillContext per level (shared resident-byte
+// counter); MakeCliqueSink picks the implementation.
+
+#ifndef MCE_MCE_CLIQUE_SINK_H_
+#define MCE_MCE_CLIQUE_SINK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "mce/clique.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/memory_budget.h"
+
+namespace mce {
+
+/// Append-only clique arena: ids stored back to back with end offsets,
+/// preserving emission order. Buffering one heap allocation per clique
+/// (vector<Clique>) made the pooled engine slower than serial on
+/// clique-dense graphs; this arena is two vectors total.
+class FlatCliques {
+ public:
+  /// Copies the clique and sorts it in place (the CliqueSet::Add
+  /// contract, which the serial emission order is defined in terms of).
+  void Append(std::span<const NodeId> c) {
+    AppendRaw(c);
+    std::sort(ids_.end() - static_cast<ptrdiff_t>(c.size()), ids_.end());
+  }
+
+  /// Copies verbatim, skipping the sort — for buffers whose reader
+  /// canonicalizes anyway (level >= 1 shard buffers feed MapAndFilter-
+  /// Clique, which sorts its output) or whose input already is canonical
+  /// (filter and fallback survivors are MapAndFilterClique output).
+  void AppendRaw(std::span<const NodeId> c) {
+    if (ids_.capacity() == 0) {
+      // First touch: skip the early doubling steps. Most arenas are
+      // per-block buffers on graphs with thousands of small blocks, so
+      // growing each one from nothing costs more allocator traffic than
+      // the analysis itself saves.
+      ids_.reserve(96);
+      ends_.reserve(16);
+    }
+    ids_.insert(ids_.end(), c.begin(), c.end());
+    ends_.push_back(ids_.size());
+  }
+  size_t size() const { return ends_.size(); }
+  std::span<const NodeId> operator[](size_t i) const {
+    const size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return {ids_.data() + begin, ends_[i] - begin};
+  }
+
+  /// Bytes of clique payload held (size-based; the spill accounting
+  /// charge).
+  uint64_t ByteSize() const {
+    return ids_.size() * sizeof(NodeId) + ends_.size() * sizeof(uint64_t);
+  }
+
+  const std::vector<NodeId>& ids() const { return ids_; }
+  const std::vector<uint64_t>& ends() const { return ends_; }
+
+ private:
+  std::vector<NodeId> ids_;
+  std::vector<uint64_t> ends_;
+};
+
+/// Per-flush observability handles, bound once per run by the engine's
+/// RunMetrics (null when no registry is installed).
+struct SpillMetrics {
+  obs::Counter* bytes_charged = nullptr;
+  obs::Counter* spill_chunks = nullptr;
+  obs::Counter* spill_bytes = nullptr;
+  obs::Histogram* spill_chunk_bytes = nullptr;
+};
+
+/// A sink never flushes a chunk smaller than this (or than the threshold,
+/// whichever is lower): once a level's aggregate sits at the ceiling,
+/// flushing each sink's few-byte buffer on every append would grind the
+/// run into hundreds of thousands of tiny chunks. Sinks instead let their
+/// buffers grow to a useful chunk size; the extra residency is bounded by
+/// one minimum chunk per sink and stays budget-accounted.
+inline constexpr uint64_t kMinSpillChunkBytes = 4096;
+
+/// Run-wide spill configuration, owned by the engine and outliving every
+/// sink of the run.
+struct SpillConfig {
+  /// Directory for chunk files; "" uses $TMPDIR, then /tmp. Files are
+  /// unlinked at creation, so nothing survives a crash.
+  std::string dir;
+  /// Per-level resident-byte ceiling across the level's sinks; a sink
+  /// whose append pushes the level total past this flushes its own
+  /// buffer. 0 disables spilling (sinks still account when `budget` is
+  /// set).
+  uint64_t threshold_bytes = 0;
+  /// Charged/released with every resident-byte delta; never null for
+  /// spilling sinks made through MakeCliqueSink.
+  MemoryBudget* budget = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  SpillMetrics metrics;
+};
+
+/// Per-level spill state: the shared resident-byte counter the threshold
+/// is measured against. One instance per LevelRun, addressed by every sink
+/// of that level.
+struct SpillContext {
+  const SpillConfig* config = nullptr;
+  uint32_t level = 0;
+  std::atomic<uint64_t> resident_bytes{0};
+};
+
+/// Interface the executors buffer through. Append/AppendRaw mirror
+/// FlatCliques; ForRange replays appends [begin, end) in order.
+class CliqueSink {
+ public:
+  virtual ~CliqueSink() = default;
+
+  virtual void Append(std::span<const NodeId> c) = 0;
+  virtual void AppendRaw(std::span<const NodeId> c) = 0;
+  virtual size_t size() const = 0;
+
+  /// Replays cliques [begin, end) (in append order) to `fn`. Thread-safe
+  /// for concurrent readers once appends have finished; spilled chunks
+  /// stream through a per-call buffer one chunk at a time.
+  virtual void ForRange(size_t begin, size_t end,
+                        const CliqueCallback& fn) const = 0;
+  void ForEach(const CliqueCallback& fn) const { ForRange(0, size(), fn); }
+
+  virtual uint64_t spilled_chunks() const { return 0; }
+  virtual uint64_t spilled_bytes() const { return 0; }
+};
+
+/// Resident sink: a FlatCliques arena, no accounting, no virtual overhead
+/// beyond the dispatch itself. The default when no budget or threshold is
+/// configured.
+class ResidentCliqueSink final : public CliqueSink {
+ public:
+  void Append(std::span<const NodeId> c) override { flat_.Append(c); }
+  void AppendRaw(std::span<const NodeId> c) override { flat_.AppendRaw(c); }
+  size_t size() const override { return flat_.size(); }
+  void ForRange(size_t begin, size_t end,
+                const CliqueCallback& fn) const override {
+    for (size_t i = begin; i < end; ++i) fn(flat_[i]);
+  }
+
+ private:
+  FlatCliques flat_;
+};
+
+/// Accounting + spilling sink. Every append charges its resident-byte
+/// delta to the budget and the level's shared counter; once the level
+/// total crosses the threshold the sink flushes its own buffer as one
+/// chunk ([count][ids-size][ends...][ids...]) appended to a lazily
+/// created, immediately unlinked temp file. Spill I/O failure degrades to
+/// resident buffering with one warning. Single writer; see CliqueSink for
+/// the read contract.
+class SpillingCliqueSink final : public CliqueSink {
+ public:
+  /// `ctx` (with ctx->config) must outlive the sink.
+  explicit SpillingCliqueSink(SpillContext* ctx) : ctx_(ctx) {}
+  ~SpillingCliqueSink() override;
+
+  void Append(std::span<const NodeId> c) override {
+    buffer_.Append(c);
+    Account();
+  }
+  void AppendRaw(std::span<const NodeId> c) override {
+    buffer_.AppendRaw(c);
+    Account();
+  }
+  size_t size() const override { return spilled_cliques_ + buffer_.size(); }
+  void ForRange(size_t begin, size_t end,
+                const CliqueCallback& fn) const override;
+
+  uint64_t spilled_chunks() const override { return chunks_.size(); }
+  uint64_t spilled_bytes() const override { return spilled_bytes_; }
+
+ private:
+  struct Chunk {
+    uint64_t file_offset = 0;
+    uint64_t num_cliques = 0;
+    uint64_t num_ids = 0;
+  };
+
+  void Account();
+  void Flush();
+  bool EnsureFile();
+
+  SpillContext* ctx_;
+  FlatCliques buffer_;
+  uint64_t accounted_ = 0;  // bytes currently charged for buffer_
+  std::vector<Chunk> chunks_;
+  uint64_t spilled_cliques_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t file_end_ = 0;
+  int fd_ = -1;
+  bool spill_failed_ = false;
+};
+
+/// Picks the sink implementation: SpillingCliqueSink when `ctx` carries a
+/// config with a threshold or a budget to account against, else the
+/// zero-overhead ResidentCliqueSink (also for ctx == nullptr).
+std::unique_ptr<CliqueSink> MakeCliqueSink(SpillContext* ctx);
+
+}  // namespace mce
+
+#endif  // MCE_MCE_CLIQUE_SINK_H_

@@ -36,14 +36,28 @@ std::string ComboName(StorageKind s, Algorithm a) {
   return std::string(ToString(s)) + "/" + ToString(a);
 }
 
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return UINT64_MAX;
+  return out;
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return UINT64_MAX;
+  return out;
+}
+
 uint64_t EstimateStorageBytes(uint64_t n, uint64_t m, StorageKind storage) {
   switch (storage) {
     case StorageKind::kAdjacencyList:
-      return 2 * m * sizeof(NodeId) + (n + 1) * sizeof(uint64_t);
+      return SaturatingAdd(SaturatingMul(SaturatingMul(2, m), sizeof(NodeId)),
+                           SaturatingMul(SaturatingAdd(n, 1),
+                                         sizeof(uint64_t)));
     case StorageKind::kMatrix:
-      return n * n;
+      return SaturatingMul(n, n);
     case StorageKind::kBitset:
-      return n * ((n + 63) / 64) * 8;
+      return SaturatingMul(n, SaturatingMul(SaturatingAdd(n, 63) / 64, 8));
   }
   return 0;
 }

@@ -41,8 +41,16 @@ const char* ToString(StorageKind s);
 /// "Matrix/Tomita"-style label used by the benchmark tables.
 std::string ComboName(StorageKind s, Algorithm a);
 
+/// Saturating uint64 arithmetic for byte estimates: overflow clamps to
+/// UINT64_MAX instead of wrapping, so a >2^32-node matrix estimate reads
+/// "infeasible" rather than a small garbage number.
+uint64_t SaturatingAdd(uint64_t a, uint64_t b);
+uint64_t SaturatingMul(uint64_t a, uint64_t b);
+
 /// Approximate bytes needed to materialize `storage` for an n-node graph
-/// with m undirected edges. Used by benches to skip infeasible combos.
+/// with m undirected edges. Used by benches to skip infeasible combos and
+/// by the execution engine's MemoryBudget workspace charges. Saturates to
+/// UINT64_MAX on overflow.
 uint64_t EstimateStorageBytes(uint64_t n, uint64_t m, StorageKind storage);
 
 /// Adjacency-list backend: a thin view over the CSR Graph (no copy).

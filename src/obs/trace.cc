@@ -46,6 +46,10 @@ const char* ToString(SpanKind kind) {
       return "BlockShardTask";
     case SpanKind::kReduce:
       return "ReduceTask";
+    case SpanKind::kSpillFlush:
+      return "SpillFlushTask";
+    case SpanKind::kAdmission:
+      return "AdmissionStall";
   }
   return "?";
 }
@@ -207,6 +211,22 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
               "\"trivial_cliques\":%llu,\"rounds\":%llu}",
               static_cast<ull>(e.args[0]), static_cast<ull>(e.args[1]),
               static_cast<ull>(e.args[2]), static_cast<ull>(e.args[3]));
+      break;
+    case SpanKind::kSpillFlush:
+      AppendF(out,
+              ",\"args\":{\"level\":%u,\"chunk\":%llu,\"cliques\":%llu,"
+              "\"bytes\":%llu,\"level_resident_after\":%llu,"
+              "\"file_bytes\":%llu}",
+              e.level, static_cast<ull>(e.index), static_cast<ull>(e.args[0]),
+              static_cast<ull>(e.args[1]), static_cast<ull>(e.args[2]),
+              static_cast<ull>(e.args[3]));
+      break;
+    case SpanKind::kAdmission:
+      AppendF(out,
+              ",\"args\":{\"level\":%u,\"requested_bytes\":%llu,"
+              "\"charged_bytes\":%llu,\"budget_bytes\":%llu}",
+              e.level, static_cast<ull>(e.args[0]),
+              static_cast<ull>(e.args[1]), static_cast<ull>(e.args[2]));
       break;
   }
 }

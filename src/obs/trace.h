@@ -49,6 +49,8 @@ enum class SpanKind : uint8_t {
   kSimBlock = 5,   // a block placement on a simulated cluster lane
   kBlockShard = 6, // one kernel-range shard of a split BlockTask
   kReduce = 7,     // the graph-reduction prepass (src/reduce)
+  kSpillFlush = 8, // one clique-sink chunk flushed to its spill file
+  kAdmission = 9,  // a BlockTask held back by the memory budget
 };
 
 /// The span's Chrome-trace event name ("DecomposeTask", "BlockTask", ...).
@@ -66,6 +68,9 @@ const char* ToString(SpanKind kind);
 ///                block index; one span per shard of a split BlockTask)
 ///   kReduce:     {vertices_removed, edges_removed, trivial_cliques,
 ///                rounds}
+///   kSpillFlush: {cliques, bytes, level_resident_after, file_bytes}
+///                (index = chunk index within the sink)
+///   kAdmission:  {requested_bytes, charged_bytes, budget_bytes, 0}
 struct TraceEvent {
   int64_t begin_us = 0;  // obs::NowMicros() timebase
   int64_t end_us = 0;

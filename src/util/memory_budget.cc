@@ -1,0 +1,54 @@
+#include "util/memory_budget.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mce {
+
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  size_t pos = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (pos == 0) {
+    return Status::InvalidArgument("byte size must start with a digit: '" +
+                                   text + "'");
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < pos; ++i) {
+    const uint64_t digit = static_cast<uint64_t>(text[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("byte size overflows uint64: '" + text + "'");
+    }
+    value = value * 10 + digit;
+  }
+  std::string suffix = text.substr(pos);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+  uint64_t shift = 0;
+  if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 'k': shift = 10; break;
+      case 'm': shift = 20; break;
+      case 'g': shift = 30; break;
+      case 't': shift = 40; break;
+      case 'b': shift = 0; break;
+      default:
+        return Status::InvalidArgument("unknown byte-size suffix: '" + text +
+                                       "'");
+    }
+    const std::string rest = suffix.substr(1);
+    const bool ok = shift == 0 ? rest.empty()
+                               : (rest.empty() || rest == "b" || rest == "ib");
+    if (!ok) {
+      return Status::InvalidArgument("unknown byte-size suffix: '" + text +
+                                     "'");
+    }
+  }
+  if (shift > 0 && value > (UINT64_MAX >> shift)) {
+    return Status::OutOfRange("byte size overflows uint64: '" + text + "'");
+  }
+  return value << shift;
+}
+
+}  // namespace mce

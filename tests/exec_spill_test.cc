@@ -1,0 +1,270 @@
+// Out-of-core execution: spilled clique sinks, mmap graph storage, and the
+// memory-budget admission gate must not change a single emitted byte.
+// Property sweep across generators x m x threads, the m-core fallback, the
+// reduction prepass, and a tiny-budget end-to-end run — plus the trace /
+// metrics contract for spill flushes and admission stalls (DESIGN.md §11).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "decomp/find_max_cliques.h"
+#include "exec/executor.h"
+#include "gen/generators.h"
+#include "gen/social.h"
+#include "gen/special.h"
+#include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mce::exec {
+namespace {
+
+struct Captured {
+  std::vector<std::pair<Clique, uint32_t>> emissions;
+  std::vector<decomp::BlockTaskRecord> records;
+  decomp::StreamingStats stats;
+};
+
+Captured RunWith(const Graph& g, decomp::FindMaxCliquesOptions options,
+                 decomp::ExecutorKind kind, uint32_t threads) {
+  options.executor = kind;
+  options.num_threads = threads;
+  Captured out;
+  options.block_observer = [&out](const decomp::BlockTaskRecord& r) {
+    out.records.push_back(r);
+  };
+  out.stats = decomp::FindMaxCliquesStreaming(
+      g, options, [&out](std::span<const NodeId> c, uint32_t level) {
+        out.emissions.emplace_back(Clique(c.begin(), c.end()), level);
+      });
+  return out;
+}
+
+/// Forces sinks to spill on nearly every block: a threshold this small is
+/// crossed by a handful of cliques, so the replay path (chunk merge in the
+/// Lemma-1 filter and in delivery) runs constantly.
+decomp::FindMaxCliquesOptions SpillForced(uint32_t m) {
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = m;
+  options.spill_threshold_bytes = 128;
+  options.spill_dir = testing::TempDir();
+  return options;
+}
+
+void ExpectIdenticalEmission(const Captured& actual, const Captured& expected) {
+  EXPECT_EQ(actual.emissions, expected.emissions);
+  EXPECT_EQ(actual.stats.cliques_emitted, expected.stats.cliques_emitted);
+  EXPECT_EQ(actual.stats.used_fallback, expected.stats.used_fallback);
+  ASSERT_EQ(actual.records.size(), expected.records.size());
+  for (size_t i = 0; i < actual.records.size(); ++i) {
+    EXPECT_EQ(actual.records[i].level, expected.records[i].level);
+    EXPECT_EQ(actual.records[i].cliques, expected.records[i].cliques);
+  }
+}
+
+std::vector<Graph> Corpus() {
+  std::vector<Graph> corpus;
+  Rng rng(211);
+  corpus.push_back(gen::ErdosRenyiGnp(30, 0.2, &rng));
+  corpus.push_back(gen::BarabasiAlbert(50, 3, &rng));
+  corpus.push_back(gen::WattsStrogatz(40, 4, 0.2, &rng));
+  // Power-law stand-in: the social generator's degree distribution.
+  corpus.push_back(gen::GenerateSocialNetwork(gen::FacebookConfig(0.01)));
+  return corpus;
+}
+
+// The core property: spilled emission is byte-identical to resident
+// emission for every generator x m x thread-count combination, through
+// both executors.
+TEST(SpillIdentityTest, SpilledMatchesResidentAcrossCorpus) {
+  const std::vector<Graph> corpus = Corpus();
+  for (size_t gi = 0; gi < corpus.size(); ++gi) {
+    const Graph& g = corpus[gi];
+    for (uint32_t m : {3u, 8u, 20u}) {
+      decomp::FindMaxCliquesOptions resident;
+      resident.max_block_size = m;
+      const Captured baseline =
+          RunWith(g, resident, decomp::ExecutorKind::kSerial, 1);
+      const decomp::FindMaxCliquesOptions spill = SpillForced(m);
+      ExpectIdenticalEmission(
+          RunWith(g, spill, decomp::ExecutorKind::kSerial, 1), baseline);
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "graph " << gi << " m " << m
+                                        << " threads " << threads);
+        ExpectIdenticalEmission(
+            RunWith(g, spill, decomp::ExecutorKind::kPooled, threads),
+            baseline);
+      }
+    }
+  }
+}
+
+// Spilling through the m-core fallback: the whole-graph MCE's cliques pass
+// through a sink too, and must replay unchanged.
+TEST(SpillIdentityTest, FallbackSpillsByteIdentically) {
+  const Graph g = gen::Complete(12);
+  decomp::FindMaxCliquesOptions resident;
+  resident.max_block_size = 6;
+  const Captured baseline =
+      RunWith(g, resident, decomp::ExecutorKind::kSerial, 1);
+  ASSERT_TRUE(baseline.stats.used_fallback);
+  for (uint32_t threads : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    const Captured spilled =
+        RunWith(g, SpillForced(6), decomp::ExecutorKind::kPooled, threads);
+    ExpectIdenticalEmission(spilled, baseline);
+  }
+}
+
+// The reduction prepass emits reduced-away cliques ahead of the pipeline
+// and re-expands block cliques before the filter; spilling underneath it
+// must stay invisible.
+TEST(SpillIdentityTest, ReducePrepassSpillsByteIdentically) {
+  Rng rng(31);
+  const Graph g = gen::BarabasiAlbert(60, 2, &rng);
+  decomp::FindMaxCliquesOptions resident;
+  resident.max_block_size = 8;
+  resident.reduce = true;
+  const Captured baseline =
+      RunWith(g, resident, decomp::ExecutorKind::kSerial, 1);
+  decomp::FindMaxCliquesOptions spill = SpillForced(8);
+  spill.reduce = true;
+  for (uint32_t threads : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    ExpectIdenticalEmission(
+        RunWith(g, spill, decomp::ExecutorKind::kPooled, threads), baseline);
+  }
+}
+
+// An mmap-backed graph must run the pipeline byte-identically to its heap
+// twin — with and without spilling on top.
+TEST(SpillIdentityTest, MmapGraphMatchesHeapThroughPipeline) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.01));
+  const std::string path = testing::TempDir() + "/spill_pipeline.mcsr";
+  ASSERT_TRUE(WriteCsrBinary(g, path).ok());
+  Result<Graph> mapped = OpenMmapGraph(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  decomp::FindMaxCliquesOptions resident;
+  resident.max_block_size = 20;
+  const Captured heap = RunWith(g, resident, decomp::ExecutorKind::kSerial, 1);
+  ExpectIdenticalEmission(
+      RunWith(*mapped, resident, decomp::ExecutorKind::kSerial, 1), heap);
+  for (uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    ExpectIdenticalEmission(
+        RunWith(*mapped, SpillForced(20), decomp::ExecutorKind::kPooled,
+                threads),
+        heap);
+  }
+  std::remove(path.c_str());
+}
+
+// End-to-end under a budget far below the resident working set: every block
+// still completes (admission holds tasks back, never drops them) and the
+// emission is untouched.
+TEST(MemoryBudgetTest, TinyBudgetRunCompletesAndMatchesUnbudgeted) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  decomp::FindMaxCliquesOptions unbudgeted;
+  unbudgeted.max_block_size = 40;
+  const Captured baseline =
+      RunWith(g, unbudgeted, decomp::ExecutorKind::kPooled, 4);
+  EXPECT_GT(baseline.stats.memory.peak_tracked_bytes, 0u);
+  EXPECT_EQ(baseline.stats.memory.budget_bytes, 0u);
+
+  decomp::FindMaxCliquesOptions budgeted = unbudgeted;
+  budgeted.memory_budget_bytes = 64ull << 10;  // well under the resident peak
+  budgeted.spill_dir = testing::TempDir();
+  const Captured tight =
+      RunWith(g, budgeted, decomp::ExecutorKind::kPooled, 4);
+  ExpectIdenticalEmission(tight, baseline);
+  // Every block the unbudgeted run analyzed completed here too.
+  EXPECT_EQ(tight.records.size(), baseline.records.size());
+  EXPECT_EQ(tight.stats.memory.budget_bytes, 64ull << 10);
+  EXPECT_GT(tight.stats.memory.peak_tracked_bytes, 0u);
+}
+
+// Serial runs honor the budget bookkeeping too: peak tracked bytes are
+// reported, and the block-at-a-time profile stays within any budget that
+// admits the largest single block.
+TEST(MemoryBudgetTest, SerialRunReportsPeakTrackedBytes) {
+  Rng rng(77);
+  const Graph g = gen::BarabasiAlbert(80, 4, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 10;
+  options.memory_budget_bytes = 1ull << 30;
+  const Captured run = RunWith(g, options, decomp::ExecutorKind::kSerial, 1);
+  EXPECT_EQ(run.stats.memory.budget_bytes, 1ull << 30);
+  EXPECT_GT(run.stats.memory.peak_tracked_bytes, 0u);
+  EXPECT_LE(run.stats.memory.peak_tracked_bytes, options.memory_budget_bytes);
+}
+
+// Trace/metrics contract (mirrors the span-math checks in exec_trace_test):
+// every spill flush is one kSpillFlush span whose byte argument sums to the
+// run's spill_bytes, every admission stall is one kAdmission span, and the
+// mem.* registry counters agree with the run's MemoryStats.
+TEST(SpillObservabilityTest, SpillSpansAndCountersMatchRunStats) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  decomp::FindMaxCliquesOptions options = SpillForced(40);
+  options.memory_budget_bytes = 64ull << 10;
+  options.executor = decomp::ExecutorKind::kPooled;
+  options.num_threads = 4;
+  options.trace = &recorder;
+  options.metrics = &registry;
+  Captured out;
+  out.stats = decomp::FindMaxCliquesStreaming(
+      g, options, [](std::span<const NodeId>, uint32_t) {});
+  const decomp::MemoryStats& mem = out.stats.memory;
+  ASSERT_GT(mem.spill_chunks, 0u);
+  ASSERT_GT(mem.spill_bytes, 0u);
+
+  uint64_t flush_spans = 0, flush_bytes = 0, admission_spans = 0;
+  for (const obs::TraceEvent& e : recorder.Events()) {
+    if (e.kind == obs::SpanKind::kSpillFlush) {
+      ++flush_spans;
+      flush_bytes += e.args[1];
+    }
+    if (e.kind == obs::SpanKind::kAdmission) ++admission_spans;
+  }
+  EXPECT_EQ(flush_spans, mem.spill_chunks);
+  EXPECT_EQ(flush_bytes, mem.spill_bytes);
+  EXPECT_EQ(admission_spans, mem.admission_stalls);
+
+  EXPECT_EQ(registry.GetCounter("mem.spill_chunks").value(), mem.spill_chunks);
+  EXPECT_EQ(registry.GetCounter("mem.spill_bytes").value(), mem.spill_bytes);
+  EXPECT_EQ(registry.GetCounter("mem.admission_stalls").value(),
+            mem.admission_stalls);
+  EXPECT_GT(registry.GetCounter("mem.bytes_charged").value(), 0u);
+}
+
+// A resident (no-spill, no-budget) run records none of the spill
+// instruments — the out-of-core machinery costs nothing when off.
+TEST(SpillObservabilityTest, ResidentRunRecordsNoSpillActivity) {
+  Rng rng(13);
+  const Graph g = gen::ErdosRenyiGnp(40, 0.2, &rng);
+  decomp::FindMaxCliquesOptions options;
+  options.max_block_size = 8;
+  options.executor = decomp::ExecutorKind::kPooled;
+  options.num_threads = 4;
+  Captured out;
+  out.stats = decomp::FindMaxCliquesStreaming(
+      g, options, [](std::span<const NodeId>, uint32_t) {});
+  EXPECT_EQ(out.stats.memory.spill_chunks, 0u);
+  EXPECT_EQ(out.stats.memory.spill_bytes, 0u);
+  EXPECT_EQ(out.stats.memory.admission_stalls, 0u);
+  EXPECT_EQ(out.stats.memory.budget_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mce::exec

@@ -170,14 +170,34 @@ TEST_F(IoTest, TriplesToleratesSelfLoopsAndDuplicates) {
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, TriplesWithExtraTokensIgnoresTail) {
-  // Only the first three tokens are the triple; trailing columns (e.g.
-  // timestamps) are ignored per line.
+TEST_F(IoTest, TriplesRejectsExtraTokens) {
+  // A fourth column means the line is not a <n1, e, n2> triple: silently
+  // taking the first three tokens used to hide truncated/corrupt exports,
+  // so trailing garbage is now a parse error naming the line.
   std::string path = TempPath("extra.txt");
   WriteFile(path, "a knows b 2016-03-15 extra\n");
   Result<LabeledGraph> lg = ReadTriples(path);
-  ASSERT_TRUE(lg.ok());
-  EXPECT_EQ(lg->graph.num_edges(), 1u);
+  ASSERT_FALSE(lg.ok());
+  EXPECT_EQ(lg.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(lg.status().message().find(":1: trailing tokens"),
+            std::string::npos)
+      << lg.status();
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, EdgeListRejectsTrailingTokens) {
+  // Regression fixture for corrupt edge lists: a weight column (or any
+  // third token) on a "u v" line is rejected rather than ignored.
+  std::string path = TempPath("trailing.txt");
+  WriteFile(path,
+            "0 1\n"
+            "1 2 0.75\n");
+  Result<Graph> g = ReadEdgeList(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find(":2: trailing tokens"),
+            std::string::npos)
+      << g.status();
   std::remove(path.c_str());
 }
 

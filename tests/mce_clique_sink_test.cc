@@ -1,0 +1,205 @@
+// CliqueSink: spilled-vs-resident replay identity, ForRange partitioning
+// across chunk boundaries, and budget accounting. Plus the saturating
+// storage estimates the MemoryBudget charges are built from.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mce/clique_sink.h"
+#include "mce/storage.h"
+#include "util/memory_budget.h"
+
+namespace mce {
+namespace {
+
+/// Deterministic pseudo-random clique stream (no RNG dependency).
+std::vector<std::vector<NodeId>> TestCliques(size_t count) {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(count);
+  uint64_t state = 12345;
+  for (size_t i = 0; i < count; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const size_t len = 1 + (state >> 33) % 7;
+    std::vector<NodeId> c;
+    for (size_t j = 0; j < len; ++j) {
+      c.push_back(static_cast<NodeId>((i * 31 + j * 7 + (state & 0xff))));
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> Replay(const CliqueSink& sink, size_t begin,
+                                        size_t end) {
+  std::vector<std::vector<NodeId>> got;
+  sink.ForRange(begin, end, [&](std::span<const NodeId> c) {
+    got.emplace_back(c.begin(), c.end());
+  });
+  return got;
+}
+
+TEST(CliqueSinkTest, MakeCliqueSinkPicksImplementation) {
+  EXPECT_NE(dynamic_cast<ResidentCliqueSink*>(MakeCliqueSink(nullptr).get()),
+            nullptr);
+  SpillConfig config;  // no threshold, no budget
+  SpillContext ctx;
+  ctx.config = &config;
+  EXPECT_NE(dynamic_cast<ResidentCliqueSink*>(MakeCliqueSink(&ctx).get()),
+            nullptr);
+  MemoryBudget budget(1 << 20);
+  config.budget = &budget;
+  EXPECT_NE(dynamic_cast<SpillingCliqueSink*>(MakeCliqueSink(&ctx).get()),
+            nullptr);
+}
+
+TEST(CliqueSinkTest, SpilledReplayIsIdenticalToResident) {
+  const auto cliques = TestCliques(500);
+
+  ResidentCliqueSink resident;
+  for (const auto& c : cliques) resident.AppendRaw(c);
+
+  MemoryBudget budget;
+  SpillConfig config;
+  config.threshold_bytes = 256;  // forces many flushes
+  config.budget = &budget;
+  SpillContext ctx;
+  ctx.config = &config;
+  SpillingCliqueSink spilling(&ctx);
+  for (const auto& c : cliques) spilling.AppendRaw(c);
+
+  ASSERT_EQ(spilling.size(), resident.size());
+  EXPECT_GT(spilling.spilled_chunks(), 1u);
+  EXPECT_GT(spilling.spilled_bytes(), 0u);
+  EXPECT_EQ(Replay(spilling, 0, spilling.size()),
+            Replay(resident, 0, resident.size()));
+}
+
+TEST(CliqueSinkTest, ForRangePartitionsConcatenateToFullStream) {
+  const auto cliques = TestCliques(257);  // prime-ish, odd chunk splits
+  MemoryBudget budget;
+  SpillConfig config;
+  config.threshold_bytes = 200;
+  config.budget = &budget;
+  SpillContext ctx;
+  ctx.config = &config;
+  SpillingCliqueSink sink(&ctx);
+  for (const auto& c : cliques) sink.AppendRaw(c);
+  ASSERT_GT(sink.spilled_chunks(), 0u);
+
+  const auto whole = Replay(sink, 0, sink.size());
+  // Any partition of [0, n) must concatenate byte-identically, whatever
+  // relation its cut points have to the spill-chunk boundaries.
+  for (size_t step : {1u, 3u, 50u, 256u}) {
+    std::vector<std::vector<NodeId>> stitched;
+    for (size_t b = 0; b < sink.size(); b += step) {
+      const size_t e = std::min(b + step, sink.size());
+      auto part = Replay(sink, b, e);
+      stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(stitched, whole) << "step " << step;
+  }
+}
+
+TEST(CliqueSinkTest, AppendSortsLikeResidentSink) {
+  MemoryBudget budget;
+  SpillConfig config;
+  config.threshold_bytes = 64;
+  config.budget = &budget;
+  SpillContext ctx;
+  ctx.config = &config;
+  SpillingCliqueSink spilling(&ctx);
+  ResidentCliqueSink resident;
+  const std::vector<NodeId> unsorted = {9, 2, 7, 1};
+  for (int i = 0; i < 50; ++i) {
+    spilling.Append(unsorted);
+    resident.Append(unsorted);
+  }
+  EXPECT_EQ(Replay(spilling, 0, spilling.size()),
+            Replay(resident, 0, resident.size()));
+  EXPECT_EQ(Replay(spilling, 0, 1)[0], (std::vector<NodeId>{1, 2, 7, 9}));
+}
+
+TEST(CliqueSinkTest, AccountingReleasesOnFlushAndDestruction) {
+  MemoryBudget budget;
+  SpillConfig config;
+  config.threshold_bytes = 128;
+  config.budget = &budget;
+  SpillContext ctx;
+  ctx.config = &config;
+  {
+    SpillingCliqueSink sink(&ctx);
+    const auto cliques = TestCliques(300);
+    for (const auto& c : cliques) sink.AppendRaw(c);
+    // Flushes released the spilled bytes: the residual charge is at most
+    // one buffered (unflushed) tail, far below the total appended.
+    EXPECT_GT(sink.spilled_bytes(), budget.charged());
+  }
+  // Destruction releases the tail charge from budget and level counter.
+  EXPECT_EQ(budget.charged(), 0u);
+  EXPECT_EQ(ctx.resident_bytes.load(), 0u);
+  EXPECT_GT(budget.peak(), 0u);
+}
+
+TEST(CliqueSinkTest, EmptyCliquesSurviveSpilling) {
+  MemoryBudget budget;
+  SpillConfig config;
+  config.threshold_bytes = 64;
+  config.budget = &budget;
+  SpillContext ctx;
+  ctx.config = &config;
+  SpillingCliqueSink sink(&ctx);
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> one = {42};
+  for (int i = 0; i < 40; ++i) {
+    sink.AppendRaw(empty);
+    sink.AppendRaw(one);
+  }
+  ASSERT_EQ(sink.size(), 80u);
+  const auto got = Replay(sink, 0, sink.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], (i % 2 == 0 ? empty : one)) << i;
+  }
+}
+
+// --- Saturating storage estimates (uint64 end-to-end, satellite of the
+// out-of-core work: budget math must clamp instead of wrapping). ---
+
+TEST(StorageEstimateTest, SaturatingOpsClampAtMax) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3u);
+  EXPECT_EQ(SaturatingAdd(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(SaturatingAdd(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(SaturatingMul(3, 7), 21u);
+  EXPECT_EQ(SaturatingMul(UINT64_MAX, 2), UINT64_MAX);
+  EXPECT_EQ(SaturatingMul(1ull << 40, 1ull << 40), UINT64_MAX);
+  EXPECT_EQ(SaturatingMul(0, UINT64_MAX), 0u);
+}
+
+TEST(StorageEstimateTest, EstimateStorageBytesMatchesSmallGraphMath) {
+  // Adjacency list: 2m neighbor ids (4 bytes) + n+1 offsets (8 bytes).
+  EXPECT_EQ(EstimateStorageBytes(10, 20, StorageKind::kAdjacencyList),
+            2 * 20 * 4 + 11 * 8u);
+  // Matrix: n^2 bytes.
+  EXPECT_EQ(EstimateStorageBytes(100, 0, StorageKind::kMatrix),
+            100u * 100u);
+  // Bitset: n rows of ceil(n/64) words.
+  EXPECT_EQ(EstimateStorageBytes(100, 0, StorageKind::kBitset),
+            100u * 2u * 8u);
+}
+
+TEST(StorageEstimateTest, HugeGraphEstimatesClampInsteadOfWrapping) {
+  const uint64_t huge = 1ull << 40;
+  EXPECT_EQ(EstimateStorageBytes(huge, huge, StorageKind::kMatrix),
+            UINT64_MAX);
+  EXPECT_EQ(EstimateStorageBytes(huge, huge, StorageKind::kBitset),
+            UINT64_MAX);
+  // The list estimate at 2^40 nodes/edges is large but representable; it
+  // must be the exact unsaturated value, not a clamp.
+  EXPECT_EQ(EstimateStorageBytes(huge, huge, StorageKind::kAdjacencyList),
+            2 * huge * 4 + (huge + 1) * 8);
+}
+
+}  // namespace
+}  // namespace mce

@@ -36,6 +36,7 @@
 #include "graph/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/memory_budget.h"
 #include "util/random.h"
 
 namespace {
@@ -86,12 +87,16 @@ class Flags {
 };
 
 /// Loads a graph in the format implied by --format or the file suffix.
+/// --mmap-graph maps a .mcsr CSR binary read-only instead of loading it
+/// onto the heap (the kernel pages adjacency in and out on demand).
 Result<Graph> LoadGraph(const Flags& flags) {
   const std::string input = flags.Get("input", "");
   if (input.empty()) return Status::InvalidArgument("--input is required");
   std::string format = flags.Get("format", "");
   if (format.empty()) {
-    if (input.size() > 4 && input.substr(input.size() - 4) == ".bin") {
+    if (input.size() > 5 && input.substr(input.size() - 5) == ".mcsr") {
+      format = "mcsr";
+    } else if (input.size() > 4 && input.substr(input.size() - 4) == ".bin") {
       format = "binary";
     } else if (input.size() > 8 &&
                input.substr(input.size() - 8) == ".triples") {
@@ -99,6 +104,14 @@ Result<Graph> LoadGraph(const Flags& flags) {
     } else {
       format = "edges";
     }
+  }
+  if (format == "mcsr") {
+    if (flags.Get("mmap-graph", "") == "true") return mce::OpenMmapGraph(input);
+    return mce::ReadCsrBinary(input);
+  }
+  if (flags.Get("mmap-graph", "") == "true") {
+    return Status::InvalidArgument(
+        "--mmap-graph requires a .mcsr input (convert with --to mcsr)");
   }
   if (format == "binary") return mce::ReadBinary(input);
   if (format == "triples") {
@@ -189,6 +202,30 @@ int CmdEnumerate(const Flags& flags) {
                  executor.c_str());
     return 1;
   }
+  // --memory-budget B / --spill-threshold B / --spill-dir DIR: bound the
+  // executor's tracked resident bytes; sizes accept K/M/G/T suffixes
+  // (binary multiples). The clique output is identical with any budget.
+  if (flags.Has("memory-budget")) {
+    Result<uint64_t> bytes =
+        mce::ParseByteSize(flags.Get("memory-budget", ""));
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "error: --memory-budget: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    options.memory_budget_bytes = *bytes;
+  }
+  if (flags.Has("spill-threshold")) {
+    Result<uint64_t> bytes =
+        mce::ParseByteSize(flags.Get("spill-threshold", ""));
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "error: --spill-threshold: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    options.spill_threshold_bytes = *bytes;
+  }
+  options.spill_dir = flags.Get("spill-dir", "");
   if (flags.Has("workers")) {
     options.simulate_cluster = true;
     options.cluster.num_workers = flags.GetInt("workers", 10);
@@ -375,6 +412,8 @@ int CmdConvert(const Flags& flags) {
     st = mce::WriteEdgeList(*g, output);
   } else if (to == "binary") {
     st = mce::WriteBinary(*g, output);
+  } else if (to == "mcsr") {
+    st = mce::WriteCsrBinary(*g, output);
   } else if (to == "dot") {
     st = mce::WriteDot(*g, output);
   } else {
@@ -394,7 +433,7 @@ void Usage() {
       stderr,
       "usage: mce_cli <stats|enumerate|top|communities|generate|convert> "
       "[--flag value ...]\n"
-      "  stats       --input G [--format edges|triples|binary]\n"
+      "  stats       --input G [--format edges|triples|binary|mcsr]\n"
       "  enumerate   --input G [--ratio R | --m M] [--workers N]\n"
       "              [--threads T]  (analysis threads; 0 = all cores)\n"
       "              [--executor serial|pooled|cluster]  (engine choice)\n"
@@ -404,6 +443,13 @@ void Usage() {
       "              [--reduce | --no-reduce]  (graph-reduction prepass:\n"
       "                                     strip simplicial vertices and\n"
       "                                     fold true twins; same cliques)\n"
+      "              [--mmap-graph]        (map a .mcsr input read-only\n"
+      "                                     instead of loading the heap)\n"
+      "              [--memory-budget B]   (bound tracked resident bytes;\n"
+      "                                     K/M/G/T suffixes accepted)\n"
+      "              [--spill-threshold B] (per-level clique-buffer bytes\n"
+      "                                     before spilling to disk)\n"
+      "              [--spill-dir DIR]     (spill-file directory)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
       "              [--trace-out t.json]    (Chrome trace of the run)\n"
@@ -413,7 +459,7 @@ void Usage() {
       "  communities --input G [--k K] [--top K]\n"
       "  generate    --model twitter1|...|er|ba|ws --output G\n"
       "              [--scale S | --nodes N --p P --attach A]\n"
-      "  convert     --input G --output G2 --to edges|binary|dot\n");
+      "  convert     --input G --output G2 --to edges|binary|mcsr|dot\n");
 }
 
 }  // namespace
