@@ -30,12 +30,12 @@ else
     -DMCE_BUILD_BENCH=OFF \
     -DMCE_BUILD_EXAMPLES=OFF
   cmake --build "$tsan_build" -j "$(nproc)" \
-    --target util_test decomp_test exec_test reduce_test
+    --target util_test decomp_test exec_test reduce_test obs_test
 
   echo "=== tier-1: TSan run (util_test, decomp_test, exec_test," \
-       "reduce_test) ==="
+       "reduce_test, obs_test) ==="
   ctest --test-dir "$tsan_build" --output-on-failure -j "$(nproc)" \
-    -R '^(util_test|decomp_test|exec_test|reduce_test)$'
+    -R '^(util_test|decomp_test|exec_test|reduce_test|obs_test)$'
 fi
 
 if [[ "${MCE_SKIP_ASAN:-0}" == "1" ]]; then
@@ -103,5 +103,42 @@ trap 'rm -rf "$trace_dir"' EXIT
   --metrics-out="$trace_dir/metrics.json" >/dev/null
 "$build/tools/trace_check" "$trace_dir/trace.json" \
   --require DecomposeTask,BlockTask,FilterTask,idle
+
+# Heartbeat + perf-diff leg: enumerate the same graph with NDJSON
+# heartbeats on, on both executors, and validate the streams (monotone
+# seq/ts/completed_cost, final record at fraction 1.0). Then diff the two
+# back-to-back serial --json reports with mce_perf_diff — identical-work
+# runs must come back "ok" — and check the gate actually trips by
+# injecting a 3x wall-time regression into a copy of the report.
+echo "=== tier-1: heartbeat + perf-diff validation ==="
+"$build/tools/mce_cli" enumerate --input "$trace_dir/fb.txt" \
+  --executor serial \
+  --heartbeat-out="$trace_dir/hb_serial.ndjson" \
+  --heartbeat-interval-ms 20 \
+  --json true >"$trace_dir/report_a.json"
+"$build/tools/trace_check" --heartbeat "$trace_dir/hb_serial.ndjson"
+"$build/tools/mce_cli" enumerate --input "$trace_dir/fb.txt" \
+  --executor pooled --threads 4 \
+  --heartbeat-out="$trace_dir/hb_pooled.ndjson" \
+  --heartbeat-interval-ms 20 \
+  --json true >/dev/null
+"$build/tools/trace_check" --heartbeat "$trace_dir/hb_pooled.ndjson"
+"$build/tools/mce_cli" enumerate --input "$trace_dir/fb.txt" \
+  --executor serial --json true >"$trace_dir/report_b.json"
+"$build/tools/mce_perf_diff" "$trace_dir/report_a.json" \
+  "$trace_dir/report_b.json" --threshold wall_seconds=2.0 \
+  --threshold ns_per_clique=2.0 --threshold utilization=0.5
+python3 - "$trace_dir/report_a.json" "$trace_dir/report_slow.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+report["wall_seconds"] *= 3.0
+json.dump(report, open(sys.argv[2], "w"))
+EOF
+if "$build/tools/mce_perf_diff" "$trace_dir/report_a.json" \
+    "$trace_dir/report_slow.json" >/dev/null; then
+  echo "mce_perf_diff missed an injected 3x wall-time regression" >&2
+  exit 1
+fi
+echo "perf-diff gate trips on injected regression: ok"
 
 echo "=== tier-1: OK ==="

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "util/timer.h"
+
 namespace mce {
 
 MaxCliqueFinder::MaxCliqueFinder(Options options)
@@ -44,6 +46,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.spill_dir = options_.spill_dir;
   pipeline.trace = options_.trace;
   pipeline.metrics = options_.metrics;
+  pipeline.progress = options_.progress;
   if (options_.use_decision_tree) {
     pipeline.tree =
         options_.custom_tree != nullptr ? options_.custom_tree : &paper_tree_;
@@ -53,6 +56,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
 
   FindResult out;
   out.effective_block_size = m;
+  const Timer wall;
 
   if (options_.simulate_cluster) {
     dist::DistributedResult dist_result =
@@ -81,6 +85,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
     out.origin_level = std::move(result.origin_level);
     out.cliques = std::move(result.cliques);
   }
+  out.stats.wall_seconds = wall.ElapsedSeconds();
   return out;
 }
 

@@ -116,6 +116,10 @@ class MaxCliqueFinder {
     /// owned; nullptr falls back to the process-wide installed instances.
     obs::TraceRecorder* trace = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
+    /// Live progress estimator passed through to the executors; attach a
+    /// TelemetrySampler to the same instance for heartbeat output. No
+    /// installed-instance fallback (progress is run-scoped). Not owned.
+    obs::ProgressEstimator* progress = nullptr;
   };
 
   MaxCliqueFinder() : MaxCliqueFinder(Options()) {}

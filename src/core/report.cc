@@ -69,6 +69,8 @@ std::string RunReportJson(const FindResult& result) {
   os << ",\"idle_seconds\":" << Double(s.idle_seconds);
   os << ",\"barrier_idle_seconds\":" << Double(s.barrier_idle_seconds);
   os << ",\"block_splits\":" << s.block_splits;
+  os << ",\"wall_seconds\":" << Double(s.wall_seconds);
+  os << ",\"utilization\":" << Double(s.utilization);
   os << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false");
   const reduce::ReductionStats& r = s.reduction;
   os << ",\"reduction\":{\"enabled\":" << (r.enabled ? "true" : "false")
@@ -90,6 +92,15 @@ std::string RunReportJson(const FindResult& result) {
      << ",\"admission_stalls\":" << m.admission_stalls
      << ",\"admission_stall_seconds\":" << Double(m.admission_stall_seconds)
      << "}";
+  const obs::ProgressAccounting& p = s.progress;
+  os << ",\"progress\":{\"enabled\":" << (p.enabled ? "true" : "false")
+     << ",\"predicted_cost\":" << Double(p.predicted_cost)
+     << ",\"completed_cost\":" << Double(p.completed_cost)
+     << ",\"blocks\":" << p.blocks << ",\"cliques\":" << p.cliques
+     << ",\"eta_samples\":" << p.samples
+     << ",\"mean_abs_eta_error_seconds\":"
+     << Double(p.mean_abs_eta_error_seconds)
+     << ",\"wall_seconds\":" << Double(p.wall_seconds) << "}";
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
     const decomp::LevelStats& l = result.levels[i];

@@ -19,6 +19,13 @@ std::string RunStats::ToString() const {
      << " overlap_s=" << overlap_seconds << " idle_s=" << idle_seconds
      << " barrier_idle_s=" << barrier_idle_seconds;
   if (block_splits > 0) os << " block_splits=" << block_splits;
+  if (wall_seconds > 0) os << " wall_s=" << wall_seconds;
+  if (utilization > 0) os << " util=" << utilization;
+  if (progress.enabled) {
+    os << " progress[cost=" << progress.completed_cost << "/"
+       << progress.predicted_cost
+       << " eta_err_s=" << progress.mean_abs_eta_error_seconds << "]";
+  }
   if (reduction.enabled) {
     os << " reduce[v=" << reduction.vertices_removed
        << " e=" << reduction.edges_removed
@@ -68,6 +75,8 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
   if (s.hub_cliques > 0) {
     s.avg_hub_clique_size = static_cast<double>(hub_size) / s.hub_cliques;
   }
+  double block_seconds = 0;
+  double capacity_seconds = 0;
   for (const decomp::LevelStats& level : result.levels) {
     s.total_blocks += level.blocks;
     s.decompose_seconds += level.decompose_seconds;
@@ -76,7 +85,15 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
     s.idle_seconds += level.idle_seconds;
     s.barrier_idle_seconds += level.barrier_idle_seconds;
     s.block_splits += level.block_splits;
+    block_seconds += level.block_seconds;
+    capacity_seconds +=
+        level.busiest_worker_seconds * std::max(1u, level.analyze_threads);
   }
+  // Achieved analysis utilization: serial-equivalent work over the worker
+  // capacity spanned by the busiest worker, per level. 1.0 means every
+  // worker was busy for exactly as long as the busiest one.
+  if (capacity_seconds > 0) s.utilization = block_seconds / capacity_seconds;
+  s.progress = result.progress;
   return s;
 }
 

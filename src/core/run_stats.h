@@ -56,6 +56,19 @@ struct RunStats {
   /// tracked bytes (graphs + blocks + workspaces + sink buffers), and the
   /// spill/admission activity it took to stay under the budget.
   decomp::MemoryStats memory;
+  /// End-to-end pipeline wall time as measured by MaxCliqueFinder::Find
+  /// (0 when the stats were derived outside a timed entry point). The
+  /// number mce_perf_diff compares across runs.
+  double wall_seconds = 0;
+  /// Analysis-phase worker utilization in (0, 1]: the serial-equivalent
+  /// block work divided by the worker capacity of the analyze phases
+  /// (busiest worker's time x workers, summed over levels). 0 when the
+  /// run produced no block work.
+  double utilization = 0;
+  /// Live-progress accounting (enabled iff the run had a
+  /// ProgressEstimator attached): predicted vs. retired cost and how the
+  /// sampler's ETAs tracked the actual wall clock.
+  obs::ProgressAccounting progress;
 
   std::string ToString() const;
 };

@@ -26,6 +26,7 @@
 #include "decomp/blocks.h"
 #include "mce/clique.h"
 #include "mce/enumerator.h"
+#include "obs/progress.h"
 #include "reduce/reduction.h"
 
 namespace mce::obs {
@@ -121,6 +122,16 @@ struct FindMaxCliquesOptions {
   /// costs one relaxed atomic load and nothing else.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Live progress accounting (src/obs/progress.h). Unlike trace/metrics
+  /// there is no process-wide installed fallback: progress is inherently
+  /// run-scoped, so it is options-only. When set, executors register each
+  /// block's EstimateBlockCost at emission, retire it on block/shard
+  /// completion (the fallback MCE counts as one block), and fill the
+  /// final ProgressAccounting in the run stats. A TelemetrySampler
+  /// attached to the same estimator turns this into the NDJSON heartbeat
+  /// stream (CLI: --heartbeat-out / --heartbeat-interval-ms /
+  /// --progress). Not owned; must outlive the run.
+  obs::ProgressEstimator* progress = nullptr;
   /// Byte budget for the engine's tracked materializations (pipeline graph,
   /// level subgraphs, blocks, analysis workspaces, clique-sink buffers).
   /// 0 = unlimited (peak is still tracked). With a budget set, the pooled
@@ -218,6 +229,8 @@ struct FindMaxCliquesResult {
   /// Memory-budget telemetry (zeros on unbudgeted, unspilled runs except
   /// peak_tracked_bytes, which is always maintained).
   MemoryStats memory;
+  /// Final progress accounting (enabled iff options.progress was set).
+  obs::ProgressAccounting progress;
 
   /// Number of first-level decomposition iterations (Figure 7 reports 2-3).
   size_t NumLevels() const { return levels.size(); }
@@ -239,6 +252,8 @@ struct StreamingStats {
   uint64_t cliques_emitted = 0;
   reduce::ReductionStats reduction;
   MemoryStats memory;
+  /// Final progress accounting (enabled iff options.progress was set).
+  obs::ProgressAccounting progress;
 };
 
 /// Streaming form of FindMaxCliques: emits each maximal clique of G

@@ -52,6 +52,7 @@ decomp::FindMaxCliquesResult CollectToResult(
   out.used_fallback = stats.used_fallback;
   out.reduction = stats.reduction;
   out.memory = stats.memory;
+  out.progress = stats.progress;
   for (auto& [clique, origin] : found) {
     out.origin_level.push_back(origin);
     out.cliques.Add(std::move(clique));  // already sorted

@@ -88,6 +88,11 @@ struct BlockExec {
   /// decision::EstimateBlockCost score, computed at emission; drives both
   /// the largest-first dispatch order and the split decision.
   double cost = 0;
+  /// Progress units already retired by this block's finished shards
+  /// (engine mutex). The last shard retires `cost - cost_retired`, so the
+  /// retired total sums exactly to the registered cost however the block
+  /// was split.
+  double cost_retired = 0;
   /// The block's EstimatedBytes(), charged to the MemoryBudget at
   /// emission; zeroed wherever the charge is released.
   uint64_t block_bytes = 0;
@@ -181,6 +186,7 @@ class PooledEngine {
         analysis_options_(AnalysisOptionsFor(options)),
         trace_(ResolveTrace(options)),
         metrics_(ResolveMetrics(options)),
+        progress_(options.progress),
         budget_(options.memory_budget_bytes),
         workspaces_(std::max<size_t>(1, num_threads)),
         pool_(std::max<size_t>(1, num_threads)) {
@@ -189,10 +195,24 @@ class PooledEngine {
     spill_config_.budget = &budget_;
     spill_config_.trace = trace_;
     spill_config_.metrics = metrics_.SpillInstruments();
+    spill_config_.progress = progress_;
   }
 
   decomp::StreamingStats Run() {
     decomp::StreamingStats out;
+    if (progress_ != nullptr) {
+      // Heartbeat gauges: pending pool tasks (generic pulls included)
+      // plus the cost-ordered analysis backlog, and the budget's live
+      // charge. The closure captures `this`; it is detached before Run
+      // returns (ClearGaugeSource waits out in-flight snapshots).
+      progress_->SetGaugeSource([this] {
+        obs::GaugeSample s;
+        s.queue_depth = pool_.QueueDepth() + queue_.Size();
+        s.mem_charged_bytes = budget_.charged();
+        s.mem_peak_bytes = budget_.peak();
+        return s;
+      });
+    }
     // ReduceTask: runs on the calling thread before the root decompose is
     // even submitted, so the trivial cliques hold the same leading stream
     // positions as on the serial engine. The level chain decomposes the
@@ -247,6 +267,11 @@ class PooledEngine {
             admission_stall_micros_.load(std::memory_order_relaxed)) *
         1e-6;
     metrics_.RecordRun(out);
+    if (progress_ != nullptr) {
+      progress_->ClearGaugeSource();
+      progress_->MarkComplete();
+      out.progress = progress_->Accounting();
+    }
     return out;
   }
 
@@ -255,6 +280,7 @@ class PooledEngine {
   /// level's decompose, then stream blocks into BlockTasks.
   void DecomposeTask(LevelRun* lr, LevelRun* parent) {
     lr->decompose_begin_us = obs::NowMicros();
+    if (progress_ != nullptr) progress_->BeginLevel(lr->level);
     if (parent != nullptr) {
       InducedSubgraph sub = Induce(*parent->graph, parent->cut.hubs);
       lr->to_original = ComposeToOriginal(parent->to_original, sub.to_parent);
@@ -363,6 +389,9 @@ class PooledEngine {
     // computed here, on the decompose worker, so dispatch order and the
     // split decision are fixed before any worker picks the block up.
     const double cost = decision::EstimateBlockCost(b.subgraph.graph);
+    // Registered at emission — before any shard can run — so a progress
+    // sampler sees the work as pending the moment it exists.
+    if (progress_ != nullptr) progress_->RegisterBlock(lr->level, cost);
     const size_t kernels = b.kernel_local.size();
     const bool splittable = options_.split_blocks &&
                             options_.max_block_cost > 0 &&
@@ -517,9 +546,26 @@ class PooledEngine {
     FinishAnalysis(exec->ws_bytes);
 
     bool block_done = false;
+    double retire = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       block_done = ++exec->shards_done == total;
+      if (progress_ != nullptr) {
+        // Equal predicted share per shard; the last shard retires the
+        // exact residual so the block's retired total equals its
+        // registered cost bit for bit.
+        retire = block_done
+                     ? std::max(exec->cost - exec->cost_retired, 0.0)
+                     : exec->cost / static_cast<double>(total);
+        exec->cost_retired += retire;
+      }
+    }
+    if (progress_ != nullptr) {
+      if (block_done) {
+        progress_->RetireBlock(lr->level, retire);
+      } else {
+        progress_->RetireCost(retire);
+      }
     }
     if (!block_done) return;
 
@@ -646,6 +692,13 @@ class PooledEngine {
   void RunFallback(LevelRun* lr) {
     decomp::LevelStats& stats = lr->stats;
     lr->fallback_cliques = MakeCliqueSink(&lr->spill);
+    double fallback_cost = 0;
+    if (progress_ != nullptr) {
+      // The fallback MCE is one indivisible unit of work, scored with
+      // the block cost model so the denominator stays in one currency.
+      fallback_cost = decision::EstimateBlockCost(*lr->graph);
+      progress_->RegisterBlock(lr->level, fallback_cost);
+    }
     lr->fallback_begin_us = obs::NowMicros();
     Clique scratch;
     Clique expand_scratch;
@@ -661,6 +714,7 @@ class PooledEngine {
                               }
                             });
     lr->fallback_end_us = obs::NowMicros();
+    if (progress_ != nullptr) progress_->RetireBlock(lr->level, fallback_cost);
     stats.cliques = produced;
     stats.analyze_seconds =
         static_cast<double>(lr->fallback_end_us - lr->fallback_begin_us) *
@@ -688,6 +742,7 @@ class PooledEngine {
   /// sink in block order, and finalizes the level's stats.
   void DeliverLevel(LevelRun* lr, decomp::StreamingStats& out) {
     decomp::LevelStats& stats = lr->stats;
+    const uint64_t emitted_before = out.cliques_emitted;
     // The level's analysis spans (block + filter tasks, or the fallback),
     // rebased to seconds since the engine epoch — the exact windows the
     // trace recorder saw.
@@ -802,6 +857,13 @@ class PooledEngine {
     lr->filter_sinks = {};
     lr->filter_out.clear();
     lr->fallback_cliques.reset();
+
+    if (progress_ != nullptr) {
+      // Cliques count at delivery (post-filter, the emission the caller
+      // saw), levels finish in delivery order — matching the serial walk.
+      progress_->AddCliques(out.cliques_emitted - emitted_before);
+      progress_->FinishLevel(lr->level);
+    }
   }
 
   /// A microsecond window rebased to seconds since the engine epoch.
@@ -954,6 +1016,8 @@ class PooledEngine {
   const decomp::BlockAnalysisOptions analysis_options_;
   obs::TraceRecorder* const trace_;
   RunMetrics metrics_;
+  /// Live progress accounting; null when the run is not observed.
+  obs::ProgressEstimator* const progress_;
 
   // Memory accounting. Declared before levels_: the sinks owned by
   // LevelRun records release against budget_ in their destructors, so the

@@ -32,6 +32,7 @@ class SerialExecutor final : public Executor {
     MCE_CHECK_GE(options.max_block_size, 1u);
     obs::TraceRecorder* const trace = ResolveTrace(options);
     RunMetrics metrics(ResolveMetrics(options));
+    obs::ProgressEstimator* const progress = options.progress;
     decomp::StreamingStats out;
     // One workspace reused across every block of the run.
     BlockWorkspace workspace;
@@ -51,6 +52,16 @@ class SerialExecutor final : public Executor {
       budget.Charge(bytes);
       metrics.RecordCharge(bytes);
     };
+    if (progress != nullptr) {
+      // Queue depth is always 0 on the serial walk; the budget gauges
+      // make serial heartbeats comparable with pooled ones.
+      progress->SetGaugeSource([&budget] {
+        obs::GaugeSample s;
+        s.mem_charged_bytes = budget.charged();
+        s.mem_peak_bytes = budget.peak();
+        return s;
+      });
+    }
     const uint64_t pipeline_graph_bytes =
         prep.pipeline_graph().ResidentBytes();
     charge(pipeline_graph_bytes);
@@ -73,6 +84,7 @@ class SerialExecutor final : public Executor {
       if (level > 0) metrics.RecordFilter(1, kept ? 1 : 0);
       if (kept) {
         ++out.cliques_emitted;
+        if (progress != nullptr) progress->AddCliques(1);
         emit(scratch, level);
       }
     };
@@ -102,6 +114,7 @@ class SerialExecutor final : public Executor {
       stats.analyze_threads = 1;
 
       const int64_t level_begin_us = trace != nullptr ? obs::NowMicros() : 0;
+      if (progress != nullptr) progress->BeginLevel(level);
       // The decompose clock accumulates Cut plus the block-growth
       // segments between block emissions.
       Timer segment;
@@ -117,6 +130,14 @@ class SerialExecutor final : public Executor {
         if (trace != nullptr) record_decompose(stats, level_begin_us);
         const int64_t fallback_begin_us =
             trace != nullptr ? obs::NowMicros() : 0;
+        double fallback_cost = 0;
+        if (progress != nullptr) {
+          // The fallback MCE is one indivisible unit of work; score it
+          // with the same cost model as a block so the denominator stays
+          // in one currency.
+          fallback_cost = decision::EstimateBlockCost(*current);
+          progress->RegisterBlock(level, fallback_cost);
+        }
         Timer analyze_timer;
         uint64_t produced = 0;
         EnumerateMaximalCliques(*current, options.fallback,
@@ -124,6 +145,7 @@ class SerialExecutor final : public Executor {
                                   ++produced;
                                   deliver(c);
                                 });
+        if (progress != nullptr) progress->RetireBlock(level, fallback_cost);
         stats.cliques = produced;
         stats.analyze_seconds = analyze_timer.ElapsedSeconds();
         stats.block_seconds = stats.analyze_seconds;
@@ -140,6 +162,7 @@ class SerialExecutor final : public Executor {
           trace->Record(e);
         }
         out.levels.push_back(stats);
+        if (progress != nullptr) progress->FinishLevel(level);
         break;
       }
 
@@ -154,6 +177,17 @@ class SerialExecutor final : public Executor {
             const uint64_t block_charge =
                 block.EstimatedBytes() + EstimateAnalysisBytes(block);
             charge(block_charge);
+            // One cost-model evaluation serves both consumers: the
+            // progress denominator (registered before the analysis so a
+            // sampler sees the work as pending, not invisible) and the
+            // descriptor sink.
+            const double estimated_cost =
+                progress != nullptr || sink_
+                    ? decision::EstimateBlockCost(block.subgraph.graph)
+                    : 0;
+            if (progress != nullptr) {
+              progress->RegisterBlock(level, estimated_cost);
+            }
             const int64_t block_begin_us =
                 trace != nullptr ? obs::NowMicros() : 0;
             Timer block_timer;
@@ -173,13 +207,16 @@ class SerialExecutor final : public Executor {
               options.block_observer(decomp::MakeBlockTaskRecord(
                   block, result, block_seconds, level));
             }
+            if (progress != nullptr) {
+              progress->RetireBlock(level, estimated_cost);
+            }
             if (sink_) {
               // Parity with the pooled executor's descriptors: the same
               // cost model scores the block even though the serial walk
               // never reorders or splits.
-              sink_(MakeBlockTaskDescriptor(
-                  block, result, block_seconds, level, block_index,
-                  decision::EstimateBlockCost(block.subgraph.graph)));
+              sink_(MakeBlockTaskDescriptor(block, result, block_seconds,
+                                            level, block_index,
+                                            estimated_cost));
             }
             ++block_index;
             segment.Reset();
@@ -190,6 +227,7 @@ class SerialExecutor final : public Executor {
       stats.busiest_worker_seconds = stats.block_seconds;
       if (trace != nullptr) record_decompose(stats, level_begin_us);
       out.levels.push_back(stats);
+      if (progress != nullptr) progress->FinishLevel(level);
 
       if (cut.hubs.empty()) break;
 
@@ -209,6 +247,13 @@ class SerialExecutor final : public Executor {
     out.memory.budget_bytes = budget.limit();
     out.memory.peak_tracked_bytes = budget.peak();
     metrics.RecordRun(out);
+    if (progress != nullptr) {
+      // The gauge closure captures the local budget: detach it before
+      // the frame dies (ClearGaugeSource waits out in-flight snapshots).
+      progress->ClearGaugeSource();
+      progress->MarkComplete();
+      out.progress = progress->Accounting();
+    }
     return out;
   }
 };

@@ -122,6 +122,9 @@ void ReducePrepass::Run(const Graph& g,
     ++out->cliques_emitted;
     emit(result_.map.TrivialClique(i), 0);
   }
+  if (options.progress != nullptr) {
+    options.progress->AddCliques(result_.map.num_trivial_cliques());
+  }
   metrics.RecordReduction(result_.stats);
   if (trace != nullptr) {
     obs::TraceEvent e;

@@ -137,6 +137,7 @@ void SpillingCliqueSink::Flush() {
     config.metrics.spill_bytes->Add(bytes);
     config.metrics.spill_chunk_bytes->Observe(static_cast<double>(bytes));
   }
+  if (config.progress != nullptr) config.progress->AddSpillChunk(bytes);
   if (config.trace != nullptr) {
     obs::TraceEvent e;
     e.begin_us = begin_us;

@@ -34,6 +34,7 @@
 #include "graph/types.h"
 #include "mce/clique.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/memory_budget.h"
 
@@ -121,6 +122,9 @@ struct SpillConfig {
   MemoryBudget* budget = nullptr;
   obs::TraceRecorder* trace = nullptr;
   SpillMetrics metrics;
+  /// Live spill counters for heartbeat telemetry (chunk count and bytes
+  /// bumped per flush); null when the run has no progress estimator.
+  obs::ProgressEstimator* progress = nullptr;
 };
 
 /// Per-level spill state: the shared resident-byte counter the threshold

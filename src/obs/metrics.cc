@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace mce::obs {
 
@@ -90,6 +91,22 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                       std::make_unique<Histogram>(std::vector<double>(
                           upper_bounds.begin(), upper_bounds.end())))
              .first;
+  } else {
+    // The original bounds win: the handle callers cached must stay
+    // valid, and observability must never abort the run it is
+    // observing. A mismatched re-registration is a caller bug worth one
+    // warning per name, not one per lookup.
+    const std::vector<double>& existing = it->second->upper_bounds();
+    const bool mismatch =
+        existing.size() != upper_bounds.size() ||
+        !std::equal(existing.begin(), existing.end(), upper_bounds.begin());
+    if (mismatch && bounds_warned_.insert(std::string(name)).second) {
+      MCE_LOG(WARNING) << "histogram '" << std::string(name)
+                       << "' re-registered with a different bucket layout ("
+                       << upper_bounds.size() << " bounds vs the original "
+                       << existing.size()
+                       << "); keeping the original bounds";
+    }
   }
   return *it->second;
 }

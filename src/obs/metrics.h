@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
@@ -93,8 +94,11 @@ class MetricsRegistry {
 
   /// Finds or creates the named instrument. The returned reference is
   /// stable for the registry's lifetime. For an existing histogram the
-  /// original bounds win; `upper_bounds` must be non-empty and ascending
-  /// on first registration.
+  /// original bounds win — a caller passing a different bucket layout
+  /// gets the existing instrument back and a warning is logged once per
+  /// name (observability must never abort the run it is observing).
+  /// `upper_bounds` must be non-empty and ascending on first
+  /// registration.
   Counter& GetCounter(std::string_view name);
   Histogram& GetHistogram(std::string_view name,
                           std::span<const double> upper_bounds);
@@ -113,6 +117,9 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Names whose bucket-layout mismatch has already been warned about
+  /// (guarded by mu_; one warning per name, not per lookup).
+  std::set<std::string, std::less<>> bounds_warned_;
 };
 
 }  // namespace mce::obs

@@ -1,0 +1,193 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace mce::obs {
+
+namespace {
+
+/// JSON-safe double: finite values print with enough digits to round-
+/// trip a heartbeat through a parser; non-finite values (which raw
+/// printf would render as unparsable "inf"/"nan") degrade to -1.
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "-1";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(ProgressEstimator* progress,
+                                   TelemetryOptions options)
+    : progress_(progress), options_(std::move(options)) {}
+
+TelemetrySampler::~TelemetrySampler() {
+  Finish(false);
+}
+
+bool TelemetrySampler::Start() {
+  if (thread_.joinable()) return true;
+  if (!options_.out_path.empty()) {
+    if (options_.out_path == "-") {
+      out_ = stdout;
+    } else {
+      out_ = std::fopen(options_.out_path.c_str(), "w");
+      if (out_ == nullptr) {
+        MCE_LOG(WARNING) << "heartbeat disabled: cannot open '"
+                         << options_.out_path
+                         << "': " << std::strerror(errno);
+        return false;
+      }
+      owns_out_ = true;
+    }
+  }
+  if (out_ == nullptr && !options_.tty_progress) return false;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void TelemetrySampler::Finish(bool success) {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  progress_->MarkComplete();
+  Emit(progress_->TakeSnapshot(), /*final_record=*/true, success);
+  if (tty_dirty_) {
+    std::fputc('\n', stderr);
+    tty_dirty_ = false;
+  }
+  if (owns_out_) {
+    std::fclose(out_);
+    owns_out_ = false;
+  } else if (out_ != nullptr) {
+    std::fflush(out_);
+  }
+  out_ = nullptr;
+}
+
+void TelemetrySampler::Loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.interval_ms, 1));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    Emit(progress_->TakeSnapshot(), /*final_record=*/false,
+         /*success=*/false);
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::Emit(const ProgressSnapshot& s, bool final_record,
+                            bool success) {
+  if (out_ != nullptr) WriteRecord(s, final_record, success);
+  if (options_.tty_progress) RenderTty(s);
+}
+
+void TelemetrySampler::WriteRecord(const ProgressSnapshot& s,
+                                   bool final_record, bool success) {
+  std::string line;
+  line.reserve(512);
+  line += "{\"seq\":";
+  AppendU64(line, s.seq);
+  line += ",\"ts_ms\":";
+  AppendDouble(line, s.elapsed_seconds * 1e3);
+  line += ",\"registered_cost\":";
+  AppendDouble(line, s.registered_cost);
+  line += ",\"completed_cost\":";
+  AppendDouble(line, s.completed_cost);
+  line += ",\"fraction\":";
+  AppendDouble(line, s.fraction);
+  line += ",\"throughput\":";
+  AppendDouble(line, s.throughput);
+  line += ",\"eta_s\":";
+  AppendDouble(line, s.eta_seconds);
+  line += ",\"cliques\":";
+  AppendU64(line, s.cliques);
+  line += ",\"blocks\":";
+  AppendU64(line, s.blocks);
+  line += ",\"blocks_done\":";
+  AppendU64(line, s.blocks_done);
+  line += ",\"levels_started\":";
+  AppendU64(line, s.levels_started);
+  line += ",\"levels_finished\":";
+  AppendU64(line, s.levels_finished);
+  line += ",\"levels\":[";
+  for (size_t i = 0; i < s.levels.size(); ++i) {
+    if (i > 0) line += ',';
+    line += "{\"level\":";
+    AppendU64(line, s.levels[i].level);
+    line += ",\"blocks\":";
+    AppendU64(line, s.levels[i].blocks);
+    line += ",\"done\":";
+    AppendU64(line, s.levels[i].blocks_done);
+    line += '}';
+  }
+  line += "],\"queue_depth\":";
+  AppendU64(line, s.gauges.queue_depth);
+  line += ",\"mem_charged\":";
+  AppendU64(line, s.gauges.mem_charged_bytes);
+  line += ",\"mem_peak\":";
+  AppendU64(line, s.gauges.mem_peak_bytes);
+  line += ",\"spill_chunks\":";
+  AppendU64(line, s.spill_chunks);
+  line += ",\"spill_bytes\":";
+  AppendU64(line, s.spill_bytes);
+  if (final_record) {
+    line += ",\"final\":true,\"success\":";
+    line += success ? "true" : "false";
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+}
+
+void TelemetrySampler::RenderTty(const ProgressSnapshot& s) {
+  char buf[256];
+  char eta[32];
+  if (s.eta_seconds >= 0) {
+    std::snprintf(eta, sizeof(eta), "%.0fs", s.eta_seconds);
+  } else {
+    std::snprintf(eta, sizeof(eta), "--");
+  }
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "\r[%6.1fs] %5.1f%% | blocks %" PRIu64 "/%" PRIu64
+      " | cliques %" PRIu64 " | queue %" PRIu64 " | mem %.1fMiB | eta %s",
+      s.elapsed_seconds, s.fraction * 100.0, s.blocks_done, s.blocks,
+      s.cliques, s.gauges.queue_depth,
+      static_cast<double>(s.gauges.mem_charged_bytes) / (1024.0 * 1024.0),
+      eta);
+  if (n > 0) {
+    std::fwrite(buf, 1, static_cast<size_t>(std::min<int>(
+                            n, static_cast<int>(sizeof(buf) - 1))),
+                stderr);
+    std::fflush(stderr);
+    tty_dirty_ = true;
+  }
+}
+
+}  // namespace mce::obs

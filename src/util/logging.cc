@@ -1,12 +1,32 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace mce {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Elapsed seconds since the first logging use of the process — the same
+/// steady_clock timebase the trace recorder and heartbeat stream run on,
+/// so interleaved executor logs correlate with those timestamps.
+double ElapsedSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+/// Compact per-thread id: threads number themselves in first-log order
+/// (t0, t1, ...), which reads better across an 8-thread interleave than
+/// opaque pthread handles.
+int ThreadLogId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,7 +66,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    // Monotonic elapsed stamp + thread id lead the line so interleaved
+    // multi-worker logs sort and correlate with trace/heartbeat
+    // timestamps (same steady_clock timebase).
+    char stamp[48];
+    std::snprintf(stamp, sizeof(stamp), "[%.3fs t%d ", ElapsedSeconds(),
+                  ThreadLogId());
+    stream_ << stamp << LevelName(level_) << " " << base << ":" << line
+            << "] ";
   }
 }
 

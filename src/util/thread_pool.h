@@ -96,10 +96,18 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
+  /// Tasks queued but not yet picked up by a worker. A point-in-time
+  /// gauge (telemetry heartbeats); the depth can change before the
+  /// caller looks at it.
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void WorkerLoop(size_t worker_index);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

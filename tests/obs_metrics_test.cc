@@ -58,6 +58,33 @@ TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
   EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
 }
 
+// A bucket-layout mismatch must neither abort nor invalidate the handle
+// callers already cached: the existing instrument (with its original
+// bounds) comes back, observations keep landing in it, and matching
+// re-registrations stay silent.
+TEST(MetricsRegistryTest, HistogramBoundsMismatchKeepsOriginalInstrument) {
+  MetricsRegistry registry;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram& original = registry.GetHistogram("exec.block_cost", bounds);
+  original.Observe(1.5);
+
+  const double mismatched[] = {100.0};
+  Histogram& again = registry.GetHistogram("exec.block_cost", mismatched);
+  EXPECT_EQ(&again, &original);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+  again.Observe(3.0);
+  EXPECT_EQ(original.count(), 2u);
+
+  // Same layout but a different span object: not a mismatch.
+  const double same[] = {1.0, 2.0, 4.0};
+  EXPECT_EQ(&registry.GetHistogram("exec.block_cost", same), &original);
+
+  // A second mismatched lookup (warned once already) still returns the
+  // original; repeated calls must stay safe on hot paths.
+  EXPECT_EQ(&registry.GetHistogram("exec.block_cost", mismatched),
+            &original);
+}
+
 TEST(MetricsRegistryTest, InstallRoundTrip) {
   ASSERT_EQ(MetricsRegistry::installed(), nullptr);
   MetricsRegistry registry;

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -99,12 +100,15 @@ TEST(LoggingTest, ConcurrentWritersEmitWholeLines) {
 
   std::ifstream in(path);
   ASSERT_TRUE(in.is_open());
+  const std::regex prefix_re(
+      R"(^\[[0-9]+\.[0-9]{3}s t[0-9]+ INFO util_logging_test\.cc:[0-9]+\] )");
   int matched = 0;
   for (std::string line; std::getline(in, line);) {
     if (line.empty()) continue;
     // Every line must be one complete log record: prefix, marker, and the
-    // full filler, with nothing from another record spliced in.
-    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << line;
+    // full filler, with nothing from another record spliced in. The
+    // prefix is "[<elapsed>s t<thread> INFO <file>:<line>] ".
+    EXPECT_TRUE(std::regex_search(line, prefix_re)) << line;
     const size_t marker = line.find("thread=");
     ASSERT_NE(marker, std::string::npos) << line;
     std::istringstream fields(line.substr(marker));
@@ -119,6 +123,42 @@ TEST(LoggingTest, ConcurrentWritersEmitWholeLines) {
     ++matched;
   }
   EXPECT_EQ(matched, kThreads * kLinesPerThread);
+  std::remove(path.c_str());
+}
+
+TEST(LoggingTest, PrefixCarriesMonotonicStampAndThreadId) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  const std::string path = ::testing::TempDir() + "logging_prefix_test.log";
+  {
+    StderrCapture capture(path);
+    MCE_LOG(INFO) << "first";
+    MCE_LOG(INFO) << "second";
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const std::regex prefix_re(
+      R"(^\[([0-9]+\.[0-9]{3})s t([0-9]+) INFO util_logging_test\.cc:[0-9]+\] )");
+  double last_stamp = -1;
+  int last_tid = -1;
+  int lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    std::smatch m;
+    ASSERT_TRUE(std::regex_search(line, m, prefix_re)) << line;
+    const double stamp = std::stod(m[1].str());
+    const int tid = std::stoi(m[2].str());
+    // Same thread logged both lines: the elapsed stamp must not go
+    // backwards and the compact thread id must be stable.
+    EXPECT_GE(stamp, last_stamp) << line;
+    if (last_tid >= 0) {
+      EXPECT_EQ(tid, last_tid) << line;
+    }
+    last_stamp = stamp;
+    last_tid = tid;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
   std::remove(path.c_str());
 }
 

@@ -35,6 +35,8 @@
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/memory_budget.h"
 #include "util/random.h"
@@ -241,8 +243,28 @@ int CmdEnumerate(const Flags& flags) {
   mce::obs::MetricsRegistry registry;
   if (!trace_out.empty()) mce::obs::TraceRecorder::Install(&recorder);
   if (!metrics_out.empty()) mce::obs::MetricsRegistry::Install(&registry);
+  // --heartbeat-out FILE|- / --heartbeat-interval-ms N / --progress: live
+  // NDJSON heartbeat stream and/or single-line TTY status, sampled from a
+  // ProgressEstimator the executors feed as blocks register and retire.
+  mce::obs::ProgressEstimator progress;
+  mce::obs::TelemetryOptions telemetry;
+  telemetry.out_path = flags.Get("heartbeat-out", "");
+  telemetry.interval_ms = flags.GetInt("heartbeat-interval-ms", 500);
+  telemetry.tty_progress = flags.Get("progress", "") == "true";
+  if (telemetry.interval_ms <= 0) {
+    std::fprintf(stderr, "error: --heartbeat-interval-ms must be >= 1\n");
+    return 1;
+  }
+  const bool want_telemetry =
+      !telemetry.out_path.empty() || telemetry.tty_progress;
+  mce::obs::TelemetrySampler sampler(&progress, telemetry);
+  if (want_telemetry) {
+    options.progress = &progress;
+    if (!sampler.Start()) return 1;
+  }
   mce::MaxCliqueFinder finder(options);
   Result<mce::FindResult> result = finder.Find(*g);
+  sampler.Finish(result.ok());
   mce::obs::TraceRecorder::Install(nullptr);
   mce::obs::MetricsRegistry::Install(nullptr);
   if (!result.ok()) {
@@ -455,6 +477,12 @@ void Usage() {
       "              [--trace-out t.json]    (Chrome trace of the run)\n"
       "              [--metrics-out m.json]  (counters/histograms; .txt\n"
       "                                       for the text form)\n"
+      "              [--heartbeat-out FILE|-]  (NDJSON progress heartbeats;\n"
+      "                                       validate with trace_check\n"
+      "                                       --heartbeat)\n"
+      "              [--heartbeat-interval-ms N]  (sampling period; 500)\n"
+      "              [--progress true]       (single-line live status on\n"
+      "                                       stderr)\n"
       "  top         --input G [--k K]  (k largest maximal cliques)\n"
       "  communities --input G [--k K] [--top K]\n"
       "  generate    --model twitter1|...|er|ba|ws --output G\n"

@@ -1,0 +1,350 @@
+// mce_perf_diff — regression gate between two performance artifacts.
+//
+// Compares a baseline and a candidate JSON file so benches and CI can
+// detect performance regressions mechanically instead of a human
+// eyeballing numbers. Both inputs must be the same flavour of artifact;
+// the flavour is auto-detected:
+//
+//   * a `mce_cli enumerate --json` run report (top-level "total_cliques"
+//     and "wall_seconds") — compared as one entry named "run";
+//   * a BENCH_pipeline.json-style file (top-level "runs" array) — one
+//     entry per {executor, threads} combination;
+//   * a BENCH_oocore.json-style file (top-level "legs" object) — one
+//     entry per leg.
+//
+// Entries present in both files are compared on four metrics:
+//
+//   wall_seconds    lower is better   default threshold 10%
+//   ns_per_clique   lower is better   default threshold 10%
+//   peak_mem_bytes  lower is better   default threshold 25%
+//   utilization     higher is better  default threshold 10%
+//
+// A metric regresses when it moves past its relative threshold in the
+// bad direction; metrics absent from either side (e.g. peak memory in a
+// pipeline bench) are skipped. When an entry's clique counts differ the
+// runs did different work and no comparison is meaningful — the entry is
+// flagged incomparable.
+//
+// usage: mce_perf_diff BASELINE CANDIDATE [--threshold name=frac]... [--json]
+//
+// `--threshold wall_seconds=0.05` overrides one metric's threshold (frac
+// is relative: 0.05 = 5%). `--json` emits a machine-readable report on
+// stdout instead of the human table; the final verdict line goes to
+// stdout in both modes.
+//
+// Exit status: 0 no regression, 1 at least one metric regressed,
+// 2 incomparable inputs or usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lite.h"
+
+namespace {
+
+using json_lite::JsonParser;
+using json_lite::JsonValue;
+
+/// One comparable unit of work: a whole run report, one bench run, or
+/// one bench leg. Negative values mean "absent".
+struct Entry {
+  double wall_seconds = -1;
+  double cliques = -1;
+  double peak_mem_bytes = -1;
+  double utilization = -1;
+
+  double NsPerClique() const {
+    if (wall_seconds <= 0 || cliques <= 0) return -1;
+    return wall_seconds / cliques * 1e9;
+  }
+};
+
+struct MetricSpec {
+  const char* name;
+  double threshold;     // relative, e.g. 0.10 = 10%
+  bool lower_is_better;
+};
+
+constexpr double kDefaultTimeThreshold = 0.10;
+constexpr double kDefaultMemThreshold = 0.25;
+constexpr double kDefaultUtilThreshold = 0.10;
+
+struct Comparison {
+  std::string entry;
+  std::string metric;
+  double base = 0;
+  double cand = 0;
+  double delta = 0;      // relative change, sign follows the raw value
+  double threshold = 0;
+  bool regressed = false;
+};
+
+int UsageError() {
+  std::fprintf(stderr,
+               "usage: mce_perf_diff BASELINE CANDIDATE "
+               "[--threshold name=frac]... [--json]\n"
+               "metrics: wall_seconds ns_per_clique peak_mem_bytes "
+               "utilization\n");
+  return 2;
+}
+
+bool LoadJson(const std::string& path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mce_perf_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::string error;
+  if (!JsonParser(text).Parse(out, &error) || !out->IsObject()) {
+    std::fprintf(stderr, "mce_perf_diff: %s: %s\n", path.c_str(),
+                 error.empty() ? "top level is not an object" : error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Reads the nested "memory" object's peak if present.
+double PeakMemOf(const JsonValue& obj) {
+  const JsonValue* memory = obj.Find("memory");
+  if (memory == nullptr || !memory->IsObject()) return -1;
+  return memory->NumberOr("peak_tracked_bytes", -1);
+}
+
+Entry EntryFromObject(const JsonValue& obj, const char* cliques_key) {
+  Entry e;
+  e.wall_seconds = obj.NumberOr("wall_seconds", -1);
+  e.cliques = obj.NumberOr(cliques_key, -1);
+  e.peak_mem_bytes = PeakMemOf(obj);
+  e.utilization = obj.NumberOr("utilization", -1);
+  return e;
+}
+
+/// Flattens one artifact into named entries. Returns false when the
+/// flavour is not recognised.
+bool ExtractEntries(const JsonValue& root, const std::string& path,
+                    std::map<std::string, Entry>* out) {
+  if (const JsonValue* runs = root.Find("runs");
+      runs != nullptr && runs->IsArray()) {
+    // BENCH_pipeline flavour: name each run by executor and threads.
+    for (const JsonValue& run : runs->array) {
+      if (!run.IsObject()) continue;
+      const JsonValue* executor = run.Find("executor");
+      std::ostringstream name;
+      name << (executor != nullptr && executor->IsString() ? executor->string
+                                                           : "run");
+      name << "_x" << static_cast<long long>(run.NumberOr("threads", 0));
+      (*out)[name.str()] = EntryFromObject(run, "cliques");
+    }
+    return !out->empty();
+  }
+  if (const JsonValue* legs = root.Find("legs");
+      legs != nullptr && legs->IsObject()) {
+    // BENCH_oocore flavour: one entry per named leg.
+    for (const auto& [name, leg] : legs->object) {
+      if (!leg.IsObject()) continue;
+      (*out)[name] = EntryFromObject(leg, "total_cliques");
+    }
+    return !out->empty();
+  }
+  if (root.Find("total_cliques") != nullptr &&
+      root.Find("wall_seconds") != nullptr) {
+    // Run-report flavour: the whole report is one entry.
+    (*out)["run"] = EntryFromObject(root, "total_cliques");
+    return true;
+  }
+  std::fprintf(stderr,
+               "mce_perf_diff: %s is neither a run report nor a "
+               "recognised BENCH file\n",
+               path.c_str());
+  return false;
+}
+
+std::string FormatValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cand_path;
+  bool json_output = false;
+  std::map<std::string, double> threshold_overrides;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string spec;
+    if (arg == "--json") {
+      json_output = true;
+      continue;
+    }
+    if (arg.rfind("--threshold=", 0) == 0) {
+      spec = arg.substr(std::strlen("--threshold="));
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      spec = argv[++i];
+    } else if (base_path.empty()) {
+      base_path = std::move(arg);
+      continue;
+    } else if (cand_path.empty()) {
+      cand_path = std::move(arg);
+      continue;
+    } else {
+      return UsageError();
+    }
+    if (!spec.empty()) {
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) return UsageError();
+      const std::string name = spec.substr(0, eq);
+      char* end = nullptr;
+      const double frac = std::strtod(spec.c_str() + eq + 1, &end);
+      if (end == nullptr || *end != '\0' || frac < 0) return UsageError();
+      threshold_overrides[name] = frac;
+    }
+  }
+  if (base_path.empty() || cand_path.empty()) return UsageError();
+
+  JsonValue base_root;
+  JsonValue cand_root;
+  if (!LoadJson(base_path, &base_root) || !LoadJson(cand_path, &cand_root)) {
+    return 2;
+  }
+  std::map<std::string, Entry> base_entries;
+  std::map<std::string, Entry> cand_entries;
+  if (!ExtractEntries(base_root, base_path, &base_entries) ||
+      !ExtractEntries(cand_root, cand_path, &cand_entries)) {
+    return 2;
+  }
+
+  std::vector<MetricSpec> specs = {
+      {"wall_seconds", kDefaultTimeThreshold, true},
+      {"ns_per_clique", kDefaultTimeThreshold, true},
+      {"peak_mem_bytes", kDefaultMemThreshold, true},
+      {"utilization", kDefaultUtilThreshold, false},
+  };
+  for (MetricSpec& spec : specs) {
+    auto it = threshold_overrides.find(spec.name);
+    if (it != threshold_overrides.end()) {
+      spec.threshold = it->second;
+      threshold_overrides.erase(it);
+    }
+  }
+  if (!threshold_overrides.empty()) {
+    std::fprintf(stderr, "mce_perf_diff: unknown metric '%s'\n",
+                 threshold_overrides.begin()->first.c_str());
+    return 2;
+  }
+
+  std::vector<Comparison> comparisons;
+  std::vector<std::string> incomparable;
+  size_t compared_entries = 0;
+  for (const auto& [name, base] : base_entries) {
+    auto it = cand_entries.find(name);
+    if (it == cand_entries.end()) continue;
+    const Entry& cand = it->second;
+    ++compared_entries;
+    if (base.cliques >= 0 && cand.cliques >= 0 &&
+        base.cliques != cand.cliques) {
+      // Different clique counts mean the runs did different work; time
+      // and memory deltas would compare apples to oranges.
+      incomparable.push_back(name + ": cliques " +
+                             FormatValue(base.cliques) + " vs " +
+                             FormatValue(cand.cliques));
+      continue;
+    }
+    for (const MetricSpec& spec : specs) {
+      double b = -1;
+      double c = -1;
+      if (std::strcmp(spec.name, "wall_seconds") == 0) {
+        b = base.wall_seconds;
+        c = cand.wall_seconds;
+      } else if (std::strcmp(spec.name, "ns_per_clique") == 0) {
+        b = base.NsPerClique();
+        c = cand.NsPerClique();
+      } else if (std::strcmp(spec.name, "peak_mem_bytes") == 0) {
+        b = base.peak_mem_bytes;
+        c = cand.peak_mem_bytes;
+      } else {
+        b = base.utilization;
+        c = cand.utilization;
+      }
+      if (b <= 0 || c < 0) continue;  // metric absent on one side
+      Comparison cmp;
+      cmp.entry = name;
+      cmp.metric = spec.name;
+      cmp.base = b;
+      cmp.cand = c;
+      cmp.delta = (c - b) / b;
+      cmp.threshold = spec.threshold;
+      cmp.regressed =
+          spec.lower_is_better ? cmp.delta > spec.threshold
+                               : -cmp.delta > spec.threshold;
+      comparisons.push_back(cmp);
+    }
+  }
+
+  if (compared_entries == 0) {
+    std::fprintf(stderr,
+                 "mce_perf_diff: no entries in common between %s and %s\n",
+                 base_path.c_str(), cand_path.c_str());
+    return 2;
+  }
+
+  size_t regressions = 0;
+  for (const Comparison& cmp : comparisons) {
+    if (cmp.regressed) ++regressions;
+  }
+  const bool has_incomparable = !incomparable.empty();
+  const char* verdict = has_incomparable ? "incomparable"
+                        : regressions > 0 ? "regression"
+                                          : "ok";
+
+  if (json_output) {
+    std::ostringstream os;
+    os << "{\"verdict\":\"" << verdict << "\"";
+    os << ",\"entries_compared\":" << compared_entries;
+    os << ",\"regressions\":" << regressions;
+    os << ",\"incomparable\":[";
+    for (size_t i = 0; i < incomparable.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << incomparable[i] << "\"";
+    }
+    os << "],\"metrics\":[";
+    for (size_t i = 0; i < comparisons.size(); ++i) {
+      const Comparison& cmp = comparisons[i];
+      if (i > 0) os << ",";
+      os << "{\"entry\":\"" << cmp.entry << "\",\"metric\":\"" << cmp.metric
+         << "\",\"baseline\":" << FormatValue(cmp.base)
+         << ",\"candidate\":" << FormatValue(cmp.cand)
+         << ",\"delta\":" << FormatValue(cmp.delta)
+         << ",\"threshold\":" << FormatValue(cmp.threshold)
+         << ",\"regressed\":" << (cmp.regressed ? "true" : "false") << "}";
+    }
+    os << "]}\n";
+    std::fputs(os.str().c_str(), stdout);
+  } else {
+    for (const Comparison& cmp : comparisons) {
+      std::printf("%-12s %-15s %12s -> %-12s %+7.2f%% (limit %.0f%%)%s\n",
+                  cmp.entry.c_str(), cmp.metric.c_str(),
+                  FormatValue(cmp.base).c_str(), FormatValue(cmp.cand).c_str(),
+                  cmp.delta * 100, cmp.threshold * 100,
+                  cmp.regressed ? "  REGRESSED" : "");
+    }
+    for (const std::string& reason : incomparable) {
+      std::printf("incomparable: %s\n", reason.c_str());
+    }
+  }
+  std::printf("mce_perf_diff: %s (%zu entries, %zu regressions)\n", verdict,
+              compared_entries, regressions);
+  if (has_incomparable) return 2;
+  return regressions > 0 ? 1 : 0;
+}

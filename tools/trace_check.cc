@@ -1,7 +1,10 @@
-// trace_check — validator for Chrome trace-event JSON files.
+// trace_check — validator for Chrome trace-event JSON files and heartbeat
+// NDJSON streams.
 //
-// Used by the tier-1 trace leg (scripts/tier1.sh) to assert that a file
-// produced by `mce_cli enumerate --trace-out=...` is a well-formed trace:
+// Used by the tier-1 trace leg (scripts/tier1.sh) to assert that the
+// observability artifacts a run produces are well-formed.
+//
+// Trace mode (default) checks a `mce_cli enumerate --trace-out=...` file:
 //
 //   * the file parses as one JSON object with a "traceEvents" array;
 //   * every event has a name, a phase ("B", "E", or "M"), pid/tid/ts;
@@ -12,242 +15,53 @@
 //   * with --require A,B,C each named span kind appears at least once as a
 //     "B" event.
 //
-// usage: trace_check FILE [--require Name1,Name2,...]
-// Exit 0 when the trace passes, 1 with a diagnostic on stderr otherwise.
+// Heartbeat mode (--heartbeat) checks a `--heartbeat-out=...` NDJSON file:
 //
-// The JSON parser below is deliberately minimal (objects, arrays, strings
-// with escapes, numbers, true/false/null) — enough for trace files, no
-// external dependency.
+//   * every line parses as one JSON object;
+//   * "seq" is strictly increasing, "ts_ms" and "completed_cost" are
+//     monotonically non-decreasing;
+//   * "fraction" stays within [0, 1];
+//   * at least one record exists, the last one carries "final": true, and
+//     no record follows the final one;
+//   * a final record with "success": true reports fraction == 1.0.
+//
+// usage: trace_check FILE [--require Name1,Name2,...]
+//        trace_check --heartbeat FILE
+// Exit 0 when the file passes, 1 with a diagnostic on stderr otherwise.
+//
+// The JSON parser lives in json_lite.h (shared with mce_perf_diff) and is
+// deliberately minimal — enough for these files, no external dependency.
 
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "json_lite.h"
+
 namespace {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out, std::string* error) {
-    bool ok = ParseValue(out) && (SkipSpace(), pos_ == text_.size());
-    if (!ok && error != nullptr) {
-      *error = "JSON parse error near byte " + std::to_string(pos_);
-    }
-    return ok;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Literal(const char* word) {
-    const size_t n = std::strlen(word);
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->string);
-    }
-    if (c == 't') {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      return Literal("true");
-    }
-    if (c == 'f') {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = false;
-      return Literal("false");
-    }
-    if (c == 'n') {
-      out->kind = JsonValue::Kind::kNull;
-      return Literal("null");
-    }
-    return ParseNumber(out);
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipSpace();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace_back(std::move(key), std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u':
-            // Trace names are ASCII; keep the escape verbatim.
-            if (pos_ + 4 > text_.size()) return false;
-            out->append("\\u").append(text_, pos_, 4);
-            pos_ += 4;
-            break;
-          default:
-            return false;
-        }
-        continue;
-      }
-      out->push_back(c);
-    }
-    return false;
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = std::atof(text_.substr(start, pos_ - start).c_str());
-    return true;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using json_lite::JsonParser;
+using json_lite::JsonValue;
 
 int Fail(const char* what, size_t event_index) {
   std::fprintf(stderr, "trace_check: %s (event %zu)\n", what, event_index);
   return 1;
 }
 
-}  // namespace
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_check FILE [--require Name1,Name2,...]\n"
+               "       trace_check --heartbeat FILE\n");
+  return 2;
+}
 
-int main(int argc, char** argv) {
-  std::string path;
-  std::vector<std::string> required;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string names;
-    if (arg.rfind("--require=", 0) == 0) {
-      names = arg.substr(std::strlen("--require="));
-    } else if (arg == "--require" && i + 1 < argc) {
-      names = argv[++i];
-    } else if (path.empty()) {
-      path = std::move(arg);
-    } else {
-      std::fprintf(stderr,
-                   "usage: trace_check FILE [--require Name1,Name2,...]\n");
-      return 2;
-    }
-    std::stringstream ss(names);
-    for (std::string name; std::getline(ss, name, ',');) {
-      if (!name.empty()) required.push_back(name);
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: trace_check FILE [--require Name1,Name2,...]\n");
-    return 2;
-  }
-
+int CheckTrace(const std::string& path,
+               const std::vector<std::string>& required) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
@@ -263,12 +77,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace_check: %s\n", error.c_str());
     return 1;
   }
-  if (root.kind != JsonValue::Kind::kObject) {
+  if (!root.IsObject()) {
     std::fprintf(stderr, "trace_check: top level is not an object\n");
     return 1;
   }
   const JsonValue* events = root.Find("traceEvents");
-  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+  if (events == nullptr || !events->IsArray()) {
     std::fprintf(stderr, "trace_check: missing traceEvents array\n");
     return 1;
   }
@@ -284,7 +98,7 @@ int main(int argc, char** argv) {
 
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& e = events->array[i];
-    if (e.kind != JsonValue::Kind::kObject) {
+    if (!e.IsObject()) {
       return Fail("event is not an object", i);
     }
     const JsonValue* name = e.Find("name");
@@ -292,15 +106,14 @@ int main(int argc, char** argv) {
     const JsonValue* pid = e.Find("pid");
     const JsonValue* tid = e.Find("tid");
     const JsonValue* ts = e.Find("ts");
-    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+    if (name == nullptr || !name->IsString()) {
       return Fail("event without a string name", i);
     }
-    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+    if (ph == nullptr || !ph->IsString()) {
       return Fail("event without a phase", i);
     }
-    if (pid == nullptr || pid->kind != JsonValue::Kind::kNumber ||
-        tid == nullptr || tid->kind != JsonValue::Kind::kNumber ||
-        ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+    if (pid == nullptr || !pid->IsNumber() || tid == nullptr ||
+        !tid->IsNumber() || ts == nullptr || !ts->IsNumber()) {
       return Fail("event without numeric pid/tid/ts", i);
     }
     if (ph->string == "M") continue;  // metadata carries no timeline
@@ -349,4 +162,134 @@ int main(int argc, char** argv) {
   std::printf("trace_check: ok (%zu spans, %zu lanes)\n", total,
               lanes.size());
   return 0;
+}
+
+int FailLine(const char* what, size_t line_no) {
+  std::fprintf(stderr, "trace_check: heartbeat %s (line %zu)\n", what,
+               line_no);
+  return 1;
+}
+
+int CheckHeartbeat(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  size_t records = 0;
+  size_t line_no = 0;
+  bool have_prev = false;
+  double prev_seq = 0;
+  double prev_ts = 0;
+  double prev_completed = 0;
+  // State of the most recent record, so the post-loop checks can speak
+  // about "the last line".
+  bool last_final = false;
+  bool last_success = false;
+  double last_fraction = 0;
+
+  for (std::string line; std::getline(in, line);) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    JsonValue rec;
+    std::string error;
+    if (!JsonParser(line).Parse(&rec, &error) || !rec.IsObject()) {
+      return FailLine("line is not a JSON object", line_no);
+    }
+    if (last_final) {
+      return FailLine("record after the final record", line_no);
+    }
+    const JsonValue* seq = rec.Find("seq");
+    const JsonValue* ts = rec.Find("ts_ms");
+    const JsonValue* completed = rec.Find("completed_cost");
+    const JsonValue* fraction = rec.Find("fraction");
+    if (seq == nullptr || !seq->IsNumber() || ts == nullptr ||
+        !ts->IsNumber() || completed == nullptr || !completed->IsNumber() ||
+        fraction == nullptr || !fraction->IsNumber()) {
+      return FailLine(
+          "record missing numeric seq/ts_ms/completed_cost/fraction",
+          line_no);
+    }
+    if (have_prev) {
+      if (seq->number <= prev_seq) {
+        return FailLine("seq not strictly increasing", line_no);
+      }
+      if (ts->number < prev_ts) {
+        return FailLine("ts_ms not monotone", line_no);
+      }
+      if (completed->number < prev_completed) {
+        return FailLine("completed_cost not monotone", line_no);
+      }
+    }
+    if (fraction->number < 0.0 || fraction->number > 1.0) {
+      return FailLine("fraction outside [0, 1]", line_no);
+    }
+    have_prev = true;
+    prev_seq = seq->number;
+    prev_ts = ts->number;
+    prev_completed = completed->number;
+    ++records;
+
+    const JsonValue* final_flag = rec.Find("final");
+    last_final = final_flag != nullptr &&
+                 final_flag->kind == JsonValue::Kind::kBool &&
+                 final_flag->boolean;
+    const JsonValue* success = rec.Find("success");
+    last_success = success != nullptr &&
+                   success->kind == JsonValue::Kind::kBool &&
+                   success->boolean;
+    last_fraction = fraction->number;
+  }
+
+  if (records == 0) {
+    std::fprintf(stderr, "trace_check: heartbeat stream has no records\n");
+    return 1;
+  }
+  if (!last_final) {
+    std::fprintf(stderr,
+                 "trace_check: heartbeat stream does not end with a "
+                 "\"final\": true record\n");
+    return 1;
+  }
+  if (last_success && last_fraction != 1.0) {
+    std::fprintf(stderr,
+                 "trace_check: successful run ended at fraction %g, "
+                 "want 1.0\n",
+                 last_fraction);
+    return 1;
+  }
+  std::printf("trace_check: heartbeat ok (%zu records, final fraction %g)\n",
+              records, last_fraction);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  bool heartbeat = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string names;
+    if (arg == "--heartbeat") {
+      heartbeat = true;
+    } else if (arg.rfind("--require=", 0) == 0) {
+      names = arg.substr(std::strlen("--require="));
+    } else if (arg == "--require" && i + 1 < argc) {
+      names = argv[++i];
+    } else if (path.empty()) {
+      path = std::move(arg);
+    } else {
+      return Usage();
+    }
+    std::stringstream ss(names);
+    for (std::string name; std::getline(ss, name, ',');) {
+      if (!name.empty()) required.push_back(name);
+    }
+  }
+  if (path.empty()) return Usage();
+  if (heartbeat && !required.empty()) return Usage();
+  return heartbeat ? CheckHeartbeat(path) : CheckTrace(path, required);
 }
