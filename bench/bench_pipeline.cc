@@ -23,6 +23,7 @@
 #include "gen/social.h"
 #include "gen/special.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -66,12 +67,14 @@ struct RunRow {
 
 RunRow RunOnce(const Graph& g, uint32_t m, decomp::ExecutorKind kind,
                uint32_t threads, const char* name,
-               obs::ProgressEstimator* progress = nullptr) {
+               obs::ProgressEstimator* progress = nullptr,
+               bool profile = false) {
   decomp::FindMaxCliquesOptions options;
   options.max_block_size = m;
   options.executor = kind;
   options.num_threads = threads;
   options.progress = progress;
+  options.profile = profile;
 
   RunRow row;
   row.executor = name;
@@ -215,6 +218,39 @@ HeartbeatOverhead MeasureHeartbeatOverhead(const Graph& g, uint32_t m,
   return result;
 }
 
+/// Perf-counter overhead guard: best-of-`reps` pooled wall time with
+/// --perf-counters off vs on. Each task pays two counter reads (one
+/// syscall-free clock_gettime pair on the software fallback, one group
+/// read syscall pair with hardware access) plus a mutex-guarded
+/// accumulator add; the budget is ≤3% so per-task attribution stays
+/// cheap enough to turn on for any diagnostic run.
+struct PerfCounterOverhead {
+  double off_seconds = 0;
+  double on_seconds = 0;
+  double overhead_ratio = 0;  // on / off
+};
+
+PerfCounterOverhead MeasurePerfCounterOverhead(const Graph& g, uint32_t m,
+                                               uint32_t threads, int reps) {
+  PerfCounterOverhead result;
+  auto best_wall = [&](bool profiled) {
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double wall =
+          RunOnce(g, m, decomp::ExecutorKind::kPooled, threads, "pooled",
+                  /*progress=*/nullptr, profiled)
+              .wall_seconds;
+      if (rep == 0 || wall < best) best = wall;
+    }
+    return best;
+  };
+  result.off_seconds = best_wall(false);
+  result.on_seconds = best_wall(true);
+  result.overhead_ratio =
+      result.off_seconds > 0 ? result.on_seconds / result.off_seconds : 0;
+  return result;
+}
+
 }  // namespace
 }  // namespace mce
 
@@ -267,6 +303,14 @@ int main(int argc, char** argv) {
       heartbeat.off_seconds, heartbeat.on_seconds,
       100.0 * (heartbeat.overhead_ratio - 1.0));
 
+  const PerfCounterOverhead counters = MeasurePerfCounterOverhead(g, m, 4, 5);
+  std::printf(
+      "perf counters (pooled, 4 threads, %s, best of 5): off %.3fs, "
+      "on %.3fs, overhead %.2f%%\n",
+      obs::PerfCounterSet::HardwareAvailable() ? "hardware" : "software clock",
+      counters.off_seconds, counters.on_seconds,
+      100.0 * (counters.overhead_ratio - 1.0));
+
   // All engines must agree on the clique count; a mismatch invalidates the
   // timing comparison.
   for (const RunRow& r : rows) {
@@ -304,6 +348,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Counter budget: per-task attribution must stay within 3% of the
+  // unprofiled run, or --perf-counters becomes too expensive to reach
+  // for when a run misbehaves.
+  if (counters.overhead_ratio > 1.03) {
+    std::fprintf(stderr,
+                 "perf-counter overhead %.2f%% exceeds the 3%% budget "
+                 "(off %.3fs, on %.3fs)\n",
+                 100.0 * (counters.overhead_ratio - 1.0),
+                 counters.off_seconds, counters.on_seconds);
+    return 1;
+  }
+
   if (json_path != nullptr) {
     FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -338,9 +394,16 @@ int main(int argc, char** argv) {
                  tracing.overhead_ratio);
     std::fprintf(f,
                  "  \"heartbeat\": {\"off_seconds\": %.6f, \"on_seconds\": "
-                 "%.6f, \"overhead_ratio\": %.4f}\n",
+                 "%.6f, \"overhead_ratio\": %.4f},\n",
                  heartbeat.off_seconds, heartbeat.on_seconds,
                  heartbeat.overhead_ratio);
+    std::fprintf(f,
+                 "  \"perf_counters\": {\"off_seconds\": %.6f, "
+                 "\"on_seconds\": %.6f, \"overhead_ratio\": %.4f, "
+                 "\"hardware\": %s}\n",
+                 counters.off_seconds, counters.on_seconds,
+                 counters.overhead_ratio,
+                 obs::PerfCounterSet::HardwareAvailable() ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path);

@@ -141,4 +141,49 @@ if "$build/tools/mce_perf_diff" "$trace_dir/report_a.json" \
 fi
 echo "perf-diff gate trips on injected regression: ok"
 
+# Profiling leg: a pooled run with --perf-counters must export counter
+# args that trace_check validates, reconstruct into a critical path that
+# explains the wall clock (mce_trace_analyze --require-critical-path),
+# and report per-kind / per-level attribution that sums exactly to the
+# recorded totals. The same binary must degrade cleanly to the software
+# clock when perf_event_open is unavailable (MCE_FORCE_NO_PERF=1).
+echo "=== tier-1: profiling + critical-path validation ==="
+"$build/tools/mce_cli" enumerate --input "$trace_dir/fb.txt" \
+  --executor pooled --threads 4 --perf-counters true \
+  --trace-out="$trace_dir/trace_prof.json" \
+  --json true >"$trace_dir/report_prof.json"
+"$build/tools/trace_check" "$trace_dir/trace_prof.json" \
+  --require DecomposeTask,BlockTask,FilterTask --require-counters
+"$build/tools/mce_trace_analyze" "$trace_dir/trace_prof.json" \
+  --require-critical-path >/dev/null
+python3 - "$trace_dir/report_prof.json" <<'EOF'
+import json, sys
+profile = json.load(open(sys.argv[1]))["profile"]
+if not profile["enabled"]:
+    sys.exit("profile.enabled is false on a --perf-counters run")
+total = profile["total"]
+for part in ("by_kind", "by_level"):
+    buckets = profile[part].values() if part == "by_kind" else profile[part]
+    for key in ("spans", "cycles", "instructions", "task_clock_ns",
+                "cliques"):
+        want = total[key]
+        got = sum(b[key] for b in buckets)
+        # by_level excludes the reduce prepass; this run has none.
+        if got != want:
+            sys.exit(f"profile.{part} {key} sums to {got}, total is {want}")
+print("profile attribution sums match recorded totals")
+EOF
+software_hw="$(MCE_FORCE_NO_PERF=1 "$build/tools/mce_cli" enumerate \
+  --input "$trace_dir/fb.txt" --executor pooled --threads 4 \
+  --perf-counters true --json true | python3 -c \
+  'import json,sys; p=json.load(sys.stdin)["profile"]; \
+print("enabled" if p["enabled"] else "off", \
+"hw" if p["hardware"] else "sw")')"
+if [[ "$software_hw" != "enabled sw" ]]; then
+  echo "MCE_FORCE_NO_PERF run reported '$software_hw'," \
+       "want 'enabled sw' (software-clock attribution)" >&2
+  exit 1
+fi
+echo "software-clock fallback degrades cleanly: ok"
+
 echo "=== tier-1: OK ==="

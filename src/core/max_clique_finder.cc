@@ -47,6 +47,7 @@ Result<FindResult> MaxCliqueFinder::Find(const Graph& g) const {
   pipeline.trace = options_.trace;
   pipeline.metrics = options_.metrics;
   pipeline.progress = options_.progress;
+  pipeline.profile = options_.profile;
   if (options_.use_decision_tree) {
     pipeline.tree =
         options_.custom_tree != nullptr ? options_.custom_tree : &paper_tree_;

@@ -120,6 +120,12 @@ class MaxCliqueFinder {
     /// TelemetrySampler to the same instance for heartbeat output. No
     /// installed-instance fallback (progress is run-scoped). Not owned.
     obs::ProgressEstimator* progress = nullptr;
+    /// Per-task hardware-counter profiling (perf_event_open when
+    /// available, software task clock otherwise): every pipeline task
+    /// reads cycle/instruction/miss deltas, surfaced as
+    /// RunStats::profile and as counter args on trace spans. CLI:
+    /// --perf-counters.
+    bool profile = false;
   };
 
   MaxCliqueFinder() : MaxCliqueFinder(Options()) {}

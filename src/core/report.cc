@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace mce {
 
 std::string JsonEscape(const std::string& s) {
@@ -101,6 +103,37 @@ std::string RunReportJson(const FindResult& result) {
      << ",\"mean_abs_eta_error_seconds\":"
      << Double(p.mean_abs_eta_error_seconds)
      << ",\"wall_seconds\":" << Double(p.wall_seconds) << "}";
+  const obs::ProfileStats& prof = s.profile;
+  const auto bucket = [&os](const obs::ProfileBucket& b) {
+    os << "{\"spans\":" << b.spans << ",\"seconds\":" << Double(b.seconds)
+       << ",\"cliques\":" << b.cliques
+       << ",\"cycles\":" << b.counters.cycles
+       << ",\"instructions\":" << b.counters.instructions
+       << ",\"ipc\":" << Double(b.Ipc())
+       << ",\"cache_misses\":" << b.counters.cache_misses
+       << ",\"branch_misses\":" << b.counters.branch_misses
+       << ",\"task_clock_ns\":" << b.counters.task_clock_ns
+       << ",\"ns_per_clique\":" << Double(b.NsPerClique()) << "}";
+  };
+  os << ",\"profile\":{\"enabled\":" << (prof.enabled ? "true" : "false")
+     << ",\"hardware\":" << (prof.hardware ? "true" : "false")
+     << ",\"total\":";
+  bucket(prof.total);
+  os << ",\"by_kind\":{";
+  for (size_t i = 0; i < prof.by_kind.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\""
+       << JsonEscape(obs::ToString(
+              static_cast<obs::SpanKind>(prof.by_kind[i].first)))
+       << "\":";
+    bucket(prof.by_kind[i].second);
+  }
+  os << "},\"by_level\":[";
+  for (size_t i = 0; i < prof.by_level.size(); ++i) {
+    if (i > 0) os << ",";
+    bucket(prof.by_level[i]);
+  }
+  os << "]}";
   os << ",\"levels\":[";
   for (size_t i = 0; i < result.levels.size(); ++i) {
     const decomp::LevelStats& l = result.levels[i];

@@ -26,6 +26,12 @@ std::string RunStats::ToString() const {
        << progress.predicted_cost
        << " eta_err_s=" << progress.mean_abs_eta_error_seconds << "]";
   }
+  if (profile.enabled) {
+    os << " profile[" << (profile.hardware ? "hw" : "sw")
+       << " spans=" << profile.total.spans
+       << " cycles=" << profile.total.counters.cycles
+       << " ipc=" << profile.total.Ipc() << "]";
+  }
   if (reduction.enabled) {
     os << " reduce[v=" << reduction.vertices_removed
        << " e=" << reduction.edges_removed
@@ -94,6 +100,7 @@ RunStats ComputeRunStats(const decomp::FindMaxCliquesResult& result) {
   // worker was busy for exactly as long as the busiest one.
   if (capacity_seconds > 0) s.utilization = block_seconds / capacity_seconds;
   s.progress = result.progress;
+  s.profile = result.profile;
   return s;
 }
 

@@ -69,6 +69,12 @@ struct RunStats {
   /// ProgressEstimator attached): predicted vs. retired cost and how the
   /// sampler's ETAs tracked the actual wall clock.
   obs::ProgressAccounting progress;
+  /// Per-task hardware-counter attribution (enabled iff the run had
+  /// FindMaxCliquesOptions::profile set): cycles, instructions, cache and
+  /// branch misses, and task-clock split by task kind and by recursion
+  /// level. profile.hardware is false when perf_event_open was
+  /// unavailable and only the software task clock was recorded.
+  obs::ProfileStats profile;
 
   std::string ToString() const;
 };

@@ -26,6 +26,7 @@
 #include "decomp/blocks.h"
 #include "mce/clique.h"
 #include "mce/enumerator.h"
+#include "obs/perf_counters.h"
 #include "obs/progress.h"
 #include "reduce/reduction.h"
 
@@ -148,6 +149,13 @@ struct FindMaxCliquesOptions {
   /// Directory for spill chunk files; "" = $TMPDIR, then /tmp. CLI:
   /// --spill-dir.
   std::string spill_dir;
+  /// Per-task counter profiling (src/obs/perf_counters.h): every task the
+  /// executors run reads its thread's perf_event_open group (or the
+  /// software thread-clock fallback) around its window, attaches the delta
+  /// to the task's trace span, and accumulates per-kind / per-level totals
+  /// into the result's ProfileStats. Off by default — the task sites then
+  /// test one plain bool. CLI: --perf-counters.
+  bool profile = false;
 };
 
 /// The spill threshold a run actually uses (see spill_threshold_bytes).
@@ -231,6 +239,8 @@ struct FindMaxCliquesResult {
   MemoryStats memory;
   /// Final progress accounting (enabled iff options.progress was set).
   obs::ProgressAccounting progress;
+  /// Per-task counter attribution (enabled iff options.profile was set).
+  obs::ProfileStats profile;
 
   /// Number of first-level decomposition iterations (Figure 7 reports 2-3).
   size_t NumLevels() const { return levels.size(); }
@@ -254,6 +264,8 @@ struct StreamingStats {
   MemoryStats memory;
   /// Final progress accounting (enabled iff options.progress was set).
   obs::ProgressAccounting progress;
+  /// Per-task counter attribution (enabled iff options.profile was set).
+  obs::ProfileStats profile;
 };
 
 /// Streaming form of FindMaxCliques: emits each maximal clique of G

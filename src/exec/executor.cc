@@ -53,6 +53,7 @@ decomp::FindMaxCliquesResult CollectToResult(
   out.reduction = stats.reduction;
   out.memory = stats.memory;
   out.progress = stats.progress;
+  out.profile = stats.profile;
   for (auto& [clique, origin] : found) {
     out.origin_level.push_back(origin);
     out.cliques.Add(std::move(clique));  // already sorted

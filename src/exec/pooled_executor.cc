@@ -187,6 +187,7 @@ class PooledEngine {
         trace_(ResolveTrace(options)),
         metrics_(ResolveMetrics(options)),
         progress_(options.progress),
+        profile_on_(options.profile),
         budget_(options.memory_budget_bytes),
         workspaces_(std::max<size_t>(1, num_threads)),
         pool_(std::max<size_t>(1, num_threads)) {
@@ -200,24 +201,24 @@ class PooledEngine {
 
   decomp::StreamingStats Run() {
     decomp::StreamingStats out;
-    if (progress_ != nullptr) {
-      // Heartbeat gauges: pending pool tasks (generic pulls included)
-      // plus the cost-ordered analysis backlog, and the budget's live
-      // charge. The closure captures `this`; it is detached before Run
-      // returns (ClearGaugeSource waits out in-flight snapshots).
-      progress_->SetGaugeSource([this] {
-        obs::GaugeSample s;
-        s.queue_depth = pool_.QueueDepth() + queue_.Size();
-        s.mem_charged_bytes = budget_.charged();
-        s.mem_peak_bytes = budget_.peak();
-        return s;
-      });
-    }
+    // Heartbeat gauges: pending pool tasks (generic pulls included)
+    // plus the cost-ordered analysis backlog, and the budget's live
+    // charge. The closure captures `this`; the guard detaches it on every
+    // exit from Run — including unwinds out of the user's emit callback —
+    // before the engine (and its pool) dies under a live sampler.
+    obs::ScopedGaugeSource gauge_guard(progress_, [this] {
+      obs::GaugeSample s;
+      s.queue_depth = pool_.QueueDepth() + queue_.Size();
+      s.mem_charged_bytes = budget_.charged();
+      s.mem_peak_bytes = budget_.peak();
+      return s;
+    });
     // ReduceTask: runs on the calling thread before the root decompose is
     // even submitted, so the trivial cliques hold the same leading stream
     // positions as on the serial engine. The level chain decomposes the
     // reduced graph; original_ stays the Lemma-1 reference.
-    prep_.Run(original_, options_, trace_, metrics_, emit_, &out);
+    prep_.Run(original_, options_, trace_, metrics_, emit_, &out,
+              profile_on_ ? &profile_ : nullptr);
     expansion_ = prep_.map();
     // The pipeline graph is resident for the whole run (an mmap-backed
     // graph reports zero here — its pages are reclaimable).
@@ -266,9 +267,9 @@ class PooledEngine {
         static_cast<double>(
             admission_stall_micros_.load(std::memory_order_relaxed)) *
         1e-6;
+    if (profile_on_) out.profile = profile_.Snapshot();
     metrics_.RecordRun(out);
     if (progress_ != nullptr) {
-      progress_->ClearGaugeSource();
       progress_->MarkComplete();
       out.progress = progress_->Accounting();
     }
@@ -279,6 +280,12 @@ class PooledEngine {
   /// DecomposeTask(level): induce (levels >= 1), Cut, dispatch the child
   /// level's decompose, then stream blocks into BlockTasks.
   void DecomposeTask(LevelRun* lr, LevelRun* parent) {
+    // The whole task — induce, cut, block growth, cost scoring — runs on
+    // this one worker, so a single counter window covers it. The window
+    // closes inside RecordDecomposeSpan, before the m-core fallback (its
+    // own task kind) starts.
+    obs::ScopedCounters decompose_counters;
+    if (profile_on_) decompose_counters.Begin();
     lr->decompose_begin_us = obs::NowMicros();
     if (progress_ != nullptr) progress_->BeginLevel(lr->level);
     if (parent != nullptr) {
@@ -308,7 +315,7 @@ class PooledEngine {
       }
       lr->fallback = true;
       lr->decompose_end_us = obs::NowMicros();
-      RecordDecomposeSpan(lr);
+      RecordDecomposeSpan(lr, decompose_counters);
       RunFallback(lr);
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -362,13 +369,23 @@ class PooledEngine {
         token = lr->analysis_token;
       }
     }
-    RecordDecomposeSpan(lr);
+    RecordDecomposeSpan(lr, decompose_counters);
     if (signal) token.Signal();
   }
 
   /// The level's kDecompose span; call after decompose_end_us and the cut
-  /// stats are final (this worker wrote both).
-  void RecordDecomposeSpan(LevelRun* lr) {
+  /// stats are final (this worker wrote both). Closes the task's counter
+  /// window and books it under the decompose bucket.
+  void RecordDecomposeSpan(LevelRun* lr, obs::ScopedCounters& counters) {
+    obs::CounterDelta delta;
+    if (counters.active()) {
+      delta = counters.Finish();
+      profile_.Add(
+          obs::SpanKind::kDecompose, lr->level,
+          static_cast<double>(lr->decompose_end_us - lr->decompose_begin_us) *
+              1e-6,
+          0, delta);
+    }
     if (trace_ == nullptr) return;
     obs::TraceEvent e;
     e.begin_us = lr->decompose_begin_us;
@@ -379,6 +396,7 @@ class PooledEngine {
     e.args[1] = lr->stats.num_edges;
     e.args[2] = lr->stats.feasible;
     e.args[3] = lr->stats.hubs;
+    e.prof = delta;
     trace_->Record(e);
   }
 
@@ -502,6 +520,10 @@ class PooledEngine {
     // analyses to finish (the stall happens before begin_us so it never
     // inflates the block's measured window).
     AdmitAnalysis(lr->level, exec->ws_bytes);
+    // Counters open after the admission stall so a budget wait never
+    // shows up as analysis work.
+    obs::ScopedCounters counters;
+    if (profile_on_) counters.Begin();
     run.begin_us = obs::NowMicros();
     // Level-0 buffers are the emission source and must hold each clique
     // sorted; deeper levels' buffers only feed the filter, which sorts.
@@ -532,15 +554,29 @@ class PooledEngine {
     run.seconds = static_cast<double>(run.end_us - run.begin_us) * 1e-6;
     run.worker = worker;
     const size_t total = exec->shards.size();
+    obs::CounterDelta delta;
+    if (counters.active()) {
+      delta = counters.Finish();
+      profile_.Add(total > 1 ? obs::SpanKind::kBlockShard
+                             : obs::SpanKind::kBlock,
+                   lr->level, run.seconds, run.result.num_cliques, delta);
+    }
     if (trace_ != nullptr) {
       if (total > 1) {
-        trace_->Record(MakeBlockShardSpan(run.begin_us, run.end_us, lr->level,
-                                          index, run.range,
-                                          run.result.num_cliques, total,
-                                          run.result.used));
+        obs::TraceEvent e = MakeBlockShardSpan(run.begin_us, run.end_us,
+                                               lr->level, index, run.range,
+                                               run.result.num_cliques, total,
+                                               run.result.used);
+        // Equal predicted share per shard — matching the dispatch queue.
+        e.cost = exec->cost / static_cast<double>(total);
+        e.prof = delta;
+        trace_->Record(e);
       } else {
-        trace_->Record(MakeBlockSpan(run.begin_us, run.end_us, *block,
-                                     run.result, lr->level, index));
+        obs::TraceEvent e = MakeBlockSpan(run.begin_us, run.end_us, *block,
+                                          run.result, lr->level, index);
+        e.cost = exec->cost;
+        e.prof = delta;
+        trace_->Record(e);
       }
     }
     FinishAnalysis(exec->ws_bytes);
@@ -652,6 +688,8 @@ class PooledEngine {
   /// contiguous slice of the level's buffered cliques, survivors appended
   /// in slice order to the chunk's own arena.
   void FilterChunkTask(LevelRun* lr, size_t begin, size_t end, size_t chunk) {
+    obs::ScopedCounters counters;
+    if (profile_on_) counters.Begin();
     const int64_t begin_us = obs::NowMicros();
     CliqueSink& out = *lr->filter_out[chunk];
     Clique scratch;
@@ -667,6 +705,13 @@ class PooledEngine {
           }
         });
     const int64_t end_us = obs::NowMicros();
+    obs::CounterDelta delta;
+    if (counters.active()) {
+      delta = counters.Finish();
+      profile_.Add(obs::SpanKind::kFilter, lr->level,
+                   static_cast<double>(end_us - begin_us) * 1e-6, kept,
+                   delta);
+    }
     if (trace_ != nullptr) {
       obs::TraceEvent e;
       e.begin_us = begin_us;
@@ -676,6 +721,7 @@ class PooledEngine {
       e.index = chunk;
       e.args[0] = end - begin;
       e.args[1] = kept;
+      e.prof = delta;
       trace_->Record(e);
     }
     metrics_.RecordFilter(end - begin, kept);
@@ -699,6 +745,8 @@ class PooledEngine {
       fallback_cost = decision::EstimateBlockCost(*lr->graph);
       progress_->RegisterBlock(lr->level, fallback_cost);
     }
+    obs::ScopedCounters counters;
+    if (profile_on_) counters.Begin();
     lr->fallback_begin_us = obs::NowMicros();
     Clique scratch;
     Clique expand_scratch;
@@ -722,6 +770,12 @@ class PooledEngine {
     stats.block_seconds = stats.analyze_seconds;
     stats.busiest_worker_seconds = stats.analyze_seconds;
     stats.analyze_threads = 1;  // one worker ran the indivisible task
+    obs::CounterDelta delta;
+    if (counters.active()) {
+      delta = counters.Finish();
+      profile_.Add(obs::SpanKind::kFallback, lr->level,
+                   stats.analyze_seconds, produced, delta);
+    }
     if (trace_ != nullptr) {
       obs::TraceEvent e;
       e.begin_us = lr->fallback_begin_us;
@@ -731,6 +785,7 @@ class PooledEngine {
       e.args[0] = lr->graph->num_nodes();
       e.args[1] = lr->graph->num_edges();
       e.args[2] = produced;
+      e.prof = delta;
       trace_->Record(e);
     }
     if (lr->level > 0) {
@@ -1018,6 +1073,11 @@ class PooledEngine {
   RunMetrics metrics_;
   /// Live progress accounting; null when the run is not observed.
   obs::ProgressEstimator* const progress_;
+  /// Per-task hardware-counter attribution (options.profile). Pooled
+  /// tasks run on disjoint worker threads, so every task's delta is
+  /// accumulated as-is — per-kind sums reproduce the run total exactly.
+  const bool profile_on_;
+  obs::ProfileAccumulator profile_;
 
   // Memory accounting. Declared before levels_: the sinks owned by
   // LevelRun records release against budget_ in their destructors, so the

@@ -33,6 +33,8 @@ class SerialExecutor final : public Executor {
     obs::TraceRecorder* const trace = ResolveTrace(options);
     RunMetrics metrics(ResolveMetrics(options));
     obs::ProgressEstimator* const progress = options.progress;
+    const bool profile_on = options.profile;
+    obs::ProfileAccumulator profile;
     decomp::StreamingStats out;
     // One workspace reused across every block of the run.
     BlockWorkspace workspace;
@@ -40,7 +42,8 @@ class SerialExecutor final : public Executor {
     // cliques right here and the level chain below starts from the
     // reduced graph; `g` stays the filter's reference graph.
     ReducePrepass prep;
-    prep.Run(g, options, trace, metrics, emit, &out);
+    prep.Run(g, options, trace, metrics, emit, &out,
+             profile_on ? &profile : nullptr);
     const reduce::ReductionMap* const expansion = prep.map();
     const Graph* current = &prep.pipeline_graph();
     // The serial walk never stalls or spills (its live set is already
@@ -52,16 +55,16 @@ class SerialExecutor final : public Executor {
       budget.Charge(bytes);
       metrics.RecordCharge(bytes);
     };
-    if (progress != nullptr) {
-      // Queue depth is always 0 on the serial walk; the budget gauges
-      // make serial heartbeats comparable with pooled ones.
-      progress->SetGaugeSource([&budget] {
-        obs::GaugeSample s;
-        s.mem_charged_bytes = budget.charged();
-        s.mem_peak_bytes = budget.peak();
-        return s;
-      });
-    }
+    // Queue depth is always 0 on the serial walk; the budget gauges
+    // make serial heartbeats comparable with pooled ones. The guard
+    // detaches the closure on every exit, including unwinds out of the
+    // user's emit callback — the captures live on this frame.
+    obs::ScopedGaugeSource gauge_guard(progress, [&budget] {
+      obs::GaugeSample s;
+      s.mem_charged_bytes = budget.charged();
+      s.mem_peak_bytes = budget.peak();
+      return s;
+    });
     const uint64_t pipeline_graph_bytes =
         prep.pipeline_graph().ResidentBytes();
     charge(pipeline_graph_bytes);
@@ -89,6 +92,13 @@ class SerialExecutor final : public Executor {
       }
     };
 
+    // Per-level counter state: the level window is read at decompose-span
+    // close, and the nested block/fallback deltas are subtracted so the
+    // decompose bucket holds only its *self* work — per-kind sums then
+    // reproduce the run total exactly despite the nesting.
+    obs::ScopedCounters level_counters;
+    obs::CounterDelta level_children;
+
     // The decompose span of a level covers CUT plus the block growth; the
     // inline BlockTask spans nest inside it on this single track.
     auto record_decompose = [&](const decomp::LevelStats& stats,
@@ -102,7 +112,14 @@ class SerialExecutor final : public Executor {
       e.args[1] = stats.num_edges;
       e.args[2] = stats.feasible;
       e.args[3] = stats.hubs;
-      trace->Record(e);
+      if (level_counters.active()) {
+        obs::CounterDelta self = level_counters.Finish();
+        self.SaturatingSubtract(level_children);
+        e.prof = self;
+        profile.Add(obs::SpanKind::kDecompose, level,
+                    stats.decompose_seconds, 0, self);
+      }
+      if (trace != nullptr) trace->Record(e);
     };
 
     for (;;) {
@@ -113,7 +130,10 @@ class SerialExecutor final : public Executor {
       // this, so it must never read 0.
       stats.analyze_threads = 1;
 
-      const int64_t level_begin_us = trace != nullptr ? obs::NowMicros() : 0;
+      const int64_t level_begin_us =
+          trace != nullptr || profile_on ? obs::NowMicros() : 0;
+      level_children = obs::CounterDelta();
+      if (profile_on) level_counters.Begin();
       if (progress != nullptr) progress->BeginLevel(level);
       // The decompose clock accumulates Cut plus the block-growth
       // segments between block emissions.
@@ -127,9 +147,13 @@ class SerialExecutor final : public Executor {
         // m-core. Enumerate it directly as one indivisible task.
         out.used_fallback = true;
         stats.decompose_seconds = segment.ElapsedSeconds();
-        if (trace != nullptr) record_decompose(stats, level_begin_us);
+        if (trace != nullptr || profile_on) {
+          record_decompose(stats, level_begin_us);
+        }
         const int64_t fallback_begin_us =
-            trace != nullptr ? obs::NowMicros() : 0;
+            trace != nullptr || profile_on ? obs::NowMicros() : 0;
+        obs::ScopedCounters fallback_counters;
+        if (profile_on) fallback_counters.Begin();
         double fallback_cost = 0;
         if (progress != nullptr) {
           // The fallback MCE is one indivisible unit of work; score it
@@ -150,7 +174,7 @@ class SerialExecutor final : public Executor {
         stats.analyze_seconds = analyze_timer.ElapsedSeconds();
         stats.block_seconds = stats.analyze_seconds;
         stats.busiest_worker_seconds = stats.analyze_seconds;
-        if (trace != nullptr) {
+        if (trace != nullptr || profile_on) {
           obs::TraceEvent e;
           e.begin_us = fallback_begin_us;
           e.end_us = obs::NowMicros();
@@ -159,7 +183,12 @@ class SerialExecutor final : public Executor {
           e.args[0] = stats.num_nodes;
           e.args[1] = stats.num_edges;
           e.args[2] = produced;
-          trace->Record(e);
+          if (fallback_counters.active()) {
+            e.prof = fallback_counters.Finish();
+            profile.Add(obs::SpanKind::kFallback, level,
+                        stats.analyze_seconds, produced, e.prof);
+          }
+          if (trace != nullptr) trace->Record(e);
         }
         out.levels.push_back(stats);
         if (progress != nullptr) progress->FinishLevel(level);
@@ -182,22 +211,35 @@ class SerialExecutor final : public Executor {
             // sampler sees the work as pending, not invisible) and the
             // descriptor sink.
             const double estimated_cost =
-                progress != nullptr || sink_
+                progress != nullptr || sink_ || trace != nullptr || profile_on
                     ? decision::EstimateBlockCost(block.subgraph.graph)
                     : 0;
             if (progress != nullptr) {
               progress->RegisterBlock(level, estimated_cost);
             }
             const int64_t block_begin_us =
-                trace != nullptr ? obs::NowMicros() : 0;
+                trace != nullptr || profile_on ? obs::NowMicros() : 0;
+            obs::ScopedCounters block_counters;
+            if (profile_on) block_counters.Begin();
             Timer block_timer;
             decomp::BlockAnalysisResult result = decomp::AnalyzeBlock(
                 block, analysis_options, deliver, &workspace);
             const double block_seconds = block_timer.ElapsedSeconds();
             budget.Release(block_charge);
+            obs::CounterDelta block_delta;
+            if (block_counters.active()) {
+              block_delta = block_counters.Finish();
+              profile.Add(obs::SpanKind::kBlock, level, block_seconds,
+                          result.num_cliques, block_delta);
+              level_children += block_delta;
+            }
             if (trace != nullptr) {
-              trace->Record(MakeBlockSpan(block_begin_us, obs::NowMicros(),
-                                          block, result, level, block_index));
+              obs::TraceEvent e = MakeBlockSpan(
+                  block_begin_us, obs::NowMicros(), block, result, level,
+                  block_index);
+              e.cost = estimated_cost;
+              e.prof = block_delta;
+              trace->Record(e);
             }
             metrics.RecordBlock(block, result, block_seconds);
             produced += result.num_cliques;
@@ -225,7 +267,9 @@ class SerialExecutor final : public Executor {
       stats.blocks = block_index;
       stats.cliques = produced;
       stats.busiest_worker_seconds = stats.block_seconds;
-      if (trace != nullptr) record_decompose(stats, level_begin_us);
+      if (trace != nullptr || profile_on) {
+        record_decompose(stats, level_begin_us);
+      }
       out.levels.push_back(stats);
       if (progress != nullptr) progress->FinishLevel(level);
 
@@ -246,11 +290,9 @@ class SerialExecutor final : public Executor {
     }
     out.memory.budget_bytes = budget.limit();
     out.memory.peak_tracked_bytes = budget.peak();
+    if (profile_on) out.profile = profile.Snapshot();
     metrics.RecordRun(out);
     if (progress != nullptr) {
-      // The gauge closure captures the local budget: detach it before
-      // the frame dies (ClearGaugeSource waits out in-flight snapshots).
-      progress->ClearGaugeSource();
       progress->MarkComplete();
       out.progress = progress->Accounting();
     }

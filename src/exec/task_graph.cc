@@ -102,12 +102,16 @@ void ReducePrepass::Run(const Graph& g,
                         const decomp::FindMaxCliquesOptions& options,
                         obs::TraceRecorder* trace, RunMetrics& metrics,
                         const decomp::LeveledCliqueCallback& emit,
-                        decomp::StreamingStats* out) {
+                        decomp::StreamingStats* out,
+                        obs::ProfileAccumulator* profile) {
   if (!options.reduce) {
     graph_ = &g;
     return;
   }
-  const int64_t begin_us = trace != nullptr ? obs::NowMicros() : 0;
+  const bool timed = trace != nullptr || profile != nullptr;
+  const int64_t begin_us = timed ? obs::NowMicros() : 0;
+  obs::ScopedCounters counters;
+  if (profile != nullptr) counters.Begin();
   result_ = reduce::ReduceGraph(g, reduce::ReduceOptions{});
   // Pre-scan proved the graph irreducible: no copy was made, the map is
   // inactive, and the pipeline runs on the input directly. Stats still
@@ -126,16 +130,23 @@ void ReducePrepass::Run(const Graph& g,
     options.progress->AddCliques(result_.map.num_trivial_cliques());
   }
   metrics.RecordReduction(result_.stats);
-  if (trace != nullptr) {
+  if (timed) {
+    const int64_t end_us = obs::NowMicros();
     obs::TraceEvent e;
     e.begin_us = begin_us;
-    e.end_us = obs::NowMicros();
+    e.end_us = end_us;
     e.kind = obs::SpanKind::kReduce;
     e.args[0] = result_.stats.vertices_removed;
     e.args[1] = result_.stats.edges_removed;
     e.args[2] = result_.stats.trivial_cliques;
     e.args[3] = result_.stats.rounds;
-    trace->Record(e);
+    if (counters.active()) {
+      e.prof = counters.Finish();
+      profile->Add(obs::SpanKind::kReduce, obs::ProfileAccumulator::kNoLevel,
+                   static_cast<double>(end_us - begin_us) * 1e-6,
+                   result_.stats.trivial_cliques, e.prof);
+    }
+    if (trace != nullptr) trace->Record(e);
   }
 }
 
@@ -314,6 +325,23 @@ void RunMetrics::RecordRun(const decomp::StreamingStats& stats) {
   levels_->Add(stats.levels.size());
   cliques_emitted_->Add(stats.cliques_emitted);
   if (stats.used_fallback) fallback_runs_->Increment();
+  // Counter-attribution totals (once per run, resolved lazily like the
+  // reduction counters — profiling is off on the default path).
+  if (stats.profile.enabled) {
+    const obs::ProfileBucket& total = stats.profile.total;
+    registry_->GetCounter("obs.profile.spans").Add(total.spans);
+    registry_->GetCounter("obs.profile.cycles").Add(total.counters.cycles);
+    registry_->GetCounter("obs.profile.instructions")
+        .Add(total.counters.instructions);
+    registry_->GetCounter("obs.profile.cache_misses")
+        .Add(total.counters.cache_misses);
+    registry_->GetCounter("obs.profile.branch_misses")
+        .Add(total.counters.branch_misses);
+    registry_->GetCounter("obs.profile.task_clock_ns")
+        .Add(total.counters.task_clock_ns);
+    registry_->GetCounter("obs.profile.hardware_runs")
+        .Add(stats.profile.hardware ? 1 : 0);
+  }
 }
 
 std::vector<std::pair<size_t, size_t>> FilterChunks(size_t items,

@@ -127,11 +127,13 @@ bool MapExpandAndFilterClique(const Graph& original,
 class ReducePrepass {
  public:
   /// Must be called once, before any pipeline task runs. `out` receives
-  /// the stats and the trivial-clique emission count.
+  /// the stats and the trivial-clique emission count. `profile` (may be
+  /// null) accumulates the prepass's counter delta under kReduce.
   void Run(const Graph& g, const decomp::FindMaxCliquesOptions& options,
            obs::TraceRecorder* trace, RunMetrics& metrics,
            const decomp::LeveledCliqueCallback& emit,
-           decomp::StreamingStats* out);
+           decomp::StreamingStats* out,
+           obs::ProfileAccumulator* profile = nullptr);
 
   const Graph& pipeline_graph() const { return *graph_; }
   /// Null when reduction is off — safe to pass straight to

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace mce::obs {
@@ -182,6 +183,28 @@ class ProgressEstimator {
   double wall_seconds_ = 0;
 
   const std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII detach for an installed gauge source. The executors' gauge
+/// closures capture run-local state (memory budgets, queues), so the
+/// source must be cleared on *every* exit from Run — including exception
+/// unwinds out of a user clique callback, where a live sampler thread
+/// would otherwise snapshot dangling captures.
+class ScopedGaugeSource {
+ public:
+  ScopedGaugeSource(ProgressEstimator* progress,
+                    std::function<GaugeSample()> fn)
+      : progress_(progress) {
+    if (progress_ != nullptr) progress_->SetGaugeSource(std::move(fn));
+  }
+  ~ScopedGaugeSource() {
+    if (progress_ != nullptr) progress_->ClearGaugeSource();
+  }
+  ScopedGaugeSource(const ScopedGaugeSource&) = delete;
+  ScopedGaugeSource& operator=(const ScopedGaugeSource&) = delete;
+
+ private:
+  ProgressEstimator* progress_;
 };
 
 }  // namespace mce::obs

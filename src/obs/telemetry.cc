@@ -73,7 +73,12 @@ void TelemetrySampler::Finish(bool success) {
   }
   cv_.notify_all();
   thread_.join();
-  progress_->MarkComplete();
+  // Only a successful run freezes the fraction at 1.0. Error and
+  // exception exits (the destructor's Finish(false)) still terminate the
+  // stream with a `final:true` record — so a consumer can always tell a
+  // completed stream from a truncated one — but report the honest
+  // partial fraction alongside `success:false`.
+  if (success) progress_->MarkComplete();
   Emit(progress_->TakeSnapshot(), /*final_record=*/true, success);
   if (tty_dirty_) {
     std::fputc('\n', stderr);

@@ -54,6 +54,21 @@ const char* ToString(SpanKind kind) {
   return "?";
 }
 
+bool SpanKindFromName(const std::string& name, SpanKind* kind) {
+  static constexpr SpanKind kAll[] = {
+      SpanKind::kDecompose, SpanKind::kBlock,      SpanKind::kFilter,
+      SpanKind::kFallback,  SpanKind::kWorkerIdle, SpanKind::kSimBlock,
+      SpanKind::kBlockShard, SpanKind::kReduce,    SpanKind::kSpillFlush,
+      SpanKind::kAdmission};
+  for (SpanKind k : kAll) {
+    if (name == ToString(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -104,6 +119,17 @@ void TraceRecorder::Record(const TraceEvent& event) {
     return;
   }
   buffer->events.push_back(event);
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  Buffer* buffer;
+  if (t_slot.owner == this && t_slot.generation == generation_) {
+    buffer = static_cast<Buffer*>(t_slot.buffer);
+  } else {
+    buffer = RegisterThisThread();
+    t_slot = Slot{this, generation_, buffer};
+  }
+  buffer->name = name;
 }
 
 std::vector<TraceRecorder::ThreadTrack> TraceRecorder::Tracks() const {
@@ -165,6 +191,7 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
                 static_cast<unsigned>(e.algorithm),
                 static_cast<unsigned>(e.storage));
       }
+      if (e.cost > 0) AppendF(out, ",\"cost\":%.6g", e.cost);
       out += "}";
       break;
     case SpanKind::kFilter:
@@ -203,6 +230,7 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
                 static_cast<unsigned>(e.algorithm),
                 static_cast<unsigned>(e.storage));
       }
+      if (e.cost > 0) AppendF(out, ",\"cost\":%.6g", e.cost);
       out += "}";
       break;
     case SpanKind::kReduce:
@@ -231,6 +259,24 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
   }
 }
 
+/// JSON string-escapes `value` into `out`. Control characters and every
+/// byte >= 0x7F become \u00XX (per byte, Latin-1 style) so the emitted
+/// trace is pure ASCII and valid JSON whatever bytes a thread name holds.
+void AppendEscaped(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (byte < 0x20 || byte >= 0x7f) {
+      AppendF(out, "\\u%04x", byte);
+    } else {
+      out += c;
+    }
+  }
+}
+
 void AppendMetadata(std::string& out, int pid, int tid, const char* key,
                     const std::string& value, bool& first) {
   if (!first) out += ",\n";
@@ -239,7 +285,7 @@ void AppendMetadata(std::string& out, int pid, int tid, const char* key,
           "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"ts\":0,"
           "\"args\":{\"name\":\"",
           key, pid, tid);
-  out += value;
+  AppendEscaped(out, value);
   out += "\"}}";
 }
 
@@ -302,9 +348,26 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     auto emit_end = [&](const TraceEvent& e) {
       AppendF(out,
               ",\n{\"name\":\"%s\",\"cat\":\"mce\",\"ph\":\"E\",\"pid\":%d,"
-              "\"tid\":%d,\"ts\":%lld}",
+              "\"tid\":%d,\"ts\":%lld",
               ToString(e.kind), pid, tid,
               static_cast<long long>(e.end_us - min_ts));
+      // Counter deltas ride on the E event (Perfetto merges B and E args
+      // into one slice) so the B args stay byte-identical with profiling
+      // off.
+      if (e.prof.source != CounterSource::kNone) {
+        using ull = unsigned long long;
+        AppendF(out,
+                ",\"args\":{\"cycles\":%llu,\"instructions\":%llu,"
+                "\"cache_misses\":%llu,\"branch_misses\":%llu,"
+                "\"task_clock_ns\":%llu,\"prof\":\"%s\"}",
+                static_cast<ull>(e.prof.cycles),
+                static_cast<ull>(e.prof.instructions),
+                static_cast<ull>(e.prof.cache_misses),
+                static_cast<ull>(e.prof.branch_misses),
+                static_cast<ull>(e.prof.task_clock_ns),
+                e.prof.source == CounterSource::kHardware ? "hw" : "sw");
+      }
+      out += "}";
     };
     for (TraceEvent e : events) {
       while (!stack.empty() && stack.back().end_us <= e.begin_us) {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "util/status.h"
 
 namespace mce::obs {
@@ -55,6 +56,11 @@ enum class SpanKind : uint8_t {
 
 /// The span's Chrome-trace event name ("DecomposeTask", "BlockTask", ...).
 const char* ToString(SpanKind kind);
+
+/// Inverse of ToString. Returns false (and leaves *kind untouched) when
+/// `name` is not a known span name. Used by the trace analyzer to map
+/// Chrome-trace events back to kinds.
+bool SpanKindFromName(const std::string& name, SpanKind* kind);
 
 /// One completed span. `args` is kind-specific (see the arg names emitted
 /// by ToChromeTraceJson):
@@ -88,6 +94,13 @@ struct TraceEvent {
   /// for the simulated cluster's per-worker timeline lanes.
   int32_t lane_pid = 0;
   int32_t lane_tid = -1;
+  /// Predicted analysis cost (decision::EstimateBlockCost) of a kBlock /
+  /// kBlockShard span; 0 = not predicted. Emitted as a "cost" arg so the
+  /// trace analyzer can rank spans by deviation from the cost model.
+  double cost = 0;
+  /// Hardware/software counter deltas over the span (see perf_counters.h).
+  /// Emitted as args on the Chrome-trace "E" event when source != kNone.
+  CounterDelta prof;
 };
 
 /// Microseconds on the process-wide monotonic trace clock. All spans —
@@ -122,6 +135,11 @@ class TraceRecorder {
   /// Appends one completed span to the calling thread's buffer.
   /// Thread-safe and lock-free after the thread's first event.
   void Record(const TraceEvent& event);
+
+  /// Overrides the calling thread's track name (default "thread-N"). The
+  /// name is emitted as Chrome-trace thread_name metadata — arbitrary
+  /// bytes are JSON-escaped on export.
+  void SetCurrentThreadName(const std::string& name);
 
   /// Spans of one recording thread, in recording order.
   struct ThreadTrack {

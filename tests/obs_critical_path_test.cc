@@ -1,0 +1,249 @@
+// Critical-path / attribution math on synthetic task DAGs with known
+// answers, plus a live cross-check: traces recorded by the serial and
+// pooled executors must both yield a critical path that explains the
+// whole wall clock (the analyzer's --require-critical-path gate).
+
+#include "obs/critical_path.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "decomp/find_max_cliques.h"
+#include "gen/social.h"
+#include "obs/trace.h"
+
+namespace mce::obs {
+namespace {
+
+TaskSpan Task(SpanKind kind, uint32_t level, int64_t begin_us,
+              int64_t end_us, double cost = 0) {
+  TaskSpan s;
+  s.kind = kind;
+  s.level = level;
+  s.begin_us = begin_us;
+  s.end_us = end_us;
+  s.cost = cost;
+  return s;
+}
+
+// decompose -> {fast block, slow block} -> filter. The path must route
+// through the slow branch and cover the wall exactly.
+TEST(CriticalPathTest, DiamondRoutesThroughTheSlowBranch) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kDecompose, 0, 0, 100),
+      Task(SpanKind::kBlock, 0, 100, 300),   // fast branch
+      Task(SpanKind::kBlock, 0, 100, 500),   // slow branch
+      Task(SpanKind::kFilter, 0, 500, 600),
+  };
+  const CriticalPathResult r = ComputeCriticalPath(spans);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[0].span, 0u);  // decompose
+  EXPECT_EQ(r.path[1].span, 2u);  // the slow block, not the fast one
+  EXPECT_EQ(r.path[2].span, 3u);  // filter
+  EXPECT_DOUBLE_EQ(r.path[0].seconds, 100e-6);
+  EXPECT_DOUBLE_EQ(r.path[1].seconds, 400e-6);
+  EXPECT_DOUBLE_EQ(r.path[2].seconds, 100e-6);
+  EXPECT_DOUBLE_EQ(r.span_seconds, 600e-6);
+  EXPECT_DOUBLE_EQ(r.wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 600e-6);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+// The serial executor nests DecomposeTask(L+1) inside DecomposeTask(L);
+// exclusive attribution must clip the parent where the child overlaps so
+// the chain still telescopes to exactly the wall.
+TEST(CriticalPathTest, NestedChainClipsOverlapExactly) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kDecompose, 0, 0, 1000),
+      Task(SpanKind::kDecompose, 1, 200, 800),  // nested in level 0
+      Task(SpanKind::kBlock, 1, 800, 1200),
+  };
+  const CriticalPathResult r = ComputeCriticalPath(spans);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[0].span, 0u);
+  EXPECT_EQ(r.path[1].span, 1u);
+  EXPECT_EQ(r.path[2].span, 2u);
+  EXPECT_DOUBLE_EQ(r.path[0].seconds, 200e-6);  // clipped: [0, 200)
+  EXPECT_DOUBLE_EQ(r.path[1].seconds, 600e-6);
+  EXPECT_DOUBLE_EQ(r.path[2].seconds, 400e-6);
+  EXPECT_DOUBLE_EQ(r.span_seconds, 1200e-6);
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 1200e-6);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+// All-parallel level with a scheduling gap: the gap between the
+// decompose finishing and the blocks starting shows up as wait time on
+// the successor, and contributions + waits still cover the wall.
+TEST(CriticalPathTest, SchedulingGapBecomesWaitTime) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kDecompose, 0, 0, 100),
+      Task(SpanKind::kBlock, 0, 150, 250),
+      Task(SpanKind::kBlock, 0, 150, 350),  // last finisher
+      Task(SpanKind::kBlock, 0, 150, 300),
+  };
+  const CriticalPathResult r = ComputeCriticalPath(spans);
+  ASSERT_EQ(r.path.size(), 2u);
+  EXPECT_EQ(r.path[0].span, 0u);
+  EXPECT_EQ(r.path[1].span, 2u);
+  EXPECT_DOUBLE_EQ(r.path[0].wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.path[1].wait_seconds, 50e-6);  // 100 -> 150 gap
+  EXPECT_DOUBLE_EQ(r.span_seconds, 300e-6);
+  EXPECT_DOUBLE_EQ(r.wait_seconds, 50e-6);
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 350e-6);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(CriticalPathTest, ReducePrepassIsTheRoot) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kDecompose, 0, 50, 100),
+      Task(SpanKind::kReduce, 0, 0, 50),
+      Task(SpanKind::kBlock, 0, 100, 200),
+  };
+  const CriticalPathResult r = ComputeCriticalPath(spans);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(spans[r.path[0].span].kind, SpanKind::kReduce);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+}
+
+TEST(CriticalPathTest, EmptyAndNonDagInputsYieldNoPath) {
+  EXPECT_TRUE(ComputeCriticalPath({}).path.empty());
+  std::vector<TaskSpan> spans = {Task(SpanKind::kWorkerIdle, 0, 0, 100)};
+  const CriticalPathResult r = ComputeCriticalPath(spans);
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_DOUBLE_EQ(r.wall_seconds, 0.0);  // idle spans are not wall hull
+}
+
+TEST(StragglerTest, RankBySecondsOrdersAndTruncates) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kBlock, 0, 0, 100),
+      Task(SpanKind::kBlock, 0, 0, 400),
+      Task(SpanKind::kWorkerIdle, 0, 0, 900),  // never a straggler
+      Task(SpanKind::kBlock, 0, 0, 250),
+  };
+  const std::vector<Straggler> top = RankStragglersBySeconds(spans, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].span, 1u);
+  EXPECT_DOUBLE_EQ(top[0].seconds, 400e-6);
+  EXPECT_EQ(top[1].span, 3u);
+}
+
+// Deviation is calibrated so that 1.0 means "exactly as the cost model
+// predicted" over this run; a block taking 3x its fair share ranks first.
+TEST(StragglerTest, RankByDeviationFlagsUnderPredictedBlocks) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kBlock, 0, 0, 100, /*cost=*/10),
+      Task(SpanKind::kBlock, 0, 0, 300, /*cost=*/10),
+      Task(SpanKind::kBlock, 0, 0, 200, /*cost=*/20),
+      Task(SpanKind::kBlock, 0, 0, 999, /*cost=*/0),  // unpredicted: skipped
+  };
+  // alpha = 600us / 40 cost units; block 1 ran at 2x its prediction.
+  const std::vector<Straggler> top = RankStragglersByDeviation(spans, 4);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].span, 1u);
+  EXPECT_NEAR(top[0].deviation, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(top[0].predicted_cost, 10.0);
+  EXPECT_NEAR(top[1].deviation, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(top[2].deviation, 2.0 / 3.0, 1e-9);
+
+  // No predictions anywhere -> no deviation ranking at all.
+  std::vector<TaskSpan> bare = {Task(SpanKind::kBlock, 0, 0, 100)};
+  EXPECT_TRUE(RankStragglersByDeviation(bare, 4).empty());
+}
+
+TEST(TaskSpanTest, FromEventsKeepsDagKindsAndLiftsArgs) {
+  std::vector<TraceEvent> events(4);
+  events[0].kind = SpanKind::kBlock;
+  events[0].level = 2;
+  events[0].index = 5;
+  events[0].begin_us = 10;
+  events[0].end_us = 40;
+  events[0].args[3] = 7;  // cliques
+  events[0].cost = 2.5;
+  events[0].prof.task_clock_ns = 123;
+  events[0].prof.source = CounterSource::kSoftware;
+  events[1].kind = SpanKind::kWorkerIdle;  // observability, not DAG
+  events[2].kind = SpanKind::kFallback;
+  events[2].args[2] = 4;  // cliques
+  events[3].kind = SpanKind::kAdmission;   // observability, not DAG
+
+  const std::vector<TaskSpan> spans = TaskSpansFromEvents(events);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kBlock);
+  EXPECT_EQ(spans[0].level, 2u);
+  EXPECT_EQ(spans[0].index, 5u);
+  EXPECT_EQ(spans[0].cliques, 7u);
+  EXPECT_DOUBLE_EQ(spans[0].cost, 2.5);
+  EXPECT_EQ(spans[0].prof.task_clock_ns, 123u);
+  EXPECT_EQ(spans[1].kind, SpanKind::kFallback);
+  EXPECT_EQ(spans[1].cliques, 4u);
+}
+
+TEST(IdleAttributionTest, SplitsLevelCapacityAcrossLanes) {
+  std::vector<TaskSpan> spans = {
+      Task(SpanKind::kDecompose, 0, 0, 100),
+      Task(SpanKind::kBlock, 0, 100, 300),
+      Task(SpanKind::kBlock, 0, 100, 200),
+  };
+  spans[2].lane_tid = 1;  // second worker lane
+  const std::vector<LevelIdle> idle = AttributeIdle(spans);
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_EQ(idle[0].level, 0u);
+  EXPECT_EQ(idle[0].workers, 2);
+  EXPECT_DOUBLE_EQ(idle[0].busy_seconds, 300e-6);
+  EXPECT_GE(idle[0].idle_seconds, 0.0);
+  EXPECT_GE(idle[0].barrier_idle_seconds, 0.0);
+}
+
+// The live contract behind `mce_trace_analyze --require-critical-path`:
+// a trace from either executor reconstructs into a DAG whose critical
+// path (contributions + waits) explains the run's wall clock, and every
+// DAG span of a profiled run carries counter attribution.
+TEST(CriticalPathIntegrationTest, SerialAndPooledTracesCoverTheWall) {
+  const Graph g = gen::GenerateSocialNetwork(gen::FacebookConfig(0.02));
+  uint64_t serial_cliques = 0;
+  for (const decomp::ExecutorKind kind :
+       {decomp::ExecutorKind::kSerial, decomp::ExecutorKind::kPooled}) {
+    TraceRecorder recorder;
+    decomp::FindMaxCliquesOptions options;
+    options.max_block_size = 10;
+    options.executor = kind;
+    options.num_threads = 4;
+    options.trace = &recorder;
+    options.profile = true;
+    uint64_t cliques = 0;
+    const decomp::StreamingStats stats = decomp::FindMaxCliquesStreaming(
+        g, options,
+        [&cliques](std::span<const NodeId>, uint32_t) { ++cliques; });
+
+    const std::vector<TaskSpan> spans =
+        TaskSpansFromEvents(recorder.Events());
+    ASSERT_FALSE(spans.empty());
+    for (const TaskSpan& s : spans) {
+      EXPECT_NE(s.prof.source, CounterSource::kNone)
+          << "unprofiled DAG span of kind "
+          << ToString(s.kind);
+    }
+    const CriticalPathResult r = ComputeCriticalPath(spans);
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_NEAR(r.coverage, 1.0, 0.05)
+        << (kind == decomp::ExecutorKind::kSerial ? "serial" : "pooled");
+    EXPECT_GT(r.span_seconds, 0.0);
+
+    // The accumulator the executors fed must agree with the spans the
+    // recorder captured: same span population.
+    EXPECT_TRUE(stats.profile.enabled);
+    EXPECT_EQ(stats.profile.total.spans, spans.size());
+
+    if (kind == decomp::ExecutorKind::kSerial) {
+      serial_cliques = cliques;
+    } else {
+      EXPECT_EQ(cliques, serial_cliques);  // executors agree on the answer
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mce::obs

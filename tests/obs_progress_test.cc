@@ -261,6 +261,49 @@ TEST(TelemetrySamplerTest, WritesFinalRecordOnFinish) {
   std::remove(path.c_str());
 }
 
+// The error-exit half of the contract: a run that dies mid-flight (the
+// sink failed, an exception unwound through the sampler's destructor)
+// must still terminate the stream with a `final:true` record — so a
+// consumer can tell "completed with an error" from "truncated file" —
+// but carry `success:false` and the honest partial fraction, never a
+// fabricated 1.0.
+TEST(TelemetrySamplerTest, FailedRunEmitsFinalRecordWithPartialFraction) {
+  for (const bool explicit_finish : {true, false}) {
+    const std::string path =
+        ::testing::TempDir() + "telemetry_sampler_fail_test.ndjson";
+    ProgressEstimator progress;
+    TelemetryOptions options;
+    options.out_path = path;
+    options.interval_ms = 1;
+    {
+      TelemetrySampler sampler(&progress, options);
+      ASSERT_TRUE(sampler.Start());
+      // Half the registered cost retires, then the run "fails": either
+      // an explicit error exit or the destructor's Finish(false) on
+      // exception unwind.
+      progress.RegisterBlock(0, 4.0);
+      progress.RegisterBlock(0, 4.0);
+      progress.RetireBlock(0, 4.0);
+      if (explicit_finish) sampler.Finish(/*success=*/false);
+    }
+    EXPECT_FALSE(progress.complete());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    std::string last;
+    while (std::getline(in, line)) {
+      if (!line.empty()) last = line;
+    }
+    ASSERT_FALSE(last.empty());
+    EXPECT_NE(last.find("\"final\":true"), std::string::npos) << last;
+    EXPECT_NE(last.find("\"success\":false"), std::string::npos) << last;
+    EXPECT_EQ(last.find("\"fraction\":1,"), std::string::npos) << last;
+    EXPECT_NE(last.find("\"fraction\":0.5"), std::string::npos) << last;
+    std::remove(path.c_str());
+  }
+}
+
 TEST(TelemetrySamplerTest, UnopenableOutputFailsStartAndStaysInert) {
   ProgressEstimator progress;
   TelemetryOptions options;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "json_lite.h"
+
 namespace mce::obs {
 namespace {
 
@@ -168,6 +170,55 @@ TEST(TraceRecorderTest, SyntheticLanesGetTheirOwnProcess) {
   EXPECT_NE(json.find("\"name\":\"SimBlockTask\""), std::string::npos);
   // The synthetic event draws on (pid 1, tid 6), not the caller's track.
   EXPECT_NE(json.find("\"ph\":\"B\",\"pid\":1,\"tid\":6"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, HostileNamesAreEscapedIntoParseableJson) {
+  // Thread names come from user-controllable places (pool labels, the
+  // simulated cluster's lane names); quotes, backslashes, control bytes
+  // and non-ASCII must all leave the export as valid JSON — this is the
+  // same json_lite parser trace_check validates real traces with.
+  TraceRecorder recorder;
+  const std::string hostile = "evil\"\\\x01\x7f\xc3\xa9\nname";
+  recorder.SetCurrentThreadName(hostile);
+  recorder.Record(Span(10, 20));
+  const std::string json = recorder.ToChromeTraceJson();
+
+  // No raw control byte may survive into the file beyond the exporter's
+  // own inter-event newlines.
+  for (const char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(json.find("evil\\\"\\\\\\u0001\\u007f\\u00c3\\u00a9\\u000aname"),
+            std::string::npos)
+      << json;
+
+  json_lite::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(json_lite::JsonParser(json).Parse(&root, &error)) << error;
+  ASSERT_TRUE(root.IsObject());
+  const json_lite::JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  // The thread_name metadata record carries the (escaped) hostile name.
+  bool found_name = false;
+  for (const json_lite::JsonValue& e : events->array) {
+    const json_lite::JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->IsString() ||
+        name->string != "thread_name") {
+      continue;
+    }
+    const json_lite::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    const json_lite::JsonValue* value = args->Find("name");
+    ASSERT_NE(value, nullptr);
+    ASSERT_TRUE(value->IsString());
+    // json_lite decodes \" and \\ but keeps \uXXXX escapes verbatim.
+    EXPECT_EQ(value->string,
+              "evil\"\\\\u0001\\u007f\\u00c3\\u00a9\\u000aname");
+    found_name = true;
+  }
+  EXPECT_TRUE(found_name) << json;
 }
 
 TEST(TraceRecorderTest, PartialOverlapIsClampedToKeepPairsBalanced) {

@@ -228,6 +228,12 @@ int CmdEnumerate(const Flags& flags) {
     options.spill_threshold_bytes = *bytes;
   }
   options.spill_dir = flags.Get("spill-dir", "");
+  // --perf-counters: per-task hardware-counter profiling. Every pipeline
+  // task reads cycle/instruction/miss deltas via perf_event_open (or the
+  // software task clock when the syscall is unavailable, e.g. in
+  // containers); the attribution lands in the report ("profile" in
+  // --json) and as args on --trace-out spans.
+  if (flags.Get("perf-counters", "") == "true") options.profile = true;
   if (flags.Has("workers")) {
     options.simulate_cluster = true;
     options.cluster.num_workers = flags.GetInt("workers", 10);
@@ -474,6 +480,10 @@ void Usage() {
       "              [--spill-dir DIR]     (spill-file directory)\n"
       "              [--top K] [--output cliques.txt] [--json true]\n"
       "              [--verify true]  (re-enumerate and certify)\n"
+      "              [--perf-counters true]  (per-task cycle/instruction/\n"
+      "                                       miss attribution; software\n"
+      "                                       clock when perf_event_open\n"
+      "                                       is unavailable)\n"
       "              [--trace-out t.json]    (Chrome trace of the run)\n"
       "              [--metrics-out m.json]  (counters/histograms; .txt\n"
       "                                       for the text form)\n"

@@ -13,7 +13,11 @@
 //   * "B"/"E" pairs are balanced per lane, with matching names (LIFO
 //     nesting), and no "E" without an open "B";
 //   * with --require A,B,C each named span kind appears at least once as a
-//     "B" event.
+//     "B" event;
+//   * "E" events carrying perf-counter args (--perf-counters runs) hold
+//     numeric non-negative cycles/instructions/cache_misses/branch_misses/
+//     task_clock_ns and a "prof" tag of "hw" or "sw"; with
+//     --require-counters at least one such span must exist.
 //
 // Heartbeat mode (--heartbeat) checks a `--heartbeat-out=...` NDJSON file:
 //
@@ -56,12 +60,14 @@ int Fail(const char* what, size_t event_index) {
 int Usage() {
   std::fprintf(stderr,
                "usage: trace_check FILE [--require Name1,Name2,...]\n"
+               "                        [--require-counters]\n"
                "       trace_check --heartbeat FILE\n");
   return 2;
 }
 
 int CheckTrace(const std::string& path,
-               const std::vector<std::string>& required) {
+               const std::vector<std::string>& required,
+               bool require_counters) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
@@ -95,6 +101,7 @@ int CheckTrace(const std::string& path,
   };
   std::map<std::pair<double, double>, Lane> lanes;
   std::map<std::string, size_t> begin_counts;
+  size_t counter_spans = 0;
 
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& e = events->array[i];
@@ -135,6 +142,25 @@ int CheckTrace(const std::string& path,
         return Fail("E name does not match the open B", i);
       }
       lane.open.pop_back();
+      // Counter args ride on the E event of --perf-counters runs; when
+      // present, the whole set must be well-formed.
+      const JsonValue* args = e.Find("args");
+      if (args != nullptr && args->IsObject() &&
+          args->Find("prof") != nullptr) {
+        const JsonValue* prof = args->Find("prof");
+        if (!prof->IsString() ||
+            (prof->string != "hw" && prof->string != "sw")) {
+          return Fail("counter args with prof neither \"hw\" nor \"sw\"", i);
+        }
+        for (const char* key : {"cycles", "instructions", "cache_misses",
+                                "branch_misses", "task_clock_ns"}) {
+          const JsonValue* v = args->Find(key);
+          if (v == nullptr || !v->IsNumber() || v->number < 0) {
+            return Fail("counter args missing a non-negative counter", i);
+          }
+        }
+        ++counter_spans;
+      }
     }
   }
   for (const auto& [key, lane] : lanes) {
@@ -154,13 +180,19 @@ int CheckTrace(const std::string& path,
       return 1;
     }
   }
+  if (require_counters && counter_spans == 0) {
+    std::fprintf(stderr,
+                 "trace_check: no span carries perf-counter args (was the "
+                 "run profiled with --perf-counters?)\n");
+    return 1;
+  }
   size_t total = 0;
   for (const auto& [key, count] : begin_counts) {
     (void)key;
     total += count;
   }
-  std::printf("trace_check: ok (%zu spans, %zu lanes)\n", total,
-              lanes.size());
+  std::printf("trace_check: ok (%zu spans, %zu lanes, %zu with counters)\n",
+              total, lanes.size(), counter_spans);
   return 0;
 }
 
@@ -270,11 +302,14 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
   bool heartbeat = false;
+  bool require_counters = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string names;
     if (arg == "--heartbeat") {
       heartbeat = true;
+    } else if (arg == "--require-counters") {
+      require_counters = true;
     } else if (arg.rfind("--require=", 0) == 0) {
       names = arg.substr(std::strlen("--require="));
     } else if (arg == "--require" && i + 1 < argc) {
@@ -290,6 +325,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage();
-  if (heartbeat && !required.empty()) return Usage();
-  return heartbeat ? CheckHeartbeat(path) : CheckTrace(path, required);
+  if (heartbeat && (!required.empty() || require_counters)) return Usage();
+  return heartbeat ? CheckHeartbeat(path)
+                   : CheckTrace(path, required, require_counters);
 }
